@@ -1,0 +1,78 @@
+// Command coschedql queries per-coschedule performance: give it up to K
+// benchmark IDs and it prints each job's IPC, WIPC (weighted speedup
+// component) and the coschedule's instantaneous throughput on both machine
+// configurations.
+//
+// Usage:
+//
+//	coschedql [-list] <benchmark> [<benchmark>...]
+//	coschedql hmmer.nph3 mcf.ref libquantum.ref calculix.ref
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+	"symbiosched/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the benchmark suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: coschedql [-list] <benchmark>...\nbenchmarks: %s\n",
+			strings.Join(program.IDs(), ", "))
+	}
+	flag.Parse()
+	if *list {
+		for _, id := range program.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	suite := program.Suite()
+	var types []int
+	for _, arg := range flag.Args() {
+		_, idx, ok := program.ByID(arg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coschedql: unknown benchmark %q (try -list)\n", arg)
+			os.Exit(2)
+		}
+		types = append(types, idx)
+	}
+	cos := workload.NewCoschedule(types...)
+
+	for _, build := range []func() *perfdb.Table{
+		func() *perfdb.Table { return perfdb.Build(perfdb.SMTModel{Machine: uarch.DefaultSMT()}, suite) },
+		func() *perfdb.Table {
+			return perfdb.Build(perfdb.MulticoreModel{Machine: uarch.DefaultMulticore()}, suite)
+		},
+	} {
+		t := build()
+		if len(cos) > t.K() {
+			fmt.Fprintf(os.Stderr, "coschedql: %d jobs exceed the machine's %d contexts\n", len(cos), t.K())
+			os.Exit(2)
+		}
+		e := t.Entry(cos)
+		fmt.Printf("%s:\n", t.Name())
+		fmt.Printf("  %-22s %8s %8s %8s\n", "job", "IPC", "soloIPC", "WIPC")
+		for _, b := range cos.Types() {
+			fmt.Printf("  %-22s %8.3f %8.3f %8.3f", suite[b].ID(), t.JobIPC(cos, b), t.Solo[b], t.JobWIPC(cos, b))
+			if n := cos.Count(b); n > 1 {
+				fmt.Printf("   (x%d)", n)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  instantaneous throughput it(s) = %.3f WIPC (heterogeneity %d)\n\n",
+			e.InstTP, cos.Heterogeneity())
+	}
+}

@@ -1,0 +1,225 @@
+// Command symbiosim reproduces the tables and figures of "Revisiting
+// Symbiotic Job Scheduling" (Eyerman, Michaud, Rogiest; ISPASS 2015).
+//
+// Usage:
+//
+//	symbiosim [flags] <experiment> [<experiment>...]
+//
+// Experiments: table1, fig1, fig2, fig3, table2, n8, fairness, fig4,
+// fig5, fig6, uarch, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"symbiosched/internal/exp"
+)
+
+func main() {
+	var (
+		fcfsJobs = flag.Int("fcfs-jobs", 20000, "jobs per FCFS throughput simulation")
+		simJobs  = flag.Int("sim-jobs", 20000, "jobs per Section VI event simulation")
+		sample   = flag.Int("sample", 99, "workloads sampled for fig5/fig6/fairness (0 = all 495)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csvDir   = flag.String("csv", "", "also write plottable series as CSV files into this directory")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: symbiosim [flags] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(order, ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := exp.DefaultConfig()
+	cfg.FCFSJobs = *fcfsJobs
+	cfg.SimJobs = *simJobs
+	cfg.SampleWorkloads = *sample
+	cfg.Seed = *seed
+	env := exp.NewEnv(cfg)
+
+	var names []string
+	for _, arg := range flag.Args() {
+		if arg == "all" {
+			names = order
+			break
+		}
+		names = append(names, arg)
+	}
+	for _, name := range names {
+		run, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "symbiosim: unknown experiment %q (want one of %s)\n",
+				name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		out, err := run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "symbiosim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		if *csvDir != "" {
+			if err := writeCSVs(env, *csvDir, name); err != nil {
+				fmt.Fprintf(os.Stderr, "symbiosim: %s: csv: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+var order = []string{"table1", "fig1", "fig2", "fig3", "table2", "n8", "fairness", "fig4", "fig5", "fig6", "uarch", "makespan"}
+
+var experiments = map[string]func(*exp.Env) (string, error){
+	"table1": func(e *exp.Env) (string, error) {
+		return exp.FormatTable1(exp.Table1(e)), nil
+	},
+	"fig1": func(e *exp.Env) (string, error) {
+		r, err := exp.Fig1(e)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	},
+	"fig2": func(e *exp.Env) (string, error) {
+		smt, quad, err := exp.Fig2(e)
+		if err != nil {
+			return "", err
+		}
+		return smt.Format() + quad.Format(), nil
+	},
+	"fig3": func(e *exp.Env) (string, error) {
+		smt, quad, err := exp.Fig3(e)
+		if err != nil {
+			return "", err
+		}
+		return smt.Format() + quad.Format(), nil
+	},
+	"table2": func(e *exp.Env) (string, error) {
+		smt, quad, err := exp.Table2(e)
+		if err != nil {
+			return "", err
+		}
+		return smt.Format() + quad.Format(), nil
+	},
+	"n8": func(e *exp.Env) (string, error) {
+		r, err := exp.N8(e)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	},
+	"fairness": func(e *exp.Env) (string, error) {
+		r, err := exp.Fairness(e)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	},
+	"fig4": func(e *exp.Env) (string, error) {
+		r, err := exp.Fig4(e)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	},
+	"fig5": func(e *exp.Env) (string, error) {
+		r, err := exp.Fig5(e)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	},
+	"fig6": func(e *exp.Env) (string, error) {
+		r, err := exp.Fig6(e)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	},
+	"uarch": func(e *exp.Env) (string, error) {
+		r, err := exp.Uarch(e)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	},
+	"makespan": func(e *exp.Env) (string, error) {
+		small, err := exp.MakespanExperiment(e, 8)
+		if err != nil {
+			return "", err
+		}
+		large, err := exp.MakespanExperiment(e, 16)
+		if err != nil {
+			return "", err
+		}
+		return small.Format() + large.Format(), nil
+	},
+}
+
+// writeCSVs writes the plottable series of the named experiment under dir.
+// Figures 2-4 reuse the Env's cached sweeps; figures 5/6 and makespan
+// re-run their (deterministic) simulations, doubling their cost — CSV
+// export is opt-in for that reason.
+func writeCSVs(env *exp.Env, dir, name string) error {
+	switch name {
+	case "fig2":
+		smt, quad, err := exp.Fig2(env)
+		if err != nil {
+			return err
+		}
+		if _, err := exp.WriteCSV(dir, exp.CSVName("fig2", "smt"), smt); err != nil {
+			return err
+		}
+		_, err = exp.WriteCSV(dir, exp.CSVName("fig2", "quad"), quad)
+		return err
+	case "fig3":
+		smt, quad, err := exp.Fig3(env)
+		if err != nil {
+			return err
+		}
+		if _, err := exp.WriteCSV(dir, exp.CSVName("fig3", "smt"), smt); err != nil {
+			return err
+		}
+		_, err = exp.WriteCSV(dir, exp.CSVName("fig3", "quad"), quad)
+		return err
+	case "fig4":
+		r, err := exp.Fig4(env)
+		if err != nil {
+			return err
+		}
+		_, err = exp.WriteCSV(dir, "fig4", r)
+		return err
+	case "fig5":
+		r, err := exp.Fig5(env)
+		if err != nil {
+			return err
+		}
+		_, err = exp.WriteCSV(dir, "fig5", r)
+		return err
+	case "fig6":
+		r, err := exp.Fig6(env)
+		if err != nil {
+			return err
+		}
+		_, err = exp.WriteCSV(dir, "fig6", r)
+		return err
+	case "makespan":
+		r, err := exp.MakespanExperiment(env, 8)
+		if err != nil {
+			return err
+		}
+		_, err = exp.WriteCSV(dir, "makespan8", r)
+		return err
+	}
+	return nil
+}

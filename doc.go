@@ -1,0 +1,18 @@
+// Package symbiosched reproduces "Revisiting Symbiotic Job Scheduling"
+// (Eyerman, Michaud, Rogiest; ISPASS 2015) as a Go library and experiment
+// suite.
+//
+// The implementation lives under internal/: the paper's contribution (the
+// optimal-throughput linear program and its analyses) in internal/core,
+// the machine performance models in internal/{interval,smtmodel,multicore,
+// cachemodel,membus}, the cycle-level validation simulator in
+// internal/{trace,cyclesim}, the Section VI schedulers and event simulator
+// in internal/{sched,eventsim,queueing}, and one driver per table/figure
+// in internal/exp. Executables are under cmd/ (symbiosim, coschedql, mmc)
+// and runnable examples under examples/.
+//
+// bench_test.go in this directory holds one benchmark per table and figure
+// of the paper plus ablations of the design choices listed in DESIGN.md.
+// See README.md for a walkthrough and EXPERIMENTS.md for paper-vs-measured
+// numbers.
+package symbiosched

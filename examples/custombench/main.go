@@ -1,0 +1,98 @@
+// Custombench: analysing the symbiosis of your own application against
+// the stock suite. A user-defined benchmark profile (here: an in-memory
+// key-value store — modest ILP, large cache footprint, high MLP) is added
+// as a 13th job type, and the example reports its best and worst
+// co-runners on both machine configurations, plus the scheduling headroom
+// of a workload built around it.
+//
+// Run with: go run ./examples/custombench
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"symbiosched/internal/core"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+	"symbiosched/internal/workload"
+)
+
+func main() {
+	kvstore := program.Profile{
+		Name: "kvstore", Input: "zipf",
+		IPCInf: 2.2, WindowHalf: 45,
+		BranchMPKI: 3.0,
+		CacheAPKI:  25, MemMPKIMax: 12.0, MemMPKIMin: 1.5,
+		CacheHalfKB: 1536, CurveGamma: 1.1,
+		MLPMax: 2.6,
+	}
+	if err := kvstore.Validate(); err != nil {
+		panic(err)
+	}
+	suite := append(program.Suite(), kvstore)
+	kv := len(suite) - 1
+
+	table := perfdb.Build(perfdb.SMTModel{Machine: uarch.DefaultSMT()}, suite)
+	fmt.Printf("added %s to the suite (solo IPC %.3f on %s)\n\n", kvstore.ID(), table.Solo[kv], table.Name())
+
+	// Rank co-runners by how well kvstore performs next to three copies of
+	// each candidate.
+	type pairing struct {
+		partner string
+		wipc    float64
+	}
+	var pairings []pairing
+	for b := 0; b < kv; b++ {
+		c := workload.NewCoschedule(kv, b, b, b)
+		pairings = append(pairings, pairing{suite[b].ID(), table.JobWIPC(c, kv)})
+	}
+	sort.Slice(pairings, func(i, j int) bool { return pairings[i].wipc > pairings[j].wipc })
+	fmt.Println("kvstore WIPC when coscheduled with three copies of:")
+	for i, p := range pairings {
+		marker := ""
+		if i == 0 {
+			marker = "   <- best symbiosis"
+		}
+		if i == len(pairings)-1 {
+			marker = "   <- worst symbiosis"
+		}
+		fmt.Printf("  %-22s %.3f%s\n", p.partner, p.wipc, marker)
+	}
+
+	// Scheduling headroom of a workload containing kvstore.
+	_, hm, _ := program.ByID("hmmer.nph3")
+	_, mcf, _ := program.ByID("mcf.ref")
+	_, xa, _ := program.ByID("xalancbmk.ref")
+	w := workload.Workload{hm, mcf, xa, kv}
+	opt, err := core.Optimal(table, w)
+	if err != nil {
+		panic(err)
+	}
+	worst, err := core.Worst(table, w)
+	if err != nil {
+		panic(err)
+	}
+	fcfs := core.FCFS(table, w, core.FCFSConfig{})
+	fmt.Printf("\nworkload hmmer+mcf+xalancbmk+kvstore:\n")
+	fmt.Printf("  optimal %+.1f%% vs FCFS; worst %+.1f%% vs FCFS\n",
+		100*(opt.Throughput/fcfs.Throughput-1), 100*(worst.Throughput/fcfs.Throughput-1))
+	fmt.Printf("  per-job WIPC spread of kvstore across coschedules: ")
+	var lo, hi float64
+	first := true
+	for _, c := range workload.LocalCoschedules(w, table.K()) {
+		if c.Count(kv) == 0 {
+			continue
+		}
+		v := table.JobWIPC(c, kv)
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	fmt.Printf("%.3f .. %.3f\n", lo, hi)
+}

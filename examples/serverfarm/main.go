@@ -1,0 +1,74 @@
+// Serverfarm: a latency experiment on a batch server, after Section VI of
+// the paper. Jobs of four types arrive as a Poisson stream at a
+// configurable fraction of the server's maximum throughput; four online
+// schedulers (FCFS, MAXIT, SRPT, MAXTP) are compared on turnaround time,
+// utilisation and empty fraction — showing how a tiny throughput
+// improvement becomes a large turnaround reduction near saturation.
+//
+// Run with: go run ./examples/serverfarm [-load 0.95] [-jobs 30000]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"symbiosched/internal/core"
+	"symbiosched/internal/eventsim"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/program"
+	"symbiosched/internal/sched"
+	"symbiosched/internal/uarch"
+	"symbiosched/internal/workload"
+)
+
+func main() {
+	load := flag.Float64("load", 0.95, "offered load relative to FCFS maximum throughput")
+	jobs := flag.Int("jobs", 30000, "jobs per experiment")
+	flag.Parse()
+
+	table := perfdb.Build(perfdb.SMTModel{Machine: uarch.DefaultSMT()}, program.Suite())
+	var w workload.Workload
+	for _, id := range []string{"perlbench.diffmail", "gcc.g23", "h264ref.foreman", "xalancbmk.ref"} {
+		_, idx, _ := program.ByID(id)
+		w = append(w, idx)
+	}
+
+	// Calibrate the arrival rate against the FCFS maximum throughput.
+	maxTP := core.FCFS(table, w, core.FCFSConfig{Jobs: 30000}).Throughput
+	lambda := *load * maxTP
+	fmt.Printf("server: %s   workload: perlbench+gcc+h264ref+xalancbmk\n", table.Name())
+	fmt.Printf("FCFS max throughput %.3f, offered load %.0f%% -> lambda = %.3f jobs/unit time\n\n",
+		maxTP, 100**load, lambda)
+
+	schedulers := []func() (sched.Scheduler, error){
+		func() (sched.Scheduler, error) { return sched.FCFS{}, nil },
+		func() (sched.Scheduler, error) { return &sched.MAXIT{Table: table}, nil },
+		func() (sched.Scheduler, error) { return &sched.SRPT{Table: table}, nil },
+		func() (sched.Scheduler, error) { return sched.NewMAXTP(table, w) },
+	}
+	fmt.Printf("%-7s %12s %12s %12s %12s\n", "sched", "turnaround", "vs FCFS", "utilisation", "empty frac")
+	var base float64
+	for _, mk := range schedulers {
+		s, err := mk()
+		if err != nil {
+			panic(err)
+		}
+		res, err := eventsim.Latency(table, w, s, eventsim.LatencyConfig{
+			Lambda:    lambda,
+			Jobs:      *jobs,
+			SizeShape: 4, // jobs of "approximately the same size"
+		})
+		if err != nil {
+			panic(err)
+		}
+		if s.Name() == "FCFS" {
+			base = res.MeanTurnaround
+		}
+		fmt.Printf("%-7s %12.3f %11.1f%% %12.3f %12.4f\n",
+			s.Name(), res.MeanTurnaround, 100*(res.MeanTurnaround/base-1),
+			res.Utilisation, res.EmptyFraction)
+	}
+	fmt.Println("\nNear saturation, schedulers with slightly higher maximum throughput")
+	fmt.Println("(MAXTP) cut turnaround disproportionately; SRPT cuts turnaround")
+	fmt.Println("without any throughput gain by reordering jobs (Section VI).")
+}

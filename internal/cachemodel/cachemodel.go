@@ -1,0 +1,104 @@
+// Package cachemodel models contention for a shared last-level cache.
+//
+// Under LRU-like replacement with no partitioning (the paper assumes "no
+// programmable partitioning mechanisms"), a thread's steady-state occupancy
+// of a shared cache is approximately proportional to its insertion rate —
+// its misses per unit time (e.g. Suh et al., ICS 2001). This creates the
+// classic pathology the paper's benchmarks exercise: a streaming job
+// (libquantum) inserts at a huge rate, occupying capacity it does not
+// benefit from and shrinking the share of cache-sensitive co-runners
+// (mcf, xalancbmk).
+//
+// Shares and miss rates are mutually dependent — a bigger share lowers the
+// miss rate, which lowers the insertion rate, which shrinks the share — so
+// the model iterates to a damped fixed point. The iteration is a contraction
+// in practice; a fixed iteration count with damping converges to well below
+// solver noise.
+package cachemodel
+
+import (
+	"symbiosched/internal/program"
+)
+
+// Demand describes one thread's pressure on the shared cache.
+type Demand struct {
+	// Profile is the thread's benchmark profile (miss-ratio curve).
+	Profile *program.Profile
+	// IPC is the thread's current instructions-per-cycle estimate; the
+	// insertion rate is IPC * MemMPKI(share)/1000. Callers iterate the
+	// outer performance model, so a stale IPC is fine.
+	IPC float64
+}
+
+const (
+	iterations = 30
+	damping    = 0.5
+	// minShareFrac prevents pathological starvation: even a thread that
+	// misses rarely retains a sliver of occupancy (its hot set).
+	minShareFrac = 0.02
+)
+
+// Shares computes the steady-state capacity shares (in KB, summing to
+// totalKB) of the given demands on a shared cache. A nil or empty demand
+// set returns nil. Single-thread "sharing" returns the whole cache.
+func Shares(demands []Demand, totalKB float64) []float64 {
+	n := len(demands)
+	if n == 0 {
+		return nil
+	}
+	shares := make([]float64, n)
+	if n == 1 {
+		shares[0] = totalKB
+		return shares
+	}
+	// Start from an equal split.
+	for i := range shares {
+		shares[i] = totalKB / float64(n)
+	}
+	weights := make([]float64, n)
+	for it := 0; it < iterations; it++ {
+		var total float64
+		for i, d := range demands {
+			// Insertion rate: misses per cycle at the current share.
+			ins := d.IPC * d.Profile.MemMPKI(shares[i]) / 1000
+			// The occupancy weight floors at a small constant so that a
+			// zero-miss thread keeps its hot set.
+			w := ins
+			if w < 1e-6 {
+				w = 1e-6
+			}
+			weights[i] = w
+			total += w
+		}
+		for i := range demands {
+			target := totalKB * weights[i] / total
+			if min := totalKB * minShareFrac; target < min {
+				target = min
+			}
+			shares[i] = damping*shares[i] + (1-damping)*target
+		}
+		// Renormalise to the exact capacity (the floor can overshoot).
+		var sum float64
+		for _, s := range shares {
+			sum += s
+		}
+		for i := range shares {
+			shares[i] *= totalKB / sum
+		}
+	}
+	return shares
+}
+
+// EqualShares returns a static equal partitioning of the cache — the
+// ablation baseline for the occupancy model (see bench_test.go,
+// BenchmarkAblationCacheModel).
+func EqualShares(n int, totalKB float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	shares := make([]float64, n)
+	for i := range shares {
+		shares[i] = totalKB / float64(n)
+	}
+	return shares
+}

@@ -1,0 +1,115 @@
+package cachemodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"symbiosched/internal/program"
+	"symbiosched/internal/stats"
+)
+
+func demand(t *testing.T, id string, ipc float64) Demand {
+	t.Helper()
+	p, _, ok := program.ByID(id)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", id)
+	}
+	return Demand{Profile: &p, IPC: ipc}
+}
+
+func TestSingleThreadGetsAll(t *testing.T) {
+	d := []Demand{demand(t, "mcf.ref", 0.3)}
+	shares := Shares(d, 2048)
+	if len(shares) != 1 || shares[0] != 2048 {
+		t.Errorf("shares = %v, want [2048]", shares)
+	}
+}
+
+func TestEmptyDemands(t *testing.T) {
+	if s := Shares(nil, 2048); s != nil {
+		t.Errorf("Shares(nil) = %v, want nil", s)
+	}
+}
+
+func TestSymmetricDemandsSplitEqually(t *testing.T) {
+	d := []Demand{demand(t, "mcf.ref", 0.3), demand(t, "mcf.ref", 0.3)}
+	shares := Shares(d, 2048)
+	if diff := shares[0] - shares[1]; diff > 1 || diff < -1 {
+		t.Errorf("identical demands should split equally: %v", shares)
+	}
+}
+
+func TestSharesSumToCapacity(t *testing.T) {
+	d := []Demand{
+		demand(t, "mcf.ref", 0.3),
+		demand(t, "hmmer.nph3", 2.0),
+		demand(t, "libquantum.ref", 0.4),
+		demand(t, "gcc.g23", 0.6),
+	}
+	shares := Shares(d, 4096)
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if diff := sum - 4096; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("shares sum %v != capacity", sum)
+	}
+}
+
+func TestHighInsertionRateWins(t *testing.T) {
+	// libquantum (huge miss traffic) vs hmmer (negligible): occupancy
+	// follows insertion rate under LRU-like replacement.
+	d := []Demand{demand(t, "libquantum.ref", 0.4), demand(t, "hmmer.nph3", 2.0)}
+	shares := Shares(d, 2048)
+	if shares[0] < 4*shares[1] {
+		t.Errorf("streaming job should dominate occupancy: %v", shares)
+	}
+}
+
+func TestMinimumShareFloor(t *testing.T) {
+	// Even a zero-IPC thread keeps a sliver of occupancy.
+	d := []Demand{demand(t, "libquantum.ref", 0.4), demand(t, "hmmer.nph3", 0)}
+	shares := Shares(d, 2048)
+	if shares[1] <= 0 {
+		t.Errorf("starved thread share = %v, want > 0", shares[1])
+	}
+}
+
+func TestEqualShares(t *testing.T) {
+	s := EqualShares(4, 2048)
+	for _, v := range s {
+		if v != 512 {
+			t.Errorf("EqualShares = %v", s)
+		}
+	}
+	if EqualShares(0, 100) != nil {
+		t.Error("EqualShares(0) should be nil")
+	}
+}
+
+// Property: shares are positive and sum to capacity for random demand sets.
+func TestSharesInvariantProperty(t *testing.T) {
+	suite := program.Suite()
+	rng := stats.NewRNG(31)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed ^ rng.Uint64())
+		n := 2 + r.Intn(3)
+		d := make([]Demand, n)
+		for i := range d {
+			d[i] = Demand{Profile: &suite[r.Intn(len(suite))], IPC: r.Float64() * 2}
+		}
+		total := 512 + float64(r.Intn(8192))
+		shares := Shares(d, total)
+		var sum float64
+		for _, s := range shares {
+			if s <= 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum > total*0.999 && sum < total*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package core implements the paper's primary contribution: computing the
+// theoretically optimal (and worst) long-term average throughput of a
+// fixed workload on a machine with shared resources, from per-coschedule
+// performance data alone (Section IV), together with the analyses built on
+// it — FCFS reference throughput, variability metrics (Fig. 1-2), the
+// linear-bottleneck least-squares diagnostic (Fig. 3), coschedule
+// heterogeneity profiles (Table II) and the Section V-D fairness
+// counterfactual.
+//
+// Terminology follows the paper. A workload is a set of N job types with
+// equal probabilities and equal total work. A coschedule s is a multiset
+// of K jobs from those types. r_b(s) is the total execution rate of
+// type-b jobs in s (in weighted instructions per cycle, WIPC), and the
+// instantaneous throughput is it(s) = sum_b r_b(s). A scheduler is a set
+// of time fractions x_s >= 0, sum x_s = 1; its average throughput is
+// sum_s x_s it(s), subject to every type accumulating the same work:
+// sum_s x_s r_b(s) equal for all b.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"symbiosched/internal/lp"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/workload"
+)
+
+// Fraction is one coschedule's share of machine time in a schedule.
+type Fraction struct {
+	Cos workload.Coschedule
+	X   float64
+}
+
+// Schedule is a (possibly optimal) steady-state schedule for a workload:
+// per-coschedule time fractions and the resulting average throughput.
+type Schedule struct {
+	Workload   workload.Workload
+	Fractions  []Fraction
+	Throughput float64
+}
+
+// NonZero returns the fractions with X above tol, sorted descending by X.
+func (s *Schedule) NonZero(tol float64) []Fraction {
+	var out []Fraction
+	for _, f := range s.Fractions {
+		if f.X > tol {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X > out[j].X })
+	return out
+}
+
+// buildLP constructs the paper's linear program (Eq. 2-5) for a workload
+// over table t. Variables are the time fractions of the workload's
+// coschedules (combinations with repetition of K slots over the N types).
+func buildLP(t *perfdb.Table, w workload.Workload, sense lp.Sense) (*lp.Problem, []workload.Coschedule) {
+	if len(w) < 1 {
+		panic("core: empty workload")
+	}
+	coscheds := workload.LocalCoschedules(w, t.K())
+	n := len(coscheds)
+	p := &lp.Problem{Sense: sense}
+	p.C = make([]float64, n)
+	for j, c := range coscheds {
+		p.C[j] = t.InstTP(c)
+	}
+	// Eq. 4: fractions sum to one.
+	ones := make([]float64, n)
+	for j := range ones {
+		ones[j] = 1
+	}
+	p.A = append(p.A, ones)
+	p.B = append(p.B, 1)
+	// Eq. 5: each type performs the same total work as type w[0].
+	for bi := 1; bi < len(w); bi++ {
+		row := make([]float64, n)
+		for j, c := range coscheds {
+			row[j] = t.TypeRate(c, w[bi]) - t.TypeRate(c, w[0])
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, 0)
+	}
+	return p, coscheds
+}
+
+// Optimal computes the maximum-throughput schedule of workload w on the
+// machine described by table t (paper Section IV).
+func Optimal(t *perfdb.Table, w workload.Workload) (*Schedule, error) {
+	return solve(t, w, lp.Maximize)
+}
+
+// Worst computes the minimum-throughput schedule — the deliberately bad
+// scheduler used as the lower bound in Figures 1-3.
+func Worst(t *perfdb.Table, w workload.Workload) (*Schedule, error) {
+	return solve(t, w, lp.Minimize)
+}
+
+func solve(t *perfdb.Table, w workload.Workload, sense lp.Sense) (*Schedule, error) {
+	p, coscheds := buildLP(t, w, sense)
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: workload %v: %w", w, err)
+	}
+	sched := &Schedule{Workload: w, Throughput: sol.Objective}
+	sched.Fractions = make([]Fraction, len(coscheds))
+	for j, c := range coscheds {
+		sched.Fractions[j] = Fraction{Cos: c, X: sol.X[j]}
+	}
+	return sched, nil
+}
+
+// TypeWork returns the work rate each type receives under schedule s —
+// useful to verify the equal-work constraint.
+func TypeWork(t *perfdb.Table, s *Schedule) map[int]float64 {
+	out := make(map[int]float64, len(s.Workload))
+	for _, b := range s.Workload {
+		var acc float64
+		for _, f := range s.Fractions {
+			acc += f.X * t.TypeRate(f.Cos, b)
+		}
+		out[b] = acc
+	}
+	return out
+}

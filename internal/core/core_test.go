@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+	"symbiosched/internal/workload"
+)
+
+var (
+	buildOnce sync.Once
+	smtTable  *perfdb.Table
+)
+
+// table builds (once) a 6-benchmark SMT table: enough diversity for
+// meaningful schedules while keeping tests fast.
+func table(t *testing.T) *perfdb.Table {
+	t.Helper()
+	buildOnce.Do(func() {
+		suite := program.Suite()
+		mini := []program.Profile{suite[1], suite[3], suite[5], suite[6], suite[7], suite[11]}
+		smtTable = perfdb.Build(perfdb.SMTModel{Machine: uarch.DefaultSMT()}, mini)
+	})
+	return smtTable
+}
+
+func w4() workload.Workload { return workload.Workload{0, 2, 3, 4} } // gcc.g23? indices into mini suite
+
+func TestOptimalSatisfiesLPConstraints(t *testing.T) {
+	tab := table(t)
+	opt, err := Optimal(tab, w4())
+	if err != nil {
+		t.Fatalf("Optimal: %v", err)
+	}
+	var sum float64
+	for _, f := range opt.Fractions {
+		if f.X < -1e-9 {
+			t.Errorf("negative fraction %v", f)
+		}
+		sum += f.X
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("fractions sum to %v, want 1 (Eq. 4)", sum)
+	}
+	// Eq. 5: equal work per type.
+	work := TypeWork(tab, opt)
+	var ref float64
+	first := true
+	for _, b := range w4() {
+		if first {
+			ref = work[b]
+			first = false
+			continue
+		}
+		if math.Abs(work[b]-ref) > 1e-6*math.Max(1, ref) {
+			t.Errorf("type %d work %v != %v (Eq. 5 violated)", b, work[b], ref)
+		}
+	}
+}
+
+func TestOptimalAtLeastWorst(t *testing.T) {
+	tab := table(t)
+	for _, w := range workload.EnumerateWorkloads(len(tab.Suite()), 4) {
+		opt, err := Optimal(tab, w)
+		if err != nil {
+			t.Fatalf("Optimal(%v): %v", w, err)
+		}
+		worst, err := Worst(tab, w)
+		if err != nil {
+			t.Fatalf("Worst(%v): %v", w, err)
+		}
+		if opt.Throughput < worst.Throughput-1e-9 {
+			t.Errorf("workload %v: optimal %v < worst %v", w, opt.Throughput, worst.Throughput)
+		}
+	}
+}
+
+func TestOptimalSupportBoundedByTypes(t *testing.T) {
+	// Paper Section IV: an optimal basic solution uses at most N
+	// coschedules (N equality constraints).
+	tab := table(t)
+	for _, w := range workload.EnumerateWorkloads(len(tab.Suite()), 4) {
+		opt, err := Optimal(tab, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nz := opt.NonZero(1e-9); len(nz) > len(w) {
+			t.Errorf("workload %v: %d non-zero fractions > N=%d", w, len(nz), len(w))
+		}
+	}
+}
+
+func TestFCFSBetweenBounds(t *testing.T) {
+	tab := table(t)
+	w := w4()
+	opt, _ := Optimal(tab, w)
+	worst, _ := Worst(tab, w)
+	res := FCFS(tab, w, FCFSConfig{Jobs: 30_000, Seed: 7})
+	// Allow a little simulation noise at the boundaries.
+	if res.Throughput > opt.Throughput*1.005 || res.Throughput < worst.Throughput*0.995 {
+		t.Errorf("FCFS throughput %v outside [%v, %v]", res.Throughput, worst.Throughput, opt.Throughput)
+	}
+}
+
+func TestFCFSTimeFractionsSumToOne(t *testing.T) {
+	tab := table(t)
+	res := FCFS(tab, w4(), FCFSConfig{Jobs: 5000, Seed: 3})
+	var sum float64
+	for _, f := range res.TimeFraction {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("time fractions sum to %v", sum)
+	}
+}
+
+func TestFCFSDeterministicPerSeed(t *testing.T) {
+	tab := table(t)
+	a := FCFS(tab, w4(), FCFSConfig{Jobs: 2000, Seed: 5})
+	b := FCFS(tab, w4(), FCFSConfig{Jobs: 2000, Seed: 5})
+	if a.Throughput != b.Throughput {
+		t.Error("FCFS is not deterministic for a fixed seed")
+	}
+	c := FCFS(tab, w4(), FCFSConfig{Jobs: 2000, Seed: 6})
+	if a.Throughput == c.Throughput {
+		t.Error("different seeds should give (slightly) different runs")
+	}
+}
+
+func TestMarkovFCFSAgreesWithSimulation(t *testing.T) {
+	tab := table(t)
+	w := w4()
+	markov, err := MarkovFCFS(tab, w)
+	if err != nil {
+		t.Fatalf("MarkovFCFS: %v", err)
+	}
+	sim := FCFS(tab, w, FCFSConfig{Jobs: 60_000, Seed: 11})
+	// Deterministic vs exponential job sizes differ slightly; 3% agreement
+	// is the expected band.
+	if rel := math.Abs(markov-sim.Throughput) / sim.Throughput; rel > 0.03 {
+		t.Errorf("Markov %v vs simulated %v differ by %.1f%%", markov, sim.Throughput, 100*rel)
+	}
+}
+
+func TestMarkovFCFSBetweenBounds(t *testing.T) {
+	tab := table(t)
+	for _, w := range workload.EnumerateWorkloads(len(tab.Suite()), 4) {
+		opt, _ := Optimal(tab, w)
+		worst, _ := Worst(tab, w)
+		markov, err := MarkovFCFS(tab, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if markov > opt.Throughput+1e-6 || markov < worst.Throughput-1e-6 {
+			t.Errorf("workload %v: Markov FCFS %v outside [%v, %v]",
+				w, markov, worst.Throughput, opt.Throughput)
+		}
+	}
+}
+
+func TestBottleneckErrorNonNegative(t *testing.T) {
+	tab := table(t)
+	for _, w := range workload.EnumerateWorkloads(len(tab.Suite()), 4) {
+		if e := BottleneckError(tab, w); e < 0 {
+			t.Errorf("workload %v: negative bottleneck error %v", w, e)
+		}
+	}
+}
+
+func TestBottleneckExactForSyntheticLinear(t *testing.T) {
+	// Construct a table-like check indirectly: the identity in Eq. 6 means
+	// the fitted rates reproduce AT = N / sum(1/R_b) (Eq. 7). For a
+	// workload with a tiny bottleneck error, optimal and worst should be
+	// close — the paper's core diagnostic.
+	tab := table(t)
+	type wl struct {
+		w      workload.Workload
+		err    float64
+		spread float64
+	}
+	var all []wl
+	for _, w := range workload.EnumerateWorkloads(len(tab.Suite()), 4) {
+		opt, _ := Optimal(tab, w)
+		worst, _ := Worst(tab, w)
+		all = append(all, wl{w, BottleneckError(tab, w), opt.Throughput/worst.Throughput - 1})
+	}
+	// Among the 5 lowest-error workloads, spread must be modest compared
+	// to the maximum spread.
+	minErr, maxSpread := math.Inf(1), 0.0
+	var minSpreadAtMinErr float64
+	for _, x := range all {
+		if x.spread > maxSpread {
+			maxSpread = x.spread
+		}
+		if x.err < minErr {
+			minErr = x.err
+			minSpreadAtMinErr = x.spread
+		}
+	}
+	if maxSpread > 0 && minSpreadAtMinErr > 0.8*maxSpread {
+		t.Errorf("lowest-error workload has spread %v close to max %v; Fig. 3 correlation broken",
+			minSpreadAtMinErr, maxSpread)
+	}
+}
+
+func TestLinearBottleneckThroughput(t *testing.T) {
+	// Eq. 7: N / sum(1/R_b).
+	if got := LinearBottleneckThroughput([]float64{2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("AT = %v, want 2", got)
+	}
+	if got := LinearBottleneckThroughput([]float64{1, 3}); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("AT = %v, want 1.5", got)
+	}
+	if got := LinearBottleneckThroughput(nil); got != 0 {
+		t.Errorf("AT(nil) = %v", got)
+	}
+	if got := LinearBottleneckThroughput([]float64{1, 0}); got != 0 {
+		t.Errorf("AT with zero rate = %v", got)
+	}
+}
+
+func TestTypeWIPCDiffNonNegative(t *testing.T) {
+	tab := table(t)
+	for _, w := range workload.EnumerateWorkloads(len(tab.Suite()), 4) {
+		if d := TypeWIPCDiff(tab, w); d < 0 {
+			t.Errorf("workload %v: negative WIPC diff %v", w, d)
+		}
+	}
+}
+
+func TestHeterogeneityTableFractions(t *testing.T) {
+	tab := table(t)
+	ws := workload.EnumerateWorkloads(len(tab.Suite()), 4)[:5]
+	var was []*WorkloadAnalysis
+	for i, w := range ws {
+		a, err := Analyze(tab, w, AnalyzeConfig{FCFS: FCFSConfig{Jobs: 4000, Seed: uint64(i) + 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		was = append(was, a)
+	}
+	rows := HeterogeneityTable(tab, was)
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 heterogeneity classes, got %d", len(rows))
+	}
+	check := func(name string, get func(HeteroClass) float64) {
+		var sum float64
+		for _, r := range rows {
+			v := get(r)
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Errorf("%s fraction %v outside [0,1]", name, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 0.02 {
+			t.Errorf("%s fractions sum to %v, want ~1", name, sum)
+		}
+	}
+	check("FCFS", func(r HeteroClass) float64 { return r.FCFS })
+	check("optimal", func(r HeteroClass) float64 { return r.Optimal })
+	check("worst", func(r HeteroClass) float64 { return r.Worst })
+}
+
+func TestTheoreticalFCFSHeteroFractions(t *testing.T) {
+	// Paper Section V-D: 2%, 33%, 56%, 9% for N=K=4.
+	fr := TheoreticalFCFSHeteroFractions(4, 4)
+	want := []float64{0.015625, 0.328125, 0.5625, 0.09375}
+	var sum float64
+	for i := range fr {
+		if math.Abs(fr[i]-want[i]) > 1e-9 {
+			t.Errorf("class %d: %v, want %v", i+1, fr[i], want[i])
+		}
+		sum += fr[i]
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+func TestFairnessCounterfactual(t *testing.T) {
+	tab := table(t)
+	w := w4()
+	out, err := FairnessExperiment(tab, w, FCFSConfig{Jobs: 8000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equalising rates (same instTP) must not hurt the optimal scheduler
+	// and must leave the worst scheduler's LP essentially unchanged or
+	// better-bounded.
+	if out.EqualizedOpt < out.BaselineOpt-1e-9 {
+		t.Errorf("equalising reduced optimal TP: %v -> %v", out.BaselineOpt, out.EqualizedOpt)
+	}
+	if out.HeteroFractionAfter < out.HeteroFractionBefore {
+		t.Errorf("hetero fraction should not drop: %v -> %v",
+			out.HeteroFractionBefore, out.HeteroFractionAfter)
+	}
+}
+
+func TestEqualizeValidation(t *testing.T) {
+	tab := table(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad fairness")
+		}
+	}()
+	EqualizeHeterogeneousCoschedule(tab, w4(), 2)
+}
+
+func TestAnalyzeSuiteSmall(t *testing.T) {
+	tab := table(t)
+	sa, err := AnalyzeSuite(tab, 4, AnalyzeConfig{UseMarkovFCFS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa.Workloads) != workload.Binomial(len(tab.Suite()), 4) {
+		t.Fatalf("analysed %d workloads", len(sa.Workloads))
+	}
+	// Structural sanity: spreads ordered, slope in (0, 1.2], bridge in [0,1.05].
+	if sa.AvgTP.AvgBest < 0 || sa.AvgTP.AvgWorst > 0 {
+		t.Errorf("AvgTP stats inverted: %+v", sa.AvgTP)
+	}
+	if sa.Slope <= 0 || sa.Slope > 1.2 {
+		t.Errorf("slope %v out of range", sa.Slope)
+	}
+	if sa.GapBridge < 0 || sa.GapBridge > 1.05 {
+		t.Errorf("gap bridge %v out of range", sa.GapBridge)
+	}
+}

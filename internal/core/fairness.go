@@ -1,0 +1,87 @@
+package core
+
+import (
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/workload"
+)
+
+// EqualizeHeterogeneousCoschedule implements the Section V-D counterfactual:
+// "we artificially changed the performance of jobs in the single
+// 4-heterogeneous coschedule ... by making them more fairly distributed,
+// without changing the instantaneous throughput of the coschedule (i.e.,
+// we gave slower jobs a higher IPC and faster jobs a lower IPC)."
+//
+// It returns a clone of the table in which, for the given workload's fully
+// heterogeneous coschedule, every job runs at the same WIPC (the mean of
+// the original per-job WIPCs, preserving it(s)), blended by fairness in
+// [0, 1]: 0 leaves the coschedule unchanged, 1 equalises it completely.
+func EqualizeHeterogeneousCoschedule(t *perfdb.Table, w workload.Workload, fairness float64) *perfdb.Table {
+	if fairness < 0 || fairness > 1 {
+		panic("core: fairness outside [0, 1]")
+	}
+	nt := t.Clone()
+	c := workload.NewCoschedule(w...)
+	if len(c) != t.K() || c.Heterogeneity() != len(w) {
+		panic("core: workload does not define a single fully heterogeneous coschedule")
+	}
+	var mean float64
+	for _, b := range w {
+		mean += t.JobWIPC(c, b)
+	}
+	mean /= float64(len(w))
+	newWIPC := make(map[int]float64, len(w))
+	for _, b := range w {
+		old := t.JobWIPC(c, b)
+		newWIPC[b] = old + fairness*(mean-old)
+	}
+	nt.Override(c, newWIPC)
+	return nt
+}
+
+// FairnessOutcome compares the three schedulers before and after the
+// counterfactual.
+type FairnessOutcome struct {
+	// Baseline and Equalized are the (optimal, FCFS, worst) throughputs.
+	BaselineOpt, BaselineFCFS, BaselineWorst    float64
+	EqualizedOpt, EqualizedFCFS, EqualizedWorst float64
+	// HeteroFractionBefore/After is the time fraction the optimal
+	// scheduler gives the fully heterogeneous coschedule.
+	HeteroFractionBefore, HeteroFractionAfter float64
+}
+
+// FairnessExperiment runs the Section V-D counterfactual for one workload.
+func FairnessExperiment(t *perfdb.Table, w workload.Workload, fcfs FCFSConfig) (*FairnessOutcome, error) {
+	hetero := workload.NewCoschedule(w...)
+	heteroKey := perfdb.Key(hetero)
+
+	measure := func(tab *perfdb.Table) (opt, fc, worst, heteroFrac float64, err error) {
+		o, err := Optimal(tab, w)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		wst, err := Worst(tab, w)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		f := FCFS(tab, w, fcfs)
+		for _, fr := range o.Fractions {
+			if perfdb.Key(fr.Cos) == heteroKey {
+				heteroFrac = fr.X
+			}
+		}
+		return o.Throughput, f.Throughput, wst.Throughput, heteroFrac, nil
+	}
+
+	out := &FairnessOutcome{}
+	var err error
+	out.BaselineOpt, out.BaselineFCFS, out.BaselineWorst, out.HeteroFractionBefore, err = measure(t)
+	if err != nil {
+		return nil, err
+	}
+	eq := EqualizeHeterogeneousCoschedule(t, w, 1)
+	out.EqualizedOpt, out.EqualizedFCFS, out.EqualizedWorst, out.HeteroFractionAfter, err = measure(eq)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

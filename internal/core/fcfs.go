@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+
+	"symbiosched/internal/linalg"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+// FCFSConfig parameterises the FCFS maximum-throughput experiment.
+type FCFSConfig struct {
+	// Jobs is the total number of jobs executed (default 30_000).
+	Jobs int
+	// JobSize is the work per job in solo-time units (default 1). Under
+	// the paper's equal-work assumption all jobs share one size; the
+	// long-run throughput is size-invariant.
+	JobSize float64
+	// Seed drives the random arrival order (default 1).
+	Seed uint64
+}
+
+func (c FCFSConfig) withDefaults() FCFSConfig {
+	if c.Jobs <= 0 {
+		c.Jobs = 30_000
+	}
+	if c.JobSize <= 0 {
+		c.JobSize = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// FCFSResult is the outcome of an FCFS maximum-throughput experiment.
+type FCFSResult struct {
+	// Throughput is the long-run average throughput: total work divided
+	// by makespan (WIPC units).
+	Throughput float64
+	// TimeFraction maps coschedule keys (perfdb.Key) to the fraction of
+	// machine time spent in that coschedule. Partial coschedules from the
+	// drain phase are included; with a long run their share is negligible.
+	TimeFraction map[uint64]float64
+	// Jobs and Makespan echo the experiment size.
+	Jobs     int
+	Makespan float64
+}
+
+// FCFS simulates the paper's baseline scheduler on workload w: a large
+// pool of jobs with uniformly random types, executed in arrival order on
+// the K contexts — "the coschedules selected by the FCFS scheduler result
+// from a random process, where the next job is uniformly selected from the
+// available job types" (Section V-D). The machine is fully loaded until
+// the pool drains.
+func FCFS(t *perfdb.Table, w workload.Workload, cfg FCFSConfig) *FCFSResult {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRNG(cfg.Seed)
+	k := t.K()
+
+	type slot struct {
+		typ int
+		rem float64
+	}
+	slots := make([]slot, 0, k)
+	jobsLeft := cfg.Jobs
+	nextJob := func() (int, bool) {
+		if jobsLeft == 0 {
+			return 0, false
+		}
+		jobsLeft--
+		return w[rng.Intn(len(w))], true
+	}
+	for len(slots) < k {
+		typ, ok := nextJob()
+		if !ok {
+			break
+		}
+		slots = append(slots, slot{typ: typ, rem: cfg.JobSize})
+	}
+
+	timeFrac := make(map[uint64]float64)
+	var elapsed float64
+	cos := make(workload.Coschedule, 0, k)
+	for len(slots) > 0 {
+		// Current coschedule and per-slot rates.
+		cos = cos[:0]
+		for _, s := range slots {
+			cos = append(cos, s.typ)
+		}
+		canon := workload.NewCoschedule(cos...)
+		key := perfdb.Key(canon)
+		// Time to first completion.
+		dt := math.Inf(1)
+		for _, s := range slots {
+			rate := t.JobWIPC(canon, s.typ)
+			if d := s.rem / rate; d < dt {
+				dt = d
+			}
+		}
+		elapsed += dt
+		timeFrac[key] += dt
+		// Advance and replace completed jobs.
+		out := slots[:0]
+		for _, s := range slots {
+			s.rem -= t.JobWIPC(canon, s.typ) * dt
+			if s.rem > 1e-12 {
+				out = append(out, s)
+				continue
+			}
+			if typ, ok := nextJob(); ok {
+				out = append(out, slot{typ: typ, rem: cfg.JobSize})
+			}
+		}
+		slots = out
+	}
+	for key := range timeFrac {
+		timeFrac[key] /= elapsed
+	}
+	return &FCFSResult{
+		Throughput:   float64(cfg.Jobs) * cfg.JobSize / elapsed,
+		TimeFraction: timeFrac,
+		Jobs:         cfg.Jobs,
+		Makespan:     elapsed,
+	}
+}
+
+// MarkovFCFS computes the FCFS average throughput analytically, assuming
+// exponentially distributed job sizes: the occupied coschedule then evolves
+// as a continuous-time Markov chain over the C(N+K-1, K) full coschedules,
+// where a type-b job completes at rate WIPC_b(s)/meanSize and is replaced
+// by a uniformly random type. The stationary distribution gives the
+// time-weighted throughput. This is the closed-form counterpart of the
+// FCFS simulation (cf. the TPCalc throughput metrics of Eyerman et al.,
+// TACO 2014) and agrees with it to within the geometric-vs-deterministic
+// job-size difference.
+func MarkovFCFS(t *perfdb.Table, w workload.Workload) (float64, error) {
+	k := t.K()
+	n := len(w)
+	states := workload.LocalCoschedules(w, k)
+	index := make(map[uint64]int, len(states))
+	for i, s := range states {
+		index[perfdb.Key(s)] = i
+	}
+	m := len(states)
+	// Generator: q[i][j] = rate i->j, i != j.
+	q := linalg.NewMatrix(m, m)
+	for i, s := range states {
+		var total float64
+		for _, b := range s.Types() {
+			// Completion rate of one of the count_b type-b jobs times the
+			// number of such jobs = total type rate r_b(s).
+			rate := t.TypeRate(s, b)
+			total += rate
+			// The finished type-b job is replaced by a uniform type.
+			for _, nb := range w {
+				next := replaceOne(s, b, nb)
+				j := index[perfdb.Key(next)]
+				q.Set(i, j, q.At(i, j)+rate/float64(n))
+			}
+		}
+		q.Set(i, i, q.At(i, i)-total)
+	}
+	// Stationary distribution: pi Q = 0, sum pi = 1. Solve Q^T pi = 0 with
+	// the last equation replaced by normalisation.
+	a := linalg.NewMatrix(m, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			a.Set(i, j, q.At(j, i))
+		}
+	}
+	for j := 0; j < m; j++ {
+		a.Set(m-1, j, 1)
+	}
+	b[m-1] = 1
+	pi, err := linalg.Solve(a, b)
+	if err != nil {
+		return 0, err
+	}
+	var tp float64
+	for i, s := range states {
+		p := pi[i]
+		if p < 0 {
+			p = 0 // tiny negative round-off on nearly unreachable states
+		}
+		tp += p * t.InstTP(s)
+	}
+	return tp, nil
+}
+
+// replaceOne returns coschedule s with one job of type old replaced by a
+// job of type new.
+func replaceOne(s workload.Coschedule, old, new int) workload.Coschedule {
+	out := append(workload.Coschedule(nil), s...)
+	for i, t := range out {
+		if t == old {
+			out[i] = new
+			break
+		}
+	}
+	return workload.NewCoschedule(out...)
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/workload"
+)
+
+// HeteroClass aggregates Table II for one coschedule-heterogeneity class
+// (number of distinct job types in the coschedule, 1..K).
+type HeteroClass struct {
+	// Heterogeneity is the number of unique job types (1 = homogeneous).
+	Heterogeneity int
+	// AvgInstTP is the mean instantaneous throughput of the class's
+	// coschedules (unweighted over coschedules, averaged over workloads).
+	AvgInstTP float64
+	// FCFS, Optimal and Worst are the mean fractions of time the three
+	// schedulers spend in this class.
+	FCFS, Optimal, Worst float64
+}
+
+// HeterogeneityTable computes Table II from a set of per-workload analyses
+// (which must carry FCFS time fractions, i.e. produced with the simulated
+// FCFS). Rows are indexed 1..K.
+func HeterogeneityTable(t *perfdb.Table, was []*WorkloadAnalysis) []HeteroClass {
+	k := t.K()
+	out := make([]HeteroClass, k)
+	for h := 1; h <= k; h++ {
+		out[h-1].Heterogeneity = h
+	}
+	if len(was) == 0 {
+		return out
+	}
+	n := float64(len(was))
+	for _, a := range was {
+		coscheds := workload.LocalCoschedules(a.Workload, k)
+		// Mean instantaneous throughput per class for this workload.
+		sumTP := make([]float64, k+1)
+		cnt := make([]int, k+1)
+		for _, c := range coscheds {
+			h := c.Heterogeneity()
+			sumTP[h] += t.InstTP(c)
+			cnt[h]++
+		}
+		for h := 1; h <= k; h++ {
+			if cnt[h] > 0 {
+				out[h-1].AvgInstTP += sumTP[h] / float64(cnt[h]) / n
+			}
+		}
+		// Scheduler time fractions per class.
+		for _, f := range a.OptimalSched.Fractions {
+			out[f.Cos.Heterogeneity()-1].Optimal += f.X / n
+		}
+		for _, f := range a.WorstSched.Fractions {
+			out[f.Cos.Heterogeneity()-1].Worst += f.X / n
+		}
+		var total float64
+		for _, frac := range a.FCFSFractions {
+			total += frac
+		}
+		if total > 0 {
+			for key, frac := range a.FCFSFractions {
+				c := decodeKey(key)
+				if len(c) == k { // skip drain-phase partial coschedules
+					out[c.Heterogeneity()-1].FCFS += frac / total / n
+				}
+			}
+		}
+	}
+	return out
+}
+
+// decodeKey inverts perfdb.Key.
+func decodeKey(key uint64) workload.Coschedule {
+	var rev []int
+	for key > 1 {
+		rev = append(rev, int(key&0xff)-1)
+		key >>= 8
+	}
+	out := make(workload.Coschedule, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// TheoreticalFCFSHeteroFractions returns the probability that K
+// independent uniform draws from N types produce a coschedule with h
+// distinct types, for h = 1..K — the paper's "theoretical values" for the
+// FCFS fractions (2%, 33%, 56%, 9% for N=K=4).
+func TheoreticalFCFSHeteroFractions(n, k int) []float64 {
+	counts := make([]float64, k)
+	var rec func(pos, maxType, distinct int, ways float64)
+	// Enumerate ordered draws implicitly via multiset counting:
+	// probability of a particular multiset is multinomial(k; counts)/n^k.
+	for _, ms := range workload.Multisets(n, k) {
+		h := ms.Heterogeneity()
+		// Number of ordered sequences mapping to this multiset.
+		perm := permutations(ms)
+		counts[h-1] += perm
+	}
+	total := pow(float64(n), k)
+	for i := range counts {
+		counts[i] /= total
+	}
+	_ = rec
+	return counts
+}
+
+func permutations(c workload.Coschedule) float64 {
+	// k! / prod(count_t!)
+	k := len(c)
+	num := fact(k)
+	den := 1.0
+	run := 1
+	for i := 1; i <= k; i++ {
+		if i < k && c[i] == c[i-1] {
+			run++
+			continue
+		}
+		den *= fact(run)
+		run = 1
+	}
+	return num / den
+}
+
+func fact(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+func pow(b float64, e int) float64 {
+	out := 1.0
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+// homogeneousMixture builds the always-feasible schedule that runs only
+// the N homogeneous coschedules: giving type b a time fraction
+// proportional to 1/r_b(homo_b) makes every type's work rate equal. Its
+// throughput is the harmonic-mean bound of paper Eq. 7 restricted to
+// homogeneous coschedules — a feasible point the LP optimum must dominate
+// and the LP minimum must not exceed.
+func homogeneousMixture(t *perfdb.Table, w workload.Workload) float64 {
+	var invSum float64
+	rates := make([]float64, len(w))
+	for i, b := range w {
+		homo := make([]int, t.K())
+		for j := range homo {
+			homo[j] = b
+		}
+		rates[i] = t.TypeRate(workload.NewCoschedule(homo...), b)
+		invSum += 1 / rates[i]
+	}
+	// x_b = (1/r_b) / invSum; throughput = sum x_b * r_b = N / invSum.
+	return float64(len(w)) / invSum
+}
+
+func TestOptimalDominatesHomogeneousMixture(t *testing.T) {
+	tab := table(t)
+	for _, w := range workload.EnumerateWorkloads(len(tab.Suite()), 4) {
+		opt, err := Optimal(tab, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := Worst(tab, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		homo := homogeneousMixture(tab, w)
+		if opt.Throughput < homo-1e-7 {
+			t.Errorf("workload %v: optimal %v below feasible homogeneous mixture %v",
+				w, opt.Throughput, homo)
+		}
+		if worst.Throughput > homo+1e-7 {
+			t.Errorf("workload %v: worst %v above feasible homogeneous mixture %v",
+				w, worst.Throughput, homo)
+		}
+	}
+}
+
+// randomFeasibleSchedule perturbs the optimal basis: mix the optimal
+// schedule with the homogeneous mixture by a random blend. Any convex
+// combination of feasible schedules is feasible, so its throughput must
+// stay inside the LP bounds.
+func TestConvexBlendStaysWithinBounds(t *testing.T) {
+	tab := table(t)
+	rng := stats.NewRNG(77)
+	ws := workload.EnumerateWorkloads(len(tab.Suite()), 4)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed ^ rng.Uint64())
+		w := ws[r.Intn(len(ws))]
+		opt, err := Optimal(tab, w)
+		if err != nil {
+			return false
+		}
+		worst, err := Worst(tab, w)
+		if err != nil {
+			return false
+		}
+		alpha := r.Float64()
+		blend := alpha*opt.Throughput + (1-alpha)*homogeneousMixture(tab, w)
+		return blend <= opt.Throughput+1e-7 && blend >= worst.Throughput-1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the optimal throughput is invariant under relabeling of the
+// workload's types (the LP is symmetric in the type ordering).
+func TestOptimalPermutationInvariance(t *testing.T) {
+	tab := table(t)
+	rng := stats.NewRNG(31)
+	ws := workload.EnumerateWorkloads(len(tab.Suite()), 4)
+	for trial := 0; trial < 20; trial++ {
+		w := ws[rng.Intn(len(ws))]
+		opt1, err := Optimal(tab, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(len(w))
+		w2 := make(workload.Workload, len(w))
+		for i, p := range perm {
+			w2[i] = w[p]
+		}
+		opt2, err := Optimal(tab, w2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(opt1.Throughput-opt2.Throughput) > 1e-7 {
+			t.Errorf("permuting %v -> %v changed optimal TP: %v vs %v",
+				w, w2, opt1.Throughput, opt2.Throughput)
+		}
+	}
+}
+
+// Property: scaling every rate of the table by a WIPC override inside one
+// coschedule can only change throughput through that coschedule — bounds
+// for untouched workloads are unaffected.
+func TestOverrideLocality(t *testing.T) {
+	tab := table(t).Clone()
+	// Disjoint N=3 workloads over the 6-benchmark test suite. The
+	// equalisation touches only coschedules over `touched`'s types, so
+	// `untouched`'s LP must not move at all.
+	touched := workload.Workload{0, 1, 2}
+	untouched := workload.Workload{3, 4, 5}
+	before, err := Optimal(tab, untouched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equalise a coschedule over the touched types only (2+1+1 slots).
+	cos := workload.NewCoschedule(touched[0], touched[0], touched[1], touched[2])
+	mean := tab.InstTP(cos) / 4
+	tab.Override(cos, map[int]float64{touched[0]: mean, touched[1]: mean, touched[2]: mean})
+	after, err := Optimal(tab, untouched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before.Throughput-after.Throughput) > 1e-12 {
+		t.Errorf("override leaked into a disjoint workload: %v vs %v",
+			before.Throughput, after.Throughput)
+	}
+}

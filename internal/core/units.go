@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"symbiosched/internal/lp"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/workload"
+)
+
+// Unit selects the unit of work for throughput accounting (paper Section
+// III-B). The paper presents results in weighted instructions — a job's
+// rate is its IPC divided by its solo IPC, so equal-size jobs take equal
+// time in isolation — and notes that "our qualitative conclusions also
+// hold for the instruction as unit of work". RawInstructions enables that
+// robustness check: rates are raw IPCs and it(s) is the plain aggregate
+// IPC of the coschedule.
+type Unit int
+
+const (
+	// WeightedInstructions is the paper's default unit (WIPC).
+	WeightedInstructions Unit = iota
+	// RawInstructions uses plain instructions (IPC).
+	RawInstructions
+)
+
+// RateTable exposes the per-coschedule quantities the LP needs in a chosen
+// unit of work. perfdb.Table natively serves WeightedInstructions; UnitView
+// adapts it to either unit.
+type UnitView struct {
+	T    *perfdb.Table
+	Unit Unit
+}
+
+// TypeRate returns r_b(s) in the selected unit.
+func (v UnitView) TypeRate(c workload.Coschedule, b int) float64 {
+	r := v.T.TypeRate(c, b)
+	if v.Unit == RawInstructions {
+		r *= v.T.Solo[b]
+	}
+	return r
+}
+
+// InstTP returns it(s) in the selected unit.
+func (v UnitView) InstTP(c workload.Coschedule) float64 {
+	if v.Unit == WeightedInstructions {
+		return v.T.InstTP(c)
+	}
+	var sum float64
+	for _, b := range c.Types() {
+		sum += v.TypeRate(c, b)
+	}
+	return sum
+}
+
+// OptimalInUnit computes the optimal schedule with the chosen unit of
+// work: maximise sum_s x_s it(s) under the equal-work constraint, where
+// both it(s) and the per-type work rates are measured in that unit. With
+// RawInstructions the constraint means every type commits the same number
+// of instructions (the paper's alternative accounting).
+func OptimalInUnit(t *perfdb.Table, w workload.Workload, u Unit) (*Schedule, error) {
+	return solveUnit(t, w, u, true)
+}
+
+// WorstInUnit is the minimising counterpart of OptimalInUnit.
+func WorstInUnit(t *perfdb.Table, w workload.Workload, u Unit) (*Schedule, error) {
+	return solveUnit(t, w, u, false)
+}
+
+func solveUnit(t *perfdb.Table, w workload.Workload, u Unit, maximize bool) (*Schedule, error) {
+	if u == WeightedInstructions {
+		if maximize {
+			return Optimal(t, w)
+		}
+		return Worst(t, w)
+	}
+	// Rebuild the paper's LP (Eq. 2-5) over the unit view.
+	view := UnitView{T: t, Unit: u}
+	coscheds := workload.LocalCoschedules(w, t.K())
+	n := len(coscheds)
+	p := &lp.Problem{Sense: lp.Minimize}
+	if maximize {
+		p.Sense = lp.Maximize
+	}
+	p.C = make([]float64, n)
+	ones := make([]float64, n)
+	for j, c := range coscheds {
+		p.C[j] = view.InstTP(c)
+		ones[j] = 1
+	}
+	p.A = append(p.A, ones)
+	p.B = append(p.B, 1)
+	for bi := 1; bi < len(w); bi++ {
+		row := make([]float64, n)
+		for j, c := range coscheds {
+			row[j] = view.TypeRate(c, w[bi]) - view.TypeRate(c, w[0])
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, 0)
+	}
+	sol, err := lp.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: workload %v (unit %d): %w", w, u, err)
+	}
+	sched := &Schedule{Workload: w, Throughput: sol.Objective}
+	sched.Fractions = make([]Fraction, n)
+	for j, c := range coscheds {
+		sched.Fractions[j] = Fraction{Cos: c, X: sol.X[j]}
+	}
+	return sched, nil
+}

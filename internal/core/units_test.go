@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"symbiosched/internal/workload"
+)
+
+func TestUnitViewConversion(t *testing.T) {
+	tab := table(t)
+	c := workload.NewCoschedule(0, 1, 2, 3)
+	weighted := UnitView{T: tab, Unit: WeightedInstructions}
+	raw := UnitView{T: tab, Unit: RawInstructions}
+	for _, b := range c.Types() {
+		wantRaw := tab.TypeRate(c, b) * tab.Solo[b]
+		if got := raw.TypeRate(c, b); got != wantRaw {
+			t.Errorf("raw rate %v, want %v", got, wantRaw)
+		}
+		if got := weighted.TypeRate(c, b); got != tab.TypeRate(c, b) {
+			t.Errorf("weighted rate changed under view")
+		}
+	}
+	if got := weighted.InstTP(c); got != tab.InstTP(c) {
+		t.Errorf("weighted instTP changed under view")
+	}
+	// Raw instTP is the aggregate IPC.
+	var wantIPC float64
+	for _, b := range c.Types() {
+		wantIPC += float64(c.Count(b)) * tab.JobIPC(c, b)
+	}
+	if got := raw.InstTP(c); got < wantIPC*0.999 || got > wantIPC*1.001 {
+		t.Errorf("raw instTP %v, want aggregate IPC %v", got, wantIPC)
+	}
+}
+
+func TestWeightedUnitDelegates(t *testing.T) {
+	tab := table(t)
+	w := w4()
+	a, err := OptimalInUnit(tab, w, WeightedInstructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimal(tab, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput {
+		t.Errorf("weighted unit should delegate to Optimal: %v vs %v", a.Throughput, b.Throughput)
+	}
+}
+
+// The paper's robustness claim (Section III-B): "we checked that our
+// qualitative conclusions also hold for the instruction as unit of work".
+func TestQualitativeConclusionsHoldForRawInstructions(t *testing.T) {
+	tab := table(t)
+	var gains, spreads []float64
+	for _, w := range workload.EnumerateWorkloads(len(tab.Suite()), 4) {
+		opt, err := OptimalInUnit(tab, w, RawInstructions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := WorstInUnit(tab, w, RawInstructions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Throughput < worst.Throughput-1e-9 {
+			t.Fatalf("workload %v: optimal %v < worst %v in raw units", w, opt.Throughput, worst.Throughput)
+		}
+		spreads = append(spreads, opt.Throughput/worst.Throughput-1)
+		// Support bound still holds (same LP structure).
+		if nz := opt.NonZero(1e-9); len(nz) > len(w) {
+			t.Errorf("workload %v: support %d > N", w, len(nz))
+		}
+		gains = append(gains, opt.Throughput/worst.Throughput)
+	}
+	// Qualitative conclusion: scheduling headroom stays small on average
+	// (well under the per-job IPC variability, ~30%).
+	var mean float64
+	for _, s := range spreads {
+		mean += s / float64(len(spreads))
+	}
+	if mean > 0.25 {
+		t.Errorf("raw-instruction opt/worst spread %v no longer small — paper's conclusion broken", mean)
+	}
+	_ = gains
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+// SpreadStats summarises, over all workloads (and job types where
+// applicable), how far a quantity ranges above and below its per-workload
+// reference, as plotted in Figure 1: the zero line is the reference
+// (average, or FCFS for throughput), AvgBest/AvgWorst are the mean
+// relative max/min, MaxBest/MinWorst the extremes across the suite.
+type SpreadStats struct {
+	AvgBest  float64 // mean over workloads of (max/ref - 1)
+	AvgWorst float64 // mean over workloads of (min/ref - 1), negative
+	MaxBest  float64 // largest (max/ref - 1) over the suite
+	MinWorst float64 // smallest (min/ref - 1) over the suite, negative
+}
+
+// Variability is the paper's summary metric (Section V-B): the average of
+// (max - min) / reference.
+func (s SpreadStats) Variability() float64 { return s.AvgBest - s.AvgWorst }
+
+func (s SpreadStats) String() string {
+	return fmt.Sprintf("avg +%.1f%%/%.1f%%, extremes +%.1f%%/%.1f%%, variability %.1f%%",
+		100*s.AvgBest, 100*s.AvgWorst, 100*s.MaxBest, 100*s.MinWorst, 100*s.Variability())
+}
+
+// WorkloadAnalysis bundles every per-workload quantity the figures need.
+type WorkloadAnalysis struct {
+	Workload workload.Workload
+	// OptimalTP, WorstTP and FCFSTP are the average throughputs of the
+	// three schedulers (WIPC units).
+	OptimalTP, WorstTP, FCFSTP float64
+	// OptimalSched and WorstSched carry the LP time fractions.
+	OptimalSched, WorstSched *Schedule
+	// FCFSFractions maps coschedule key to FCFS time fraction.
+	FCFSFractions map[uint64]float64
+	// JobIPCBest/JobIPCWorst are the per-type relative IPC extremes
+	// (max/avg-1, min/avg-1) averaged over the workload's types.
+	JobIPCBest, JobIPCWorst float64
+	// JobIPCMaxBest/JobIPCMinWorst are the extreme per-type values.
+	JobIPCMaxBest, JobIPCMinWorst float64
+	// InstTPBest/InstTPWorst are the per-coschedule instantaneous
+	// throughput extremes relative to the workload's mean.
+	InstTPBest, InstTPWorst float64
+	// BottleneckErr is the linear-bottleneck least-squares error (Fig. 3).
+	BottleneckErr float64
+	// TypeWIPCDiff is the difference between the highest and lowest
+	// per-type average WIPC — the colour axis of Figure 3.
+	TypeWIPCDiff float64
+}
+
+// AnalyzeConfig controls the per-workload analysis.
+type AnalyzeConfig struct {
+	// FCFS configures the FCFS simulation (see FCFSConfig defaults).
+	FCFS FCFSConfig
+	// SkipFCFS replaces the simulated FCFS throughput with the Markov
+	// approximation (faster; used by tests).
+	UseMarkovFCFS bool
+}
+
+// Analyze computes the full per-workload analysis for one workload.
+func Analyze(t *perfdb.Table, w workload.Workload, cfg AnalyzeConfig) (*WorkloadAnalysis, error) {
+	opt, err := Optimal(t, w)
+	if err != nil {
+		return nil, err
+	}
+	worst, err := Worst(t, w)
+	if err != nil {
+		return nil, err
+	}
+	a := &WorkloadAnalysis{
+		Workload:     w,
+		OptimalTP:    opt.Throughput,
+		WorstTP:      worst.Throughput,
+		OptimalSched: opt,
+		WorstSched:   worst,
+	}
+	if cfg.UseMarkovFCFS {
+		tp, err := MarkovFCFS(t, w)
+		if err != nil {
+			return nil, err
+		}
+		a.FCFSTP = tp
+	} else {
+		res := FCFS(t, w, cfg.FCFS)
+		a.FCFSTP = res.Throughput
+		a.FCFSFractions = res.TimeFraction
+	}
+
+	coscheds := workload.LocalCoschedules(w, t.K())
+
+	// Per-job IPC spread: for each type, its per-job IPC across the
+	// coschedules that contain it.
+	first := true
+	var bestSum, worstSum float64
+	for _, b := range w {
+		var ipcs []float64
+		for _, c := range coscheds {
+			if c.Count(b) > 0 {
+				ipcs = append(ipcs, t.JobIPC(c, b))
+			}
+		}
+		s := stats.Summarize(ipcs)
+		best := s.Max/s.Mean - 1
+		worstv := s.Min/s.Mean - 1
+		bestSum += best
+		worstSum += worstv
+		if first || best > a.JobIPCMaxBest {
+			a.JobIPCMaxBest = best
+		}
+		if first || worstv < a.JobIPCMinWorst {
+			a.JobIPCMinWorst = worstv
+		}
+		first = false
+	}
+	a.JobIPCBest = bestSum / float64(len(w))
+	a.JobIPCWorst = worstSum / float64(len(w))
+
+	// Instantaneous throughput spread across the workload's coschedules.
+	var itps []float64
+	for _, c := range coscheds {
+		itps = append(itps, t.InstTP(c))
+	}
+	s := stats.Summarize(itps)
+	a.InstTPBest = s.Max/s.Mean - 1
+	a.InstTPWorst = s.Min/s.Mean - 1
+
+	// Linear-bottleneck least-squares error and per-type WIPC difference.
+	a.BottleneckErr = BottleneckError(t, w)
+	a.TypeWIPCDiff = TypeWIPCDiff(t, w)
+	return a, nil
+}
+
+// SuiteAnalysis aggregates the per-workload analyses of a whole suite
+// sweep (all C(suite, N) workloads), i.e. everything Figures 1-3 plot.
+type SuiteAnalysis struct {
+	Workloads []*WorkloadAnalysis
+	JobIPC    SpreadStats // Figure 1, first bar
+	InstTP    SpreadStats // Figure 1, second bar
+	AvgTP     SpreadStats // Figure 1, third bar (reference: FCFS)
+	// GapBridge is the mean of (FCFS-worst)/(optimal-worst): how much of
+	// the worst-to-best gap FCFS closes (Section V-D quotes 76% for SMT
+	// and 63% for the quad-core).
+	GapBridge float64
+	// Slope is the Figure 2 regression slope of FCFS/worst against
+	// optimal/worst through (1,1) (paper: 0.73 SMT, 0.56 quad).
+	Slope float64
+	// BottleneckCorr is the Pearson correlation between the
+	// linear-bottleneck error and the optimal/worst ratio (Figure 3).
+	BottleneckCorr float64
+}
+
+// AnalyzeSuite runs Analyze for every workload of n distinct types over
+// the table's suite, in parallel, and aggregates the spread statistics.
+func AnalyzeSuite(t *perfdb.Table, n int, cfg AnalyzeConfig) (*SuiteAnalysis, error) {
+	ws := workload.EnumerateWorkloads(len(t.Suite()), n)
+	out := &SuiteAnalysis{Workloads: make([]*WorkloadAnalysis, len(ws))}
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	nw := runtime.GOMAXPROCS(0)
+	chunk := (len(ws) + nw - 1) / nw
+	for wk := 0; wk < nw; wk++ {
+		lo, hi := wk*chunk, (wk+1)*chunk
+		if hi > len(ws) {
+			hi = len(ws)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c := cfg
+				if c.FCFS.Seed == 0 {
+					c.FCFS.Seed = uint64(i) + 1 // distinct, deterministic streams
+				}
+				out.Workloads[i], errs[i] = Analyze(t, ws[i], c)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	aggregate(out)
+	return out, nil
+}
+
+func aggregate(sa *SuiteAnalysis) {
+	n := len(sa.Workloads)
+	if n == 0 {
+		return
+	}
+	var x, y []float64 // Figure 2 axes
+	var eps, ratio []float64
+	first := true
+	for _, a := range sa.Workloads {
+		sa.JobIPC.AvgBest += a.JobIPCBest / float64(n)
+		sa.JobIPC.AvgWorst += a.JobIPCWorst / float64(n)
+		sa.InstTP.AvgBest += a.InstTPBest / float64(n)
+		sa.InstTP.AvgWorst += a.InstTPWorst / float64(n)
+		optRel := a.OptimalTP/a.FCFSTP - 1
+		worstRel := a.WorstTP/a.FCFSTP - 1
+		sa.AvgTP.AvgBest += optRel / float64(n)
+		sa.AvgTP.AvgWorst += worstRel / float64(n)
+		if first || a.JobIPCMaxBest > sa.JobIPC.MaxBest {
+			sa.JobIPC.MaxBest = a.JobIPCMaxBest
+		}
+		if first || a.JobIPCMinWorst < sa.JobIPC.MinWorst {
+			sa.JobIPC.MinWorst = a.JobIPCMinWorst
+		}
+		if first || a.InstTPBest > sa.InstTP.MaxBest {
+			sa.InstTP.MaxBest = a.InstTPBest
+		}
+		if first || a.InstTPWorst < sa.InstTP.MinWorst {
+			sa.InstTP.MinWorst = a.InstTPWorst
+		}
+		if first || optRel > sa.AvgTP.MaxBest {
+			sa.AvgTP.MaxBest = optRel
+		}
+		if first || worstRel < sa.AvgTP.MinWorst {
+			sa.AvgTP.MinWorst = worstRel
+		}
+		first = false
+
+		x = append(x, a.OptimalTP/a.WorstTP)
+		y = append(y, a.FCFSTP/a.WorstTP)
+		if gap := a.OptimalTP - a.WorstTP; gap > 1e-9 {
+			sa.GapBridge += (a.FCFSTP - a.WorstTP) / gap
+		} else {
+			sa.GapBridge += 1 // no headroom: FCFS trivially closes it
+		}
+		eps = append(eps, a.BottleneckErr)
+		ratio = append(ratio, a.OptimalTP/a.WorstTP)
+	}
+	sa.GapBridge /= float64(n)
+	sa.Slope = stats.SlopeThroughOne(x, y)
+	if len(eps) >= 2 {
+		_, _, r := stats.LinearFit(eps, ratio)
+		sa.BottleneckCorr = r
+	}
+}

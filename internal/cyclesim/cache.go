@@ -1,0 +1,81 @@
+package cyclesim
+
+// cache is a set-associative cache with LRU replacement, used for both the
+// private L1s and the shared last-level cache. Tags carry the full line
+// address (including the thread namespace bits the simulator adds), so a
+// shared cache naturally exhibits inter-thread capacity contention.
+type cache struct {
+	sets   int
+	ways   int
+	shift  uint // log2(line size)
+	tags   [][]uint64
+	lru    [][]int64
+	tick   int64
+	hits   int64
+	misses int64
+}
+
+// newCache builds a cache of sizeKB kilobytes with the given associativity
+// and 64-byte lines. Size is rounded down to a power-of-two set count.
+func newCache(sizeKB, ways int) *cache {
+	const lineBytes = 64
+	lines := sizeKB * 1024 / lineBytes
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two for cheap indexing.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	c := &cache{sets: sets, ways: ways, shift: 6}
+	c.tags = make([][]uint64, sets)
+	c.lru = make([][]int64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.lru[i] = make([]int64, ways)
+		for w := range c.tags[i] {
+			c.tags[i][w] = ^uint64(0)
+		}
+	}
+	return c
+}
+
+// access looks up (and on miss, fills) the line containing addr. It
+// returns true on a hit.
+func (c *cache) access(addr uint64) bool {
+	line := addr >> c.shift
+	set := int(line) & (c.sets - 1)
+	c.tick++
+	tags := c.tags[set]
+	lru := c.lru[set]
+	for w, t := range tags {
+		if t == line {
+			lru[w] = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Evict the least recently used way.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if lru[w] < lru[victim] {
+			victim = w
+		}
+	}
+	tags[victim] = line
+	lru[victim] = c.tick
+	return false
+}
+
+// missRate returns misses / accesses (0 when idle).
+func (c *cache) missRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}

@@ -1,0 +1,358 @@
+// Package cyclesim is a cycle-level, trace-driven simulator of the study's
+// machines, built in the instruction-window-centric style of Sniper's core
+// model (Carlson et al., TACO 2014): each thread owns a reorder-buffer
+// window of in-flight instructions whose completion cycles are computed
+// dataflow-style (dependencies + functional-unit/cache latencies), the
+// shared front-end dispatches into the windows under a fetch policy, and
+// in-order commit drains them.
+//
+// It exists to cross-validate the closed-form models (internal/smtmodel,
+// internal/multicore): both consume the same program profiles, and the
+// validation tests check that per-thread rates from the two stacks agree
+// in ranking and magnitude. It can also stand in as a perfdb.Model
+// (table building is then ~100x slower than the analytical models).
+//
+// Simplifications relative to real hardware, chosen to keep the simulator
+// honest where the study needs it (shared front-end, window, cache
+// capacity and bus bandwidth) and cheap where it does not: no wrong-path
+// execution (a mispredicted branch stalls the thread's fetch until it
+// resolves), unlimited functional units (dispatch width is the structural
+// limit), and store buffers are ideal (stores complete at dispatch).
+package cyclesim
+
+import (
+	"fmt"
+
+	"symbiosched/internal/program"
+	"symbiosched/internal/trace"
+	"symbiosched/internal/uarch"
+)
+
+// Config parameterises a simulation.
+type Config struct {
+	// Machine topology: SMT shares the front-end and window; a multicore
+	// gives each thread a private core and L1/L2 but shares the LLC.
+	SMT *uarch.SMTMachine
+	// Multicore is used when SMT is nil.
+	Multicore *uarch.MulticoreMachine
+	// Instructions is the per-thread instruction budget (default 200_000).
+	Instructions int64
+	// Warmup instructions per thread are excluded from the IPC measurement
+	// (default Instructions/10).
+	Warmup int64
+	// Seed drives trace generation (default 1).
+	Seed uint64
+}
+
+// Result reports per-thread performance.
+type Result struct {
+	// IPC is each thread's retired instructions per cycle over the
+	// measurement window.
+	IPC []float64
+	// Cycles is the total simulated cycles.
+	Cycles int64
+	// L1MissRate and LLCMissRate are aggregate cache miss ratios.
+	L1MissRate, LLCMissRate float64
+}
+
+const l1HitLatency = 3
+
+// instState tracks one in-flight instruction.
+type instState struct {
+	done   int64 // completion cycle
+	branch bool
+	misp   bool
+}
+
+// thread is one hardware context.
+type thread struct {
+	gen        *trace.Generator
+	rob        []instState
+	head, tail int // ring indices
+	count      int
+	fetched    int64 // instructions dispatched
+	retired    int64
+	measured   int64 // retired inside the measurement window
+	startCycle int64 // cycle at which measurement started
+	endCycle   int64
+	stallUntil int64 // front-end redirect (branch misprediction)
+	done       bool
+}
+
+func (t *thread) robAt(i int) *instState { return &t.rob[i%len(t.rob)] }
+
+// Run simulates the coschedule given by profiles and returns per-thread
+// IPCs. len(profiles) must be between 1 and the machine's context count.
+func Run(cfg Config, profiles []*program.Profile) (*Result, error) {
+	if cfg.SMT == nil && cfg.Multicore == nil {
+		return nil, fmt.Errorf("cyclesim: no machine configured")
+	}
+	if cfg.Instructions <= 0 {
+		cfg.Instructions = 200_000
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = cfg.Instructions / 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	n := len(profiles)
+
+	var (
+		core     uarch.Core
+		contexts int
+		shared   bool // shared front-end and window (SMT)
+		fetchPol uarch.FetchPolicy
+		robPol   uarch.ROBPolicy
+		llcKB    int
+		l2KB     int
+		busSvc   float64
+	)
+	if cfg.SMT != nil {
+		m := *cfg.SMT
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		core, contexts, shared = m.Core, m.Threads, true
+		fetchPol, robPol = m.Fetch, m.ROB
+		llcKB = m.SharedCacheKB
+		busSvc = m.Bus.ServiceCycles
+	} else {
+		m := *cfg.Multicore
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		core, contexts, shared = m.Core, m.Cores, false
+		llcKB = m.SharedLLCKB
+		l2KB = m.PrivateL2KB
+		busSvc = m.Bus.ServiceCycles
+	}
+	if n < 1 || n > contexts {
+		return nil, fmt.Errorf("cyclesim: %d threads on a %d-context machine", n, contexts)
+	}
+
+	threads := make([]*thread, n)
+	l1s := make([]*cache, n)
+	var l2s []*cache
+	robCap := core.ROBSize
+	if shared && robPol == uarch.StaticROB {
+		robCap = core.ROBSize / n
+	}
+	for i := range threads {
+		threads[i] = &thread{
+			gen: trace.New(profiles[i], cfg.Seed+uint64(i)*0x9e37),
+			rob: make([]instState, core.ROBSize+1),
+		}
+		l1s[i] = newCache(32, 8)
+	}
+	if !shared && l2KB > 0 {
+		l2s = make([]*cache, n)
+		for i := range l2s {
+			l2s[i] = newCache(l2KB, 8)
+		}
+	}
+	llc := newCache(llcKB, 16)
+	var busFree int64
+
+	// memAccess returns the load-to-use latency of addr for thread ti at
+	// the given cycle, walking the hierarchy and queueing on the bus.
+	memAccess := func(ti int, addr uint64, now int64) int64 {
+		// Namespace private data per thread so the shared LLC only shares
+		// capacity, not contents.
+		key := addr | uint64(ti)<<56
+		if l1s[ti].access(key) {
+			return l1HitLatency
+		}
+		if l2s != nil && l2s[ti].access(key) {
+			return int64(core.LLCHitLatency) / 2
+		}
+		if llc.access(key) {
+			return int64(core.LLCHitLatency)
+		}
+		// DRAM: serialise line transfers on the shared bus.
+		start := now
+		if busFree > start {
+			start = busFree
+		}
+		busFree = start + int64(busSvc)
+		return (start - now) + int64(core.MemLatency)
+	}
+
+	sharedCount := 0 // total in-flight instructions (dynamic SMT ROB)
+	var cycle int64
+	liveThreads := n
+	order := make([]int, n)
+
+	for liveThreads > 0 {
+		// ---- Commit: each context retires up to Width ready instructions.
+		for ti, t := range threads {
+			if t.done {
+				continue
+			}
+			for c := 0; c < core.Width && t.count > 0; c++ {
+				in := t.robAt(t.head)
+				if in.done > cycle {
+					break
+				}
+				t.head++
+				t.count--
+				if shared {
+					sharedCount--
+				}
+				t.retired++
+				if t.retired == cfg.Warmup {
+					t.startCycle = cycle
+				}
+				if t.retired > cfg.Warmup {
+					t.measured++
+				}
+				if t.retired >= cfg.Instructions {
+					t.endCycle = cycle
+					t.done = true
+					liveThreads--
+					// Release the thread's remaining window so co-runners
+					// can use it (dynamic SMT sharing).
+					if shared {
+						sharedCount -= t.count
+					}
+					t.count = 0
+					_ = ti
+					break
+				}
+			}
+		}
+
+		// ---- Dispatch: the front-end hands out Width slots per cycle.
+		// SMT time-shares one front-end; a multicore gives every core its
+		// own Width slots.
+		for i := range order {
+			order[i] = i
+		}
+		if shared && fetchPol == uarch.ICOUNT {
+			// Fewest in-flight instructions first.
+			for a := 1; a < n; a++ {
+				for b := a; b > 0 && threads[order[b]].count < threads[order[b-1]].count; b-- {
+					order[b], order[b-1] = order[b-1], order[b]
+				}
+			}
+		} else if shared {
+			// Round-robin rotation.
+			rot := int(cycle) % n
+			for i := range order {
+				order[i] = (i + rot) % n
+			}
+		}
+		slots := core.Width // shared pool for SMT
+		for _, ti := range order {
+			t := threads[ti]
+			if t.done || t.stallUntil > cycle {
+				continue
+			}
+			budget := core.Width
+			if shared {
+				budget = slots
+			}
+			for budget > 0 {
+				if t.count >= robCap || (shared && robPol == uarch.DynamicROB && sharedCount >= core.ROBSize) {
+					break
+				}
+				in := t.gen.Next()
+				ready := cycle
+				if in.DepDist > 0 && int(in.DepDist) <= t.count {
+					dep := t.robAt(t.tail - int(in.DepDist))
+					if dep.done > ready {
+						ready = dep.done
+					}
+				}
+				var lat int64
+				switch in.Kind {
+				case trace.Load:
+					lat = memAccess(ti, in.Addr, ready)
+				case trace.Store:
+					// Ideal store buffer: retire-time visibility, but the
+					// cache is still warmed for subsequent accesses.
+					memAccess(ti, in.Addr, ready)
+					lat = 1
+				default:
+					lat = 1
+				}
+				st := t.robAt(t.tail)
+				st.done = ready + lat
+				st.branch = in.Kind == trace.Branch
+				st.misp = in.Mispredict
+				t.tail++
+				t.count++
+				t.fetched++
+				if shared {
+					sharedCount++
+					slots--
+				}
+				budget--
+				if st.branch && st.misp {
+					// Fetch stalls until the branch resolves, plus the
+					// front-end refill penalty.
+					t.stallUntil = st.done + int64(core.BranchPenalty)
+					break
+				}
+			}
+			if shared && slots == 0 {
+				break
+			}
+		}
+		cycle++
+		if cycle > 1<<33 {
+			return nil, fmt.Errorf("cyclesim: runaway simulation (deadlock?)")
+		}
+	}
+
+	res := &Result{Cycles: cycle}
+	res.IPC = make([]float64, n)
+	for i, t := range threads {
+		span := t.endCycle - t.startCycle
+		if span <= 0 {
+			span = 1
+		}
+		res.IPC[i] = float64(t.measured) / float64(span)
+	}
+	var l1h, l1m int64
+	for _, c := range l1s {
+		l1h += c.hits
+		l1m += c.misses
+	}
+	if l1h+l1m > 0 {
+		res.L1MissRate = float64(l1m) / float64(l1h+l1m)
+	}
+	res.LLCMissRate = llc.missRate()
+	return res, nil
+}
+
+// Model adapts the cycle simulator to perfdb.Model so full performance
+// tables can be built from it (slow: minutes rather than seconds).
+type Model struct {
+	Cfg Config
+}
+
+// Name implements perfdb.Model.
+func (m Model) Name() string {
+	if m.Cfg.SMT != nil {
+		return "cyclesim/" + m.Cfg.SMT.String()
+	}
+	return "cyclesim/" + m.Cfg.Multicore.String()
+}
+
+// Contexts implements perfdb.Model.
+func (m Model) Contexts() int {
+	if m.Cfg.SMT != nil {
+		return m.Cfg.SMT.Threads
+	}
+	return m.Cfg.Multicore.Cores
+}
+
+// SlotIPC implements perfdb.Model.
+func (m Model) SlotIPC(jobs []*program.Profile) []float64 {
+	res, err := Run(m.Cfg, jobs)
+	if err != nil {
+		panic(err)
+	}
+	return res.IPC
+}

@@ -1,0 +1,224 @@
+package cyclesim
+
+import (
+	"sort"
+	"testing"
+
+	"symbiosched/internal/program"
+	"symbiosched/internal/smtmodel"
+	"symbiosched/internal/uarch"
+)
+
+func prof(t *testing.T, id string) *program.Profile {
+	t.Helper()
+	p, _, ok := program.ByID(id)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", id)
+	}
+	return &p
+}
+
+func smtCfg(instr int64) Config {
+	m := uarch.DefaultSMT()
+	return Config{SMT: &m, Instructions: instr, Seed: 42}
+}
+
+func quadCfg(instr int64) Config {
+	m := uarch.DefaultMulticore()
+	return Config{Multicore: &m, Instructions: instr, Seed: 42}
+}
+
+func TestSoloIPCOrdering(t *testing.T) {
+	// The cycle simulator must rank benchmarks like the analytical stack:
+	// hmmer (high ILP, cache-resident) >> mcf (memory-bound).
+	hm, err := Run(smtCfg(60_000), []*program.Profile{prof(t, "hmmer.nph3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Run(smtCfg(60_000), []*program.Profile{prof(t, "mcf.ref")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.IPC[0] < 2*mc.IPC[0] {
+		t.Errorf("hmmer %v should be far faster than mcf %v", hm.IPC[0], mc.IPC[0])
+	}
+	if hm.IPC[0] > 4 || mc.IPC[0] <= 0 {
+		t.Errorf("IPCs out of range: %v, %v", hm.IPC[0], mc.IPC[0])
+	}
+}
+
+func TestSMTSharingSlowsThreadsDown(t *testing.T) {
+	p := prof(t, "hmmer.nph3")
+	solo, err := Run(smtCfg(50_000), []*program.Profile{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Run(smtCfg(50_000), []*program.Profile{p, p, p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, x := range four.IPC {
+		if x >= solo.IPC[0] {
+			t.Errorf("shared thread IPC %v >= solo %v", x, solo.IPC[0])
+		}
+		total += x
+	}
+	if total > 4 {
+		t.Errorf("aggregate IPC %v exceeds width", total)
+	}
+}
+
+func TestMulticoreGentlerThanSMT(t *testing.T) {
+	p := prof(t, "hmmer.nph3")
+	smt, err := Run(smtCfg(50_000), []*program.Profile{p, p, p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := Run(quadCfg(50_000), []*program.Profile{p, p, p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.IPC[0] <= smt.IPC[0] {
+		t.Errorf("a private core (%v) should beat an SMT context (%v) for a compute job",
+			quad.IPC[0], smt.IPC[0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := prof(t, "gcc.g23")
+	a, err := Run(smtCfg(30_000), []*program.Profile{p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smtCfg(30_000), []*program.Profile{p, p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.IPC {
+		if a.IPC[i] != b.IPC[i] {
+			t.Fatal("simulation is not deterministic")
+		}
+	}
+}
+
+func TestCacheMissRatesOrdered(t *testing.T) {
+	// A memory-bound benchmark must show a much higher L1 miss rate than a
+	// cache-resident one.
+	mc, err := Run(smtCfg(50_000), []*program.Profile{prof(t, "mcf.ref")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := Run(smtCfg(50_000), []*program.Profile{prof(t, "hmmer.nph3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.L1MissRate <= hm.L1MissRate {
+		t.Errorf("mcf L1 miss rate %v should exceed hmmer's %v", mc.L1MissRate, hm.L1MissRate)
+	}
+}
+
+func TestCrossValidationAgainstAnalyticalModel(t *testing.T) {
+	// The headline validation: per-benchmark solo IPC from the cycle
+	// simulator and the analytical SMT model must agree in rank order
+	// (Spearman correlation) across a diverse benchmark subset.
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	ids := []string{"hmmer.nph3", "calculix.ref", "sjeng.ref", "bzip2.input.program",
+		"gcc.g23", "xalancbmk.ref", "libquantum.ref", "mcf.ref"}
+	machine := uarch.DefaultSMT()
+	var sim, model []float64
+	for _, id := range ids {
+		p := prof(t, id)
+		res, err := Run(smtCfg(60_000), []*program.Profile{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim = append(sim, res.IPC[0])
+		model = append(model, smtmodel.SoloIPC(machine, p))
+	}
+	if rho := spearman(sim, model); rho < 0.8 {
+		t.Errorf("solo IPC rank correlation %v < 0.8 between cyclesim and smtmodel\nsim=%v\nmodel=%v",
+			rho, sim, model)
+	}
+}
+
+func TestICOUNTvsRRInCycleSim(t *testing.T) {
+	// ICOUNT should not lose to round-robin for a mixed coschedule in the
+	// cycle-level simulator either.
+	mix := []*program.Profile{prof(t, "hmmer.nph3"), prof(t, "mcf.ref"),
+		prof(t, "calculix.ref"), prof(t, "libquantum.ref")}
+	ic := uarch.DefaultSMT()
+	rr := uarch.DefaultSMT()
+	rr.Fetch = uarch.RoundRobin
+	a, err := Run(Config{SMT: &ic, Instructions: 50_000, Seed: 7}, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{SMT: &rr, Instructions: 50_000, Seed: 7}, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ta, tb float64
+	for i := range a.IPC {
+		ta += a.IPC[i]
+		tb += b.IPC[i]
+	}
+	if ta < 0.9*tb {
+		t.Errorf("ICOUNT total %v far below RR total %v", ta, tb)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Error("expected error for missing machine")
+	}
+	m := uarch.DefaultSMT()
+	p := prof(t, "mcf.ref")
+	if _, err := Run(Config{SMT: &m}, []*program.Profile{p, p, p, p, p}); err == nil {
+		t.Error("expected error for too many threads")
+	}
+}
+
+func TestModelAdapter(t *testing.T) {
+	m := uarch.DefaultSMT()
+	mod := Model{Cfg: Config{SMT: &m, Instructions: 5_000, Seed: 1}}
+	if mod.Contexts() != 4 || mod.Name() == "" {
+		t.Errorf("adapter metadata broken")
+	}
+	p := prof(t, "sjeng.ref")
+	if got := mod.SlotIPC([]*program.Profile{p, p}); len(got) != 2 {
+		t.Errorf("SlotIPC returned %d entries", len(got))
+	}
+	q := uarch.DefaultMulticore()
+	mod2 := Model{Cfg: Config{Multicore: &q}}
+	if mod2.Contexts() != 4 || mod2.Name() == "" {
+		t.Errorf("multicore adapter metadata broken")
+	}
+}
+
+// spearman computes the Spearman rank correlation of two samples.
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	var d2 float64
+	for i := range ra {
+		d := ra[i] - rb[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(n*(n*n-1))
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for r, i := range idx {
+		out[i] = float64(r)
+	}
+	return out
+}

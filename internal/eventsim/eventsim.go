@@ -1,0 +1,282 @@
+// Package eventsim runs the paper's Section VI throughput and latency
+// experiments as a continuous-time discrete-event simulation: jobs of
+// uniformly random types arrive (Poisson for the latency experiment, a
+// topped-up pool for the maximum-throughput experiment), a scheduler
+// selects which jobs occupy the K contexts at every arrival/completion
+// event with free preemption, and jobs progress at the per-coschedule
+// rates from the performance database.
+//
+// Reported metrics follow the paper: mean turnaround time, processor
+// utilisation (mean number of busy contexts) and the fraction of time the
+// system is completely empty — the quantities of Figure 5 — plus the
+// achieved throughput for the maximum-throughput experiment of Figure 6.
+package eventsim
+
+import (
+	"fmt"
+	"math"
+
+	"symbiosched/internal/numeric"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/sched"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+const eps = 1e-9
+
+// LatencyConfig parameterises a latency experiment.
+type LatencyConfig struct {
+	// Lambda is the Poisson arrival rate in jobs per time unit. With unit
+	// job sizes it equals the offered load in work per time unit.
+	Lambda float64
+	// Jobs is the number of jobs to complete (default 20_000).
+	Jobs int
+	// Warmup jobs are excluded from the turnaround statistics
+	// (default Jobs/10).
+	Warmup int
+	// JobSize is the mean work per job (default 1), matching the paper's
+	// equal-work assumption.
+	JobSize float64
+	// SizeShape selects the job-size distribution around the JobSize
+	// mean: 0 for deterministic sizes, 1 for exponential (the classic
+	// Snavely-style setup), k >= 2 for Erlang-k (squared coefficient of
+	// variation 1/k — "approximately the same size" as the paper puts it).
+	SizeShape int
+	// Seed drives arrivals, job types and sizes (default 1).
+	Seed uint64
+}
+
+func (c LatencyConfig) withDefaults() LatencyConfig {
+	if c.Jobs <= 0 {
+		c.Jobs = 20_000
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Jobs / 10
+	}
+	if c.JobSize <= 0 {
+		c.JobSize = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result summarises an experiment.
+type Result struct {
+	// MeanTurnaround is the mean time from arrival to completion over the
+	// post-warmup jobs.
+	MeanTurnaround float64
+	// Utilisation is the time-averaged number of busy contexts.
+	Utilisation float64
+	// EmptyFraction is the fraction of time with zero jobs in the system.
+	EmptyFraction float64
+	// Throughput is completed work divided by elapsed time.
+	Throughput float64
+	// Completed is the number of completed jobs, Elapsed the simulated
+	// time span.
+	Completed int
+	Elapsed   float64
+	// MeanJobsInSystem is the time-averaged number of jobs in the system.
+	MeanJobsInSystem float64
+}
+
+// Latency runs a latency experiment: Poisson arrivals at cfg.Lambda on
+// workload w, scheduled by s on the K contexts of table t.
+func Latency(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg LatencyConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Lambda <= 0 {
+		return nil, fmt.Errorf("eventsim: non-positive arrival rate %v", cfg.Lambda)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	gen := func() float64 { return rng.Exp(cfg.Lambda) }
+	return run(t, w, s, cfg, gen)
+}
+
+// MaxThroughputConfig parameterises a maximum-throughput experiment
+// (arrival rate above the maximum service rate).
+type MaxThroughputConfig struct {
+	// Jobs is the number of jobs to complete (default 20_000).
+	Jobs int
+	// Pool is the number of jobs kept in the system (default 4*K),
+	// mimicking an arrival rate permanently above the service rate with a
+	// bounded queue.
+	Pool int
+	// JobSize is the fixed work per job (default 1).
+	JobSize float64
+	// Seed drives job types (default 1).
+	Seed uint64
+}
+
+// MaxThroughput runs a maximum-throughput experiment: the system is kept
+// topped up with Pool jobs of uniformly random types so the scheduler
+// always has choices, and the long-run throughput is measured (Figure 6).
+func MaxThroughput(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg MaxThroughputConfig) (*Result, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 20_000
+	}
+	if cfg.Pool <= 0 {
+		cfg.Pool = 4 * t.K()
+	}
+	if cfg.JobSize <= 0 {
+		cfg.JobSize = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	lcfg := LatencyConfig{
+		Jobs:    cfg.Jobs,
+		Warmup:  cfg.Jobs / 10,
+		JobSize: cfg.JobSize,
+		Seed:    cfg.Seed,
+		// Lambda unused by the pooled generator.
+		Lambda: 1,
+	}
+	return run(t, w, s, lcfg, nil)
+}
+
+// run is the shared event loop. interarrival == nil selects pooled mode:
+// the system is refilled to a pool size immediately.
+func run(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg LatencyConfig, interarrival func() float64) (*Result, error) {
+	k := t.K()
+	rng := stats.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	pooled := interarrival == nil
+	pool := 4 * k
+
+	var system []*sched.Job
+	nextID := 0
+	newJob := func(now float64) *sched.Job {
+		size := cfg.JobSize
+		if cfg.SizeShape >= 1 {
+			// Erlang-k with mean JobSize (k = 1 is exponential).
+			k := cfg.SizeShape
+			size = 0
+			for i := 0; i < k; i++ {
+				size += rng.Exp(float64(k) / cfg.JobSize)
+			}
+		}
+		j := &sched.Job{
+			ID:      nextID,
+			Type:    w[rng.Intn(len(w))],
+			Size:    size,
+			Arrival: now,
+		}
+		j.Remaining = j.Size
+		nextID++
+		return j
+	}
+
+	var now float64
+	var nextArrival float64
+	arrivalsLeft := cfg.Jobs
+	if pooled {
+		for len(system) < pool && arrivalsLeft > 0 {
+			system = append(system, newJob(0))
+			arrivalsLeft--
+		}
+	} else {
+		nextArrival = interarrival()
+	}
+
+	var turnaround, busyTime, emptyTime, workDone numeric.KahanSum
+	completed, counted := 0, 0
+
+	for completed < cfg.Jobs {
+		if len(system) == 0 {
+			if pooled || arrivalsLeft == 0 {
+				break // drained
+			}
+			// Idle until the next arrival.
+			emptyTime.Add(nextArrival - now)
+			now = nextArrival
+			system = append(system, newJob(now))
+			arrivalsLeft--
+			nextArrival = now + interarrival()
+			continue
+		}
+		running := s.Select(system, k)
+		if len(running) == 0 || len(running) > k {
+			return nil, fmt.Errorf("eventsim: scheduler %s selected %d jobs (k=%d, system=%d)",
+				s.Name(), len(running), k, len(system))
+		}
+		cos := make(workload.Coschedule, len(running))
+		for i, ji := range running {
+			cos[i] = system[ji].Type
+		}
+		canon := workload.NewCoschedule(cos...)
+		// Time to the next completion among running jobs.
+		dt := math.Inf(1)
+		for _, ji := range running {
+			j := system[ji]
+			rate := t.JobWIPC(canon, j.Type)
+			if d := j.Remaining / rate; d < dt {
+				dt = d
+			}
+		}
+		// Or the next arrival, whichever first.
+		arrivalDue := false
+		if !pooled && arrivalsLeft > 0 && now+dt >= nextArrival {
+			dt = nextArrival - now
+			arrivalDue = true
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		// Advance.
+		now += dt
+		busyTime.Add(float64(len(running)) * dt)
+		for _, ji := range running {
+			j := system[ji]
+			adv := t.JobWIPC(canon, j.Type) * dt
+			j.Remaining -= adv
+			workDone.Add(adv)
+		}
+		s.Observe(canon, dt)
+		// Completions.
+		var kept []*sched.Job
+		for _, j := range system {
+			if j.Remaining > eps {
+				kept = append(kept, j)
+				continue
+			}
+			completed++
+			if completed > cfg.Warmup {
+				turnaround.Add(now - j.Arrival)
+				counted++
+			}
+		}
+		system = kept
+		// Arrivals / pool refill.
+		if arrivalDue {
+			system = append(system, newJob(now))
+			arrivalsLeft--
+			if arrivalsLeft > 0 {
+				nextArrival = now + interarrival()
+			}
+		}
+		if pooled {
+			for len(system) < pool && arrivalsLeft > 0 {
+				system = append(system, newJob(now))
+				arrivalsLeft--
+			}
+		}
+	}
+	if now <= 0 {
+		return nil, fmt.Errorf("eventsim: experiment completed no work")
+	}
+	res := &Result{
+		Utilisation:   busyTime.Value() / now,
+		EmptyFraction: emptyTime.Value() / now,
+		Throughput:    workDone.Value() / now,
+		Completed:     completed,
+		Elapsed:       now,
+	}
+	res.MeanJobsInSystem = res.Utilisation // lower bound; refined below
+	if counted > 0 {
+		res.MeanTurnaround = turnaround.Value() / float64(counted)
+		// Little's law over the counted window (approximate).
+		res.MeanJobsInSystem = res.MeanTurnaround * float64(counted) / now
+	}
+	return res, nil
+}

@@ -1,0 +1,131 @@
+package eventsim
+
+import (
+	"testing"
+
+	"symbiosched/internal/sched"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+func TestMakespanBasicInvariants(t *testing.T) {
+	tb := table(t)
+	res, err := Makespan(tb, w4(), sched.FCFS{}, MakespanConfig{Batch: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("non-positive makespan %v", res.Makespan)
+	}
+	if res.MeanTurnaround > res.Makespan {
+		t.Errorf("mean turnaround %v exceeds makespan %v", res.MeanTurnaround, res.Makespan)
+	}
+	if res.TailIdleFraction < 0 || res.TailIdleFraction >= 1 {
+		t.Errorf("tail idle fraction %v outside [0,1)", res.TailIdleFraction)
+	}
+	// Small batches must show a non-trivial idle tail (the paper's point
+	// about 8-16 job evaluations).
+	if res.TailIdleFraction == 0 {
+		t.Error("an 8-job batch should idle some context-cycles in the tail")
+	}
+}
+
+func TestMakespanLowerBoundedByWork(t *testing.T) {
+	tb := table(t)
+	// With K contexts and max instantaneous throughput bounded by the best
+	// coschedule, makespan >= totalWork / maxInstTP.
+	res, err := Makespan(tb, w4(), &sched.MAXIT{Table: tb}, MakespanConfig{Batch: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxTP float64
+	for _, c := range workload.LocalCoschedules(w4(), tb.K()) {
+		if tp := tb.InstTP(c); tp > maxTP {
+			maxTP = tp
+		}
+	}
+	if res.Makespan < 12.0/maxTP-1e-9 {
+		t.Errorf("makespan %v below the work/maxTP bound %v", res.Makespan, 12.0/maxTP)
+	}
+}
+
+func TestLJFBeatsSRPTOnMakespan(t *testing.T) {
+	// The related-work observation (Xu et al.): for small batches run to
+	// completion, long-job-first avoids the serial tail and tends to beat
+	// shortest-remaining-first on makespan. With heterogeneous sizes this
+	// should hold on average across seeds.
+	tb := table(t)
+	var ljfWins int
+	const trials = 20
+	for seed := uint64(1); seed <= trials; seed++ {
+		cfg := MakespanConfig{Batch: 10, SizeShape: 1, Seed: seed}
+		lj, err := Makespan(tb, w4(), sched.LJF{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := Makespan(tb, w4(), &sched.SRPT{Table: tb}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lj.Makespan <= sr.Makespan {
+			ljfWins++
+		}
+	}
+	if ljfWins < trials/2 {
+		t.Errorf("LJF won makespan only %d/%d trials against SRPT", ljfWins, trials)
+	}
+}
+
+func TestSRPTBeatsLJFOnTurnaround(t *testing.T) {
+	// The converse classic: SRPT minimises mean completion time.
+	tb := table(t)
+	var srptWins int
+	const trials = 20
+	for seed := uint64(1); seed <= trials; seed++ {
+		cfg := MakespanConfig{Batch: 10, SizeShape: 1, Seed: seed}
+		lj, err := Makespan(tb, w4(), sched.LJF{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := Makespan(tb, w4(), &sched.SRPT{Table: tb}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.MeanTurnaround <= lj.MeanTurnaround {
+			srptWins++
+		}
+	}
+	if srptWins < trials*3/4 {
+		t.Errorf("SRPT won mean turnaround only %d/%d trials against LJF", srptWins, trials)
+	}
+}
+
+func TestRandomSchedulerValid(t *testing.T) {
+	tb := table(t)
+	s := &sched.Random{RNG: stats.NewRNG(7)}
+	res, err := Makespan(tb, w4(), s, MakespanConfig{Batch: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("random scheduler produced makespan %v", res.Makespan)
+	}
+}
+
+func TestMakespanSchedulerComparison(t *testing.T) {
+	// Sanity: MAXIT (symbiosis-aware) should not lose badly to Random on
+	// the same batch.
+	tb := table(t)
+	cfg := MakespanConfig{Batch: 16, Seed: 11}
+	maxit, err := Makespan(tb, w4(), &sched.MAXIT{Table: tb}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Makespan(tb, w4(), &sched.Random{RNG: stats.NewRNG(1)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxit.Makespan > random.Makespan*1.1 {
+		t.Errorf("MAXIT makespan %v far worse than random %v", maxit.Makespan, random.Makespan)
+	}
+}

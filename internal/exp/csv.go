@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV saves an experiment's plottable series as CSV files under dir
+// (created if needed), so the figures can be regenerated with any plotting
+// tool. Supported results: Fig2Result, Fig3Result, Fig4Result, Fig5Result,
+// Fig6Result and MakespanResult; other types are ignored with ok=false.
+func WriteCSV(dir string, name string, result any) (ok bool, err error) {
+	rows, header := csvRows(result)
+	if rows == nil {
+		return false, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return false, err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return false, err
+	}
+	w.Flush()
+	return true, w.Error()
+}
+
+func csvRows(result any) (rows [][]string, header []string) {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	switch r := result.(type) {
+	case *Fig2Result:
+		header = []string{"workload", "opt_vs_worst", "fcfs_vs_worst"}
+		for _, p := range r.Points {
+			rows = append(rows, []string{p.Workload, f(p.OptVsWorst), f(p.FCFSVsWorst)})
+		}
+	case *Fig3Result:
+		header = []string{"workload", "bottleneck_err", "opt_vs_worst", "type_wipc_diff"}
+		for _, p := range r.Points {
+			rows = append(rows, []string{p.Workload, f(p.BottleneckErr), f(p.OptVsWorst), f(p.TypeWIPCDiff)})
+		}
+	case *Fig4Result:
+		header = []string{"lambda", "turnaround_mu1", "turnaround_mu1.03"}
+		for i := range r.Base {
+			rows = append(rows, []string{f(r.Base[i].Lambda), f(r.Base[i].Turnaround), f(r.Improved[i].Turnaround)})
+		}
+	case *Fig5Result:
+		header = []string{"scheduler", "load", "turnaround_vs_fcfs", "utilisation", "empty_fraction"}
+		for _, c := range r.Cells {
+			rows = append(rows, []string{c.Scheduler, f(c.Load), f(c.TurnaroundVsFCFS), f(c.Utilisation), f(c.EmptyFraction)})
+		}
+	case *Fig6Result:
+		header = []string{"workload", "theoretical_max", "maxtp", "srpt", "maxit", "theoretical_min"}
+		for _, p := range r.Points {
+			rows = append(rows, []string{p.Workload, f(p.TheoreticalMax), f(p.MAXTP), f(p.SRPT), f(p.MAXIT), f(p.TheoreticalMin)})
+		}
+	case *MakespanResult:
+		header = []string{"scheduler", "makespan_vs_fcfs", "tail_idle"}
+		for _, name := range MakespanSchedulers {
+			rows = append(rows, []string{name, f(r.MeanMakespan[name]), f(r.MeanTailIdle[name])})
+		}
+	default:
+		return nil, nil
+	}
+	if len(rows) == 0 {
+		// Emit the header anyway for structurally empty results.
+		rows = [][]string{}
+	}
+	return rows, header
+}
+
+// CSVName returns the canonical file stem for an experiment name and
+// configuration (e.g. "fig2_smt").
+func CSVName(experiment, config string) string {
+	if config == "" {
+		return experiment
+	}
+	return fmt.Sprintf("%s_%s", experiment, config)
+}

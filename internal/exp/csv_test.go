@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	e := miniEnv(t)
+	dir := t.TempDir()
+	smt, _, err := Fig2(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := WriteCSV(dir, "fig2_smt", smt)
+	if err != nil || !ok {
+		t.Fatalf("WriteCSV: ok=%v err=%v", ok, err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2_smt.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "workload,opt_vs_worst,fcfs_vs_worst" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines)-1 != len(smt.Points) {
+		t.Errorf("%d data rows, want %d", len(lines)-1, len(smt.Points))
+	}
+}
+
+func TestWriteCSVUnsupportedType(t *testing.T) {
+	ok, err := WriteCSV(t.TempDir(), "x", 42)
+	if err != nil || ok {
+		t.Errorf("unsupported type: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCSVNames(t *testing.T) {
+	if CSVName("fig2", "smt") != "fig2_smt" || CSVName("fig4", "") != "fig4" {
+		t.Error("CSVName format broken")
+	}
+}
+
+func TestWriteCSVAllFigureTypes(t *testing.T) {
+	e := miniEnv(t)
+	dir := t.TempDir()
+	f4, err := Fig4(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := Fig5(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := MakespanExperiment(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]any{"fig4": f4, "fig5": f5, "makespan": mk} {
+		ok, err := WriteCSV(dir, name, r)
+		if err != nil || !ok {
+			t.Errorf("%s: ok=%v err=%v", name, ok, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".csv")); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation, each reproducing the corresponding rows/series from the
+// performance database and the analyses in internal/core, internal/sched,
+// internal/eventsim and internal/queueing. The cmd/symbiosim binary and
+// the root-level benchmarks are thin wrappers over these drivers.
+//
+// Every driver returns a structured result plus a Format() string that
+// prints the same quantities the paper reports, with the paper's numbers
+// quoted alongside for comparison (also recorded in EXPERIMENTS.md).
+package exp
+
+import (
+	"sync"
+
+	"symbiosched/internal/core"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+)
+
+// Config parameterises the experiment environment.
+type Config struct {
+	// Suite is the benchmark suite (default program.Suite()).
+	Suite []program.Profile
+	// SMT and Quad are the two machine configurations of Section V-A.
+	SMT  uarch.SMTMachine
+	Quad uarch.MulticoreMachine
+	// FCFSJobs sizes the FCFS throughput simulations (default 20_000).
+	FCFSJobs int
+	// SimJobs sizes the Section VI event simulations (default 20_000).
+	SimJobs int
+	// SampleWorkloads, when > 0, uses only every (total/Sample)-th
+	// workload in the heavyweight Section VI sweeps.
+	SampleWorkloads int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's default setup.
+func DefaultConfig() Config {
+	return Config{
+		Suite:    program.Suite(),
+		SMT:      uarch.DefaultSMT(),
+		Quad:     uarch.DefaultMulticore(),
+		FCFSJobs: 20_000,
+		SimJobs:  20_000,
+		Seed:     1,
+	}
+}
+
+// Env carries lazily built, cached performance tables and suite analyses
+// so that drivers sharing inputs (Figures 1-3, Table II) compute them once.
+type Env struct {
+	Cfg Config
+
+	mu        sync.Mutex
+	smtTable  *perfdb.Table
+	quadTable *perfdb.Table
+	smtSweep  *core.SuiteAnalysis
+	quadSweep *core.SuiteAnalysis
+}
+
+// NewEnv returns an Env over the given config (zero-value fields are
+// filled with defaults).
+func NewEnv(cfg Config) *Env {
+	def := DefaultConfig()
+	if cfg.Suite == nil {
+		cfg.Suite = def.Suite
+	}
+	if cfg.SMT.Threads == 0 {
+		cfg.SMT = def.SMT
+	}
+	if cfg.Quad.Cores == 0 {
+		cfg.Quad = def.Quad
+	}
+	if cfg.FCFSJobs == 0 {
+		cfg.FCFSJobs = def.FCFSJobs
+	}
+	if cfg.SimJobs == 0 {
+		cfg.SimJobs = def.SimJobs
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	return &Env{Cfg: cfg}
+}
+
+// SMTTable returns (building once) the SMT performance database.
+func (e *Env) SMTTable() *perfdb.Table {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.smtTable == nil {
+		e.smtTable = perfdb.Build(perfdb.SMTModel{Machine: e.Cfg.SMT}, e.Cfg.Suite)
+	}
+	return e.smtTable
+}
+
+// QuadTable returns (building once) the quad-core performance database.
+func (e *Env) QuadTable() *perfdb.Table {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.quadTable == nil {
+		e.quadTable = perfdb.Build(perfdb.MulticoreModel{Machine: e.Cfg.Quad}, e.Cfg.Suite)
+	}
+	return e.quadTable
+}
+
+// SMTSweep returns (running once) the N=4 all-workloads analysis on the
+// SMT table.
+func (e *Env) SMTSweep() (*core.SuiteAnalysis, error) {
+	t := e.SMTTable()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.smtSweep == nil {
+		sa, err := core.AnalyzeSuite(t, 4, core.AnalyzeConfig{FCFS: core.FCFSConfig{Jobs: e.Cfg.FCFSJobs}})
+		if err != nil {
+			return nil, err
+		}
+		e.smtSweep = sa
+	}
+	return e.smtSweep, nil
+}
+
+// QuadSweep returns (running once) the N=4 all-workloads analysis on the
+// quad-core table.
+func (e *Env) QuadSweep() (*core.SuiteAnalysis, error) {
+	t := e.QuadTable()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.quadSweep == nil {
+		sa, err := core.AnalyzeSuite(t, 4, core.AnalyzeConfig{FCFS: core.FCFSConfig{Jobs: e.Cfg.FCFSJobs}})
+		if err != nil {
+			return nil, err
+		}
+		e.quadSweep = sa
+	}
+	return e.quadSweep, nil
+}

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"symbiosched/internal/eventsim"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/sched"
+	"symbiosched/internal/workload"
+)
+
+// Fig5Loads are the offered loads of Figure 5, relative to the FCFS
+// maximum throughput.
+var Fig5Loads = []float64{0.8, 0.9, 0.95}
+
+// Fig5Cell is one (scheduler, load) aggregate of Figure 5.
+type Fig5Cell struct {
+	Scheduler string
+	Load      float64
+	// TurnaroundVsFCFS is the mean turnaround normalised to FCFS at the
+	// same load (paper: MAXTP reaches ~0.77 at load 0.95).
+	TurnaroundVsFCFS float64
+	// Utilisation is the mean number of busy contexts (paper plots
+	// ~2.5-3.7).
+	Utilisation float64
+	// EmptyFraction is the mean fraction of time the system is empty.
+	EmptyFraction float64
+}
+
+// Fig5Result reproduces Figure 5 on the SMT configuration: turnaround,
+// utilisation and empty fraction for the four schedulers at three loads,
+// averaged over the (sampled) N=4 workloads.
+type Fig5Result struct {
+	Name      string
+	Workloads int
+	Cells     []Fig5Cell // ordered scheduler-major, load-minor
+}
+
+// SchedulerNames lists the Section VI schedulers in the paper's order.
+var SchedulerNames = []string{"FCFS", "MAXIT", "SRPT", "MAXTP"}
+
+// newScheduler builds a fresh scheduler instance (MAXTP carries state and
+// must not be shared across runs).
+func newScheduler(name string, t *perfdb.Table, w workload.Workload) (sched.Scheduler, error) {
+	switch name {
+	case "FCFS":
+		return sched.FCFS{}, nil
+	case "MAXIT":
+		return &sched.MAXIT{Table: t}, nil
+	case "SRPT":
+		return &sched.SRPT{Table: t}, nil
+	case "MAXTP":
+		return sched.NewMAXTP(t, w)
+	default:
+		return nil, fmt.Errorf("exp: unknown scheduler %q", name)
+	}
+}
+
+// sampledWorkloads returns the N=4 workloads of the sweep, thinned to
+// cfg.SampleWorkloads when set.
+func (e *Env) sampledWorkloads() []workload.Workload {
+	all := workload.EnumerateWorkloads(len(e.Cfg.Suite), 4)
+	n := e.Cfg.SampleWorkloads
+	if n <= 0 || n >= len(all) {
+		return all
+	}
+	step := len(all) / n
+	var out []workload.Workload
+	for i := 0; i < len(all) && len(out) < n; i += step {
+		out = append(out, all[i])
+	}
+	return out
+}
+
+// Fig5 runs the latency experiments on the SMT configuration.
+func Fig5(e *Env) (*Fig5Result, error) {
+	t := e.SMTTable()
+	ws := e.sampledWorkloads()
+	sweep, err := e.SMTSweep()
+	if err != nil {
+		return nil, err
+	}
+	fcfsTP := make(map[string]float64, len(sweep.Workloads))
+	for _, a := range sweep.Workloads {
+		fcfsTP[a.Workload.Key()] = a.FCFSTP
+	}
+
+	type cellAcc struct {
+		turnaround, util, empty float64
+	}
+	// accs[scheduler][load]
+	accs := make([][]cellAcc, len(SchedulerNames))
+	for i := range accs {
+		accs[i] = make([]cellAcc, len(Fig5Loads))
+	}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for wi, w := range ws {
+		wg.Add(1)
+		go func(wi int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			base, ok := fcfsTP[w.Key()]
+			if !ok || base <= 0 {
+				return
+			}
+			local := make([][]cellAcc, len(SchedulerNames))
+			for i := range local {
+				local[i] = make([]cellAcc, len(Fig5Loads))
+			}
+			var fcfsTurn [8]float64
+			for li, load := range Fig5Loads {
+				for si, name := range SchedulerNames {
+					s, err := newScheduler(name, t, w)
+					if err == nil {
+						var res *eventsim.Result
+						// Job sizes are Erlang-4 around mean 1: jobs of
+						// "approximately the same size" (Section VI) with
+						// enough variance for the queueing behaviour a
+						// latency experiment near saturation is about.
+						res, err = eventsim.Latency(t, w, s, eventsim.LatencyConfig{
+							Lambda:    load * base,
+							Jobs:      e.Cfg.SimJobs,
+							SizeShape: 4,
+							Seed:      e.Cfg.Seed + uint64(wi)*31 + uint64(li),
+						})
+						if err == nil {
+							if name == "FCFS" {
+								fcfsTurn[li] = res.MeanTurnaround
+							}
+							local[si][li] = cellAcc{res.MeanTurnaround, res.Utilisation, res.EmptyFraction}
+						}
+					}
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("workload %v %s load %.2f: %w", w, name, load, err)
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}
+			mu.Lock()
+			for si := range local {
+				for li := range local[si] {
+					c := local[si][li]
+					norm := 1.0
+					if fcfsTurn[li] > 0 {
+						norm = c.turnaround / fcfsTurn[li]
+					}
+					accs[si][li].turnaround += norm
+					accs[si][li].util += c.util
+					accs[si][li].empty += c.empty
+				}
+			}
+			mu.Unlock()
+		}(wi, w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	r := &Fig5Result{Name: t.Name(), Workloads: len(ws)}
+	n := float64(len(ws))
+	for si, name := range SchedulerNames {
+		for li, load := range Fig5Loads {
+			a := accs[si][li]
+			r.Cells = append(r.Cells, Fig5Cell{
+				Scheduler:        name,
+				Load:             load,
+				TurnaroundVsFCFS: a.turnaround / n,
+				Utilisation:      a.util / n,
+				EmptyFraction:    a.empty / n,
+			})
+		}
+	}
+	return r, nil
+}
+
+// Cell returns the aggregate for a scheduler and load.
+func (r *Fig5Result) Cell(scheduler string, load float64) (Fig5Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Scheduler == scheduler && c.Load == load {
+			return c, true
+		}
+	}
+	return Fig5Cell{}, false
+}
+
+// Format renders the three panels of Figure 5.
+func (r *Fig5Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 (%s, %d workloads): latency experiment, loads relative to FCFS max throughput\n", r.Name, r.Workloads)
+	panel := func(title string, get func(Fig5Cell) float64, format string) {
+		fmt.Fprintf(&b, "  %s\n        ", title)
+		for _, l := range Fig5Loads {
+			fmt.Fprintf(&b, "  load=%.2f", l)
+		}
+		fmt.Fprintln(&b)
+		for _, name := range SchedulerNames {
+			fmt.Fprintf(&b, "  %-6s", name)
+			for _, l := range Fig5Loads {
+				c, _ := r.Cell(name, l)
+				fmt.Fprintf(&b, format, get(c))
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	panel("turnaround time normalised to FCFS [paper: SRPT lowest at 0.8/0.9; MAXTP ~0.77 at 0.95]",
+		func(c Fig5Cell) float64 { return c.TurnaroundVsFCFS }, "  %9.3f")
+	panel("processor utilisation (busy contexts) [paper: ~2.5-3.7, MAXTP lowest]",
+		func(c Fig5Cell) float64 { return c.Utilisation }, "  %9.3f")
+	panel("processor empty fraction [paper: ~0.02-0.13, MAXTP highest]",
+		func(c Fig5Cell) float64 { return c.EmptyFraction }, "  %9.4f")
+	return b.String()
+}

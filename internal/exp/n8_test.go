@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"symbiosched/internal/program"
+)
+
+func TestN8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=8 sweep is slow")
+	}
+	// Needs at least 8 job types; use 8 so there is exactly one N=8
+	// workload (C(8,8) = 1) and the sweep stays fast.
+	suite := program.Suite()
+	cfg := DefaultConfig()
+	cfg.Suite = suite[:8]
+	cfg.FCFSJobs = 6000
+	e := NewEnv(cfg)
+	r, err := N8(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WorkloadsN8 != 1 {
+		t.Fatalf("expected 1 N=8 workload, got %d", r.WorkloadsN8)
+	}
+	if r.OptGainN8 < -1e-9 {
+		t.Errorf("optimal gain %v negative", r.OptGainN8)
+	}
+	// Section V-B: widening type choice helps, but only a little. With a
+	// larger pool of types the optimal scheduler cannot do worse.
+	if r.OptGainN8 > 0.5 {
+		t.Errorf("N=8 optimal gain %v implausibly large", r.OptGainN8)
+	}
+	if out := r.Format(); !strings.Contains(out, "N=8") {
+		t.Error("Format missing header")
+	}
+}

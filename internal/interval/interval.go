@@ -1,0 +1,134 @@
+// Package interval implements a mechanistic interval performance model for
+// a single thread on an out-of-order core, in the style of the
+// instruction-window-centric core model the paper uses inside Sniper
+// (Carlson et al., "An evaluation of high-level mechanistic core models",
+// TACO 2014).
+//
+// The model decomposes execution time into a CPI stack:
+//
+//	CPI = CPI_base + CPI_branch + CPI_cache + CPI_mem
+//
+// where CPI_base is the ILP/width-limited dispatch component, CPI_branch
+// the front-end refill penalty of mispredicted branches, CPI_cache the
+// partially-overlapped latency of last-level-cache hits, and CPI_mem the
+// MLP-compensated DRAM access penalty. The SMT and multicore models build
+// on these per-thread stacks.
+package interval
+
+import (
+	"fmt"
+
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+)
+
+// Stack is a CPI stack: cycles per instruction attributed to each
+// mechanism. Base includes the width-limited dispatch component; Branch
+// the misprediction refills; Cache the exposed LLC hit latency; Mem the
+// exposed DRAM latency after MLP overlap.
+type Stack struct {
+	Base   float64
+	Branch float64
+	Cache  float64
+	Mem    float64
+}
+
+// CPI returns the total cycles per instruction of the stack.
+func (s Stack) CPI() float64 { return s.Base + s.Branch + s.Cache + s.Mem }
+
+// IPC returns the instructions per cycle of the stack.
+func (s Stack) IPC() float64 {
+	c := s.CPI()
+	if c <= 0 {
+		return 0
+	}
+	return 1 / c
+}
+
+// BusyCPI returns the dispatch-occupying component of the stack: the
+// cycles during which the thread actually consumes front-end/backend
+// bandwidth (base + branch + cache). During Mem cycles the thread is
+// blocked on DRAM and consumes no dispatch slots — the quantity that
+// matters for SMT front-end sharing.
+func (s Stack) BusyCPI() float64 { return s.Base + s.Branch + s.Cache }
+
+// Params are the per-evaluation inputs of the model beyond the static core
+// configuration: the window and cache capacity actually available to the
+// thread (which the SMT and multicore sharing models vary), and the loaded
+// memory latency including bus queueing.
+type Params struct {
+	// WindowSize is the effective ROB share in instructions.
+	WindowSize float64
+	// CacheKB is the effective cache capacity (beyond L1) available to
+	// the thread, in kilobytes.
+	CacheKB float64
+	// MemLatency is the loaded DRAM latency in cycles (unloaded latency
+	// plus bus queueing delay).
+	MemLatency float64
+	// CacheHitOverlap is the factor by which LLC hit latency is hidden by
+	// out-of-order execution (>= 1); 2 means half the hit latency is
+	// exposed. Defaults to 2 when zero.
+	CacheHitOverlap float64
+}
+
+// Evaluate computes the CPI stack of a thread with profile p on core c
+// under the given parameters.
+func Evaluate(p *program.Profile, c uarch.Core, par Params) Stack {
+	if par.WindowSize <= 0 {
+		panic(fmt.Sprintf("interval: non-positive window %v", par.WindowSize))
+	}
+	if par.MemLatency <= 0 {
+		panic(fmt.Sprintf("interval: non-positive memory latency %v", par.MemLatency))
+	}
+	overlap := par.CacheHitOverlap
+	if overlap == 0 {
+		overlap = 2
+	}
+	if overlap < 1 {
+		overlap = 1
+	}
+
+	// Base: dispatch limited by both the core width and the ILP the
+	// window can expose.
+	ipcBase := p.BaseIPC(par.WindowSize)
+	if w := float64(c.Width); ipcBase > w {
+		ipcBase = w
+	}
+	base := 1 / ipcBase
+
+	// Branch: each misprediction costs the front-end refill penalty plus
+	// the (window-dependent) pipeline drain, approximated by the refill
+	// penalty alone as in classic interval analysis.
+	branch := p.BranchMPKI / 1000 * c.BranchPenalty
+
+	// Cache: LLC hits expose a fraction of the hit latency.
+	memMPKI := p.MemMPKI(par.CacheKB)
+	hitPKI := p.CacheAPKI - memMPKI
+	if hitPKI < 0 {
+		hitPKI = 0
+	}
+	cache := hitPKI / 1000 * c.LLCHitLatency / overlap
+
+	// Mem: DRAM misses overlap up to MLP(window) ways.
+	mem := memMPKI / 1000 * par.MemLatency / p.MLP(par.WindowSize)
+
+	return Stack{Base: base, Branch: branch, Cache: cache, Mem: mem}
+}
+
+// SoloParams returns the Params describing a thread running alone on a
+// machine with the given total cache capacity: full window, full cache,
+// unloaded memory latency.
+func SoloParams(c uarch.Core, cacheKB int) Params {
+	return Params{
+		WindowSize: float64(c.ROBSize),
+		CacheKB:    float64(cacheKB),
+		MemLatency: c.MemLatency,
+	}
+}
+
+// MissRate returns the memory misses per cycle implied by a stack for a
+// thread with profile p under params par — the quantity the bus model
+// integrates over threads. It equals IPC * MemMPKI/1000.
+func MissRate(p *program.Profile, st Stack, par Params) float64 {
+	return st.IPC() * p.MemMPKI(par.CacheKB) / 1000
+}

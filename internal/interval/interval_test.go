@@ -1,0 +1,140 @@
+package interval
+
+import (
+	"testing"
+
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+)
+
+func params(cacheKB float64) Params {
+	c := uarch.DefaultCore()
+	return Params{WindowSize: float64(c.ROBSize), CacheKB: cacheKB, MemLatency: c.MemLatency}
+}
+
+func TestStackComponentsNonNegative(t *testing.T) {
+	core := uarch.DefaultCore()
+	for _, p := range program.Suite() {
+		p := p
+		st := Evaluate(&p, core, params(1024))
+		if st.Base <= 0 || st.Branch < 0 || st.Cache < 0 || st.Mem < 0 {
+			t.Errorf("%s: invalid stack %+v", p.ID(), st)
+		}
+		if st.IPC() <= 0 || st.IPC() > float64(core.Width) {
+			t.Errorf("%s: IPC %v out of range", p.ID(), st.IPC())
+		}
+	}
+}
+
+func TestIPCIsReciprocalOfCPI(t *testing.T) {
+	core := uarch.DefaultCore()
+	p := program.Suite()[7] // mcf
+	st := Evaluate(&p, core, params(512))
+	if diff := st.IPC()*st.CPI() - 1; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("IPC * CPI = %v, want 1", st.IPC()*st.CPI())
+	}
+	if diff := st.BusyCPI() + st.Mem - st.CPI(); diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("BusyCPI + Mem != CPI")
+	}
+}
+
+func TestMoreCacheNeverHurts(t *testing.T) {
+	core := uarch.DefaultCore()
+	for _, p := range program.Suite() {
+		p := p
+		prev := Evaluate(&p, core, params(64)).IPC()
+		for c := 128.0; c <= 16384; c *= 2 {
+			cur := Evaluate(&p, core, params(c)).IPC()
+			if cur < prev-1e-12 {
+				t.Errorf("%s: IPC drops with more cache at %v KB", p.ID(), c)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestBiggerWindowNeverHurts(t *testing.T) {
+	core := uarch.DefaultCore()
+	for _, p := range program.Suite() {
+		p := p
+		par := params(1024)
+		par.WindowSize = 16
+		prev := Evaluate(&p, core, par).IPC()
+		for w := 32.0; w <= 512; w *= 2 {
+			par.WindowSize = w
+			cur := Evaluate(&p, core, par).IPC()
+			if cur < prev-1e-12 {
+				t.Errorf("%s: IPC drops with bigger window at %v", p.ID(), w)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestHigherMemLatencyHurtsMemoryBound(t *testing.T) {
+	core := uarch.DefaultCore()
+	mcf, _, _ := program.ByID("mcf.ref")
+	par := params(512)
+	base := Evaluate(&mcf, core, par).IPC()
+	par.MemLatency = 2 * core.MemLatency
+	loaded := Evaluate(&mcf, core, par).IPC()
+	if loaded >= base {
+		t.Errorf("doubling memory latency should slow mcf: %v vs %v", loaded, base)
+	}
+}
+
+func TestMemoryBoundVsComputeBoundStacks(t *testing.T) {
+	core := uarch.DefaultCore()
+	mcf, _, _ := program.ByID("mcf.ref")
+	hmmer, _, _ := program.ByID("hmmer.nph3")
+	mcfStack := Evaluate(&mcf, core, params(512))
+	hmmerStack := Evaluate(&hmmer, core, params(512))
+	if mcfStack.Mem <= hmmerStack.Mem {
+		t.Errorf("mcf memory CPI %v should exceed hmmer's %v", mcfStack.Mem, hmmerStack.Mem)
+	}
+	if mcfStack.Mem < mcfStack.Base {
+		t.Errorf("mcf should be memory-dominated: %+v", mcfStack)
+	}
+	if hmmerStack.Mem > hmmerStack.Base {
+		t.Errorf("hmmer should be compute-dominated: %+v", hmmerStack)
+	}
+}
+
+func TestSoloParams(t *testing.T) {
+	core := uarch.DefaultCore()
+	par := SoloParams(core, 2048)
+	if par.WindowSize != float64(core.ROBSize) || par.CacheKB != 2048 || par.MemLatency != core.MemLatency {
+		t.Errorf("SoloParams = %+v", par)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	core := uarch.DefaultCore()
+	mcf, _, _ := program.ByID("mcf.ref")
+	par := params(512)
+	st := Evaluate(&mcf, core, par)
+	mr := MissRate(&mcf, st, par)
+	want := st.IPC() * mcf.MemMPKI(512) / 1000
+	if diff := mr - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("MissRate = %v, want %v", mr, want)
+	}
+}
+
+func TestEvaluatePanics(t *testing.T) {
+	core := uarch.DefaultCore()
+	p := program.Suite()[0]
+	for name, par := range map[string]Params{
+		"zero window":  {WindowSize: 0, CacheKB: 100, MemLatency: 200},
+		"zero latency": {WindowSize: 100, CacheKB: 100, MemLatency: 0},
+	} {
+		par := par
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Evaluate(&p, core, par)
+		}()
+	}
+}

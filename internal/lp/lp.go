@@ -1,0 +1,340 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in standard form. The paper (Section IV) solves, per workload, a
+// linear program whose variables are per-coschedule time fractions x_s:
+//
+//	maximize   sum_s x_s * it(s)
+//	subject to sum_s x_s = 1
+//	           sum_s x_s (r_b(s) - r_1(s)) = 0   for b = 2..N
+//	           x_s >= 0
+//
+// The paper used GNU glpk; this package is a from-scratch replacement.
+// Problems are tiny (<= ~500 variables, <= ~8 equality constraints), so the
+// solver favours robustness: phase-1 artificial variables, Bland's rule to
+// preclude cycling (optionally Dantzig pricing for speed), and explicit
+// infeasibility/unboundedness reporting.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects minimisation or maximisation of the objective.
+type Sense int
+
+const (
+	// Minimize the objective.
+	Minimize Sense = iota
+	// Maximize the objective.
+	Maximize
+)
+
+// PivotRule selects the entering-variable pricing rule.
+type PivotRule int
+
+const (
+	// Bland chooses the lowest-index improving column; it guarantees
+	// termination (no cycling) and is the default.
+	Bland PivotRule = iota
+	// Dantzig chooses the column with the most negative reduced cost.
+	// Faster in practice, but can cycle on degenerate problems (ties are
+	// broken by index, which is usually enough at our problem sizes).
+	Dantzig
+)
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+)
+
+// Problem is a linear program over variables x >= 0 with equality
+// constraints A x = B. Inequalities can be modelled by the caller with
+// slack variables; the study needs only equalities.
+type Problem struct {
+	// C is the objective coefficient vector (length = number of variables).
+	C []float64
+	// A is the constraint matrix, one row per equality constraint.
+	A [][]float64
+	// B is the right-hand side, one entry per constraint. Entries may be
+	// negative; the solver normalises signs internally.
+	B []float64
+	// Sense selects minimise (default) or maximise.
+	Sense Sense
+	// Rule selects the pivot rule (default Bland).
+	Rule PivotRule
+	// MaxIter bounds the number of simplex pivots (default 50_000).
+	MaxIter int
+}
+
+// Solution is the result of a successful solve.
+type Solution struct {
+	// X is the optimal assignment (length = number of variables).
+	X []float64
+	// Objective is the optimal objective value in the problem's Sense.
+	Objective float64
+	// Iterations is the total number of simplex pivots (both phases).
+	Iterations int
+	// Basis is the final basic variable index set (diagnostic).
+	Basis []int
+}
+
+const tol = 1e-9
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return errors.New("lp: no variables")
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("lp: %d constraint rows but %d rhs entries", len(p.A), len(p.B))
+	}
+	if len(p.A) == 0 {
+		return errors.New("lp: no constraints")
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: constraint row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	for _, c := range p.C {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return errors.New("lp: non-finite objective coefficient")
+		}
+	}
+	for i, row := range p.A {
+		for _, a := range row {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("lp: non-finite coefficient in row %d", i)
+			}
+		}
+		if math.IsNaN(p.B[i]) || math.IsInf(p.B[i], 0) {
+			return fmt.Errorf("lp: non-finite rhs in row %d", i)
+		}
+	}
+	return nil
+}
+
+// Solve runs the two-phase primal simplex method.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50_000
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Internal objective: always minimise. Maximisation negates C.
+	c := make([]float64, n)
+	for j, v := range p.C {
+		if p.Sense == Maximize {
+			c[j] = -v
+		} else {
+			c[j] = v
+		}
+	}
+
+	// Tableau over n structural + m artificial columns.
+	// Row layout: m constraint rows, then the objective row.
+	width := n + m + 1 // + rhs column
+	t := make([][]float64, m+1)
+	for i := range t {
+		t[i] = make([]float64, width)
+	}
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * p.A[i][j]
+		}
+		t[i][n+i] = 1 // artificial
+		t[i][width-1] = sign * p.B[i]
+	}
+
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	// ---- Phase 1: minimise the sum of artificials. ----
+	// Objective row: sum of constraint rows negated for artificial columns
+	// already in the basis.
+	obj := t[m]
+	for j := 0; j < width; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += t[i][j]
+		}
+		obj[j] = -s
+	}
+	for i := 0; i < m; i++ {
+		obj[n+i] = 0 // basic artificials have zero reduced cost
+	}
+	iters, err := iterate(t, basis, n+m, p.Rule, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	if -obj[width-1] > 1e-7 {
+		return nil, ErrInfeasible
+	}
+	// Drive any remaining artificial variables out of the basis (degenerate
+	// feasible problems can leave them basic at value 0).
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t[i][j]) > tol {
+				pivot(t, i, j)
+				basis[i] = j
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Row is redundant (all-zero over structural columns); it stays
+			// with a zero-valued artificial, which is harmless in phase 2
+			// because the artificial columns are frozen below.
+			continue
+		}
+	}
+
+	// ---- Phase 2: install the real objective and re-optimise. ----
+	for j := 0; j < width; j++ {
+		obj[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		obj[j] = c[j]
+	}
+	// Price out basic variables.
+	for i := 0; i < m; i++ {
+		bj := basis[i]
+		if bj >= n {
+			continue
+		}
+		f := obj[bj]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			obj[j] -= f * t[i][j]
+		}
+	}
+	// Freeze artificial columns so they can never re-enter.
+	for i := 0; i < m; i++ {
+		obj[n+i] = math.Inf(1)
+	}
+	it2, err := iterate(t, basis, n, p.Rule, maxIter-iters)
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, bj := range basis {
+		if bj < n {
+			x[bj] = t[i][width-1]
+		}
+	}
+	objVal := -obj[width-1]
+	if p.Sense == Maximize {
+		objVal = -objVal
+	}
+	return &Solution{
+		X:          x,
+		Objective:  objVal,
+		Iterations: iters + it2,
+		Basis:      append([]int(nil), basis...),
+	}, nil
+}
+
+// iterate runs primal simplex pivots on the tableau until optimality.
+// Columns with index >= limit are never considered for entering.
+func iterate(t [][]float64, basis []int, limit int, rule PivotRule, maxIter int) (int, error) {
+	m := len(basis)
+	width := len(t[0])
+	obj := t[m]
+	for it := 0; ; it++ {
+		if it >= maxIter {
+			return it, ErrIterLimit
+		}
+		// Entering column.
+		enter := -1
+		switch rule {
+		case Dantzig:
+			best := -tol
+			for j := 0; j < limit; j++ {
+				if obj[j] < best {
+					best, enter = obj[j], j
+				}
+			}
+		default: // Bland
+			for j := 0; j < limit; j++ {
+				if obj[j] < -tol {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return it, nil // optimal
+		}
+		// Ratio test for the leaving row; Bland tie-break on basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a <= tol {
+				continue
+			}
+			ratio := t[i][width-1] / a
+			if ratio < bestRatio-tol || (ratio < bestRatio+tol && (leave < 0 || basis[i] < basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return it, ErrUnbounded
+		}
+		pivot(t, leave, enter)
+		basis[leave] = enter
+	}
+}
+
+// pivot performs a full Gauss-Jordan pivot on tableau element (row, col).
+func pivot(t [][]float64, row, col int) {
+	width := len(t[0])
+	inv := 1 / t[row][col]
+	pr := t[row]
+	for j := 0; j < width; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t[i]
+		if math.IsInf(f, 0) {
+			// Frozen artificial columns in the objective row: leave them
+			// frozen rather than propagating Inf through the row.
+			continue
+		}
+		for j := 0; j < width; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0 // exact
+	}
+}

@@ -1,0 +1,337 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"symbiosched/internal/stats"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveSimpleMax(t *testing.T) {
+	// maximize x1 + 2 x2 s.t. x1 + x2 = 1, x >= 0  -> x2 = 1, obj 2.
+	p := &Problem{
+		C:     []float64{1, 2},
+		A:     [][]float64{{1, 1}},
+		B:     []float64{1},
+		Sense: Maximize,
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almost(sol.Objective, 2, 1e-9) {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+	if !almost(sol.X[1], 1, 1e-9) || !almost(sol.X[0], 0, 1e-9) {
+		t.Errorf("x = %v, want [0 1]", sol.X)
+	}
+}
+
+func TestSolveSimpleMin(t *testing.T) {
+	p := &Problem{
+		C:     []float64{1, 2},
+		A:     [][]float64{{1, 1}},
+		B:     []float64{1},
+		Sense: Minimize,
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almost(sol.Objective, 1, 1e-9) {
+		t.Errorf("objective = %v, want 1", sol.Objective)
+	}
+}
+
+func TestSolveTwoConstraints(t *testing.T) {
+	// maximize 3a + 2b + c
+	// a + b + c = 1
+	// a - b = 0           -> a = b
+	// optimum: compare c=1 (obj 1) vs a=b=1/2 (obj 2.5) -> 2.5
+	p := &Problem{
+		C:     []float64{3, 2, 1},
+		A:     [][]float64{{1, 1, 1}, {1, -1, 0}},
+		B:     []float64{1, 0},
+		Sense: Maximize,
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almost(sol.Objective, 2.5, 1e-9) {
+		t.Errorf("objective = %v, want 2.5", sol.Objective)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// x1 - x2 = -1, x1 + x2 = 3 -> x1=1, x2=2.
+	p := &Problem{
+		C:     []float64{1, 1},
+		A:     [][]float64{{1, -1}, {1, 1}},
+		B:     []float64{-1, 3},
+		Sense: Minimize,
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almost(sol.X[0], 1, 1e-8) || !almost(sol.X[1], 2, 1e-8) {
+		t.Errorf("x = %v, want [1 2]", sol.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x1 + x2 = 1 and x1 + x2 = 2 cannot both hold.
+	p := &Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 1}, {1, 1}},
+		B: []float64{1, 2},
+	}
+	if _, err := Solve(p); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// maximize x1 with x1 - x2 = 0: x1 = x2 can grow without bound.
+	p := &Problem{
+		C:     []float64{1, 0},
+		A:     [][]float64{{1, -1}},
+		B:     []float64{0},
+		Sense: Maximize,
+	}
+	if _, err := Solve(p); err != ErrUnbounded {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveRedundantConstraint(t *testing.T) {
+	// Second row is twice the first: redundant but consistent.
+	p := &Problem{
+		C:     []float64{1, 2},
+		A:     [][]float64{{1, 1}, {2, 2}},
+		B:     []float64{1, 2},
+		Sense: Maximize,
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almost(sol.Objective, 2, 1e-9) {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: multiple constraints intersect at x = (0, 1, 0).
+	p := &Problem{
+		C:     []float64{0, 1, 2},
+		A:     [][]float64{{1, 1, 1}, {1, 0, 0}},
+		B:     []float64{1, 0},
+		Sense: Maximize,
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !almost(sol.Objective, 2, 1e-9) {
+		t.Errorf("objective = %v, want 2 (x3 = 1)", sol.Objective)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []*Problem{
+		{C: nil, A: [][]float64{{1}}, B: []float64{1}},
+		{C: []float64{1}, A: nil, B: nil},
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}},
+		{C: []float64{math.NaN()}, A: [][]float64{{1}}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{math.Inf(1)}}, B: []float64{1}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{math.NaN()}},
+	}
+	for i, p := range cases {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDantzigMatchesBland(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(10)
+		m := 1 + rng.Intn(3)
+		p := &Problem{Sense: Maximize}
+		p.C = make([]float64, n)
+		for j := range p.C {
+			p.C[j] = rng.Float64() * 5
+		}
+		p.A = make([][]float64, m)
+		p.B = make([]float64, m)
+		// First constraint is a convex-combination row so the problem is
+		// always feasible and bounded; extra rows tie pairs of variables.
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1
+		}
+		p.A[0], p.B[0] = row, 1
+		for i := 1; i < m; i++ {
+			r := make([]float64, n)
+			a, b := rng.Intn(n), rng.Intn(n)
+			for a == b {
+				b = rng.Intn(n)
+			}
+			r[a], r[b] = 1, -1
+			p.A[i], p.B[i] = r, 0
+		}
+		p.Rule = Bland
+		s1, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d bland: %v", trial, err)
+		}
+		p.Rule = Dantzig
+		s2, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d dantzig: %v", trial, err)
+		}
+		if !almost(s1.Objective, s2.Objective, 1e-7) {
+			t.Fatalf("trial %d: bland %v != dantzig %v", trial, s1.Objective, s2.Objective)
+		}
+	}
+}
+
+// Property: any returned solution is primal feasible, and its objective is
+// at least as good as every random feasible point we can construct.
+func TestSolutionFeasibilityProperty(t *testing.T) {
+	rng := stats.NewRNG(99)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed ^ rng.Uint64())
+		n := 4 + r.Intn(12)
+		p := &Problem{Sense: Maximize}
+		p.C = make([]float64, n)
+		for j := range p.C {
+			p.C[j] = r.Float64()*4 - 1
+		}
+		ones := make([]float64, n)
+		for j := range ones {
+			ones[j] = 1
+		}
+		p.A = [][]float64{ones}
+		p.B = []float64{1}
+		sol, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		// Feasibility.
+		var sum float64
+		for _, x := range sol.X {
+			if x < -1e-9 {
+				return false
+			}
+			sum += x
+		}
+		if !almost(sum, 1, 1e-7) {
+			return false
+		}
+		// Optimality against random simplex points.
+		for trial := 0; trial < 20; trial++ {
+			w := make([]float64, n)
+			var tot float64
+			for j := range w {
+				w[j] = r.Float64()
+				tot += w[j]
+			}
+			var obj float64
+			for j := range w {
+				obj += (w[j] / tot) * p.C[j]
+			}
+			if obj > sol.Objective+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's key structural property: an optimal basic solution has at
+// most as many non-zero variables as equality constraints (Section IV).
+func TestSupportSizeBoundedByConstraints(t *testing.T) {
+	rng := stats.NewRNG(123)
+	for trial := 0; trial < 100; trial++ {
+		n := 10 + rng.Intn(30)
+		m := 2 + rng.Intn(4)
+		p := &Problem{Sense: Maximize}
+		p.C = make([]float64, n)
+		for j := range p.C {
+			p.C[j] = rng.Float64() * 3
+		}
+		p.A = make([][]float64, m)
+		p.B = make([]float64, m)
+		ones := make([]float64, n)
+		for j := range ones {
+			ones[j] = 1
+		}
+		p.A[0], p.B[0] = ones, 1
+		for i := 1; i < m; i++ {
+			r := make([]float64, n)
+			for j := range r {
+				r[j] = rng.Float64() - 0.5
+			}
+			p.A[i], p.B[i] = r, 0
+		}
+		sol, err := Solve(p)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		nz := 0
+		for _, x := range sol.X {
+			if x > 1e-9 {
+				nz++
+			}
+		}
+		if nz > m {
+			t.Errorf("trial %d: %d non-zeros > %d constraints", trial, nz, m)
+		}
+	}
+}
+
+func BenchmarkSolve35x4(b *testing.B) {
+	// The shape of the paper's per-workload LP: 35 coschedule variables,
+	// 4 equality constraints.
+	rng := stats.NewRNG(5)
+	n, m := 35, 4
+	p := &Problem{Sense: Maximize}
+	p.C = make([]float64, n)
+	for j := range p.C {
+		p.C[j] = 1 + rng.Float64()
+	}
+	ones := make([]float64, n)
+	for j := range ones {
+		ones[j] = 1
+	}
+	p.A = append(p.A, ones)
+	p.B = append(p.B, 1)
+	for i := 1; i < m; i++ {
+		r := make([]float64, n)
+		for j := range r {
+			r[j] = rng.Float64() - 0.5
+		}
+		p.A = append(p.A, r)
+		p.B = append(p.B, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil && err != ErrInfeasible {
+			b.Fatal(err)
+		}
+	}
+}

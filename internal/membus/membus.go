@@ -1,0 +1,70 @@
+// Package membus models contention for the shared memory bus.
+//
+// Cache lines from all threads/cores are serviced by a single channel with
+// deterministic service time S cycles per line. Treating arrivals as
+// Poisson gives an M/D/1 queue whose mean waiting time is
+//
+//	Wq = rho * S / (2 * (1 - rho)),   rho = lambda * S
+//
+// (Pollaczek–Khinchine with zero service-time variance). Wq is added to
+// the unloaded DRAM latency seen by every thread. Near saturation the
+// formula diverges, so utilisation is clamped just below 1; the outer
+// fixed point (higher latency -> lower IPC -> lower line rate) then
+// settles at a bandwidth-limited operating point — exactly the "linear
+// bottleneck" behaviour of Section V-C.1b of the paper.
+package membus
+
+// Bus is a shared memory channel.
+type Bus struct {
+	// ServiceCycles is the occupancy of one cache-line transfer in cycles.
+	ServiceCycles float64
+	// MaxUtilisation clamps rho to keep the M/D/1 delay finite; the
+	// default 0.98 bounds the queueing delay at ~24.5 service times.
+	MaxUtilisation float64
+}
+
+// New returns a Bus with the given per-line service time and the default
+// utilisation clamp.
+func New(serviceCycles float64) Bus {
+	return Bus{ServiceCycles: serviceCycles, MaxUtilisation: 0.98}
+}
+
+// Utilisation returns rho for an aggregate line rate (lines per cycle),
+// clamped to [0, MaxUtilisation].
+func (b Bus) Utilisation(lineRate float64) float64 {
+	max := b.MaxUtilisation
+	if max <= 0 || max >= 1 {
+		max = 0.98
+	}
+	rho := lineRate * b.ServiceCycles
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > max {
+		rho = max
+	}
+	return rho
+}
+
+// QueueDelay returns the mean M/D/1 waiting time in cycles for an
+// aggregate line rate (lines per cycle, summed over all threads).
+func (b Bus) QueueDelay(lineRate float64) float64 {
+	rho := b.Utilisation(lineRate)
+	return rho * b.ServiceCycles / (2 * (1 - rho))
+}
+
+// LoadedLatency returns the effective DRAM latency: unloaded latency plus
+// queueing delay at the given aggregate line rate.
+func (b Bus) LoadedLatency(unloaded, lineRate float64) float64 {
+	return unloaded + b.QueueDelay(lineRate)
+}
+
+// SaturationRate returns the line rate (lines/cycle) at which the bus
+// saturates (rho = 1); aggregate demand beyond this is not sustainable and
+// the outer model's fixed point will throttle thread IPCs to match.
+func (b Bus) SaturationRate() float64 {
+	if b.ServiceCycles <= 0 {
+		return 0
+	}
+	return 1 / b.ServiceCycles
+}

@@ -1,0 +1,81 @@
+package membus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroLoadZeroDelay(t *testing.T) {
+	b := New(32)
+	if d := b.QueueDelay(0); d != 0 {
+		t.Errorf("QueueDelay(0) = %v, want 0", d)
+	}
+	if l := b.LoadedLatency(230, 0); l != 230 {
+		t.Errorf("LoadedLatency = %v, want 230", l)
+	}
+}
+
+func TestDelayMatchesMD1(t *testing.T) {
+	// rho = 0.5: Wq = 0.5*S/(2*0.5) = S/2.
+	b := New(32)
+	rate := 0.5 / 32
+	if d := b.QueueDelay(rate); math.Abs(d-16) > 1e-9 {
+		t.Errorf("QueueDelay at rho=0.5 = %v, want 16", d)
+	}
+}
+
+func TestDelayMonotone(t *testing.T) {
+	b := New(32)
+	prev := -1.0
+	for rate := 0.0; rate < 0.06; rate += 0.002 {
+		d := b.QueueDelay(rate)
+		if d < prev {
+			t.Errorf("delay not monotone at rate %v", rate)
+		}
+		prev = d
+	}
+}
+
+func TestUtilisationClamp(t *testing.T) {
+	b := New(32)
+	if u := b.Utilisation(10); u > 0.98+1e-12 {
+		t.Errorf("utilisation %v exceeds clamp", u)
+	}
+	if u := b.Utilisation(-1); u != 0 {
+		t.Errorf("negative rate should clamp to 0, got %v", u)
+	}
+	if d := b.QueueDelay(10); math.IsInf(d, 0) || math.IsNaN(d) {
+		t.Errorf("delay at saturation must stay finite, got %v", d)
+	}
+}
+
+func TestSaturationRate(t *testing.T) {
+	b := New(40)
+	if got := b.SaturationRate(); math.Abs(got-1.0/40) > 1e-15 {
+		t.Errorf("SaturationRate = %v", got)
+	}
+	if got := (Bus{}).SaturationRate(); got != 0 {
+		t.Errorf("zero bus saturation = %v", got)
+	}
+}
+
+func TestDefaultClampApplied(t *testing.T) {
+	// A Bus built without New gets the default clamp applied internally.
+	b := Bus{ServiceCycles: 32}
+	if u := b.Utilisation(10); u > 0.99 {
+		t.Errorf("default clamp not applied: %v", u)
+	}
+}
+
+// Property: delay is non-negative and finite for any rate.
+func TestDelayFiniteProperty(t *testing.T) {
+	f := func(rate float64) bool {
+		b := New(32)
+		d := b.QueueDelay(math.Abs(rate))
+		return d >= 0 && !math.IsInf(d, 0) && !math.IsNaN(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

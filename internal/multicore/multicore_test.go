@@ -1,0 +1,132 @@
+package multicore
+
+import (
+	"testing"
+
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+)
+
+func prof(t *testing.T, id string) *program.Profile {
+	t.Helper()
+	p, _, ok := program.ByID(id)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", id)
+	}
+	return &p
+}
+
+func TestSoloUsesWholeLLC(t *testing.T) {
+	m := uarch.DefaultMulticore()
+	res := Rates(m, []*program.Profile{prof(t, "mcf.ref")})
+	if diff := res.LLCShareKB[0] - float64(m.SharedLLCKB); diff > 1 || diff < -1 {
+		t.Errorf("solo LLC share %v, want full %v", res.LLCShareKB[0], m.SharedLLCKB)
+	}
+}
+
+func TestInterferenceMilderThanSMT(t *testing.T) {
+	// The paper's quad-core shows milder, fairer interference than SMT:
+	// compute-bound jobs barely slow down when sharing only the LLC/bus.
+	m := uarch.DefaultMulticore()
+	p := prof(t, "hmmer.nph3")
+	solo := Rates(m, []*program.Profile{p}).IPC[0]
+	shared := Rates(m, []*program.Profile{p, p, p, p}).IPC[0]
+	if shared < 0.9*solo {
+		t.Errorf("hmmer slows to %v from %v on quad-core; should be nearly unaffected", shared, solo)
+	}
+}
+
+func TestCacheSensitiveJobsSuffer(t *testing.T) {
+	m := uarch.DefaultMulticore()
+	p := prof(t, "mcf.ref")
+	solo := Rates(m, []*program.Profile{p}).IPC[0]
+	shared := Rates(m, []*program.Profile{p, p, p, p}).IPC[0]
+	if shared > 0.95*solo {
+		t.Errorf("4x mcf should thrash the shared LLC: %v vs solo %v", shared, solo)
+	}
+}
+
+func TestSymmetryAndDeterminism(t *testing.T) {
+	m := uarch.DefaultMulticore()
+	a, b := prof(t, "xalancbmk.ref"), prof(t, "libquantum.ref")
+	r1 := Rates(m, []*program.Profile{a, b})
+	r2 := Rates(m, []*program.Profile{b, a})
+	if diff := r1.IPC[0] - r2.IPC[1]; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("permutation changed rates: %v vs %v", r1.IPC, r2.IPC)
+	}
+	r3 := Rates(m, []*program.Profile{a, b})
+	for i := range r1.IPC {
+		if r1.IPC[i] != r3.IPC[i] {
+			t.Error("model is not deterministic")
+		}
+	}
+}
+
+func TestSharesSumToLLC(t *testing.T) {
+	m := uarch.DefaultMulticore()
+	jobs := []*program.Profile{
+		prof(t, "mcf.ref"), prof(t, "xalancbmk.ref"),
+		prof(t, "gcc.g23"), prof(t, "libquantum.ref"),
+	}
+	res := Rates(m, jobs)
+	var sum float64
+	for _, s := range res.LLCShareKB {
+		sum += s
+	}
+	if diff := sum - float64(m.SharedLLCKB); diff > 1 || diff < -1 {
+		t.Errorf("LLC shares sum to %v, want %v", sum, m.SharedLLCKB)
+	}
+}
+
+func TestBandwidthGangSaturatesBus(t *testing.T) {
+	m := uarch.DefaultMulticore()
+	p := prof(t, "libquantum.ref")
+	solo := Rates(m, []*program.Profile{p})
+	gang := Rates(m, []*program.Profile{p, p, p, p})
+	if gang.BusUtilisation <= solo.BusUtilisation {
+		t.Errorf("bus utilisation should rise with 4 streamers: %v vs %v",
+			gang.BusUtilisation, solo.BusUtilisation)
+	}
+	if gang.MemLatency <= solo.MemLatency {
+		t.Errorf("loaded latency should rise with 4 streamers: %v vs %v",
+			gang.MemLatency, solo.MemLatency)
+	}
+	if gang.IPC[0] >= 0.9*solo.IPC[0] {
+		t.Errorf("4x libquantum should be bandwidth-throttled: %v vs solo %v",
+			gang.IPC[0], solo.IPC[0])
+	}
+}
+
+func TestInsensitivePlusSensitivePairing(t *testing.T) {
+	// mcf paired with tiny-footprint hmmer keeps most of the LLC and runs
+	// faster than when paired with the streaming libquantum, which steals
+	// occupancy — the pairing asymmetry the optimal scheduler exploits.
+	m := uarch.DefaultMulticore()
+	mcf := prof(t, "mcf.ref")
+	withHmmer := Rates(m, []*program.Profile{mcf, prof(t, "hmmer.nph3"), prof(t, "hmmer.nph3"), prof(t, "hmmer.nph3")})
+	withLibq := Rates(m, []*program.Profile{mcf, prof(t, "libquantum.ref"), prof(t, "libquantum.ref"), prof(t, "libquantum.ref")})
+	if withHmmer.IPC[0] <= withLibq.IPC[0] {
+		t.Errorf("mcf should prefer hmmer partners (%v) over libquantum partners (%v)",
+			withHmmer.IPC[0], withLibq.IPC[0])
+	}
+}
+
+func TestPanicsOnInvalidInput(t *testing.T) {
+	m := uarch.DefaultMulticore()
+	assertPanic(t, "no jobs", func() { Rates(m, nil) })
+	assertPanic(t, "too many jobs", func() {
+		p := prof(t, "mcf.ref")
+		Rates(m, []*program.Profile{p, p, p, p, p})
+	})
+	assertPanic(t, "nil profile", func() { Rates(m, []*program.Profile{nil}) })
+}
+
+func assertPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,115 @@
+// Package numeric provides small shared numeric helpers used across the
+// simulator and analysis code: tolerant floating-point comparison, clamping
+// and compensated summation.
+package numeric
+
+import "math"
+
+// Eps is the default absolute/relative tolerance used by the analysis code
+// when comparing floating-point quantities that come out of the LP solver
+// or the performance models.
+const Eps = 1e-9
+
+// AlmostEqual reports whether a and b are equal within tol, using a mixed
+// absolute/relative criterion: |a-b| <= tol * max(1, |a|, |b|).
+func AlmostEqual(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+// Clamp bounds x into [lo, hi]. It panics if lo > hi.
+func Clamp(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic("numeric: Clamp with lo > hi")
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt bounds x into [lo, hi]. It panics if lo > hi.
+func ClampInt(x, lo, hi int) int {
+	if lo > hi {
+		panic("numeric: ClampInt with lo > hi")
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// KahanSum accumulates a running sum with Neumaier's compensated summation,
+// which keeps long accumulations (e.g. simulated virtual time over millions
+// of events) accurate to within a few ulps.
+type KahanSum struct {
+	sum float64
+	c   float64
+}
+
+// Add accumulates x into the sum.
+func (k *KahanSum) Add(x float64) {
+	t := k.sum + x
+	if math.Abs(k.sum) >= math.Abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Value returns the compensated sum.
+func (k *KahanSum) Value() float64 { return k.sum + k.c }
+
+// Reset clears the accumulator.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+// SafeDiv returns a/b, or def when |b| is (almost) zero. It is used where a
+// rate or ratio may legitimately degenerate (e.g. empty-system fractions).
+func SafeDiv(a, b, def float64) float64 {
+	if math.Abs(b) < 1e-300 {
+		return def
+	}
+	return a / b
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// HarmonicMean returns the harmonic mean of xs. All entries must be > 0;
+// it returns 0 for an empty slice.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv KahanSum
+	for _, x := range xs {
+		if x <= 0 {
+			panic("numeric: HarmonicMean requires positive values")
+		}
+		inv.Add(1 / x)
+	}
+	return float64(len(xs)) / inv.Value()
+}
+
+// GeometricMean returns the geometric mean of xs (all > 0), 0 when empty.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var lg KahanSum
+	for _, x := range xs {
+		if x <= 0 {
+			panic("numeric: GeometricMean requires positive values")
+		}
+		lg.Add(math.Log(x))
+	}
+	return math.Exp(lg.Value() / float64(len(xs)))
+}

@@ -1,0 +1,138 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-12, true},
+		{1, 1 + 1e-13, 1e-12, true},
+		{1, 1.1, 1e-12, false},
+		{1e12, 1e12 + 1, 1e-9, true}, // relative criterion
+		{0, 1e-12, 1e-9, true},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp with lo > hi should panic")
+		}
+	}()
+	Clamp(0, 2, 1)
+}
+
+func TestClampInt(t *testing.T) {
+	if got := ClampInt(7, 1, 5); got != 5 {
+		t.Errorf("ClampInt = %v", got)
+	}
+	if got := ClampInt(-7, 1, 5); got != 1 {
+		t.Errorf("ClampInt = %v", got)
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// Summing many tiny values onto a large one: naive summation loses
+	// them, Kahan keeps them.
+	var k KahanSum
+	k.Add(1e16)
+	for i := 0; i < 10_000; i++ {
+		k.Add(1.0)
+	}
+	want := 1e16 + 1e4
+	if got := k.Value(); math.Abs(got-want) > 1 {
+		t.Errorf("KahanSum = %v, want %v", got, want)
+	}
+}
+
+func TestKahanSumReset(t *testing.T) {
+	var k KahanSum
+	k.Add(5)
+	k.Reset()
+	k.Add(2)
+	if got := k.Value(); got != 2 {
+		t.Errorf("after Reset, Value = %v, want 2", got)
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if got := SafeDiv(4, 2, -1); got != 2 {
+		t.Errorf("SafeDiv(4,2) = %v", got)
+	}
+	if got := SafeDiv(4, 0, -1); got != -1 {
+		t.Errorf("SafeDiv(4,0) = %v, want default", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(2, 4, 0.5); got != 3 {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := Lerp(2, 4, 0); got != 2 {
+		t.Errorf("Lerp(t=0) = %v", got)
+	}
+	if got := Lerp(2, 4, 1); got != 4 {
+		t.Errorf("Lerp(t=1) = %v", got)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); math.Abs(got-1) > 1e-15 {
+		t.Errorf("HarmonicMean = %v", got)
+	}
+	if got := HarmonicMean([]float64{2, 2}); math.Abs(got-2) > 1e-15 {
+		t.Errorf("HarmonicMean = %v", got)
+	}
+	if got := GeometricMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeometricMean = %v", got)
+	}
+	if got := HarmonicMean(nil); got != 0 {
+		t.Errorf("HarmonicMean(nil) = %v", got)
+	}
+}
+
+// Property: harmonic <= geometric <= arithmetic mean for positive samples.
+func TestMeanInequalityProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x := math.Abs(x); x > 1e-6 && x < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		am := sum / float64(len(xs))
+		gm := GeometricMean(xs)
+		hm := HarmonicMean(xs)
+		return hm <= gm*(1+1e-9) && gm <= am*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

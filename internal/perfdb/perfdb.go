@@ -1,0 +1,294 @@
+// Package perfdb builds and serves the per-coschedule performance database
+// the study consumes: for every multiset of 1..K jobs drawn from the
+// benchmark suite, the per-job execution rates on a given machine.
+//
+// The paper simulated "all 1,365 combinations (with repetition) of 4
+// benchmarks out of the 12 selected" per configuration with Sniper; here a
+// Model (the mechanistic SMT or multicore model, or the cycle-level
+// simulator) plays Sniper's role. Coschedules smaller than K are included
+// too because the latency experiments of Section VI run partially loaded.
+//
+// Rates are expressed both as raw IPC and as WIPC (weighted instructions
+// per cycle): a job's IPC divided by its solo IPC on the same machine,
+// the paper's unit of work (Section III-B). A job "sized 1" thus takes
+// exactly one time unit when run alone, and per-coschedule instantaneous
+// throughput it(s) is the sum of its jobs' WIPCs.
+package perfdb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"symbiosched/internal/multicore"
+	"symbiosched/internal/program"
+	"symbiosched/internal/smtmodel"
+	"symbiosched/internal/uarch"
+	"symbiosched/internal/workload"
+)
+
+// Model maps a list of co-running jobs (1..K profiles) to their per-slot
+// IPCs. Implementations must be symmetric: permuting the input permutes
+// the output. They must be safe for concurrent use.
+type Model interface {
+	// Name identifies the model/machine (used in reports).
+	Name() string
+	// Contexts is K, the number of cores or hardware thread contexts.
+	Contexts() int
+	// SlotIPC returns the IPC of each job in the coschedule, aligned
+	// with the input slice.
+	SlotIPC(jobs []*program.Profile) []float64
+}
+
+// SMTModel adapts the mechanistic SMT sharing model to the Model interface.
+type SMTModel struct{ Machine uarch.SMTMachine }
+
+// Name implements Model.
+func (m SMTModel) Name() string { return m.Machine.String() }
+
+// Contexts implements Model.
+func (m SMTModel) Contexts() int { return m.Machine.Threads }
+
+// SlotIPC implements Model.
+func (m SMTModel) SlotIPC(jobs []*program.Profile) []float64 {
+	return smtmodel.Rates(m.Machine, jobs).IPC
+}
+
+// MulticoreModel adapts the multicore model to the Model interface.
+type MulticoreModel struct{ Machine uarch.MulticoreMachine }
+
+// Name implements Model.
+func (m MulticoreModel) Name() string { return m.Machine.String() }
+
+// Contexts implements Model.
+func (m MulticoreModel) Contexts() int { return m.Machine.Cores }
+
+// SlotIPC implements Model.
+func (m MulticoreModel) SlotIPC(jobs []*program.Profile) []float64 {
+	return multicore.Rates(m.Machine, jobs).IPC
+}
+
+// Entry is the stored performance of one coschedule.
+type Entry struct {
+	// Cos is the canonical (sorted) coschedule in global type indices.
+	Cos workload.Coschedule
+	// SlotIPC is the raw IPC per slot, aligned with Cos.
+	SlotIPC []float64
+	// TypeWIPC[b] is the WIPC of one job of global type b in this
+	// coschedule (0 when the type is absent). Jobs of the same type are
+	// symmetric, so one number per type suffices.
+	TypeWIPC map[int]float64
+	// InstTP is the instantaneous throughput it(s): the sum over slots of
+	// WIPC, i.e. sum over types of r_b(s) in the paper's Eq. (1).
+	InstTP float64
+}
+
+// Table is the complete performance database for one machine.
+type Table struct {
+	name  string
+	k     int
+	suite []program.Profile
+	// Solo[b] is the solo IPC of benchmark b on this machine (the WIPC
+	// reference).
+	Solo    []float64
+	entries map[uint64]*Entry
+}
+
+// Key encodes a canonical coschedule (len <= 8, types < 256) as a uint64.
+func Key(c workload.Coschedule) uint64 {
+	if len(c) > 8 {
+		panic("perfdb: coschedule longer than 8")
+	}
+	var k uint64 = 1 // leading 1 distinguishes lengths
+	for _, t := range c {
+		if t < 0 || t > 255 {
+			panic(fmt.Sprintf("perfdb: type %d out of key range", t))
+		}
+		k = k<<8 | uint64(t+1)
+	}
+	return k
+}
+
+// Build runs the model over every coschedule of size 1..K over the suite
+// and returns the populated table. Work is spread over all CPUs.
+func Build(m Model, suite []program.Profile) *Table {
+	k := m.Contexts()
+	if k < 1 {
+		panic("perfdb: model with no contexts")
+	}
+	if len(suite) == 0 {
+		panic("perfdb: empty suite")
+	}
+	t := &Table{
+		name:    m.Name(),
+		k:       k,
+		suite:   suite,
+		Solo:    make([]float64, len(suite)),
+		entries: make(map[uint64]*Entry),
+	}
+	// Enumerate all coschedules of every size.
+	var all []workload.Coschedule
+	for size := 1; size <= k; size++ {
+		all = append(all, workload.Multisets(len(suite), size)...)
+	}
+	results := make([][]float64, len(all))
+	var wg sync.WaitGroup
+	nw := runtime.GOMAXPROCS(0)
+	chunk := (len(all) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(all) {
+			hi = len(all)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				jobs := make([]*program.Profile, len(all[i]))
+				for j, typ := range all[i] {
+					jobs[j] = &suite[typ]
+				}
+				results[i] = m.SlotIPC(jobs)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Solo rates first (they are the size-1 coschedules).
+	for i, c := range all {
+		if len(c) == 1 {
+			t.Solo[c[0]] = results[i][0]
+		}
+	}
+	for b, s := range t.Solo {
+		if s <= 0 {
+			panic(fmt.Sprintf("perfdb: benchmark %s has non-positive solo IPC", suite[b].ID()))
+		}
+	}
+	for i, c := range all {
+		e := &Entry{
+			Cos:      c,
+			SlotIPC:  results[i],
+			TypeWIPC: make(map[int]float64, c.Heterogeneity()),
+		}
+		for j, typ := range c {
+			w := results[i][j] / t.Solo[typ]
+			e.TypeWIPC[typ] = w // same-type slots are symmetric
+			e.InstTP += w
+			_ = j
+		}
+		t.entries[Key(c)] = e
+	}
+	return t
+}
+
+// Name returns the model/machine name the table was built with.
+func (t *Table) Name() string { return t.name }
+
+// K returns the number of contexts.
+func (t *Table) K() int { return t.k }
+
+// Suite returns the benchmark suite the table was built over.
+func (t *Table) Suite() []program.Profile { return t.suite }
+
+// Entry returns the stored entry for a coschedule (which must be one of
+// the built sizes 1..K over the suite).
+func (t *Table) Entry(c workload.Coschedule) *Entry {
+	e, ok := t.entries[Key(c)]
+	if !ok {
+		panic(fmt.Sprintf("perfdb: unknown coschedule %v", c))
+	}
+	return e
+}
+
+// JobWIPC returns the WIPC of one job of global type b in coschedule c.
+// It panics if b is not in c.
+func (t *Table) JobWIPC(c workload.Coschedule, b int) float64 {
+	w, ok := t.Entry(c).TypeWIPC[b]
+	if !ok {
+		panic(fmt.Sprintf("perfdb: type %d not in coschedule %v", b, c))
+	}
+	return w
+}
+
+// JobIPC returns the raw IPC of one job of global type b in coschedule c.
+func (t *Table) JobIPC(c workload.Coschedule, b int) float64 {
+	return t.JobWIPC(c, b) * t.Solo[b]
+}
+
+// TypeRate returns r_b(s), the total execution rate of all type-b jobs in
+// coschedule c in WIPC units (paper Eq. (1) context): count_b(c) * WIPC_b(c).
+// It returns 0 when the type is absent.
+func (t *Table) TypeRate(c workload.Coschedule, b int) float64 {
+	e := t.Entry(c)
+	w, ok := e.TypeWIPC[b]
+	if !ok {
+		return 0
+	}
+	return float64(c.Count(b)) * w
+}
+
+// InstTP returns the instantaneous throughput it(s) of coschedule c in
+// WIPC units.
+func (t *Table) InstTP(c workload.Coschedule) float64 { return t.Entry(c).InstTP }
+
+// Override replaces the stored per-type WIPCs of coschedule c and updates
+// the entry's derived quantities. It is used by the Section V-D fairness
+// counterfactual, which redistributes rates inside a coschedule without
+// changing its instantaneous throughput. The override applies to this
+// table only.
+func (t *Table) Override(c workload.Coschedule, typeWIPC map[int]float64) {
+	e := t.Entry(c)
+	ne := &Entry{
+		Cos:      e.Cos,
+		SlotIPC:  append([]float64(nil), e.SlotIPC...),
+		TypeWIPC: make(map[int]float64, len(typeWIPC)),
+	}
+	for b, w := range typeWIPC {
+		if c.Count(b) == 0 {
+			panic(fmt.Sprintf("perfdb: override type %d not in coschedule %v", b, c))
+		}
+		ne.TypeWIPC[b] = w
+	}
+	for j, typ := range c {
+		w, ok := ne.TypeWIPC[typ]
+		if !ok {
+			panic(fmt.Sprintf("perfdb: override missing type %d of coschedule %v", typ, c))
+		}
+		ne.SlotIPC[j] = w * t.Solo[typ]
+		ne.InstTP += w
+	}
+	t.entries[Key(c)] = ne
+}
+
+// Clone returns a deep copy of the table; counterfactual experiments
+// mutate the copy and leave the original intact.
+func (t *Table) Clone() *Table {
+	nt := &Table{
+		name:    t.name,
+		k:       t.k,
+		suite:   t.suite,
+		Solo:    append([]float64(nil), t.Solo...),
+		entries: make(map[uint64]*Entry, len(t.entries)),
+	}
+	for k, e := range t.entries {
+		ne := &Entry{
+			Cos:      e.Cos,
+			SlotIPC:  append([]float64(nil), e.SlotIPC...),
+			TypeWIPC: make(map[int]float64, len(e.TypeWIPC)),
+			InstTP:   e.InstTP,
+		}
+		for b, w := range e.TypeWIPC {
+			ne.TypeWIPC[b] = w
+		}
+		nt.entries[k] = ne
+	}
+	return nt
+}
+
+// Size returns the number of stored coschedules (all sizes).
+func (t *Table) Size() int { return len(t.entries) }

@@ -1,0 +1,166 @@
+package perfdb
+
+import (
+	"sync"
+	"testing"
+
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+	"symbiosched/internal/workload"
+)
+
+// miniSuite keeps table-building fast in tests.
+func miniSuite(t *testing.T) []program.Profile {
+	t.Helper()
+	suite := program.Suite()
+	return []program.Profile{suite[5], suite[7], suite[6], suite[1]} // hmmer, mcf, libq, calculix
+}
+
+var (
+	tableOnce sync.Once
+	tableSMT  *Table
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	tableOnce.Do(func() {
+		tableSMT = Build(SMTModel{Machine: uarch.DefaultSMT()}, miniSuite(t))
+	})
+	return tableSMT
+}
+
+func TestBuildSize(t *testing.T) {
+	tab := testTable(t)
+	// Sizes 1..4 over 4 types: 4 + 10 + 20 + 35 = 69.
+	want := 0
+	for k := 1; k <= 4; k++ {
+		want += workload.MultisetCount(4, k)
+	}
+	if tab.Size() != want {
+		t.Errorf("table size %d, want %d", tab.Size(), want)
+	}
+	if tab.K() != 4 {
+		t.Errorf("K = %d", tab.K())
+	}
+}
+
+func TestSoloWIPCIsOne(t *testing.T) {
+	tab := testTable(t)
+	for b := range miniSuite(t) {
+		c := workload.NewCoschedule(b)
+		if w := tab.JobWIPC(c, b); w < 0.999 || w > 1.001 {
+			t.Errorf("type %d solo WIPC = %v, want 1", b, w)
+		}
+	}
+}
+
+func TestInstTPIsSumOfTypeRates(t *testing.T) {
+	tab := testTable(t)
+	c := workload.NewCoschedule(0, 1, 2, 3)
+	var sum float64
+	for b := 0; b < 4; b++ {
+		sum += tab.TypeRate(c, b)
+	}
+	if diff := sum - tab.InstTP(c); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum of type rates %v != InstTP %v (paper Eq. 1)", sum, tab.InstTP(c))
+	}
+}
+
+func TestTypeRateCountsMultiplicity(t *testing.T) {
+	tab := testTable(t)
+	c := workload.NewCoschedule(1, 1, 0, 2)
+	per := tab.JobWIPC(c, 1)
+	if diff := tab.TypeRate(c, 1) - 2*per; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("TypeRate should be count * per-job WIPC")
+	}
+	if tab.TypeRate(c, 3) != 0 {
+		t.Errorf("absent type should have zero rate")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := []workload.Coschedule{
+		workload.NewCoschedule(0),
+		workload.NewCoschedule(0, 0, 0, 0),
+		workload.NewCoschedule(1, 3, 5, 11),
+		workload.NewCoschedule(2, 2),
+	}
+	seen := map[uint64]bool{}
+	for _, c := range cases {
+		k := Key(c)
+		if seen[k] {
+			t.Errorf("key collision for %v", c)
+		}
+		seen[k] = true
+	}
+	// Length must be encoded: [0] vs [0,0] differ.
+	if Key(workload.NewCoschedule(0)) == Key(workload.NewCoschedule(0, 0)) {
+		t.Error("keys must distinguish coschedule sizes")
+	}
+}
+
+func TestEntryPanicsOnUnknown(t *testing.T) {
+	tab := testTable(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-suite coschedule")
+		}
+	}()
+	tab.Entry(workload.NewCoschedule(9, 9, 9, 9))
+}
+
+func TestJobWIPCPanicsOnAbsentType(t *testing.T) {
+	tab := testTable(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for absent type")
+		}
+	}()
+	tab.JobWIPC(workload.NewCoschedule(0, 0, 0, 0), 1)
+}
+
+func TestCloneAndOverrideIsolation(t *testing.T) {
+	tab := testTable(t)
+	clone := tab.Clone()
+	c := workload.NewCoschedule(0, 1, 2, 3)
+	orig := tab.JobWIPC(c, 0)
+	// Equal-rate override preserving instTP.
+	mean := tab.InstTP(c) / 4
+	clone.Override(c, map[int]float64{0: mean, 1: mean, 2: mean, 3: mean})
+	if got := clone.JobWIPC(c, 0); got != mean {
+		t.Errorf("override not applied: %v, want %v", got, mean)
+	}
+	if diff := clone.InstTP(c) - tab.InstTP(c); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("equalising override changed instTP: %v vs %v", clone.InstTP(c), tab.InstTP(c))
+	}
+	if got := tab.JobWIPC(c, 0); got != orig {
+		t.Errorf("override leaked into the original table")
+	}
+}
+
+func TestOverrideValidation(t *testing.T) {
+	tab := testTable(t).Clone()
+	c := workload.NewCoschedule(0, 1, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for override with missing type")
+		}
+	}()
+	tab.Override(c, map[int]float64{0: 1}) // missing types 1..3
+}
+
+func TestModelAdapters(t *testing.T) {
+	smt := SMTModel{Machine: uarch.DefaultSMT()}
+	if smt.Contexts() != 4 || smt.Name() == "" {
+		t.Errorf("SMTModel adapter broken: %d %q", smt.Contexts(), smt.Name())
+	}
+	quad := MulticoreModel{Machine: uarch.DefaultMulticore()}
+	if quad.Contexts() != 4 || quad.Name() == "" {
+		t.Errorf("MulticoreModel adapter broken")
+	}
+	suite := miniSuite(t)
+	jobs := []*program.Profile{&suite[0], &suite[1]}
+	if got := quad.SlotIPC(jobs); len(got) != 2 {
+		t.Errorf("SlotIPC returned %d rates", len(got))
+	}
+}

@@ -1,0 +1,155 @@
+// Package program defines the synthetic benchmark profiles that stand in
+// for the paper's 12 selected SPEC CPU2006 benchmarks (Table I).
+//
+// The paper simulated the real benchmarks with Sniper; those binaries and
+// traces are not available here, so each benchmark is replaced by a
+// statistical profile — intrinsic ILP, branch-misprediction rate, cache
+// miss-ratio curve, memory-level parallelism and bandwidth demand — chosen
+// to match the benchmark's published characterisation and, collectively,
+// to cover the low- to high-interference space approximately uniformly,
+// which is the property the paper selected its 12 benchmarks for. The
+// mechanistic models in internal/interval, internal/smtmodel and
+// internal/multicore consume these profiles to produce per-coschedule
+// execution rates, which is the only input the study's analysis needs.
+package program
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile is a statistical characterisation of one benchmark (one "job
+// type" in the paper's terminology).
+type Profile struct {
+	// Name and Input identify the benchmark as in Table I of the paper
+	// (e.g. "gcc" with inputs "cp-decl.i" and "g23.i" are distinct types).
+	Name  string
+	Input string
+
+	// IPCInf is the ILP-limited steady-state IPC with an unbounded
+	// instruction window and a perfect memory hierarchy.
+	IPCInf float64
+	// WindowHalf is the window size (instructions) at which half of
+	// IPCInf is reached: baseIPC(W) = IPCInf * W / (W + WindowHalf).
+	WindowHalf float64
+
+	// BranchMPKI is the number of mispredicted branches per 1000
+	// instructions.
+	BranchMPKI float64
+
+	// CacheAPKI is the number of accesses per 1000 instructions that miss
+	// the (private, per-thread) L1 and therefore reach the cache capacity
+	// modelled by the miss-ratio curve below.
+	CacheAPKI float64
+
+	// MemMPKIMax and MemMPKIMin are the endpoints of the capacity
+	// miss-ratio curve: misses-to-memory per 1000 instructions with (near)
+	// zero cache and with unbounded cache, respectively.
+	MemMPKIMax float64
+	MemMPKIMin float64
+	// CacheHalfKB is the cache capacity (KB) at which the curve sits
+	// halfway between its endpoints, and CurveGamma its steepness:
+	// MPKI(c) = Min + (Max-Min) / (1 + (c/CacheHalfKB)^CurveGamma).
+	CacheHalfKB float64
+	CurveGamma  float64
+
+	// MLPMax is the maximum memory-level parallelism (overlapping
+	// outstanding misses) the benchmark can expose with a full-size
+	// window.
+	MLPMax float64
+}
+
+// ID returns a unique benchmark identifier, e.g. "gcc.g23".
+func (p *Profile) ID() string {
+	if p.Input == "" {
+		return p.Name
+	}
+	return p.Name + "." + p.Input
+}
+
+// MemMPKI evaluates the capacity miss-ratio curve at cacheKB kilobytes of
+// available cache beyond the L1. The result is clamped to [MemMPKIMin,
+// min(MemMPKIMax, CacheAPKI)].
+func (p *Profile) MemMPKI(cacheKB float64) float64 {
+	if cacheKB < 0 {
+		cacheKB = 0
+	}
+	var v float64
+	if cacheKB == 0 {
+		v = p.MemMPKIMax
+	} else {
+		v = p.MemMPKIMin + (p.MemMPKIMax-p.MemMPKIMin)/(1+math.Pow(cacheKB/p.CacheHalfKB, p.CurveGamma))
+	}
+	if max := p.CacheAPKI; v > max {
+		v = max
+	}
+	if v < p.MemMPKIMin {
+		v = p.MemMPKIMin
+	}
+	return v
+}
+
+// BaseIPC returns the ILP-limited IPC for a window of w instructions,
+// before any width cap (the interval model applies the dispatch-width cap).
+func (p *Profile) BaseIPC(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return p.IPCInf * w / (w + p.WindowHalf)
+}
+
+// MLP returns the effective memory-level parallelism for a window of w
+// instructions: MLP grows with the window because more independent misses
+// fit in flight, saturating at MLPMax for a reference 192-entry window.
+func (p *Profile) MLP(w float64) float64 {
+	const refWindow = 128
+	if w <= 0 {
+		return 1
+	}
+	f := w / refWindow
+	if f > 1 {
+		f = 1
+	}
+	m := 1 + (p.MLPMax-1)*f
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// CacheSensitivity reports how much the benchmark's memory miss rate
+// responds to cache capacity between share KB and full KB: a value in
+// [0, 1] where 0 means fully insensitive (streaming or cache-resident).
+func (p *Profile) CacheSensitivity(shareKB, fullKB float64) float64 {
+	hi := p.MemMPKI(shareKB)
+	lo := p.MemMPKI(fullKB)
+	if hi <= 0 {
+		return 0
+	}
+	return (hi - lo) / hi
+}
+
+// Validate checks the profile for structurally impossible parameters.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("program: profile with empty name")
+	case p.IPCInf <= 0 || p.IPCInf > 8:
+		return fmt.Errorf("program: %s: IPCInf %v out of range", p.ID(), p.IPCInf)
+	case p.WindowHalf <= 0:
+		return fmt.Errorf("program: %s: WindowHalf %v out of range", p.ID(), p.WindowHalf)
+	case p.BranchMPKI < 0 || p.BranchMPKI > 50:
+		return fmt.Errorf("program: %s: BranchMPKI %v out of range", p.ID(), p.BranchMPKI)
+	case p.CacheAPKI < 0 || p.CacheAPKI > 200:
+		return fmt.Errorf("program: %s: CacheAPKI %v out of range", p.ID(), p.CacheAPKI)
+	case p.MemMPKIMin < 0 || p.MemMPKIMax < p.MemMPKIMin:
+		return fmt.Errorf("program: %s: mem MPKI range [%v, %v] invalid", p.ID(), p.MemMPKIMin, p.MemMPKIMax)
+	case p.MemMPKIMax > p.CacheAPKI+1e-9:
+		return fmt.Errorf("program: %s: MemMPKIMax %v exceeds CacheAPKI %v", p.ID(), p.MemMPKIMax, p.CacheAPKI)
+	case p.CacheHalfKB <= 0 || p.CurveGamma <= 0:
+		return fmt.Errorf("program: %s: miss curve params invalid", p.ID())
+	case p.MLPMax < 1 || p.MLPMax > 8:
+		return fmt.Errorf("program: %s: MLPMax %v out of range", p.ID(), p.MLPMax)
+	}
+	return nil
+}

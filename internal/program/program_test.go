@@ -1,0 +1,196 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"symbiosched/internal/stats"
+)
+
+func TestSuiteSize(t *testing.T) {
+	suite := Suite()
+	if len(suite) != SuiteSize || SuiteSize != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12 (paper Table I)", len(suite))
+	}
+}
+
+func TestSuiteTableIContents(t *testing.T) {
+	// The paper's Table I selection, including both gcc inputs.
+	wanted := []string{
+		"bzip2.input.program", "calculix.ref", "gcc.cp-decl", "gcc.g23",
+		"h264ref.foreman", "hmmer.nph3", "libquantum.ref", "mcf.ref",
+		"perlbench.diffmail", "sjeng.ref", "tonto.ref", "xalancbmk.ref",
+	}
+	ids := IDs()
+	for i, want := range wanted {
+		if ids[i] != want {
+			t.Errorf("suite[%d] = %s, want %s", i, ids[i], want)
+		}
+	}
+}
+
+func TestSuiteValidates(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.ID(), err)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	p, idx, ok := ByID("mcf.ref")
+	if !ok || p.Name != "mcf" || idx != 7 {
+		t.Errorf("ByID(mcf.ref) = %v, %d, %v", p.ID(), idx, ok)
+	}
+	if _, _, ok := ByID("nonexistent"); ok {
+		t.Error("ByID should fail for unknown benchmark")
+	}
+}
+
+func TestMissCurveMonotone(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		prev := p.MemMPKI(0)
+		for c := 64.0; c <= 1<<15; c *= 2 {
+			cur := p.MemMPKI(c)
+			if cur > prev+1e-12 {
+				t.Errorf("%s: MemMPKI not monotone at %v KB (%v -> %v)", p.ID(), c, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestMissCurveBounds(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		if got := p.MemMPKI(0); got > p.CacheAPKI+1e-9 {
+			t.Errorf("%s: MPKI(0) = %v exceeds APKI %v", p.ID(), got, p.CacheAPKI)
+		}
+		if got := p.MemMPKI(1 << 20); got < p.MemMPKIMin-1e-9 {
+			t.Errorf("%s: MPKI(inf) = %v below min %v", p.ID(), got, p.MemMPKIMin)
+		}
+	}
+}
+
+func TestBaseIPCSaturates(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		if got := p.BaseIPC(1e9); got > p.IPCInf+1e-9 {
+			t.Errorf("%s: BaseIPC(inf) = %v exceeds IPCInf %v", p.ID(), got, p.IPCInf)
+		}
+		if got := p.BaseIPC(0); got != 0 {
+			t.Errorf("%s: BaseIPC(0) = %v", p.ID(), got)
+		}
+		half := p.BaseIPC(p.WindowHalf)
+		if diff := half - p.IPCInf/2; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: BaseIPC(WindowHalf) = %v, want IPCInf/2 = %v", p.ID(), half, p.IPCInf/2)
+		}
+	}
+}
+
+func TestMLPBounds(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		if got := p.MLP(0); got != 1 {
+			t.Errorf("%s: MLP(0) = %v, want 1", p.ID(), got)
+		}
+		if got := p.MLP(1e9); got > p.MLPMax+1e-9 {
+			t.Errorf("%s: MLP(inf) = %v exceeds MLPMax %v", p.ID(), got, p.MLPMax)
+		}
+	}
+}
+
+func TestCacheSensitivityRange(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		s := p.CacheSensitivity(256, 2048)
+		if s < 0 || s > 1 {
+			t.Errorf("%s: sensitivity %v outside [0,1]", p.ID(), s)
+		}
+	}
+	// The suite must span the interference space: hmmer's absolute miss
+	// traffic is negligible at any capacity, mcf's strongly capacity-
+	// dependent.
+	hmmer, _, _ := ByID("hmmer.nph3")
+	mcf, _, _ := ByID("mcf.ref")
+	if d := hmmer.MemMPKI(256) - hmmer.MemMPKI(2048); d > 1 {
+		t.Errorf("hmmer absolute MPKI delta %v unexpectedly high", d)
+	}
+	if d := mcf.MemMPKI(256) - mcf.MemMPKI(2048); d < 5 {
+		t.Errorf("mcf absolute MPKI delta %v unexpectedly low", d)
+	}
+}
+
+func TestInterferenceCoverage(t *testing.T) {
+	// Table I rationale: the suite should cover low to high interference
+	// roughly uniformly. Use solo memory MPKI at 1 MB as the interference
+	// proxy and require a wide spread.
+	var lo, hi int
+	for _, p := range Suite() {
+		p := p
+		m := p.MemMPKI(1024)
+		if m < 2 {
+			lo++
+		}
+		if m > 7 {
+			hi++
+		}
+	}
+	if lo < 3 || hi < 3 {
+		t.Errorf("interference coverage too narrow: %d low, %d high", lo, hi)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good := Suite()[0]
+	cases := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.IPCInf = 0 },
+		func(p *Profile) { p.IPCInf = 100 },
+		func(p *Profile) { p.WindowHalf = -1 },
+		func(p *Profile) { p.BranchMPKI = -1 },
+		func(p *Profile) { p.MemMPKIMin = 10; p.MemMPKIMax = 5 },
+		func(p *Profile) { p.MemMPKIMax = p.CacheAPKI + 10 },
+		func(p *Profile) { p.CacheHalfKB = 0 },
+		func(p *Profile) { p.MLPMax = 0.5 },
+	}
+	for i, mutate := range cases {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// Property: the miss curve is monotone non-increasing for random profiles.
+func TestMissCurveMonotoneProperty(t *testing.T) {
+	rng := stats.NewRNG(3)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed ^ rng.Uint64())
+		p := Profile{
+			Name: "x", IPCInf: 1 + 2*r.Float64(), WindowHalf: 20 + 50*r.Float64(),
+			CacheAPKI:  100,
+			MemMPKIMax: 10 + 50*r.Float64(), MemMPKIMin: r.Float64() * 5,
+			CacheHalfKB: 100 + 4000*r.Float64(), CurveGamma: 0.5 + 1.5*r.Float64(),
+			MLPMax: 1 + 3*r.Float64(),
+		}
+		if p.MemMPKIMin > p.MemMPKIMax {
+			p.MemMPKIMin, p.MemMPKIMax = p.MemMPKIMax, p.MemMPKIMin
+		}
+		prev := p.MemMPKI(0)
+		for c := 1.0; c < 1e6; c *= 3 {
+			cur := p.MemMPKI(c)
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

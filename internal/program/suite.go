@@ -1,0 +1,152 @@
+package program
+
+// Suite returns the 12 benchmark profiles of Table I, in the paper's
+// (alphabetical) order. Indices into this slice are the global job-type
+// indices used throughout the repository.
+//
+// The parameters are hand-calibrated against the published SPEC CPU2006
+// characterisation literature so that the suite spans, approximately
+// uniformly, the space from low-interference (small-footprint, high-ILP:
+// hmmer, calculix, h264ref) to high-interference (memory-bound and
+// bandwidth-hungry: mcf, libquantum, xalancbmk, gcc.g23) behaviour — the
+// selection criterion the paper states for its 12 benchmarks.
+func Suite() []Profile {
+	return []Profile{
+		{
+			// Compression: integer, moderate ILP, mid-size working set.
+			Name: "bzip2", Input: "input.program",
+			IPCInf: 2.0, WindowHalf: 40,
+			BranchMPKI: 4.5,
+			CacheAPKI:  18, MemMPKIMax: 5.5, MemMPKIMin: 0.8,
+			CacheHalfKB: 640, CurveGamma: 1.2,
+			MLPMax: 2.0,
+		},
+		{
+			// Structural FP solver: high ILP, cache-resident.
+			Name: "calculix", Input: "ref",
+			IPCInf: 3.2, WindowHalf: 30,
+			BranchMPKI: 0.7,
+			CacheAPKI:  6, MemMPKIMax: 1.2, MemMPKIMin: 0.2,
+			CacheHalfKB: 512, CurveGamma: 1.2,
+			MLPMax: 2.5,
+		},
+		{
+			// Compiler, small input: branchy, moderate footprint.
+			Name: "gcc", Input: "cp-decl",
+			IPCInf: 1.9, WindowHalf: 45,
+			BranchMPKI: 6.0,
+			CacheAPKI:  22, MemMPKIMax: 7.5, MemMPKIMin: 1.0,
+			CacheHalfKB: 512, CurveGamma: 1.2,
+			MLPMax: 1.8,
+		},
+		{
+			// Compiler, large input: cache-sensitive, larger footprint.
+			Name: "gcc", Input: "g23",
+			IPCInf: 1.7, WindowHalf: 50,
+			BranchMPKI: 5.5,
+			CacheAPKI:  30, MemMPKIMax: 15.0, MemMPKIMin: 2.0,
+			CacheHalfKB: 896, CurveGamma: 1.25,
+			MLPMax: 1.8,
+		},
+		{
+			// Video encoder: high ILP, small working set.
+			Name: "h264ref", Input: "foreman",
+			IPCInf: 2.9, WindowHalf: 35,
+			BranchMPKI: 1.8,
+			CacheAPKI:  10, MemMPKIMax: 2.0, MemMPKIMin: 0.4,
+			CacheHalfKB: 512, CurveGamma: 1.2,
+			MLPMax: 2.2,
+		},
+		{
+			// Sequence search: highest ILP in the suite, tiny footprint.
+			Name: "hmmer", Input: "nph3",
+			IPCInf: 3.4, WindowHalf: 25,
+			BranchMPKI: 0.9,
+			CacheAPKI:  8, MemMPKIMax: 1.0, MemMPKIMin: 0.1,
+			CacheHalfKB: 256, CurveGamma: 1.5,
+			MLPMax: 2.0,
+		},
+		{
+			// Quantum simulation: pure streaming — a flat miss curve (the
+			// working set never fits), extreme bandwidth demand, high MLP.
+			Name: "libquantum", Input: "ref",
+			IPCInf: 1.6, WindowHalf: 60,
+			BranchMPKI: 0.3,
+			CacheAPKI:  36, MemMPKIMax: 33.0, MemMPKIMin: 29.0,
+			CacheHalfKB: 16384, CurveGamma: 0.8,
+			MLPMax: 3.5,
+		},
+		{
+			// Combinatorial optimisation: the memory-bound extreme, very
+			// cache-sensitive with pointer-heavy access.
+			Name: "mcf", Input: "ref",
+			IPCInf: 1.0, WindowHalf: 80,
+			BranchMPKI: 7.5,
+			CacheAPKI:  70, MemMPKIMax: 46.0, MemMPKIMin: 8.0,
+			CacheHalfKB: 1280, CurveGamma: 1.3,
+			MLPMax: 3.0,
+		},
+		{
+			// Interpreter: branchy, good ILP, modest footprint.
+			Name: "perlbench", Input: "diffmail",
+			IPCInf: 2.4, WindowHalf: 35,
+			BranchMPKI: 4.0,
+			CacheAPKI:  12, MemMPKIMax: 2.5, MemMPKIMin: 0.5,
+			CacheHalfKB: 640, CurveGamma: 1.1,
+			MLPMax: 1.8,
+		},
+		{
+			// Chess search: highest branch-misprediction rate, small
+			// working set.
+			Name: "sjeng", Input: "ref",
+			IPCInf: 2.1, WindowHalf: 40,
+			BranchMPKI: 8.5,
+			CacheAPKI:  9, MemMPKIMax: 1.5, MemMPKIMin: 0.3,
+			CacheHalfKB: 384, CurveGamma: 1.2,
+			MLPMax: 1.6,
+		},
+		{
+			// Quantum chemistry FP: good ILP, moderate memory behaviour.
+			Name: "tonto", Input: "ref",
+			IPCInf: 2.7, WindowHalf: 35,
+			BranchMPKI: 1.5,
+			CacheAPKI:  9, MemMPKIMax: 2.2, MemMPKIMin: 0.5,
+			CacheHalfKB: 768, CurveGamma: 1.1,
+			MLPMax: 2.2,
+		},
+		{
+			// XML transformation: pointer-chasing with low MLP, sizeable
+			// cache-sensitive footprint.
+			Name: "xalancbmk", Input: "ref",
+			IPCInf: 1.8, WindowHalf: 55,
+			BranchMPKI: 3.5,
+			CacheAPKI:  28, MemMPKIMax: 17.0, MemMPKIMin: 2.0,
+			CacheHalfKB: 1024, CurveGamma: 1.3,
+			MLPMax: 1.4,
+		},
+	}
+}
+
+// SuiteSize is the number of benchmarks in the suite (Table I).
+const SuiteSize = 12
+
+// ByID returns the profile with the given ID (e.g. "gcc.g23") and its
+// index in Suite(), or ok=false when absent.
+func ByID(id string) (p Profile, index int, ok bool) {
+	for i, prof := range Suite() {
+		if prof.ID() == id {
+			return prof, i, true
+		}
+	}
+	return Profile{}, -1, false
+}
+
+// IDs returns the suite's benchmark identifiers in order.
+func IDs() []string {
+	suite := Suite()
+	ids := make([]string, len(suite))
+	for i := range suite {
+		ids[i] = suite[i].ID()
+	}
+	return ids
+}

@@ -1,0 +1,128 @@
+// Package queueing provides the analytic M/M/c results the paper uses in
+// Section VI to explain why small throughput gains translate into large
+// turnaround-time reductions near saturation: for an M/M/4 queue at
+// lambda = 3.5, mu = 1 there are on average 8.7 jobs in the system and the
+// turnaround time is 2.5; raising mu by 3% drops them to 7.3 and 2.1 —
+// a 16% turnaround reduction from a 3% throughput increase.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMC describes an M/M/c queue: Poisson arrivals at rate Lambda, c
+// identical servers with exponential service rate Mu each.
+type MMC struct {
+	// Lambda is the arrival rate (jobs per unit time).
+	Lambda float64
+	// Mu is the per-server service rate.
+	Mu float64
+	// C is the number of servers.
+	C int
+}
+
+// Offered returns the offered load a = lambda/mu (in Erlangs).
+func (q MMC) Offered() float64 { return q.Lambda / q.Mu }
+
+// Utilisation returns rho = lambda / (c*mu).
+func (q MMC) Utilisation() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// Stable reports whether the queue is stable (rho < 1).
+func (q MMC) Stable() bool { return q.validate() == nil && q.Utilisation() < 1 }
+
+func (q MMC) validate() error {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.C < 1 {
+		return fmt.Errorf("queueing: invalid M/M/%d with lambda=%v mu=%v", q.C, q.Lambda, q.Mu)
+	}
+	return nil
+}
+
+// ErlangC returns the probability that an arriving job must wait
+// (all servers busy), via the Erlang-C formula computed with a
+// numerically stable iterative scheme.
+func (q MMC) ErlangC() (float64, error) {
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	rho := q.Utilisation()
+	if rho >= 1 {
+		return 1, nil
+	}
+	a := q.Offered()
+	// Iteratively compute the Erlang-B blocking probability
+	// B(c, a) = a*B(c-1, a) / (c + a*B(c-1, a)), B(0, a) = 1,
+	// then convert: C = B / (1 - rho*(1-B)).
+	b := 1.0
+	for k := 1; k <= q.C; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b / (1 - rho*(1-b)), nil
+}
+
+// MeanJobs returns L, the mean number of jobs in the system
+// (queue + service).
+func (q MMC) MeanJobs() (float64, error) {
+	pw, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	rho := q.Utilisation()
+	if rho >= 1 {
+		return math.Inf(1), nil
+	}
+	return q.Offered() + pw*rho/(1-rho), nil
+}
+
+// MeanTurnaround returns W, the mean time in system (waiting + service),
+// by Little's law: W = L / lambda.
+func (q MMC) MeanTurnaround() (float64, error) {
+	l, err := q.MeanJobs()
+	if err != nil {
+		return 0, err
+	}
+	return l / q.Lambda, nil
+}
+
+// MeanWait returns Wq, the mean waiting time before service.
+func (q MMC) MeanWait() (float64, error) {
+	w, err := q.MeanTurnaround()
+	if err != nil {
+		return 0, err
+	}
+	return w - 1/q.Mu, nil
+}
+
+// TurnaroundCurvePoint is one point of the Figure 4 curve.
+type TurnaroundCurvePoint struct {
+	Lambda     float64
+	Turnaround float64
+	MeanJobs   float64
+}
+
+// TurnaroundCurve samples mean turnaround against arrival rate from
+// loFrac to hiFrac of the saturation rate c*mu, in steps — the generic
+// curve of Figure 4 whose vertical asymptote sits at the maximum
+// throughput. Raising mu moves the asymptote right and drops the whole
+// curve (the paper's dotted line).
+func TurnaroundCurve(mu float64, c, points int, loFrac, hiFrac float64) ([]TurnaroundCurvePoint, error) {
+	if points < 2 || loFrac <= 0 || hiFrac <= loFrac || hiFrac >= 1 {
+		return nil, fmt.Errorf("queueing: invalid curve parameters")
+	}
+	sat := float64(c) * mu
+	out := make([]TurnaroundCurvePoint, points)
+	for i := range out {
+		frac := loFrac + (hiFrac-loFrac)*float64(i)/float64(points-1)
+		q := MMC{Lambda: frac * sat, Mu: mu, C: c}
+		w, err := q.MeanTurnaround()
+		if err != nil {
+			return nil, err
+		}
+		l, err := q.MeanJobs()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = TurnaroundCurvePoint{Lambda: q.Lambda, Turnaround: w, MeanJobs: l}
+	}
+	return out, nil
+}

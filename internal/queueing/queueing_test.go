@@ -1,0 +1,163 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperExample(t *testing.T) {
+	// Section VI: "for an M/M/4 queuing system with lambda = 3.5 and
+	// mu = 1, there are on average 8.7 jobs in the system, and the
+	// turnaround time is 2.5. Increasing mu to 1.03 results in 7.3 jobs
+	// and a turnaround time of 2.1, a 16% reduction."
+	q1 := MMC{Lambda: 3.5, Mu: 1, C: 4}
+	l1, err := q1.MeanJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := q1.MeanTurnaround()
+	if math.Abs(l1-8.7) > 0.1 {
+		t.Errorf("L = %v, paper: 8.7", l1)
+	}
+	if math.Abs(w1-2.5) > 0.05 {
+		t.Errorf("W = %v, paper: 2.5", w1)
+	}
+	q2 := MMC{Lambda: 3.5, Mu: 1.03, C: 4}
+	l2, _ := q2.MeanJobs()
+	w2, _ := q2.MeanTurnaround()
+	if math.Abs(l2-7.3) > 0.1 {
+		t.Errorf("L' = %v, paper: 7.3", l2)
+	}
+	if math.Abs(w2-2.1) > 0.05 {
+		t.Errorf("W' = %v, paper: 2.1", w2)
+	}
+	if red := 1 - w2/w1; math.Abs(red-0.16) > 0.01 {
+		t.Errorf("turnaround reduction %v, paper: 16%%", red)
+	}
+}
+
+func TestMM1ClosedForm(t *testing.T) {
+	// M/M/1: W = 1/(mu - lambda).
+	q := MMC{Lambda: 0.5, Mu: 1, C: 1}
+	w, err := q.MeanTurnaround()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-2) > 1e-9 {
+		t.Errorf("M/M/1 W = %v, want 2", w)
+	}
+	pw, _ := q.ErlangC()
+	if math.Abs(pw-0.5) > 1e-9 {
+		t.Errorf("M/M/1 P(wait) = %v, want rho = 0.5", pw)
+	}
+}
+
+func TestErlangCRange(t *testing.T) {
+	for _, lam := range []float64{0.5, 1, 2, 3, 3.9} {
+		q := MMC{Lambda: lam, Mu: 1, C: 4}
+		pw, err := q.ErlangC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pw < 0 || pw > 1 {
+			t.Errorf("lambda=%v: P(wait) = %v outside [0,1]", lam, pw)
+		}
+	}
+}
+
+func TestErlangCMonotoneInLoad(t *testing.T) {
+	prev := -1.0
+	for lam := 0.2; lam < 3.95; lam += 0.25 {
+		pw, err := MMC{Lambda: lam, Mu: 1, C: 4}.ErlangC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pw < prev {
+			t.Errorf("ErlangC not monotone at lambda=%v", lam)
+		}
+		prev = pw
+	}
+}
+
+func TestUnstableQueue(t *testing.T) {
+	q := MMC{Lambda: 5, Mu: 1, C: 4}
+	if q.Stable() {
+		t.Error("rho > 1 should be unstable")
+	}
+	l, err := q.MeanJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(l, 1) {
+		t.Errorf("unstable queue L = %v, want +Inf", l)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []MMC{
+		{Lambda: 0, Mu: 1, C: 4},
+		{Lambda: 1, Mu: 0, C: 4},
+		{Lambda: 1, Mu: 1, C: 0},
+	}
+	for _, q := range bad {
+		if _, err := q.ErlangC(); err == nil {
+			t.Errorf("%+v: expected validation error", q)
+		}
+	}
+}
+
+func TestMeanWait(t *testing.T) {
+	q := MMC{Lambda: 3.5, Mu: 1, C: 4}
+	w, _ := q.MeanTurnaround()
+	wq, err := q.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wq-(w-1)) > 1e-12 {
+		t.Errorf("Wq = %v, want W - 1/mu = %v", wq, w-1)
+	}
+}
+
+func TestTurnaroundCurve(t *testing.T) {
+	pts, err := TurnaroundCurve(1, 4, 20, 0.1, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 20 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Monotone increasing turnaround (Figure 4's shape).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Turnaround < pts[i-1].Turnaround {
+			t.Errorf("turnaround not monotone at point %d", i)
+		}
+	}
+	// Asymptote: last point much larger than first.
+	if pts[len(pts)-1].Turnaround < 3*pts[0].Turnaround {
+		t.Errorf("no blow-up near saturation: %v vs %v",
+			pts[len(pts)-1].Turnaround, pts[0].Turnaround)
+	}
+	// Higher mu lowers the curve everywhere (the dotted line).
+	better, err := TurnaroundCurve(1.03, 4, 20, 0.1, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		// Same load fraction, higher service rate -> lower turnaround.
+		if better[i].Turnaround > pts[i].Turnaround {
+			t.Errorf("point %d: mu=1.03 curve above mu=1 curve", i)
+		}
+	}
+}
+
+func TestTurnaroundCurveValidation(t *testing.T) {
+	if _, err := TurnaroundCurve(1, 4, 1, 0.1, 0.9); err == nil {
+		t.Error("expected error for too few points")
+	}
+	if _, err := TurnaroundCurve(1, 4, 10, 0.9, 0.5); err == nil {
+		t.Error("expected error for inverted range")
+	}
+	if _, err := TurnaroundCurve(1, 4, 10, 0.5, 1.0); err == nil {
+		t.Error("expected error for hiFrac >= 1")
+	}
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"sort"
+
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+// LJF is the symbiosis-unaware long-job-first scheduler of Xu et al.
+// (PACT 2010), which the paper's related-work section notes "outperforms
+// their symbiosis-aware scheduler" when small sets of jobs are run to
+// completion: running the longest remaining jobs first avoids a long
+// serial tail at the end of the makespan.
+type LJF struct{}
+
+// Name implements Scheduler.
+func (LJF) Name() string { return "LJF" }
+
+// Select implements Scheduler: the min(k, n) jobs with the most remaining
+// work, ties broken by age.
+func (LJF) Select(jobs []*Job, k int) []int {
+	idx := allIndices(jobs)
+	sort.Slice(idx, func(a, b int) bool {
+		ja, jb := jobs[idx[a]], jobs[idx[b]]
+		if ja.Remaining != jb.Remaining {
+			return ja.Remaining > jb.Remaining
+		}
+		return ja.ID < jb.ID
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+// Observe implements Scheduler.
+func (LJF) Observe(workload.Coschedule, float64) {}
+
+// Random selects a uniformly random feasible job set at every scheduling
+// event — a noise floor for scheduler comparisons.
+type Random struct {
+	RNG *stats.RNG
+}
+
+// Name implements Scheduler.
+func (r *Random) Name() string { return "Random" }
+
+// Select implements Scheduler.
+func (r *Random) Select(jobs []*Job, k int) []int {
+	if r.RNG == nil {
+		r.RNG = stats.NewRNG(1)
+	}
+	n := len(jobs)
+	m := n
+	if m > k {
+		m = k
+	}
+	perm := r.RNG.Perm(n)
+	return perm[:m]
+}
+
+// Observe implements Scheduler.
+func (r *Random) Observe(workload.Coschedule, float64) {}

@@ -1,0 +1,304 @@
+// Package sched implements the four online schedulers the paper compares
+// in Section VI:
+//
+//   - FCFS: run the oldest jobs, no knowledge needed.
+//   - MAXIT: run the job combination with the highest instantaneous
+//     throughput; ties go to the oldest jobs.
+//   - SRPT: run the combination with the smallest total remaining
+//     execution time, accounting for each job's rate in that combination.
+//   - MAXTP: follow the offline linear-programming schedule (internal/core)
+//     by always picking the optimal coschedule that is furthest behind its
+//     ideal time fraction; fall back to MAXIT when none is composable.
+//
+// Schedulers select jobs at every scheduling event (arrival or completion)
+// with free preemption and zero context-switch cost, exactly as in the
+// paper's idealised study.
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"symbiosched/internal/core"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/workload"
+)
+
+// Job is a job in the system, as seen by schedulers.
+type Job struct {
+	// ID is unique per experiment and increases with arrival order.
+	ID int
+	// Type is the global benchmark index.
+	Type int
+	// Size is the job's total work, Remaining what is left.
+	Size, Remaining float64
+	// Arrival is the job's arrival time.
+	Arrival float64
+}
+
+// Scheduler picks which jobs run on the K contexts.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Select returns the indices into jobs of the jobs to run, at most k.
+	// Work-conserving schedulers return min(k, len(jobs)) indices.
+	Select(jobs []*Job, k int) []int
+	// Observe informs the scheduler that the coschedule cos just ran for
+	// dt time units (needed by MAXTP to track its time fractions).
+	Observe(cos workload.Coschedule, dt float64)
+}
+
+// FCFS runs jobs strictly in arrival order.
+type FCFS struct{}
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "FCFS" }
+
+// Select implements Scheduler: the min(k, n) oldest jobs.
+func (FCFS) Select(jobs []*Job, k int) []int {
+	idx := allIndices(jobs)
+	sort.Slice(idx, func(a, b int) bool { return jobs[idx[a]].ID < jobs[idx[b]].ID })
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	return idx
+}
+
+// Observe implements Scheduler.
+func (FCFS) Observe(workload.Coschedule, float64) {}
+
+// composition is a feasible multiset of job types with concrete job
+// choices attached.
+type composition struct {
+	cos  workload.Coschedule
+	jobs []int // indices into the scheduler's jobs slice
+}
+
+// compositions enumerates every multiset of size m of the available jobs'
+// types, picking concrete jobs within each type by the given preference
+// order (pick receives the indices of one type's jobs, best first).
+func compositions(jobs []*Job, m int, pick func(a, b *Job) bool) []composition {
+	// Group job indices by type, each group sorted by preference.
+	byType := map[int][]int{}
+	var types []int
+	for i, j := range jobs {
+		if _, ok := byType[j.Type]; !ok {
+			types = append(types, j.Type)
+		}
+		byType[j.Type] = append(byType[j.Type], i)
+	}
+	sort.Ints(types)
+	for _, t := range types {
+		g := byType[t]
+		sort.Slice(g, func(a, b int) bool { return pick(jobs[g[a]], jobs[g[b]]) })
+	}
+	var out []composition
+	counts := make([]int, len(types))
+	var rec func(pos, left int)
+	rec = func(pos, left int) {
+		if left == 0 {
+			c := composition{}
+			for ti, cnt := range counts {
+				for j := 0; j < cnt; j++ {
+					c.cos = append(c.cos, types[ti])
+					c.jobs = append(c.jobs, byType[types[ti]][j])
+				}
+			}
+			sort.Ints(c.cos)
+			out = append(out, c)
+			return
+		}
+		if pos == len(types) {
+			return
+		}
+		max := len(byType[types[pos]])
+		if max > left {
+			max = left
+		}
+		for cnt := 0; cnt <= max; cnt++ {
+			counts[pos] = cnt
+			rec(pos+1, left-cnt)
+		}
+		counts[pos] = 0
+	}
+	m = min(m, len(jobs))
+	rec(0, m)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func allIndices(jobs []*Job) []int {
+	idx := make([]int, len(jobs))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func oldestFirst(a, b *Job) bool { return a.ID < b.ID }
+
+// MAXIT selects the combination with the highest instantaneous throughput;
+// among equal-throughput combinations it prefers the oldest jobs.
+type MAXIT struct {
+	Table *perfdb.Table
+}
+
+// Name implements Scheduler.
+func (m *MAXIT) Name() string { return "MAXIT" }
+
+// Select implements Scheduler.
+func (m *MAXIT) Select(jobs []*Job, k int) []int {
+	if len(jobs) == 0 {
+		return nil
+	}
+	comps := compositions(jobs, min(k, len(jobs)), oldestFirst)
+	bestIdx, bestTP, bestAge := -1, math.Inf(-1), math.Inf(1)
+	for ci, c := range comps {
+		tp := m.Table.InstTP(c.cos)
+		age := 0.0
+		for _, ji := range c.jobs {
+			age += float64(jobs[ji].ID)
+		}
+		if tp > bestTP+1e-12 || (tp > bestTP-1e-12 && age < bestAge) {
+			bestIdx, bestTP, bestAge = ci, tp, age
+		}
+	}
+	return comps[bestIdx].jobs
+}
+
+// Observe implements Scheduler.
+func (m *MAXIT) Observe(workload.Coschedule, float64) {}
+
+// SRPT selects the combination with the smallest sum of remaining
+// execution times, where each job's remaining execution time accounts for
+// its rate in that particular combination (Section VI).
+type SRPT struct {
+	Table *perfdb.Table
+}
+
+// Name implements Scheduler.
+func (s *SRPT) Name() string { return "SRPT" }
+
+// Select implements Scheduler.
+func (s *SRPT) Select(jobs []*Job, k int) []int {
+	if len(jobs) == 0 {
+		return nil
+	}
+	shortestFirst := func(a, b *Job) bool {
+		if a.Remaining != b.Remaining {
+			return a.Remaining < b.Remaining
+		}
+		return a.ID < b.ID
+	}
+	comps := compositions(jobs, min(k, len(jobs)), shortestFirst)
+	bestIdx, bestSum := -1, math.Inf(1)
+	for ci, c := range comps {
+		var sum float64
+		for _, ji := range c.jobs {
+			j := jobs[ji]
+			rate := s.Table.JobWIPC(c.cos, j.Type)
+			sum += j.Remaining / rate
+		}
+		if sum < bestSum {
+			bestIdx, bestSum = ci, sum
+		}
+	}
+	return comps[bestIdx].jobs
+}
+
+// Observe implements Scheduler.
+func (s *SRPT) Observe(workload.Coschedule, float64) {}
+
+// MAXTP implements the paper's practical use of the linear-programming
+// methodology: an offline phase computes the optimal coschedules and their
+// time fractions; at run time the scheduler selects, among the optimal
+// coschedules composable from the jobs in the system, the one furthest
+// behind its ideal fraction, falling back to MAXIT when none is
+// composable.
+type MAXTP struct {
+	Table *perfdb.Table
+	// fractions holds the LP support (non-zero optimal fractions).
+	fractions []core.Fraction
+	selected  map[uint64]float64
+	elapsed   float64
+	fallback  *MAXIT
+}
+
+// NewMAXTP runs the offline phase for a workload and returns the scheduler.
+func NewMAXTP(t *perfdb.Table, w workload.Workload) (*MAXTP, error) {
+	opt, err := core.Optimal(t, w)
+	if err != nil {
+		return nil, err
+	}
+	return &MAXTP{
+		Table:     t,
+		fractions: opt.NonZero(1e-9),
+		selected:  make(map[uint64]float64),
+		fallback:  &MAXIT{Table: t},
+	}, nil
+}
+
+// Name implements Scheduler.
+func (m *MAXTP) Name() string { return "MAXTP" }
+
+// Select implements Scheduler.
+func (m *MAXTP) Select(jobs []*Job, k int) []int {
+	if len(jobs) == 0 {
+		return nil
+	}
+	// Available jobs per type, oldest first.
+	byType := map[int][]int{}
+	for i, j := range jobs {
+		byType[j.Type] = append(byType[j.Type], i)
+	}
+	for _, g := range byType {
+		sort.Slice(g, func(a, b int) bool { return jobs[g[a]].ID < jobs[g[b]].ID })
+	}
+	bestIdx, bestDeficit := -1, math.Inf(-1)
+	for fi, f := range m.fractions {
+		if len(f.Cos) > len(jobs) {
+			continue
+		}
+		composable := true
+		for _, b := range f.Cos.Types() {
+			if len(byType[b]) < f.Cos.Count(b) {
+				composable = false
+				break
+			}
+		}
+		if !composable {
+			continue
+		}
+		deficit := f.X*m.elapsed - m.selected[perfdb.Key(f.Cos)]
+		if deficit > bestDeficit {
+			bestIdx, bestDeficit = fi, deficit
+		}
+	}
+	// Use the optimal schedule only while it is behind its ideal fraction;
+	// coschedules that are ahead of schedule would be run at the expense of
+	// waiting jobs for no long-run throughput benefit, so defer to MAXIT.
+	if bestIdx < 0 || bestDeficit <= 0 {
+		return m.fallback.Select(jobs, k)
+	}
+	cos := m.fractions[bestIdx].Cos
+	var out []int
+	used := map[int]int{}
+	for _, b := range cos {
+		out = append(out, byType[b][used[b]])
+		used[b]++
+	}
+	return out
+}
+
+// Observe implements Scheduler: track elapsed time and per-coschedule
+// selected time.
+func (m *MAXTP) Observe(cos workload.Coschedule, dt float64) {
+	m.elapsed += dt
+	m.selected[perfdb.Key(cos)] += dt
+}

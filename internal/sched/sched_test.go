@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"symbiosched/internal/core"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+	"symbiosched/internal/workload"
+)
+
+var (
+	once sync.Once
+	tab  *perfdb.Table
+)
+
+func table(t *testing.T) *perfdb.Table {
+	t.Helper()
+	once.Do(func() {
+		suite := program.Suite()
+		mini := []program.Profile{suite[1], suite[5], suite[6], suite[7]} // calculix, hmmer, libq, mcf
+		tab = perfdb.Build(perfdb.SMTModel{Machine: uarch.DefaultSMT()}, mini)
+	})
+	return tab
+}
+
+func jobs(types ...int) []*Job {
+	out := make([]*Job, len(types))
+	for i, typ := range types {
+		out[i] = &Job{ID: i, Type: typ, Size: 1, Remaining: 1, Arrival: float64(i)}
+	}
+	return out
+}
+
+func TestFCFSOldestFirst(t *testing.T) {
+	js := jobs(0, 1, 2, 3, 0, 1)
+	sel := FCFS{}.Select(js, 4)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d jobs", len(sel))
+	}
+	for i, idx := range sel {
+		if js[idx].ID != i {
+			t.Errorf("FCFS selected %v, want the 4 oldest", sel)
+		}
+	}
+}
+
+func TestFCFSFewerJobsThanContexts(t *testing.T) {
+	js := jobs(0, 1)
+	if sel := (FCFS{}).Select(js, 4); len(sel) != 2 {
+		t.Errorf("selected %d, want 2", len(sel))
+	}
+}
+
+func TestMAXITPicksHighestInstTP(t *testing.T) {
+	tb := table(t)
+	m := &MAXIT{Table: tb}
+	// Offer every type twice; MAXIT must find the composition with the
+	// highest instantaneous throughput among all multisets.
+	js := jobs(0, 0, 1, 1, 2, 2, 3, 3)
+	sel := m.Select(js, 4)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d jobs", len(sel))
+	}
+	cos := make(workload.Coschedule, 0, 4)
+	for _, idx := range sel {
+		cos = append(cos, js[idx].Type)
+	}
+	got := tb.InstTP(workload.NewCoschedule(cos...))
+	// Exhaustive check over all multisets of available types.
+	best := 0.0
+	for _, c := range workload.Multisets(4, 4) {
+		feasible := true
+		for _, typ := range c.Types() {
+			if c.Count(typ) > 2 {
+				feasible = false
+			}
+		}
+		if feasible {
+			if tp := tb.InstTP(c); tp > best {
+				best = tp
+			}
+		}
+	}
+	if got < best-1e-9 {
+		t.Errorf("MAXIT picked instTP %v, best feasible %v", got, best)
+	}
+}
+
+func TestMAXITWorkConserving(t *testing.T) {
+	tb := table(t)
+	m := &MAXIT{Table: tb}
+	js := jobs(3, 3)
+	if sel := m.Select(js, 4); len(sel) != 2 {
+		t.Errorf("MAXIT selected %d of 2 jobs; must be work-conserving", len(sel))
+	}
+}
+
+func TestSRPTPrefersShortJobs(t *testing.T) {
+	tb := table(t)
+	s := &SRPT{Table: tb}
+	// Five same-type jobs with distinct remaining sizes: the four shortest
+	// must be picked.
+	js := jobs(0, 0, 0, 0, 0)
+	js[0].Remaining = 5
+	js[1].Remaining = 1
+	js[2].Remaining = 2
+	js[3].Remaining = 3
+	js[4].Remaining = 4
+	sel := s.Select(js, 4)
+	for _, idx := range sel {
+		if idx == 0 {
+			t.Errorf("SRPT selected the longest job")
+		}
+	}
+}
+
+func TestSRPTAccountsForRates(t *testing.T) {
+	tb := table(t)
+	s := &SRPT{Table: tb}
+	js := jobs(0, 1, 2, 3, 0, 1)
+	sel := s.Select(js, 4)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d jobs", len(sel))
+	}
+}
+
+func TestMAXTPFollowsLPSupport(t *testing.T) {
+	tb := table(t)
+	w := workload.Workload{0, 1, 2, 3}
+	m, err := NewMAXTP(tb, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.Optimal(tb, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	support := map[uint64]bool{}
+	for _, f := range opt.NonZero(1e-9) {
+		support[perfdb.Key(f.Cos)] = true
+	}
+	// With all types amply available and positive elapsed deficit, MAXTP
+	// must select a support coschedule.
+	m.Observe(workload.NewCoschedule(0, 0, 0, 0), 1) // creates deficits for the support
+	js := jobs(0, 0, 1, 1, 2, 2, 3, 3)
+	sel := m.Select(js, 4)
+	cos := make(workload.Coschedule, 0, 4)
+	for _, idx := range sel {
+		cos = append(cos, js[idx].Type)
+	}
+	if !support[perfdb.Key(workload.NewCoschedule(cos...))] {
+		t.Errorf("MAXTP selected %v, not in LP support", cos)
+	}
+}
+
+func TestMAXTPFallsBackWhenNotComposable(t *testing.T) {
+	tb := table(t)
+	w := workload.Workload{0, 1, 2, 3}
+	m, err := NewMAXTP(tb, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only two jobs in the system: no size-4 support coschedule is
+	// composable, so MAXTP must fall back to MAXIT and still run them.
+	js := jobs(0, 1)
+	if sel := m.Select(js, 4); len(sel) != 2 {
+		t.Errorf("fallback selected %d of 2 jobs", len(sel))
+	}
+}
+
+func TestMAXTPObserveTracksTime(t *testing.T) {
+	tb := table(t)
+	w := workload.Workload{0, 1, 2, 3}
+	m, err := NewMAXTP(tb, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := workload.NewCoschedule(0, 1, 2, 3)
+	m.Observe(c, 2.5)
+	if m.elapsed != 2.5 {
+		t.Errorf("elapsed = %v", m.elapsed)
+	}
+	if m.selected[perfdb.Key(c)] != 2.5 {
+		t.Errorf("selected time not tracked")
+	}
+}
+
+func TestCompositionsCountAndFeasibility(t *testing.T) {
+	js := jobs(0, 0, 1, 2)
+	comps := compositions(js, 3, oldestFirst)
+	// Multisets of size 3 with at most {0:2, 1:1, 2:1}:
+	// 001,002,012,011(x no),022(no)... enumerate: {0,0,1},{0,0,2},{0,1,2} = 3.
+	if len(comps) != 3 {
+		t.Errorf("got %d compositions, want 3: %v", len(comps), comps)
+	}
+	for _, c := range comps {
+		if len(c.jobs) != 3 {
+			t.Errorf("composition with %d jobs", len(c.jobs))
+		}
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	tb := table(t)
+	w := workload.Workload{0, 1, 2, 3}
+	m, _ := NewMAXTP(tb, w)
+	for _, s := range []Scheduler{FCFS{}, &MAXIT{Table: tb}, &SRPT{Table: tb}, m} {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+	}
+}

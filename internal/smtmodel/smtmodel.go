@@ -1,0 +1,408 @@
+// Package smtmodel computes per-thread execution rates for a coschedule
+// running on a 4-way SMT out-of-order core, in the spirit of the
+// probabilistic SMT symbiosis model of Eyerman & Eeckhout (ASPLOS 2010),
+// which the paper cites as reference [10].
+//
+// Per thread i, the interval model (internal/interval) yields a CPI stack
+// split into a dispatch-occupying part busy_i and a memory-stall part
+// mem_i. The SMT front-end is modelled as a shared fetch-time budget
+//
+//	B = 1 + smtOverlap * (n-1)/n
+//
+// fetch cycles per cycle: more than 1 because multiple threads co-dispatch
+// within a cycle, less than n because fetch serialises at cycle
+// granularity. Two kinds of fetch demand compete for it:
+//
+//   - "Hard" demand busy_i * x_i: the fetch a thread needs to commit at
+//     rate x_i.
+//   - "Soft" demand w_i * mem_i * x_i: window-filling fetch issued while
+//     the thread waits on DRAM (hunting for independent misses). It grows
+//     with the thread's memory-level parallelism: a streaming job like
+//     libquantum fetches almost continuously through its misses.
+//
+// Soft fetch overlaps readily with other threads' stalls, so it does not
+// queue against itself; but it does steal cycles from hard demand — the
+// dominant mechanism by which memory-bound co-runners slow down compute
+// threads on real SMT hardware. The model therefore (1) taxes the budget
+// with the total soft demand, then (2) shares the remainder between hard
+// demands:
+//
+//	x_i = min( 1/(busy_i+mem_i), grant_i / busy_i ),
+//	sum_i x_i * busy_i = B - softTax * sum_i w_i * mem_i * x_i.
+//
+// The fetch policy decides the grants. ICOUNT equalises in-flight counts,
+// which in steady state means threads with small fetch demand (memory-bound
+// threads that are mostly blocked) are served in full the moment they are
+// ready, and the greedy threads water-fill the remainder — progressive
+// filling (min-demand-first). ICOUNT also throttles the fetch of blocked
+// threads, so its soft-demand tax is lower. Round-robin hands every thread
+// an equal time slice and recycles unused slices only partially (a fixed
+// rotation cannot perfectly reassign slots), and lets blocked threads burn
+// their full slice on window-filling: equal shares, higher tax, imperfect
+// recycling.
+//
+// Window (ROB) sharing, shared-cache occupancy and memory-bus queueing are
+// mutually dependent with the rates, so the whole model iterates to a
+// damped fixed point. Dynamic ROB sharing lets blocked threads hold more
+// entries; static partitioning pins every thread at ROB/K entries but
+// wastes capacity when demands are asymmetric (a small fragmentation
+// penalty on the fetch budget).
+package smtmodel
+
+import (
+	"fmt"
+
+	"symbiosched/internal/cachemodel"
+	"symbiosched/internal/interval"
+	"symbiosched/internal/membus"
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+)
+
+// Model tunables. They are calibrated (see TestCalibration* in
+// internal/exp) so that the suite-level statistics land in the regime the
+// paper reports for its SMT configuration; the ablation benches vary them.
+const (
+	// smtOverlap sets the fetch-time budget B = 1 + smtOverlap*(n-1)/n:
+	// how much front-end concurrency SMT extracts beyond a single thread.
+	smtOverlap = 1.6
+	// softTaxICOUNT and softTaxRR convert aggregate soft (window-filling)
+	// fetch demand into lost hard fetch budget. ICOUNT was designed to
+	// throttle exactly this fetch (blocked threads have high in-flight
+	// counts and lose priority), so its tax is lower.
+	softTaxICOUNT = 0.35
+	softTaxRR     = 0.6
+	// rrRecycle is the fraction of an unused round-robin fetch slice that
+	// other threads can actually reclaim.
+	rrRecycle = 0.6
+	// stallFetchBase/stallFetchMLP set w_i, the fraction of a thread's
+	// memory-stall time during which it still occupies fetch:
+	// w = base + mlpFactor * (1 - 1/MLP). High-MLP threads fetch almost
+	// continuously through their stalls.
+	stallFetchBase = 0.20
+	stallFetchMLP  = 0.7
+	// staticStallFetchScale shrinks w under static ROB partitioning: a
+	// fixed partition fills sooner, so a blocked thread stops fetching
+	// earlier.
+	staticStallFetchScale = 0.7
+	// staticFragPenalty is the fetch-budget fraction lost to partition
+	// fragmentation under static ROB partitioning.
+	staticFragPenalty = 0.97
+	// robStallHold is how much extra ROB occupancy a blocked thread holds
+	// per unit of stall ratio under dynamic ROB sharing.
+	robStallHold = 0.8
+	// resourceContention inflates a thread's busy CPI per unit of
+	// co-runner dispatch utilisation (shared issue queues, functional
+	// units and L1 ports).
+	resourceContention = 0.10
+	// minWindow is the smallest effective per-thread window; a thread
+	// always owns a few ROB entries.
+	minWindow = 24.0
+	// minHardBudget keeps the hard-demand budget positive even under
+	// extreme soft pressure.
+	minHardBudget = 0.3
+	// iterations and damping control the outer fixed point.
+	iterations = 50
+	damping    = 0.55
+)
+
+// Result holds the converged per-thread operating point of a coschedule.
+type Result struct {
+	// IPC is each thread's instructions per cycle.
+	IPC []float64
+	// FetchShare is each thread's hard fetch-time consumption x_i*busy_i.
+	FetchShare []float64
+	// WindowShare is each thread's effective ROB share in instructions.
+	WindowShare []float64
+	// CacheShareKB is each thread's shared-cache occupancy in KB.
+	CacheShareKB []float64
+	// MemLatency is the converged loaded DRAM latency in cycles.
+	MemLatency float64
+	// BusUtilisation is the converged memory-bus utilisation in [0, 1).
+	BusUtilisation float64
+}
+
+// Rates returns the converged Result for the given threads (1 to
+// machine.Threads profiles) on the SMT machine.
+func Rates(m uarch.SMTMachine, threads []*program.Profile) Result {
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("smtmodel: invalid machine: %v", err))
+	}
+	n := len(threads)
+	if n == 0 || n > m.Threads {
+		panic(fmt.Sprintf("smtmodel: %d threads on a %d-context machine", n, m.Threads))
+	}
+	for _, p := range threads {
+		if p == nil {
+			panic("smtmodel: nil profile")
+		}
+	}
+
+	bus := membus.New(m.Bus.ServiceCycles)
+	totalCache := float64(m.SharedCacheKB)
+	rob := float64(m.Core.ROBSize)
+
+	// Fetch-time budget.
+	budget := 1 + smtOverlap*float64(n-1)/float64(n)
+	if m.ROB == uarch.StaticROB {
+		budget *= staticFragPenalty
+	}
+
+	// Fixed-point state.
+	window := make([]float64, n)
+	cache := make([]float64, n)
+	ipc := make([]float64, n)
+	busy := make([]float64, n)
+	mem := make([]float64, n)
+	stallFetch := make([]float64, n)
+	memLat := m.Core.MemLatency
+	for i := range window {
+		window[i] = rob / float64(n)
+		cache[i] = totalCache / float64(n)
+	}
+	// Initial rate guess: equal share of budget over solo busy CPIs.
+	for i, p := range threads {
+		st := interval.Evaluate(p, m.Core, interval.Params{
+			WindowSize: window[i], CacheKB: cache[i], MemLatency: memLat,
+		})
+		ipc[i] = st.IPC() / float64(n)
+	}
+
+	stacks := make([]interval.Stack, n)
+	for it := 0; it < iterations; it++ {
+		// 1. Per-thread CPI stacks at the current resource shares.
+		for i, p := range threads {
+			stacks[i] = interval.Evaluate(p, m.Core, interval.Params{
+				WindowSize: window[i],
+				CacheKB:    cache[i],
+				MemLatency: memLat,
+			})
+		}
+		// 2. Busy CPI inflated by co-runner resource contention.
+		for i := range threads {
+			others := 0.0
+			for j := range threads {
+				if j != i {
+					others += ipc[j] * busyOr(stacks[j].BusyCPI(), busy[j])
+				}
+			}
+			busy[i] = stacks[i].BusyCPI() * (1 + resourceContention*others)
+			mem[i] = stacks[i].Mem
+			w := stallFetchBase + stallFetchMLP*(1-1/threads[i].MLP(window[i]))
+			if m.ROB == uarch.StaticROB {
+				w *= staticStallFetchScale
+			}
+			stallFetch[i] = w
+		}
+		// 3. Front-end arbitration.
+		newIPC := arbitrate(m.Fetch, budget, busy, mem, stallFetch, ipc, n)
+		for i := range ipc {
+			ipc[i] = damping*ipc[i] + (1-damping)*newIPC[i]
+		}
+		// 4. ROB shares.
+		switch m.ROB {
+		case uarch.StaticROB:
+			for i := range window {
+				window[i] = rob / float64(n)
+			}
+		default: // DynamicROB
+			var tot float64
+			weights := make([]float64, n)
+			for i := range threads {
+				stallRatio := mem[i] / busy[i]
+				weights[i] = ipc[i] * busy[i] * (1 + robStallHold*stallRatio)
+				if weights[i] < 1e-6 {
+					weights[i] = 1e-6
+				}
+				tot += weights[i]
+			}
+			for i := range window {
+				target := rob * weights[i] / tot
+				if target < minWindow {
+					target = minWindow
+				}
+				window[i] = damping*window[i] + (1-damping)*target
+			}
+		}
+		// 5. Shared-cache occupancy.
+		demands := make([]cachemodel.Demand, n)
+		for i, p := range threads {
+			demands[i] = cachemodel.Demand{Profile: p, IPC: ipc[i]}
+		}
+		newCache := cachemodel.Shares(demands, totalCache)
+		for i := range cache {
+			cache[i] = damping*cache[i] + (1-damping)*newCache[i]
+		}
+		// 6. Memory-bus queueing.
+		var lineRate float64
+		for i, p := range threads {
+			lineRate += ipc[i] * p.MemMPKI(cache[i]) / 1000
+		}
+		memLat = damping*memLat + (1-damping)*bus.LoadedLatency(m.Core.MemLatency, lineRate)
+	}
+
+	var lineRate float64
+	fetchShare := make([]float64, n)
+	for i, p := range threads {
+		lineRate += ipc[i] * p.MemMPKI(cache[i]) / 1000
+		fetchShare[i] = ipc[i] * busy[i]
+	}
+	return Result{
+		IPC:            ipc,
+		FetchShare:     fetchShare,
+		WindowShare:    window,
+		CacheShareKB:   cache,
+		MemLatency:     memLat,
+		BusUtilisation: bus.Utilisation(lineRate),
+	}
+}
+
+func busyOr(v, fallback float64) float64 {
+	if fallback > 0 {
+		return fallback
+	}
+	return v
+}
+
+// arbitrate performs the two-tier fetch allocation described in the
+// package comment and returns the new per-thread IPCs.
+func arbitrate(policy uarch.FetchPolicy, budget float64, busy, mem, stallFetch, curIPC []float64, n int) []float64 {
+	out := make([]float64, n)
+	xmax := make([]float64, n)
+	for i := range xmax {
+		xmax[i] = 1 / (busy[i] + mem[i])
+	}
+	if n == 1 {
+		out[0] = xmax[0]
+		return out
+	}
+	// Soft tax at the current operating point.
+	tax := softTaxRR
+	if policy == uarch.ICOUNT {
+		tax = softTaxICOUNT
+	}
+	var soft float64
+	for i := range curIPC {
+		x := curIPC[i]
+		if x > xmax[i] {
+			x = xmax[i]
+		}
+		soft += x * stallFetch[i] * mem[i]
+	}
+	hardBudget := budget - tax*soft
+	if hardBudget < minHardBudget {
+		hardBudget = minHardBudget
+	}
+	// Per-thread hard fetch demand.
+	demand := make([]float64, n)
+	var totalDemand float64
+	for i := range xmax {
+		demand[i] = xmax[i] * busy[i]
+		totalDemand += demand[i]
+	}
+	if totalDemand <= hardBudget {
+		copy(out, xmax)
+		return out
+	}
+	grants := make([]float64, n)
+	switch policy {
+	case uarch.RoundRobin:
+		// Equal slices; unused slice capacity is only partially recycled.
+		slice := hardBudget / float64(n)
+		var leftover float64
+		for i := range grants {
+			g := demand[i]
+			if g > slice {
+				g = slice
+			}
+			grants[i] = g
+			leftover += slice - g
+		}
+		// One recycling round, spread equally over unsatisfied threads.
+		pool := rrRecycle * leftover
+		for pool > 1e-12 {
+			var unsat int
+			for i := range grants {
+				if grants[i] < demand[i]-1e-12 {
+					unsat++
+				}
+			}
+			if unsat == 0 {
+				break
+			}
+			share := pool / float64(unsat)
+			pool = 0
+			for i := range grants {
+				if grants[i] < demand[i]-1e-12 {
+					g := grants[i] + share
+					if g > demand[i] {
+						pool += g - demand[i]
+						g = demand[i]
+					}
+					grants[i] = g
+				}
+			}
+		}
+	default: // ICOUNT: progressive filling (water-filling), min demand first.
+		waterFill(grants, demand, busy, hardBudget)
+	}
+	for i := range out {
+		out[i] = grants[i] / busy[i]
+	}
+	return out
+}
+
+// waterFill allocates budget across demands by progressive filling: every
+// thread's fetch time rises together (equal time rate for the greedy ones)
+// and each thread stops at its own demand. This is the fluid limit of
+// ICOUNT arbitration: cheap threads are always served, greedy threads end
+// up with equal shares of what remains.
+func waterFill(grants, demand, busy []float64, budget float64) {
+	n := len(demand)
+	remaining := budget
+	satisfied := make([]bool, n)
+	for round := 0; round < n; round++ {
+		var unsat int
+		for i := range demand {
+			if !satisfied[i] {
+				unsat++
+			}
+		}
+		if unsat == 0 || remaining <= 1e-12 {
+			break
+		}
+		level := remaining / float64(unsat)
+		progressed := false
+		for i := range demand {
+			if satisfied[i] {
+				continue
+			}
+			need := demand[i] - grants[i]
+			if need <= level {
+				grants[i] = demand[i]
+				satisfied[i] = true
+				remaining -= need
+				progressed = true
+			}
+		}
+		if !progressed {
+			// No thread is satisfiable at this level: split remaining
+			// budget equally among the unsatisfied and stop.
+			for i := range demand {
+				if !satisfied[i] {
+					grants[i] += level
+				}
+			}
+			remaining = 0
+			break
+		}
+	}
+	_ = busy
+}
+
+// SoloIPC returns the IPC of a single thread running alone on the machine
+// (the reference for per-machine weighted speedups / WIPC).
+func SoloIPC(m uarch.SMTMachine, p *program.Profile) float64 {
+	res := Rates(m, []*program.Profile{p})
+	return res.IPC[0]
+}

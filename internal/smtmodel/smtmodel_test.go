@@ -1,0 +1,234 @@
+package smtmodel
+
+import (
+	"testing"
+
+	"symbiosched/internal/program"
+	"symbiosched/internal/uarch"
+)
+
+func prof(t *testing.T, id string) *program.Profile {
+	t.Helper()
+	p, _, ok := program.ByID(id)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", id)
+	}
+	return &p
+}
+
+func TestSoloMatchesSingleThread(t *testing.T) {
+	m := uarch.DefaultSMT()
+	for _, p := range program.Suite() {
+		p := p
+		res := Rates(m, []*program.Profile{&p})
+		if len(res.IPC) != 1 || res.IPC[0] <= 0 {
+			t.Fatalf("%s: invalid solo result %+v", p.ID(), res)
+		}
+		if res.IPC[0] > float64(m.Core.Width) {
+			t.Errorf("%s: solo IPC %v exceeds width", p.ID(), res.IPC[0])
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	m := uarch.DefaultSMT()
+	a := prof(t, "hmmer.nph3")
+	b := prof(t, "mcf.ref")
+	r1 := Rates(m, []*program.Profile{a, b, a, b})
+	r2 := Rates(m, []*program.Profile{b, a, b, a})
+	// The damped fixed point converges to well below 1e-5 relative error;
+	// permutations may differ by that convergence noise.
+	if diff := r1.IPC[0]/r2.IPC[1] - 1; diff > 1e-5 || diff < -1e-5 {
+		t.Errorf("permuting threads changed rates: %v vs %v", r1.IPC, r2.IPC)
+	}
+	// Same-type threads must converge to the same rate.
+	if diff := r1.IPC[0]/r1.IPC[2] - 1; diff > 1e-5 || diff < -1e-5 {
+		t.Errorf("same-type threads diverge: %v", r1.IPC)
+	}
+}
+
+func TestSharingSlowsEveryoneDown(t *testing.T) {
+	m := uarch.DefaultSMT()
+	for _, id := range []string{"hmmer.nph3", "mcf.ref", "libquantum.ref", "gcc.g23"} {
+		p := prof(t, id)
+		solo := Rates(m, []*program.Profile{p}).IPC[0]
+		shared := Rates(m, []*program.Profile{p, p, p, p})
+		for i, x := range shared.IPC {
+			if x >= solo {
+				t.Errorf("%s: thread %d shared IPC %v >= solo %v", id, i, x, solo)
+			}
+		}
+	}
+}
+
+func TestWidthBound(t *testing.T) {
+	m := uarch.DefaultSMT()
+	suite := program.Suite()
+	threads := []*program.Profile{&suite[1], &suite[4], &suite[5], &suite[10]} // 4 high-ILP
+	res := Rates(m, threads)
+	var total float64
+	for _, x := range res.IPC {
+		total += x
+	}
+	if total > float64(m.Core.Width) {
+		t.Errorf("aggregate IPC %v exceeds core width %d", total, m.Core.Width)
+	}
+}
+
+func TestICOUNTBeatsRoundRobin(t *testing.T) {
+	// ICOUNT should (weakly) beat RR in aggregate for mixed coschedules —
+	// the design goal of the policy (Tullsen et al.).
+	icount := uarch.DefaultSMT()
+	rr := icount
+	rr.Fetch = uarch.RoundRobin
+	mixes := [][]string{
+		{"hmmer.nph3", "mcf.ref", "libquantum.ref", "calculix.ref"},
+		{"gcc.g23", "sjeng.ref", "xalancbmk.ref", "h264ref.foreman"},
+		{"hmmer.nph3", "hmmer.nph3", "mcf.ref", "mcf.ref"},
+	}
+	for _, mix := range mixes {
+		var threads []*program.Profile
+		for _, id := range mix {
+			threads = append(threads, prof(t, id))
+		}
+		var ti, tr float64
+		for _, x := range Rates(icount, threads).IPC {
+			ti += x
+		}
+		for _, x := range Rates(rr, threads).IPC {
+			tr += x
+		}
+		if ti < tr*0.999 {
+			t.Errorf("mix %v: ICOUNT total %v < RR total %v", mix, ti, tr)
+		}
+	}
+}
+
+func TestMemoryThreadsSufferMoreWindowPressure(t *testing.T) {
+	// With dynamic ROB sharing, a blocked memory-bound thread holds more
+	// window than its dispatch share alone would give it.
+	m := uarch.DefaultSMT()
+	threads := []*program.Profile{
+		prof(t, "hmmer.nph3"), prof(t, "hmmer.nph3"),
+		prof(t, "hmmer.nph3"), prof(t, "mcf.ref"),
+	}
+	res := Rates(m, threads)
+	if res.WindowShare[3] <= res.WindowShare[0] {
+		t.Errorf("mcf window %v should exceed hmmer window %v under dynamic ROB",
+			res.WindowShare[3], res.WindowShare[0])
+	}
+}
+
+func TestStaticROBEqualWindows(t *testing.T) {
+	m := uarch.DefaultSMT()
+	m.ROB = uarch.StaticROB
+	threads := []*program.Profile{
+		prof(t, "hmmer.nph3"), prof(t, "mcf.ref"),
+		prof(t, "libquantum.ref"), prof(t, "sjeng.ref"),
+	}
+	res := Rates(m, threads)
+	want := float64(m.Core.ROBSize) / 4
+	for i, w := range res.WindowShare {
+		if diff := w - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("thread %d window %v, want %v", i, w, want)
+		}
+	}
+}
+
+func TestCacheSharesSumToCapacity(t *testing.T) {
+	m := uarch.DefaultSMT()
+	threads := []*program.Profile{
+		prof(t, "mcf.ref"), prof(t, "xalancbmk.ref"),
+		prof(t, "libquantum.ref"), prof(t, "gcc.g23"),
+	}
+	res := Rates(m, threads)
+	var sum float64
+	for _, c := range res.CacheShareKB {
+		sum += c
+	}
+	if diff := sum - float64(m.SharedCacheKB); diff > 1 || diff < -1 {
+		t.Errorf("cache shares sum to %v, want %v", sum, m.SharedCacheKB)
+	}
+}
+
+func TestStreamingJobStealsCache(t *testing.T) {
+	// libquantum (streaming, huge insertion rate) should occupy more cache
+	// than a tiny-footprint compute job despite not benefiting.
+	m := uarch.DefaultSMT()
+	threads := []*program.Profile{prof(t, "libquantum.ref"), prof(t, "hmmer.nph3")}
+	res := Rates(m, threads)
+	if res.CacheShareKB[0] <= res.CacheShareKB[1] {
+		t.Errorf("libquantum share %v should exceed hmmer share %v",
+			res.CacheShareKB[0], res.CacheShareKB[1])
+	}
+}
+
+func TestBusUtilisationBounded(t *testing.T) {
+	m := uarch.DefaultSMT()
+	threads := []*program.Profile{
+		prof(t, "libquantum.ref"), prof(t, "libquantum.ref"),
+		prof(t, "libquantum.ref"), prof(t, "libquantum.ref"),
+	}
+	res := Rates(m, threads)
+	if res.BusUtilisation < 0 || res.BusUtilisation >= 1 {
+		t.Errorf("bus utilisation %v outside [0,1)", res.BusUtilisation)
+	}
+	if res.MemLatency < m.Core.MemLatency {
+		t.Errorf("loaded latency %v below unloaded %v", res.MemLatency, m.Core.MemLatency)
+	}
+}
+
+func TestMixedCoscheduleBeatsHomogeneousExtremes(t *testing.T) {
+	// The central symbiosis effect (Table II): a fully heterogeneous
+	// coschedule achieves higher total WIPC than homogeneous coschedules
+	// of its constituents on average.
+	m := uarch.DefaultSMT()
+	ids := []string{"hmmer.nph3", "calculix.ref", "mcf.ref", "libquantum.ref"}
+	var threads []*program.Profile
+	solo := map[string]float64{}
+	for _, id := range ids {
+		p := prof(t, id)
+		threads = append(threads, p)
+		solo[id] = Rates(m, []*program.Profile{p}).IPC[0]
+	}
+	var mixedWIPC float64
+	for i, x := range Rates(m, threads).IPC {
+		mixedWIPC += x / solo[ids[i]]
+	}
+	var homoAvg float64
+	for _, id := range ids {
+		p := prof(t, id)
+		res := Rates(m, []*program.Profile{p, p, p, p})
+		var w float64
+		for _, x := range res.IPC {
+			w += x / solo[id]
+		}
+		homoAvg += w / float64(len(ids))
+	}
+	if mixedWIPC <= homoAvg {
+		t.Errorf("mixed WIPC %v should exceed mean homogeneous WIPC %v", mixedWIPC, homoAvg)
+	}
+}
+
+func TestPanicsOnInvalidInput(t *testing.T) {
+	m := uarch.DefaultSMT()
+	assertPanic(t, "no threads", func() { Rates(m, nil) })
+	assertPanic(t, "too many threads", func() {
+		p := prof(t, "mcf.ref")
+		Rates(m, []*program.Profile{p, p, p, p, p})
+	})
+	assertPanic(t, "nil profile", func() { Rates(m, []*program.Profile{nil}) })
+	bad := m
+	bad.Threads = 0
+	assertPanic(t, "invalid machine", func() { Rates(bad, []*program.Profile{prof(t, "mcf.ref")}) })
+}
+
+func assertPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

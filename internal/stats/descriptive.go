@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"symbiosched/internal/numeric"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics. It returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var sum numeric.KahanSum
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		sum.Add(x)
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	mean := sum.Value() / float64(len(xs))
+	var sq numeric.KahanSum
+	for _, x := range xs {
+		d := x - mean
+		sq.Add(d * d)
+	}
+	std := 0.0
+	if len(xs) > 1 {
+		std = math.Sqrt(sq.Value() / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	med := sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+	}
+	return Summary{N: len(xs), Mean: mean, Std: std, Min: mn, Max: mx, Median: med}
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s numeric.KahanSum
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s.Value() / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0<=q<=1) using linear interpolation on
+// the sorted sample. It panics on an empty sample or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile q outside [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	return numeric.Lerp(sorted[lo], sorted[hi], pos-float64(lo))
+}
+
+// Spread is the paper's "variability" metric for a set of observations of
+// the same quantity: (max - min) / mean. The paper, Section V-B: "we define
+// variability as the average spread (maximum minus minimum divided by
+// average)".
+func Spread(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.N == 0 || s.Mean == 0 {
+		return 0
+	}
+	return (s.Max - s.Min) / s.Mean
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a, slope b and the Pearson correlation coefficient r.
+func LinearFit(x, y []float64) (a, b, r float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		panic("stats: LinearFit needs two equal-length samples of size >= 2")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy numeric.KahanSum
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx.Add(dx * dx)
+		sxy.Add(dx * dy)
+		syy.Add(dy * dy)
+	}
+	if sxx.Value() == 0 {
+		return my, 0, 0
+	}
+	b = sxy.Value() / sxx.Value()
+	a = my - b*mx
+	den := math.Sqrt(sxx.Value() * syy.Value())
+	if den > 0 {
+		r = sxy.Value() / den
+	}
+	return a, b, r
+}
+
+// SlopeThroughOne fits y = 1 + b*(x-1) by least squares, i.e. a line forced
+// through the point (1,1). Figure 2 of the paper normalises both axes to
+// the worst throughput, so every workload with zero scheduling headroom
+// sits exactly at (1,1) and the reported "slope" is the slope of a line
+// anchored there.
+func SlopeThroughOne(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		panic("stats: SlopeThroughOne needs two equal-length non-empty samples")
+	}
+	var num, den numeric.KahanSum
+	for i := range x {
+		dx, dy := x[i]-1, y[i]-1
+		num.Add(dx * dy)
+		den.Add(dx * dx)
+	}
+	if den.Value() == 0 {
+		return 0
+	}
+	return num.Value() / den.Value()
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max] and returns
+// the bin edges (nbins+1) and counts (nbins).
+func Histogram(xs []float64, nbins int) (edges []float64, counts []int) {
+	if nbins <= 0 {
+		panic("stats: Histogram needs nbins > 0")
+	}
+	s := Summarize(xs)
+	if s.N == 0 {
+		return nil, nil
+	}
+	lo, hi := s.Min, s.Max
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges = make([]float64, nbins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(nbins)
+	}
+	counts = make([]int, nbins)
+	for _, x := range xs {
+		b := int(float64(nbins) * (x - lo) / (hi - lo))
+		if b == nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

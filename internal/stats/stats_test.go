@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10_000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestRNGIntnUniform(t *testing.T) {
+	r := NewRNG(11)
+	const n, draws = 10, 100_000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for b, c := range counts {
+		got := float64(c) / draws
+		if math.Abs(got-0.1) > 0.01 {
+			t.Errorf("bucket %d frequency %v, want ~0.1", b, got)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(13)
+	const rate, draws = 2.5, 200_000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += r.Exp(rate)
+	}
+	mean := sum / draws
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("Exp mean = %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(17)
+	const draws = 200_000
+	var sum, sq float64
+	for i := 0; i < draws; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / draws
+	variance := sq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := NewRNG(19)
+	const p, draws = 0.25, 100_000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / draws
+	want := (1 - p) / p
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("Geometric mean = %v, want %v", mean, want)
+	}
+	if got := r.Geometric(1); got != 0 {
+		t.Errorf("Geometric(1) = %d, want 0", got)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(23)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(29)
+	child := r.Split()
+	if r.Uint64() == child.Uint64() {
+		t.Error("split stream should differ from parent")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, wantStd)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("Summarize(nil) = %+v", z)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("q0.5 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q0.25 = %v", got)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	// (max-min)/mean = (6-2)/4 = 1.
+	if got := Spread([]float64{2, 4, 6}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spread = %v, want 1", got)
+	}
+	if got := Spread(nil); got != 0 {
+		t.Errorf("Spread(nil) = %v", got)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b, r := LinearFit(x, y)
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 || math.Abs(r-1) > 1e-12 {
+		t.Errorf("fit = (%v, %v, r=%v), want (1, 2, 1)", a, b, r)
+	}
+}
+
+func TestSlopeThroughOne(t *testing.T) {
+	// y - 1 = 0.5 (x - 1) exactly.
+	x := []float64{1, 1.2, 1.4}
+	y := []float64{1, 1.1, 1.2}
+	if got := SlopeThroughOne(x, y); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("slope = %v, want 0.5", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0, 0.5, 1, 1.5, 2}, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("histogram shape %v %v", edges, counts)
+	}
+	if counts[0]+counts[1] != 5 {
+		t.Errorf("counts %v must sum to 5", counts)
+	}
+}
+
+// Property: Summarize min <= median <= max and mean within [min, max].
+func TestSummarizeOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			// Clamp magnitude so the sum cannot overflow float64.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e300 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median && s.Median <= s.Max && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

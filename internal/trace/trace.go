@@ -1,0 +1,179 @@
+// Package trace generates deterministic synthetic instruction traces from
+// benchmark profiles. The cycle-level simulator (internal/cyclesim)
+// consumes these traces; the statistical structure of a trace — dependency
+// distances, branch-misprediction density, and the locality of memory
+// addresses — is derived from the same program.Profile parameters that
+// drive the analytical models, so the two performance stacks can be
+// cross-validated against each other.
+//
+// Memory addresses are drawn from three per-thread regions:
+//
+//   - a hot region that always fits in the L1,
+//   - a warm region sized to the profile's CacheHalfKB, whose hit rate in
+//     a given cache is what the miss-ratio curve models, and
+//   - a cold streaming region that never fits anywhere (compulsory
+//     misses), producing the profile's MemMPKIMin floor.
+//
+// Dependencies use a "serial chain" probability derived from IPCInf (low
+// intrinsic ILP = frequent dependencies on the immediately preceding
+// instruction) and memory-level parallelism uses a pointer-chase
+// probability derived from MLPMax (low MLP = loads that depend on the
+// previous load).
+package trace
+
+import (
+	"symbiosched/internal/program"
+	"symbiosched/internal/stats"
+)
+
+// Kind classifies an instruction.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	ALU Kind = iota
+	Load
+	Store
+	Branch
+)
+
+// Inst is one trace instruction.
+type Inst struct {
+	Kind Kind
+	// Addr is the byte address touched by Load/Store instructions.
+	Addr uint64
+	// DepDist is the distance (in instructions, >= 1) to the in-flight
+	// instruction this one depends on, or 0 for no register dependency.
+	DepDist int32
+	// Mispredict marks a branch the predictor will miss.
+	Mispredict bool
+}
+
+// Instruction mix fractions (typical SPEC CPU integer/FP blend).
+const (
+	loadFrac   = 0.25
+	storeFrac  = 0.10
+	branchFrac = 0.18
+)
+
+// Generator produces the instruction stream of one thread.
+type Generator struct {
+	prof *program.Profile
+	rng  *stats.RNG
+
+	serialProb   float64 // P(depend on previous instruction)
+	chaseProb    float64 // P(load depends on previous load)
+	l1MissProb   float64 // P(memory access leaves the L1) = warm+cold
+	coldProb     float64 // P(memory access is a compulsory/streaming miss)
+	mispredProb  float64 // P(branch mispredicts)
+	hotBytes     uint64
+	warmBytes    uint64
+	coldCursor   uint64
+	lastLoadDist int32 // instructions since the previous load
+}
+
+// New returns a deterministic generator for profile p and the given seed.
+func New(p *program.Profile, seed uint64) *Generator {
+	memFrac := loadFrac + storeFrac
+	l1Miss := p.CacheAPKI / 1000 / memFrac
+	if l1Miss > 1 {
+		l1Miss = 1
+	}
+	cold := p.MemMPKIMin / 1000 / memFrac
+	if cold > l1Miss {
+		cold = l1Miss
+	}
+	mispred := p.BranchMPKI / 1000 / branchFrac
+	if mispred > 1 {
+		mispred = 1
+	}
+	// IPCInf ~ width / (chain density): a thread that dispatches d
+	// independent instructions per dependent one sustains ~d+1 IPC on a
+	// wide machine. serialProb = 1/IPCInf reproduces that to first order.
+	serial := 1 / p.IPCInf
+	if serial > 1 {
+		serial = 1
+	}
+	chase := 1 / p.MLPMax
+	return &Generator{
+		prof:        p,
+		rng:         stats.NewRNG(seed),
+		serialProb:  serial,
+		chaseProb:   chase,
+		l1MissProb:  l1Miss,
+		coldProb:    cold,
+		mispredProb: mispred,
+		hotBytes:    16 << 10,
+		warmBytes:   uint64(p.CacheHalfKB * 2 * 1024),
+	}
+}
+
+// Next returns the next instruction of the stream.
+func (g *Generator) Next() Inst {
+	var in Inst
+	r := g.rng.Float64()
+	switch {
+	case r < loadFrac:
+		in.Kind = Load
+	case r < loadFrac+storeFrac:
+		in.Kind = Store
+	case r < loadFrac+storeFrac+branchFrac:
+		in.Kind = Branch
+		in.Mispredict = g.rng.Float64() < g.mispredProb
+	default:
+		in.Kind = ALU
+	}
+
+	// Register dependency on the previous instruction with serialProb;
+	// otherwise a longer-distance (parallel-friendly) dependency.
+	if g.rng.Float64() < g.serialProb {
+		in.DepDist = 1
+	} else if g.rng.Float64() < 0.5 {
+		in.DepDist = int32(2 + g.rng.Intn(14))
+	}
+
+	if in.Kind == Load || in.Kind == Store {
+		in.Addr = g.address()
+		if in.Kind == Load {
+			// Pointer chasing: the load's address depends on the previous
+			// load, serialising misses and destroying MLP.
+			if g.lastLoadDist > 0 && g.rng.Float64() < g.chaseProb {
+				in.DepDist = g.lastLoadDist
+			}
+			g.lastLoadDist = 0
+		}
+	}
+	if g.lastLoadDist >= 0 {
+		g.lastLoadDist++
+	}
+	return in
+}
+
+// address draws a byte address from the three-region locality model.
+func (g *Generator) address() uint64 {
+	r := g.rng.Float64()
+	switch {
+	case r >= g.l1MissProb:
+		// Hot: always L1-resident.
+		return g.rng.Uint64() % g.hotBytes
+	case r < g.coldProb:
+		// Cold: streaming through a region far larger than any cache.
+		g.coldCursor += 64
+		return (1 << 32) + (g.coldCursor % (256 << 20))
+	default:
+		// Warm: uniform over the profile's characteristic working set.
+		if g.warmBytes == 0 {
+			return (1 << 28) + g.rng.Uint64()%(64<<10)
+		}
+		return (1 << 28) + g.rng.Uint64()%g.warmBytes
+	}
+}
+
+// Stream materialises the next n instructions (testing convenience).
+func (g *Generator) Stream(n int) []Inst {
+	out := make([]Inst, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"testing"
+
+	"symbiosched/internal/program"
+)
+
+func gen(t *testing.T, id string, seed uint64) *Generator {
+	t.Helper()
+	p, _, ok := program.ByID(id)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", id)
+	}
+	return New(&p, seed)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := gen(t, "mcf.ref", 9).Stream(1000)
+	b := gen(t, "mcf.ref", 9).Stream(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give the same trace")
+		}
+	}
+}
+
+func TestInstructionMix(t *testing.T) {
+	g := gen(t, "bzip2.input.program", 1)
+	const n = 200_000
+	counts := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	within := func(kind Kind, want float64) {
+		got := float64(counts[kind]) / n
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("kind %d frequency %v, want ~%v", kind, got, want)
+		}
+	}
+	within(Load, loadFrac)
+	within(Store, storeFrac)
+	within(Branch, branchFrac)
+}
+
+func TestBranchMispredictDensity(t *testing.T) {
+	// sjeng has the suite's highest branch MPKI; its trace must carry
+	// roughly BranchMPKI mispredicted branches per kilo-instruction.
+	p, _, _ := program.ByID("sjeng.ref")
+	g := New(&p, 3)
+	const n = 500_000
+	misp := 0
+	for i := 0; i < n; i++ {
+		if in := g.Next(); in.Kind == Branch && in.Mispredict {
+			misp++
+		}
+	}
+	mpki := float64(misp) / n * 1000
+	if mpki < p.BranchMPKI*0.85 || mpki > p.BranchMPKI*1.15 {
+		t.Errorf("trace misprediction MPKI %v, profile %v", mpki, p.BranchMPKI)
+	}
+}
+
+func TestMemoryFootprintReflectsProfile(t *testing.T) {
+	// mcf's trace must touch far more distinct lines than hmmer's.
+	lines := func(id string) int {
+		g := gen(t, id, 5)
+		seen := map[uint64]bool{}
+		for i := 0; i < 200_000; i++ {
+			in := g.Next()
+			if in.Kind == Load || in.Kind == Store {
+				seen[in.Addr>>6] = true
+			}
+		}
+		return len(seen)
+	}
+	mcf, hmmer := lines("mcf.ref"), lines("hmmer.nph3")
+	if mcf < 3*hmmer {
+		t.Errorf("mcf footprint %d lines should dwarf hmmer's %d", mcf, hmmer)
+	}
+}
+
+func TestDependencyDensityTracksILP(t *testing.T) {
+	serialFrac := func(id string) float64 {
+		g := gen(t, id, 7)
+		serial := 0
+		const n = 100_000
+		for i := 0; i < n; i++ {
+			if g.Next().DepDist == 1 {
+				serial++
+			}
+		}
+		return float64(serial) / n
+	}
+	// mcf (IPCInf 1.0) must have far more serialising dependencies than
+	// hmmer (IPCInf 3.4).
+	if m, h := serialFrac("mcf.ref"), serialFrac("hmmer.nph3"); m < 2*h {
+		t.Errorf("mcf serial fraction %v vs hmmer %v", m, h)
+	}
+}
+
+func TestDepDistNonNegativeAndBounded(t *testing.T) {
+	g := gen(t, "xalancbmk.ref", 11)
+	for i := 0; i < 100_000; i++ {
+		in := g.Next()
+		if in.DepDist < 0 || in.DepDist > 200 {
+			t.Fatalf("DepDist %d out of range", in.DepDist)
+		}
+	}
+}
+
+func TestColdRegionStreams(t *testing.T) {
+	// libquantum's cold accesses must advance monotonically (streaming),
+	// wrapping only at the region boundary.
+	g := gen(t, "libquantum.ref", 13)
+	var prev uint64
+	seen := 0
+	for i := 0; i < 50_000 && seen < 1000; i++ {
+		in := g.Next()
+		if (in.Kind == Load || in.Kind == Store) && in.Addr >= 1<<32 {
+			if seen > 0 && in.Addr <= prev && in.Addr > (1<<32) {
+				// wrapped; acceptable
+			}
+			prev = in.Addr
+			seen++
+		}
+	}
+	if seen < 100 {
+		t.Errorf("libquantum produced only %d cold accesses", seen)
+	}
+}

@@ -1,0 +1,203 @@
+// Package uarch defines the machine configurations of the study: a 4-way
+// SMT 4-wide out-of-order core and a quad-core with a shared last-level
+// cache and shared memory bus (paper Section V-A), together with the SMT
+// fetch and ROB-partitioning policies compared in Section VII.
+package uarch
+
+import "fmt"
+
+// FetchPolicy selects how an SMT core divides front-end (fetch/dispatch)
+// bandwidth between hardware threads.
+type FetchPolicy int
+
+const (
+	// ICOUNT prioritises the thread with the fewest in-flight
+	// instructions (Tullsen et al., ISCA 1996). It implicitly steers
+	// front-end bandwidth towards fast-moving threads and throttles
+	// threads blocked on long-latency misses.
+	ICOUNT FetchPolicy = iota
+	// RoundRobin cycles fetch between ready threads with equal weight.
+	RoundRobin
+)
+
+// String implements fmt.Stringer.
+func (f FetchPolicy) String() string {
+	switch f {
+	case ICOUNT:
+		return "ICOUNT"
+	case RoundRobin:
+		return "RR"
+	default:
+		return fmt.Sprintf("FetchPolicy(%d)", int(f))
+	}
+}
+
+// ROBPolicy selects how the reorder buffer (and, by extension, the other
+// non-architectural buffers) is divided between SMT threads.
+type ROBPolicy int
+
+const (
+	// DynamicROB lets threads share the ROB freely (Tullsen et al.);
+	// stalled memory-bound threads can occupy a disproportionate share.
+	DynamicROB ROBPolicy = iota
+	// StaticROB gives each thread a fixed 1/K partition (Raasch &
+	// Reinhardt, PACT 2003).
+	StaticROB
+)
+
+// String implements fmt.Stringer.
+func (r ROBPolicy) String() string {
+	switch r {
+	case DynamicROB:
+		return "dynamic"
+	case StaticROB:
+		return "static"
+	default:
+		return fmt.Sprintf("ROBPolicy(%d)", int(r))
+	}
+}
+
+// Core describes one 4-wide out-of-order core. The defaults (see
+// DefaultCore) model the paper's Sniper configuration at the level of
+// detail a mechanistic interval model needs.
+type Core struct {
+	// Width is the dispatch width in instructions per cycle.
+	Width int
+	// ROBSize is the reorder-buffer capacity in instructions.
+	ROBSize int
+	// BranchPenalty is the front-end refill penalty of a mispredicted
+	// branch, in cycles.
+	BranchPenalty float64
+	// LLCHitLatency is the load-to-use latency of a hit in the last-level
+	// cache, in cycles.
+	LLCHitLatency float64
+	// MemLatency is the unloaded (queue-free) DRAM access latency in
+	// cycles.
+	MemLatency float64
+}
+
+// DefaultCore returns the 4-wide out-of-order core used by both machine
+// configurations.
+func DefaultCore() Core {
+	return Core{
+		Width:         4,
+		ROBSize:       224,
+		BranchPenalty: 14,
+		LLCHitLatency: 30,
+		MemLatency:    230,
+	}
+}
+
+// Bus describes the shared memory bus. Service time is the bus occupancy
+// of one cache-line transfer; queueing delay on top of MemLatency is
+// computed by internal/membus from the aggregate line rate.
+type Bus struct {
+	// ServiceCycles is the bus occupancy of a single 64-byte line
+	// transfer, in core cycles.
+	ServiceCycles float64
+}
+
+// DefaultBus returns the shared memory bus configuration (a single DDR3
+// channel: ≈6.4 GB/s of sustainable bandwidth at 3.2 GHz with 64-byte
+// lines), sized so that a single streaming benchmark uses roughly a third
+// of the channel, as on the paper's Sniper setup.
+func DefaultBus() Bus { return Bus{ServiceCycles: 40} }
+
+// SMTMachine is the first configuration of Section V-A: one 4-wide
+// out-of-order core running K hardware threads that share everything —
+// front-end, ROB, caches and the memory bus.
+type SMTMachine struct {
+	Core Core
+	// Threads is the number of hardware thread contexts (K = 4).
+	Threads int
+	// Fetch and ROB select the Section VII policies; the paper's default
+	// is ICOUNT with dynamic ROB sharing.
+	Fetch FetchPolicy
+	ROB   ROBPolicy
+	// SharedCacheKB is the capacity of the core's cache shared between
+	// threads (a 1 MB last-level cache: an SMT core is a single core, so
+	// all cache levels are shared; the L1s are folded into the profiles).
+	SharedCacheKB int
+	Bus           Bus
+}
+
+// DefaultSMT returns the paper's default SMT configuration: 4-way SMT,
+// ICOUNT fetch, dynamic ROB sharing.
+func DefaultSMT() SMTMachine {
+	return SMTMachine{
+		Core:          DefaultCore(),
+		Threads:       4,
+		Fetch:         ICOUNT,
+		ROB:           DynamicROB,
+		SharedCacheKB: 1024,
+		Bus:           DefaultBus(),
+	}
+}
+
+// String returns a compact description, e.g. "SMT4/ICOUNT/dynamic".
+func (m SMTMachine) String() string {
+	return fmt.Sprintf("SMT%d/%s/%s", m.Threads, m.Fetch, m.ROB)
+}
+
+// MulticoreMachine is the second configuration of Section V-A: K identical
+// cores, each with private core resources and a private L2, sharing a
+// last-level cache and the memory bus.
+type MulticoreMachine struct {
+	Core Core
+	// Cores is the number of cores (K = 4).
+	Cores int
+	// PrivateL2KB is each core's private L2 capacity; it filters accesses
+	// before they reach the shared LLC.
+	PrivateL2KB int
+	// SharedLLCKB is the shared last-level cache capacity (8 MB).
+	SharedLLCKB int
+	Bus         Bus
+}
+
+// DefaultMulticore returns the paper's quad-core configuration.
+func DefaultMulticore() MulticoreMachine {
+	return MulticoreMachine{
+		Core:        DefaultCore(),
+		Cores:       4,
+		PrivateL2KB: 256,
+		SharedLLCKB: 4096,
+		Bus:         DefaultBus(),
+	}
+}
+
+// String returns a compact description, e.g. "quad4/LLC8192KB".
+func (m MulticoreMachine) String() string {
+	return fmt.Sprintf("quad%d/LLC%dKB", m.Cores, m.SharedLLCKB)
+}
+
+// Validate checks an SMT machine for structurally invalid parameters.
+func (m SMTMachine) Validate() error {
+	if m.Threads < 1 {
+		return fmt.Errorf("uarch: SMT machine needs >= 1 thread, got %d", m.Threads)
+	}
+	return validateCore(m.Core, m.SharedCacheKB)
+}
+
+// Validate checks a multicore machine for structurally invalid parameters.
+func (m MulticoreMachine) Validate() error {
+	if m.Cores < 1 {
+		return fmt.Errorf("uarch: multicore machine needs >= 1 core, got %d", m.Cores)
+	}
+	if m.PrivateL2KB < 0 {
+		return fmt.Errorf("uarch: negative private L2 size %d", m.PrivateL2KB)
+	}
+	return validateCore(m.Core, m.SharedLLCKB)
+}
+
+func validateCore(c Core, llcKB int) error {
+	if c.Width < 1 || c.ROBSize < c.Width {
+		return fmt.Errorf("uarch: invalid core width=%d rob=%d", c.Width, c.ROBSize)
+	}
+	if c.BranchPenalty < 0 || c.LLCHitLatency < 0 || c.MemLatency <= 0 {
+		return fmt.Errorf("uarch: invalid core latencies %+v", c)
+	}
+	if llcKB <= 0 {
+		return fmt.Errorf("uarch: invalid LLC size %d KB", llcKB)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultsValidate(t *testing.T) {
+	if err := DefaultSMT().Validate(); err != nil {
+		t.Errorf("default SMT machine invalid: %v", err)
+	}
+	if err := DefaultMulticore().Validate(); err != nil {
+		t.Errorf("default multicore machine invalid: %v", err)
+	}
+}
+
+func TestPaperConfiguration(t *testing.T) {
+	// Section V-A: a 4-way SMT 4-wide out-of-order core, and a multicore
+	// of 4 4-wide cores with shared LLC and memory bus.
+	smt := DefaultSMT()
+	if smt.Threads != 4 || smt.Core.Width != 4 {
+		t.Errorf("SMT config %+v is not 4-way/4-wide", smt)
+	}
+	if smt.Fetch != ICOUNT || smt.ROB != DynamicROB {
+		t.Errorf("paper default is ICOUNT with dynamic ROB, got %s/%s", smt.Fetch, smt.ROB)
+	}
+	quad := DefaultMulticore()
+	if quad.Cores != 4 || quad.Core.Width != 4 {
+		t.Errorf("quad config %+v is not 4x4-wide", quad)
+	}
+	if quad.SharedLLCKB <= 0 || quad.Bus.ServiceCycles <= 0 {
+		t.Errorf("quad must share an LLC and a bus: %+v", quad)
+	}
+}
+
+func TestValidationCatchesBadConfigs(t *testing.T) {
+	smt := DefaultSMT()
+	smt.Threads = 0
+	if smt.Validate() == nil {
+		t.Error("zero threads must fail validation")
+	}
+	smt = DefaultSMT()
+	smt.Core.Width = 0
+	if smt.Validate() == nil {
+		t.Error("zero width must fail validation")
+	}
+	smt = DefaultSMT()
+	smt.SharedCacheKB = 0
+	if smt.Validate() == nil {
+		t.Error("zero cache must fail validation")
+	}
+	smt = DefaultSMT()
+	smt.Core.MemLatency = 0
+	if smt.Validate() == nil {
+		t.Error("zero memory latency must fail validation")
+	}
+	quad := DefaultMulticore()
+	quad.Cores = -1
+	if quad.Validate() == nil {
+		t.Error("negative cores must fail validation")
+	}
+	quad = DefaultMulticore()
+	quad.PrivateL2KB = -1
+	if quad.Validate() == nil {
+		t.Error("negative L2 must fail validation")
+	}
+	quad = DefaultMulticore()
+	quad.Core.ROBSize = 1
+	if quad.Validate() == nil {
+		t.Error("ROB smaller than width must fail validation")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := DefaultSMT().String(); !strings.Contains(s, "SMT4") || !strings.Contains(s, "ICOUNT") {
+		t.Errorf("SMT String() = %q", s)
+	}
+	if s := DefaultMulticore().String(); !strings.Contains(s, "quad4") {
+		t.Errorf("multicore String() = %q", s)
+	}
+	if ICOUNT.String() != "ICOUNT" || RoundRobin.String() != "RR" {
+		t.Error("FetchPolicy stringer broken")
+	}
+	if DynamicROB.String() != "dynamic" || StaticROB.String() != "static" {
+		t.Error("ROBPolicy stringer broken")
+	}
+	if FetchPolicy(9).String() == "" || ROBPolicy(9).String() == "" {
+		t.Error("unknown policy values must still print")
+	}
+}

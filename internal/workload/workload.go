@@ -1,0 +1,194 @@
+// Package workload provides the combinatorial machinery of the study:
+// enumeration of workloads (combinations of N job types without repetition
+// out of the benchmark suite) and coschedules (multisets of K jobs drawn
+// from the N job types of a workload, i.e. combinations with repetition).
+//
+// For the paper's default setup — 12 benchmarks, N = 4 job types, K = 4
+// hardware contexts — there are C(12,4) = 495 workloads and, per workload,
+// C(N+K-1, K) = 35 coschedules; across the whole suite there are
+// C(12+4-1, 4) = 1,365 distinct coschedules to simulate.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Coschedule is a multiset of job-type indices of size K, stored sorted
+// ascending. Indices refer to whatever universe the caller uses (the global
+// benchmark suite or a workload's local job types).
+type Coschedule []int
+
+// NewCoschedule copies and canonicalises (sorts) the given job-type indices.
+func NewCoschedule(types ...int) Coschedule {
+	c := append(Coschedule(nil), types...)
+	sort.Ints(c)
+	return c
+}
+
+// Key returns a canonical string key ("0,3,3,7") usable as a map key.
+func (c Coschedule) Key() string {
+	parts := make([]string, len(c))
+	for i, t := range c {
+		parts[i] = fmt.Sprint(t)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Count returns how many slots of the coschedule run job type t.
+func (c Coschedule) Count(t int) int {
+	n := 0
+	for _, x := range c {
+		if x == t {
+			n++
+		}
+	}
+	return n
+}
+
+// Heterogeneity returns the number of distinct job types in the coschedule
+// (Table II groups coschedules by this quantity).
+func (c Coschedule) Heterogeneity() int {
+	if len(c) == 0 {
+		return 0
+	}
+	h := 1
+	for i := 1; i < len(c); i++ {
+		if c[i] != c[i-1] {
+			h++
+		}
+	}
+	return h
+}
+
+// Types returns the sorted distinct job types present.
+func (c Coschedule) Types() []int {
+	var ts []int
+	for i, x := range c {
+		if i == 0 || x != c[i-1] {
+			ts = append(ts, x)
+		}
+	}
+	return ts
+}
+
+// Remap translates the coschedule through a local-to-global index table.
+func (c Coschedule) Remap(table []int) Coschedule {
+	out := make(Coschedule, len(c))
+	for i, t := range c {
+		out[i] = table[t]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Workload is a set of N distinct job types (global benchmark indices),
+// sorted ascending. Per the paper's assumptions the job types are
+// equiprobable and contribute equal total work.
+type Workload []int
+
+// Key returns a canonical string key for the workload.
+func (w Workload) Key() string { return Coschedule(w).Key() }
+
+// Combinations enumerates all combinations without repetition of k elements
+// out of [0, n), in lexicographic order. It panics for invalid arguments.
+func Combinations(n, k int) [][]int {
+	if k < 0 || n < 0 || k > n {
+		panic(fmt.Sprintf("workload: Combinations(%d, %d) invalid", n, k))
+	}
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		// Advance.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	if k == 0 {
+		return [][]int{{}}
+	}
+	return out
+}
+
+// Multisets enumerates all combinations WITH repetition of k elements out
+// of [0, n) (i.e. sorted multisets), in lexicographic order. This is the
+// coschedule space: Multisets(N, K) has C(N+K-1, K) elements.
+func Multisets(n, k int) []Coschedule {
+	if k < 0 || n <= 0 {
+		panic(fmt.Sprintf("workload: Multisets(%d, %d) invalid", n, k))
+	}
+	var out []Coschedule
+	cur := make([]int, k)
+	var rec func(pos, min int)
+	rec = func(pos, min int) {
+		if pos == k {
+			out = append(out, append(Coschedule(nil), cur...))
+			return
+		}
+		for t := min; t < n; t++ {
+			cur[pos] = t
+			rec(pos+1, t)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// Binomial returns C(n, k) as an int; it panics on overflow of int64.
+func Binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := int64(1)
+	for i := 0; i < k; i++ {
+		res = res * int64(n-i)
+		if res < 0 {
+			panic("workload: Binomial overflow")
+		}
+		res /= int64(i + 1)
+	}
+	return int(res)
+}
+
+// MultisetCount returns the number of multisets of size k over n types,
+// C(n+k-1, k).
+func MultisetCount(n, k int) int { return Binomial(n+k-1, k) }
+
+// EnumerateWorkloads returns all workloads of n distinct job types drawn
+// from a suite of `suite` benchmarks (C(suite, n) workloads).
+func EnumerateWorkloads(suite, n int) []Workload {
+	combos := Combinations(suite, n)
+	out := make([]Workload, len(combos))
+	for i, c := range combos {
+		out[i] = Workload(c)
+	}
+	return out
+}
+
+// LocalCoschedules enumerates the coschedules of a workload with k slots,
+// expressed in *global* benchmark indices. For the default N=4, K=4 this
+// yields the 35 coschedules the paper describes (AAAA, AAAB, ..., DDDD).
+func LocalCoschedules(w Workload, k int) []Coschedule {
+	locals := Multisets(len(w), k)
+	out := make([]Coschedule, len(locals))
+	for i, lc := range locals {
+		out[i] = lc.Remap(w)
+	}
+	return out
+}

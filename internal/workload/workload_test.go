@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"symbiosched/internal/stats"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{12, 4, 495},
+		{15, 4, 1365}, // C(12+4-1, 4): the paper's coschedule count
+		{7, 4, 35},    // C(4+4-1, 4): coschedules per N=4 workload
+		{11, 4, 330},  // coschedules per N=8 workload
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 6, 0},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestCombinationsCount(t *testing.T) {
+	if got := len(Combinations(12, 4)); got != 495 {
+		t.Errorf("len(Combinations(12,4)) = %d, want 495 (paper Section V-A)", got)
+	}
+	if got := len(Combinations(12, 8)); got != 495 {
+		t.Errorf("len(Combinations(12,8)) = %d, want 495 (N=8 study)", got)
+	}
+}
+
+func TestCombinationsProperties(t *testing.T) {
+	combos := Combinations(6, 3)
+	seen := map[string]bool{}
+	for _, c := range combos {
+		if !sort.IntsAreSorted(c) {
+			t.Errorf("combination %v not sorted", c)
+		}
+		for i := 1; i < len(c); i++ {
+			if c[i] == c[i-1] {
+				t.Errorf("combination %v has repeats", c)
+			}
+		}
+		k := Workload(c).Key()
+		if seen[k] {
+			t.Errorf("duplicate combination %v", c)
+		}
+		seen[k] = true
+	}
+	if len(combos) != Binomial(6, 3) {
+		t.Errorf("count = %d, want %d", len(combos), Binomial(6, 3))
+	}
+}
+
+func TestMultisetsCount(t *testing.T) {
+	if got := len(Multisets(12, 4)); got != 1365 {
+		t.Errorf("len(Multisets(12,4)) = %d, want 1365 (paper Section V-A)", got)
+	}
+	if got := len(Multisets(4, 4)); got != 35 {
+		t.Errorf("len(Multisets(4,4)) = %d, want 35 (paper Section V-A)", got)
+	}
+}
+
+func TestMultisetsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		n := 1 + r.Intn(6)
+		k := 1 + r.Intn(4)
+		ms := Multisets(n, k)
+		if len(ms) != MultisetCount(n, k) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, m := range ms {
+			if len(m) != k || !sort.IntsAreSorted(m) {
+				return false
+			}
+			if seen[m.Key()] {
+				return false
+			}
+			seen[m.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoscheduleHeterogeneity(t *testing.T) {
+	cases := []struct {
+		cs   Coschedule
+		want int
+	}{
+		{NewCoschedule(0, 0, 0, 0), 1},
+		{NewCoschedule(0, 0, 0, 1), 2},
+		{NewCoschedule(0, 1, 2, 2), 3},
+		{NewCoschedule(3, 1, 0, 2), 4},
+		{NewCoschedule(), 0},
+	}
+	for _, c := range cases {
+		if got := c.cs.Heterogeneity(); got != c.want {
+			t.Errorf("Heterogeneity(%v) = %d, want %d", c.cs, got, c.want)
+		}
+	}
+}
+
+func TestCoscheduleCountAndTypes(t *testing.T) {
+	c := NewCoschedule(2, 0, 2, 5)
+	if got := c.Count(2); got != 2 {
+		t.Errorf("Count(2) = %d, want 2", got)
+	}
+	if got := c.Count(7); got != 0 {
+		t.Errorf("Count(7) = %d, want 0", got)
+	}
+	types := c.Types()
+	want := []int{0, 2, 5}
+	if len(types) != len(want) {
+		t.Fatalf("Types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Errorf("Types = %v, want %v", types, want)
+		}
+	}
+}
+
+func TestCoscheduleKeyCanonical(t *testing.T) {
+	a := NewCoschedule(3, 1, 2, 1)
+	b := NewCoschedule(1, 1, 2, 3)
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ for the same multiset: %q vs %q", a.Key(), b.Key())
+	}
+	// Keys must distinguish multi-digit types ("1,11" vs "11,1" ordering).
+	c := NewCoschedule(1, 11)
+	d := NewCoschedule(11, 1)
+	if c.Key() != d.Key() {
+		t.Errorf("multi-digit keys differ: %q vs %q", c.Key(), d.Key())
+	}
+}
+
+func TestRemapAndLocalCoschedules(t *testing.T) {
+	w := Workload{2, 5, 7, 11}
+	cs := LocalCoschedules(w, 4)
+	if len(cs) != 35 {
+		t.Fatalf("len = %d, want 35", len(cs))
+	}
+	// Every coschedule uses only the workload's global types.
+	allowed := map[int]bool{2: true, 5: true, 7: true, 11: true}
+	for _, c := range cs {
+		for _, typ := range c {
+			if !allowed[typ] {
+				t.Fatalf("coschedule %v uses type outside workload %v", c, w)
+			}
+		}
+	}
+	// First (all smallest) and last (all largest) in lexicographic order.
+	if cs[0].Key() != NewCoschedule(2, 2, 2, 2).Key() {
+		t.Errorf("first coschedule = %v", cs[0])
+	}
+	if cs[len(cs)-1].Key() != NewCoschedule(11, 11, 11, 11).Key() {
+		t.Errorf("last coschedule = %v", cs[len(cs)-1])
+	}
+}
+
+func TestEnumerateWorkloads(t *testing.T) {
+	ws := EnumerateWorkloads(12, 4)
+	if len(ws) != 495 {
+		t.Fatalf("len = %d, want 495", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if len(w) != 4 {
+			t.Fatalf("workload %v has wrong size", w)
+		}
+		if seen[w.Key()] {
+			t.Fatalf("duplicate workload %v", w)
+		}
+		seen[w.Key()] = true
+	}
+}
