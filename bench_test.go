@@ -10,6 +10,8 @@
 package symbiosched_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -389,6 +391,45 @@ func BenchmarkAblationSMTFetchPolicy(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*(icTP/rrTP-1), "icountVsRR%")
+}
+
+// BenchmarkSectionVISweepParallelism measures the internal/runner payoff
+// on the repo's hottest path: the Figure 5 latency sweep (workloads x
+// loads x schedulers of event simulation) at Parallelism=1 versus all
+// CPUs. The sub-benchmark names carry the pool size; output is asserted
+// byte-identical across the two, which is the runner's determinism
+// contract. Expect >= 1.5x wall-time improvement at GOMAXPROCS >= 4.
+func BenchmarkSectionVISweepParallelism(b *testing.B) {
+	var outputs [2]string
+	for pi, p := range []int{1, runtime.GOMAXPROCS(0)} {
+		pi, p := pi, p
+		b.Run(fmt.Sprintf("parallel=%d", p), func(b *testing.B) {
+			suite := program.Suite()
+			cfg := exp.DefaultConfig()
+			cfg.Suite = []program.Profile{suite[1], suite[3], suite[5], suite[6], suite[7], suite[11]}
+			cfg.FCFSJobs = 5000
+			cfg.SimJobs = 3000
+			cfg.SampleWorkloads = 5
+			cfg.Parallelism = p
+			e := exp.NewEnv(cfg)
+			// Pre-build the shared inputs (perfdb table, Figure 1-3 sweep)
+			// so the timed region is exactly the Section VI event sweep.
+			if _, err := e.SMTSweep(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := exp.Fig5(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				outputs[pi] = r.Format()
+			}
+		})
+	}
+	if outputs[0] != "" && outputs[1] != "" && outputs[0] != outputs[1] {
+		b.Fatalf("Fig5 output differs across parallelism levels:\n%s\nvs\n%s", outputs[0], outputs[1])
+	}
 }
 
 // BenchmarkStatsRNG keeps the PRNG hot path visible in profiles.

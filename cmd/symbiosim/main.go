@@ -6,13 +6,18 @@
 //	symbiosim [flags] <experiment> [<experiment>...]
 //
 // Experiments: table1, fig1, fig2, fig3, table2, n8, fairness, fig4,
-// fig5, fig6, uarch, all.
+// fig5, fig6, uarch, makespan, all.
+//
+// -parallel bounds the worker pool of every sweep (results are identical
+// at any value), -cache caches built performance databases on disk, and
+// -progress reports per-sweep progress on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,6 +31,9 @@ func main() {
 		sample   = flag.Int("sample", 99, "workloads sampled for fig5/fig6/fairness (0 = all 495)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		csvDir   = flag.String("csv", "", "also write plottable series as CSV files into this directory")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for every sweep (results are identical at any value)")
+		cacheDir = flag.String("cache", "", "cache built performance databases as gob files in this directory")
+		progress = flag.Bool("progress", false, "print per-sweep progress to stderr")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: symbiosim [flags] <experiment>...\n")
@@ -43,6 +51,30 @@ func main() {
 	cfg.SimJobs = *simJobs
 	cfg.SampleWorkloads = *sample
 	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
+	cfg.CacheDir = *cacheDir
+	if cfg.CacheDir != "" {
+		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "symbiosim: -cache %s: %v\n", cfg.CacheDir, err)
+			os.Exit(1)
+		}
+	}
+	if *progress {
+		cfg.Progress = func(sweep string, done, total int) {
+			// Print ~1%-granularity updates plus the endpoints.
+			step := total / 100
+			if step < 1 {
+				step = 1
+			}
+			if done%step != 0 && done != total {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "\r%-12s %d/%d", sweep, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	env := exp.NewEnv(cfg)
 
 	var names []string

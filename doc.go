@@ -11,6 +11,16 @@
 // in internal/exp. Executables are under cmd/ (symbiosim, coschedql, mmc)
 // and runnable examples under examples/.
 //
+// All sweeps — the per-coschedule performance-database fill in
+// internal/perfdb, the suite analyses in internal/core, and the Section
+// VI event-simulation sweeps in internal/exp — run on internal/runner, a
+// bounded worker pool with index-ordered reduction whose results are
+// bit-identical at any parallelism level. The pool size is one knob
+// (exp.Config.Parallelism, symbiosim's -parallel flag; default all
+// CPUs), and built performance databases can be cached on disk as gob
+// files (exp.Config.CacheDir, symbiosim's -cache flag) so the expensive
+// database build amortises across runs.
+//
 // bench_test.go in this directory holds one benchmark per table and figure
 // of the paper plus ablations of the design choices listed in DESIGN.md.
 // See README.md for a walkthrough and EXPERIMENTS.md for paper-vs-measured

@@ -1,0 +1,3 @@
+module symbiosched
+
+go 1.24

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"symbiosched/internal/runner"
+)
+
+// TestAnalyzeSuiteDeterministicAcrossParallelism pins the runner contract:
+// the suite sweep's aggregates are bit-identical at any parallelism level
+// (the FCFS simulation included — each workload gets its own seeded
+// stream, and the fold runs in enumeration order).
+func TestAnalyzeSuiteDeterministicAcrossParallelism(t *testing.T) {
+	tab := table(t)
+	run := func(p int) *SuiteAnalysis {
+		sa, err := AnalyzeSuite(tab, 4, AnalyzeConfig{
+			FCFS:   FCFSConfig{Jobs: 2000},
+			Runner: runner.Config{Parallelism: p},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sa
+	}
+	ref := run(1)
+	for _, p := range []int{2, 8} {
+		sa := run(p)
+		if sa.Slope != ref.Slope || sa.GapBridge != ref.GapBridge || sa.BottleneckCorr != ref.BottleneckCorr {
+			t.Fatalf("p=%d: aggregates differ: slope %v vs %v, bridge %v vs %v, corr %v vs %v",
+				p, sa.Slope, ref.Slope, sa.GapBridge, ref.GapBridge, sa.BottleneckCorr, ref.BottleneckCorr)
+		}
+		if sa.JobIPC != ref.JobIPC || sa.InstTP != ref.InstTP || sa.AvgTP != ref.AvgTP {
+			t.Fatalf("p=%d: spread stats differ from sequential sweep", p)
+		}
+		for i, a := range sa.Workloads {
+			r := ref.Workloads[i]
+			if a.OptimalTP != r.OptimalTP || a.WorstTP != r.WorstTP || a.FCFSTP != r.FCFSTP {
+				t.Fatalf("p=%d: workload %v throughputs differ: %+v vs %+v", p, a.Workload, a, r)
+			}
+		}
+	}
+}

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"symbiosched/internal/perfdb"
+	"symbiosched/internal/runner"
 	"symbiosched/internal/stats"
 	"symbiosched/internal/workload"
 )
@@ -63,6 +63,10 @@ type AnalyzeConfig struct {
 	// SkipFCFS replaces the simulated FCFS throughput with the Markov
 	// approximation (faster; used by tests).
 	UseMarkovFCFS bool
+	// Runner bounds the suite-sweep parallelism and carries progress
+	// hooks; the zero value uses all CPUs. Results are independent of the
+	// parallelism level.
+	Runner runner.Config
 }
 
 // Analyze computes the full per-workload analysis for one workload.
@@ -158,39 +162,26 @@ type SuiteAnalysis struct {
 }
 
 // AnalyzeSuite runs Analyze for every workload of n distinct types over
-// the table's suite, in parallel, and aggregates the spread statistics.
+// the table's suite, in parallel via the runner engine, and aggregates the
+// spread statistics. The aggregation folds in workload-enumeration order,
+// so the result is bit-identical at any parallelism level.
 func AnalyzeSuite(t *perfdb.Table, n int, cfg AnalyzeConfig) (*SuiteAnalysis, error) {
 	ws := workload.EnumerateWorkloads(len(t.Suite()), n)
 	out := &SuiteAnalysis{Workloads: make([]*WorkloadAnalysis, len(ws))}
-	errs := make([]error, len(ws))
-	var wg sync.WaitGroup
-	nw := runtime.GOMAXPROCS(0)
-	chunk := (len(ws) + nw - 1) / nw
-	for wk := 0; wk < nw; wk++ {
-		lo, hi := wk*chunk, (wk+1)*chunk
-		if hi > len(ws) {
-			hi = len(ws)
+	err := runner.ForEach(context.Background(), cfg.Runner, len(ws), func(_ context.Context, i int) error {
+		c := cfg
+		if c.FCFS.Seed == 0 {
+			c.FCFS.Seed = uint64(i) + 1 // distinct, deterministic streams
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				c := cfg
-				if c.FCFS.Seed == 0 {
-					c.FCFS.Seed = uint64(i) + 1 // distinct, deterministic streams
-				}
-				out.Workloads[i], errs[i] = Analyze(t, ws[i], c)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
+		a, err := Analyze(t, ws[i], c)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("workload %v: %w", ws[i], err)
 		}
+		out.Workloads[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	aggregate(out)
 	return out, nil

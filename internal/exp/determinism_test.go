@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"testing"
+
+	"symbiosched/internal/program"
+)
+
+// tinyEnv builds a fresh (uncached) Env at the given parallelism: 5
+// benchmarks, 5 N=4 workloads, small simulations.
+func tinyEnv(p int) *Env {
+	suite := program.Suite()
+	cfg := DefaultConfig()
+	cfg.Suite = []program.Profile{suite[1], suite[5], suite[6], suite[7], suite[11]}
+	cfg.FCFSJobs = 2000
+	cfg.SimJobs = 1500
+	cfg.Parallelism = p
+	return NewEnv(cfg)
+}
+
+// TestDriversDeterministicAcrossParallelism pins the PR's headline
+// guarantee end to end: every driver's Format() output — perfdb build,
+// suite sweep and Section VI event simulations included — is byte-
+// identical at Parallelism 1 and 8.
+func TestDriversDeterministicAcrossParallelism(t *testing.T) {
+	type driver struct {
+		name string
+		run  func(e *Env) (string, error)
+	}
+	drivers := []driver{
+		{"fig1", func(e *Env) (string, error) {
+			r, err := Fig1(e)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"fig5", func(e *Env) (string, error) {
+			r, err := Fig5(e)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"fig6", func(e *Env) (string, error) {
+			r, err := Fig6(e)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"fairness", func(e *Env) (string, error) {
+			r, err := Fairness(e)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+		{"makespan", func(e *Env) (string, error) {
+			r, err := MakespanExperiment(e, 8)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
+	}
+	outputs := map[int]map[string]string{}
+	for _, p := range []int{1, 8} {
+		e := tinyEnv(p)
+		outputs[p] = map[string]string{}
+		for _, d := range drivers {
+			out, err := d.run(e)
+			if err != nil {
+				t.Fatalf("p=%d %s: %v", p, d.name, err)
+			}
+			outputs[p][d.name] = out
+		}
+	}
+	for _, d := range drivers {
+		if outputs[1][d.name] != outputs[8][d.name] {
+			t.Errorf("%s: output differs between Parallelism=1 and Parallelism=8\n--- p=1 ---\n%s\n--- p=8 ---\n%s",
+				d.name, outputs[1][d.name], outputs[8][d.name])
+		}
+	}
+}
+
+// TestPerfdbCachePlumbs verifies the Env-level cache: a second Env pointed
+// at the same directory reloads the tables instead of rebuilding, and the
+// loaded table drives drivers to identical output.
+func TestPerfdbCachePlumbs(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Env {
+		e := tinyEnv(0)
+		e.Cfg.CacheDir = dir
+		return e
+	}
+	e1 := mk()
+	t1 := Table1(e1)
+	e2 := mk()
+	t2 := Table1(e2)
+	out1, out2 := FormatTable1(t1), FormatTable1(t2)
+	if out1 != out2 {
+		t.Fatalf("cached table changed Table 1 output:\n%s\nvs\n%s", out1, out2)
+	}
+}

@@ -7,14 +7,25 @@
 // Every driver returns a structured result plus a Format() string that
 // prints the same quantities the paper reports, with the paper's numbers
 // quoted alongside for comparison (also recorded in EXPERIMENTS.md).
+//
+// Sweeps run on internal/runner: Config.Parallelism bounds every worker
+// pool (perfdb builds, suite analyses, Section VI simulations) without
+// changing any result — item seeds derive from enumeration indices and
+// reductions fold in index order, so output is bit-identical at any
+// parallelism level. Config.CacheDir enables the on-disk perfdb table
+// cache, and Config.Progress observes per-sweep progress.
 package exp
 
 import (
+	"context"
+	"fmt"
 	"sync"
+	"time"
 
 	"symbiosched/internal/core"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/program"
+	"symbiosched/internal/runner"
 	"symbiosched/internal/uarch"
 )
 
@@ -34,6 +45,17 @@ type Config struct {
 	SampleWorkloads int
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Parallelism bounds every sweep's worker pool (perfdb builds, suite
+	// sweeps, Section VI simulations). Zero means all CPUs. Results are
+	// independent of the value; only wall time changes.
+	Parallelism int
+	// CacheDir, when non-empty, caches built perfdb tables as gob files
+	// in this directory so the expensive database build amortises across
+	// runs.
+	CacheDir string
+	// Progress, when set, receives per-sweep progress: the sweep's name
+	// and how many of its items have completed.
+	Progress func(sweep string, done, total int)
 }
 
 // DefaultConfig returns the paper's default setup.
@@ -85,24 +107,60 @@ func NewEnv(cfg Config) *Env {
 	return &Env{Cfg: cfg}
 }
 
-// SMTTable returns (building once) the SMT performance database.
+// runCfg returns the runner configuration for one named sweep, wiring the
+// Parallelism knob and the Progress callback.
+func (e *Env) runCfg(sweep string) runner.Config {
+	rc := runner.Config{Parallelism: e.Cfg.Parallelism}
+	if p := e.Cfg.Progress; p != nil {
+		var done, total int
+		rc.Hooks.Start = func(n int) { total = n; p(sweep, 0, n) }
+		rc.Hooks.Item = func(int, time.Duration) { // serialised by the runner
+			done++
+			p(sweep, done, total)
+		}
+	}
+	return rc
+}
+
+// SMTTable returns (building once) the SMT performance database, loading
+// it from Cfg.CacheDir when enabled.
 func (e *Env) SMTTable() *perfdb.Table {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.smtTable == nil {
-		e.smtTable = perfdb.Build(perfdb.SMTModel{Machine: e.Cfg.SMT}, e.Cfg.Suite)
+		e.smtTable = e.table(perfdb.SMTModel{Machine: e.Cfg.SMT}, fmt.Sprintf("%+v", e.Cfg.SMT), "perfdb/smt")
 	}
 	return e.smtTable
 }
 
-// QuadTable returns (building once) the quad-core performance database.
+// QuadTable returns (building once) the quad-core performance database,
+// loading it from Cfg.CacheDir when enabled.
 func (e *Env) QuadTable() *perfdb.Table {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.quadTable == nil {
-		e.quadTable = perfdb.Build(perfdb.MulticoreModel{Machine: e.Cfg.Quad}, e.Cfg.Suite)
+		e.quadTable = e.table(perfdb.MulticoreModel{Machine: e.Cfg.Quad}, fmt.Sprintf("%+v", e.Cfg.Quad), "perfdb/quad")
 	}
 	return e.quadTable
+}
+
+// table builds (or loads from the cache directory) one perfdb table. The
+// fingerprint must encode every machine parameter so a config change can
+// never resurrect a stale cache entry.
+func (e *Env) table(m perfdb.Model, fingerprint, sweep string) *perfdb.Table {
+	rc := e.runCfg(sweep)
+	if e.Cfg.CacheDir == "" {
+		t, err := perfdb.BuildWith(context.Background(), rc, m, e.Cfg.Suite)
+		if err != nil {
+			panic(err) // unreachable: the background context never cancels
+		}
+		return t
+	}
+	t, _, err := perfdb.LoadOrBuild(context.Background(), rc, m, e.Cfg.Suite, e.Cfg.CacheDir, fingerprint)
+	if err != nil {
+		panic(fmt.Sprintf("exp: perfdb cache %s: %v", e.Cfg.CacheDir, err))
+	}
+	return t
 }
 
 // SMTSweep returns (running once) the N=4 all-workloads analysis on the
@@ -112,7 +170,10 @@ func (e *Env) SMTSweep() (*core.SuiteAnalysis, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.smtSweep == nil {
-		sa, err := core.AnalyzeSuite(t, 4, core.AnalyzeConfig{FCFS: core.FCFSConfig{Jobs: e.Cfg.FCFSJobs}})
+		sa, err := core.AnalyzeSuite(t, 4, core.AnalyzeConfig{
+			FCFS:   core.FCFSConfig{Jobs: e.Cfg.FCFSJobs},
+			Runner: e.runCfg("sweep/smt"),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +189,10 @@ func (e *Env) QuadSweep() (*core.SuiteAnalysis, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.quadSweep == nil {
-		sa, err := core.AnalyzeSuite(t, 4, core.AnalyzeConfig{FCFS: core.FCFSConfig{Jobs: e.Cfg.FCFSJobs}})
+		sa, err := core.AnalyzeSuite(t, 4, core.AnalyzeConfig{
+			FCFS:   core.FCFSConfig{Jobs: e.Cfg.FCFSJobs},
+			Runner: e.runCfg("sweep/quad"),
+		})
 		if err != nil {
 			return nil, err
 		}

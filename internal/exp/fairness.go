@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"symbiosched/internal/core"
+	"symbiosched/internal/runner"
 	"symbiosched/internal/workload"
 )
 
@@ -28,21 +30,31 @@ type FairnessResult struct {
 func Fairness(e *Env) (*FairnessResult, error) {
 	t := e.SMTTable()
 	ws := e.sampledWorkloads()
-	r := &FairnessResult{Name: t.Name(), Workloads: len(ws)}
 	n := float64(len(ws))
-	for wi, w := range ws {
-		out, err := core.FairnessExperiment(t, w, core.FCFSConfig{
-			Jobs: e.Cfg.FCFSJobs,
-			Seed: e.Cfg.Seed + uint64(wi),
+	// One counterfactual per workload in parallel; the means fold in
+	// workload order, exactly as the former sequential loop summed them.
+	r, err := runner.Reduce(context.Background(), e.runCfg("fairness"), len(ws),
+		&FairnessResult{Name: t.Name(), Workloads: len(ws)},
+		func(_ context.Context, wi int) (*core.FairnessOutcome, error) {
+			out, err := core.FairnessExperiment(t, ws[wi], core.FCFSConfig{
+				Jobs: e.Cfg.FCFSJobs,
+				Seed: e.Cfg.Seed + uint64(wi),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("workload %v: %w", ws[wi], err)
+			}
+			return out, nil
+		},
+		func(r *FairnessResult, _ int, out *core.FairnessOutcome) *FairnessResult {
+			r.OptGain += (out.EqualizedOpt/out.BaselineOpt - 1) / n
+			r.FCFSChange += (out.EqualizedFCFS/out.BaselineFCFS - 1) / n
+			r.WorstChange += (out.EqualizedWorst/out.BaselineWorst - 1) / n
+			r.HeteroFractionBefore += out.HeteroFractionBefore / n
+			r.HeteroFractionAfter += out.HeteroFractionAfter / n
+			return r
 		})
-		if err != nil {
-			return nil, fmt.Errorf("workload %v: %w", w, err)
-		}
-		r.OptGain += (out.EqualizedOpt/out.BaselineOpt - 1) / n
-		r.FCFSChange += (out.EqualizedFCFS/out.BaselineFCFS - 1) / n
-		r.WorstChange += (out.EqualizedWorst/out.BaselineWorst - 1) / n
-		r.HeteroFractionBefore += out.HeteroFractionBefore / n
-		r.HeteroFractionAfter += out.HeteroFractionAfter / n
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }

@@ -1,13 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"symbiosched/internal/eventsim"
 	"symbiosched/internal/perfdb"
+	"symbiosched/internal/runner"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/workload"
 )
@@ -91,81 +91,75 @@ func Fig5(e *Env) (*Fig5Result, error) {
 	type cellAcc struct {
 		turnaround, util, empty float64
 	}
-	// accs[scheduler][load]
+	// One workload's contribution: [scheduler][load], turnaround already
+	// normalised to the workload's own FCFS run.
+	perWorkload := func(_ context.Context, wi int) ([][]cellAcc, error) {
+		w := ws[wi]
+		base, ok := fcfsTP[w.Key()]
+		if !ok || base <= 0 {
+			return nil, nil // skipped workloads contribute nothing
+		}
+		local := make([][]cellAcc, len(SchedulerNames))
+		for i := range local {
+			local[i] = make([]cellAcc, len(Fig5Loads))
+		}
+		fcfsTurn := make([]float64, len(Fig5Loads))
+		for li, load := range Fig5Loads {
+			for si, name := range SchedulerNames {
+				s, err := newScheduler(name, t, w)
+				if err != nil {
+					return nil, fmt.Errorf("workload %v %s load %.2f: %w", w, name, load, err)
+				}
+				// Job sizes are Erlang-4 around mean 1: jobs of
+				// "approximately the same size" (Section VI) with
+				// enough variance for the queueing behaviour a
+				// latency experiment near saturation is about.
+				res, err := eventsim.Latency(t, w, s, eventsim.LatencyConfig{
+					Lambda:    load * base,
+					Jobs:      e.Cfg.SimJobs,
+					SizeShape: 4,
+					Seed:      e.Cfg.Seed + uint64(wi)*31 + uint64(li),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("workload %v %s load %.2f: %w", w, name, load, err)
+				}
+				if name == "FCFS" {
+					fcfsTurn[li] = res.MeanTurnaround
+				}
+				local[si][li] = cellAcc{res.MeanTurnaround, res.Utilisation, res.EmptyFraction}
+			}
+		}
+		for si := range local {
+			for li := range local[si] {
+				if fcfsTurn[li] > 0 {
+					local[si][li].turnaround /= fcfsTurn[li]
+				} else {
+					local[si][li].turnaround = 1
+				}
+			}
+		}
+		return local, nil
+	}
+
+	// accs[scheduler][load], folded in workload order so float sums are
+	// identical at every parallelism level.
 	accs := make([][]cellAcc, len(SchedulerNames))
 	for i := range accs {
 		accs[i] = make([]cellAcc, len(Fig5Loads))
 	}
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for wi, w := range ws {
-		wg.Add(1)
-		go func(wi int, w workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			base, ok := fcfsTP[w.Key()]
-			if !ok || base <= 0 {
-				return
-			}
-			local := make([][]cellAcc, len(SchedulerNames))
-			for i := range local {
-				local[i] = make([]cellAcc, len(Fig5Loads))
-			}
-			var fcfsTurn [8]float64
-			for li, load := range Fig5Loads {
-				for si, name := range SchedulerNames {
-					s, err := newScheduler(name, t, w)
-					if err == nil {
-						var res *eventsim.Result
-						// Job sizes are Erlang-4 around mean 1: jobs of
-						// "approximately the same size" (Section VI) with
-						// enough variance for the queueing behaviour a
-						// latency experiment near saturation is about.
-						res, err = eventsim.Latency(t, w, s, eventsim.LatencyConfig{
-							Lambda:    load * base,
-							Jobs:      e.Cfg.SimJobs,
-							SizeShape: 4,
-							Seed:      e.Cfg.Seed + uint64(wi)*31 + uint64(li),
-						})
-						if err == nil {
-							if name == "FCFS" {
-								fcfsTurn[li] = res.MeanTurnaround
-							}
-							local[si][li] = cellAcc{res.MeanTurnaround, res.Utilisation, res.EmptyFraction}
-						}
-					}
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("workload %v %s load %.2f: %w", w, name, load, err)
-						}
-						mu.Unlock()
-						return
-					}
-				}
-			}
-			mu.Lock()
+	_, err = runner.Reduce(context.Background(), e.runCfg("fig5"), len(ws), accs, perWorkload,
+		func(accs [][]cellAcc, _ int, local [][]cellAcc) [][]cellAcc {
 			for si := range local {
 				for li := range local[si] {
-					c := local[si][li]
-					norm := 1.0
-					if fcfsTurn[li] > 0 {
-						norm = c.turnaround / fcfsTurn[li]
-					}
-					accs[si][li].turnaround += norm
-					accs[si][li].util += c.util
-					accs[si][li].empty += c.empty
+					accs[si][li].turnaround += local[si][li].turnaround
+					accs[si][li].util += local[si][li].util
+					accs[si][li].empty += local[si][li].empty
 				}
 			}
-			mu.Unlock()
-		}(wi, w)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+			return accs
+		})
+	if err != nil {
+		return nil, err
 	}
 	r := &Fig5Result{Name: t.Name(), Workloads: len(ws)}
 	n := float64(len(ws))

@@ -1,15 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"symbiosched/internal/core"
 	"symbiosched/internal/eventsim"
-	"symbiosched/internal/workload"
+	"symbiosched/internal/runner"
 )
 
 // Fig6Point is one workload in Figure 6: the throughput each online
@@ -39,64 +38,45 @@ type Fig6Result struct {
 func Fig6(e *Env) (*Fig6Result, error) {
 	t := e.SMTTable()
 	ws := e.sampledWorkloads()
-	r := &Fig6Result{Name: t.Name(), Points: make([]Fig6Point, len(ws))}
-	var firstErr error
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for wi, w := range ws {
-		wg.Add(1)
-		go func(wi int, w workload.Workload) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			fail := func(err error) {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("workload %v: %w", w, err)
-				}
-				mu.Unlock()
-			}
+	r := &Fig6Result{Name: t.Name()}
+	points, err := runner.Map(context.Background(), e.runCfg("fig6"), len(ws),
+		func(_ context.Context, wi int) (Fig6Point, error) {
+			w := ws[wi]
 			opt, err := core.Optimal(t, w)
 			if err != nil {
-				fail(err)
-				return
+				return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
 			}
 			worst, err := core.Worst(t, w)
 			if err != nil {
-				fail(err)
-				return
+				return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
 			}
 			cfg := eventsim.MaxThroughputConfig{Jobs: e.Cfg.SimJobs, Seed: e.Cfg.Seed + uint64(wi)}
 			tps := map[string]float64{}
 			for _, name := range SchedulerNames {
 				s, err := newScheduler(name, t, w)
 				if err != nil {
-					fail(err)
-					return
+					return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
 				}
 				res, err := eventsim.MaxThroughput(t, w, s, cfg)
 				if err != nil {
-					fail(err)
-					return
+					return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
 				}
 				tps[name] = res.Throughput
 			}
 			base := tps["FCFS"]
-			r.Points[wi] = Fig6Point{
+			return Fig6Point{
 				Workload:       w.Key(),
 				TheoreticalMax: opt.Throughput / base,
 				TheoreticalMin: worst.Throughput / base,
 				MAXIT:          tps["MAXIT"] / base,
 				SRPT:           tps["SRPT"] / base,
 				MAXTP:          tps["MAXTP"] / base,
-			}
-		}(wi, w)
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
+	r.Points = points
 	sort.Slice(r.Points, func(i, j int) bool { return r.Points[i].TheoreticalMax < r.Points[j].TheoreticalMax })
 	n := float64(len(r.Points))
 	for _, p := range r.Points {

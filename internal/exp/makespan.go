@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"symbiosched/internal/eventsim"
+	"symbiosched/internal/runner"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/stats"
 	"symbiosched/internal/workload"
@@ -43,24 +45,46 @@ func MakespanExperiment(e *Env, batch int) (*MakespanResult, error) {
 		MeanTailIdle: map[string]float64{},
 	}
 	n := float64(len(ws))
-	for wi, w := range ws {
-		cfg := eventsim.MakespanConfig{Batch: batch, SizeShape: 1, Seed: e.Cfg.Seed + uint64(wi)}
-		var base float64
-		for _, name := range MakespanSchedulers {
-			s, err := makespanScheduler(name, e, w)
-			if err != nil {
-				return nil, err
+	type perWorkload struct {
+		makespan, tailIdle []float64 // indexed like MakespanSchedulers
+	}
+	// Simulate workloads in parallel; fold the per-scheduler means in
+	// workload order so the sums match the former sequential loop exactly.
+	_, err := runner.Reduce(context.Background(), e.runCfg("makespan"), len(ws), r,
+		func(_ context.Context, wi int) (perWorkload, error) {
+			w := ws[wi]
+			cfg := eventsim.MakespanConfig{Batch: batch, SizeShape: 1, Seed: e.Cfg.Seed + uint64(wi)}
+			pw := perWorkload{
+				makespan: make([]float64, len(MakespanSchedulers)),
+				tailIdle: make([]float64, len(MakespanSchedulers)),
 			}
-			res, err := eventsim.Makespan(t, w, s, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("workload %v %s: %w", w, name, err)
+			var base float64
+			for si, name := range MakespanSchedulers {
+				s, err := makespanScheduler(name, e, w)
+				if err != nil {
+					return perWorkload{}, err
+				}
+				res, err := eventsim.Makespan(t, w, s, cfg)
+				if err != nil {
+					return perWorkload{}, fmt.Errorf("workload %v %s: %w", w, name, err)
+				}
+				if name == "FCFS" {
+					base = res.Makespan
+				}
+				pw.makespan[si] = res.Makespan / base
+				pw.tailIdle[si] = res.TailIdleFraction
 			}
-			if name == "FCFS" {
-				base = res.Makespan
+			return pw, nil
+		},
+		func(r *MakespanResult, _ int, pw perWorkload) *MakespanResult {
+			for si, name := range MakespanSchedulers {
+				r.MeanMakespan[name] += pw.makespan[si] / n
+				r.MeanTailIdle[name] += pw.tailIdle[si] / n
 			}
-			r.MeanMakespan[name] += res.Makespan / base / n
-			r.MeanTailIdle[name] += res.TailIdleFraction / n
-		}
+			return r
+		})
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }

@@ -31,7 +31,10 @@ func N8(e *Env) (*N8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sweep8, err := core.AnalyzeSuite(t, 8, core.AnalyzeConfig{FCFS: core.FCFSConfig{Jobs: e.Cfg.FCFSJobs}})
+	sweep8, err := core.AnalyzeSuite(t, 8, core.AnalyzeConfig{
+		FCFS:   core.FCFSConfig{Jobs: e.Cfg.FCFSJobs},
+		Runner: e.runCfg("sweep/n8"),
+	})
 	if err != nil {
 		return nil, err
 	}

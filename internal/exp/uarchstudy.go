@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"symbiosched/internal/core"
 	"symbiosched/internal/perfdb"
+	"symbiosched/internal/runner"
 	"symbiosched/internal/uarch"
 	"symbiosched/internal/workload"
 )
@@ -60,17 +62,29 @@ func Uarch(e *Env) (*UarchResult, error) {
 		MeanOptimal: make([]float64, np),
 		Workloads:   len(ws),
 	}
-	// fcfs[p][w], opt[p][w]
+	// fcfs[p][w], opt[p][w]. Policies run one at a time — each item is
+	// itself a perfdb build plus a suite sweep that parallelise
+	// internally, so running the outer level sequentially keeps the total
+	// worker count at the configured Parallelism bound.
 	fcfs := make([][]float64, np)
 	opt := make([][]float64, np)
-	for pi, pol := range UarchPolicies {
+	rc := e.runCfg("uarch")
+	rc.Parallelism = 1
+	err := runner.ForEach(context.Background(), rc, np, func(ctx context.Context, pi int) error {
+		pol := UarchPolicies[pi]
 		machine := e.Cfg.SMT
 		machine.Fetch = pol.Fetch
 		machine.ROB = pol.ROB
-		table := perfdb.Build(perfdb.SMTModel{Machine: machine}, e.Cfg.Suite)
-		sweep, err := core.AnalyzeSuite(table, 4, core.AnalyzeConfig{UseMarkovFCFS: true})
+		table, err := perfdb.BuildWith(ctx, runner.Config{Parallelism: e.Cfg.Parallelism}, perfdb.SMTModel{Machine: machine}, e.Cfg.Suite)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		sweep, err := core.AnalyzeSuite(table, 4, core.AnalyzeConfig{
+			UseMarkovFCFS: true,
+			Runner:        runner.Config{Parallelism: e.Cfg.Parallelism},
+		})
+		if err != nil {
+			return err
 		}
 		fcfs[pi] = make([]float64, len(ws))
 		opt[pi] = make([]float64, len(ws))
@@ -80,6 +94,10 @@ func Uarch(e *Env) (*UarchResult, error) {
 			res.MeanFCFS[pi] += a.FCFSTP / float64(len(ws))
 			res.MeanOptimal[pi] += a.OptimalTP / float64(len(ws))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	bestIdx := func(means []float64) int {
 		b := 0

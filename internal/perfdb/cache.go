@@ -1,0 +1,180 @@
+package perfdb
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"symbiosched/internal/program"
+	"symbiosched/internal/runner"
+	"symbiosched/internal/workload"
+)
+
+// tableGob is the on-disk form of a Table. Only this mirror is gob-coded,
+// keeping the in-memory representation free to change independently of
+// the cache format (bump cacheVersion when the two diverge).
+type tableGob struct {
+	Version int
+	Name    string
+	K       int
+	Suite   []program.Profile
+	Solo    []float64
+	Entries []entryGob
+}
+
+// entryGob is a map-free Entry: gob serialises map iteration order, which
+// is random, so TypeWIPC is flattened into type-sorted parallel slices to
+// keep identical tables byte-identical on disk.
+type entryGob struct {
+	Cos     workload.Coschedule
+	SlotIPC []float64
+	Types   []int
+	WIPCs   []float64
+	InstTP  float64
+}
+
+func toEntryGob(e *Entry) entryGob {
+	g := entryGob{Cos: e.Cos, SlotIPC: e.SlotIPC, InstTP: e.InstTP}
+	for b := range e.TypeWIPC {
+		g.Types = append(g.Types, b)
+	}
+	sort.Ints(g.Types)
+	for _, b := range g.Types {
+		g.WIPCs = append(g.WIPCs, e.TypeWIPC[b])
+	}
+	return g
+}
+
+func (g entryGob) entry() *Entry {
+	e := &Entry{Cos: g.Cos, SlotIPC: g.SlotIPC, InstTP: g.InstTP,
+		TypeWIPC: make(map[int]float64, len(g.Types))}
+	for i, b := range g.Types {
+		e.TypeWIPC[b] = g.WIPCs[i]
+	}
+	return e
+}
+
+const cacheVersion = 1
+
+// Save writes the table to path (gob, atomic rename). Entries are written
+// in ascending key order so identical tables produce identical files.
+func (t *Table) Save(path string) error {
+	g := tableGob{
+		Version: cacheVersion,
+		Name:    t.name,
+		K:       t.k,
+		Suite:   t.suite,
+		Solo:    t.Solo,
+		Entries: t.sortedEntries(),
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(g); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("perfdb: encode %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// sortedEntries returns the entries ordered by coschedule key.
+func (t *Table) sortedEntries() []entryGob {
+	keys := make([]uint64, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]entryGob, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, toEntryGob(t.entries[k]))
+	}
+	return out
+}
+
+// Load reads a table previously written by Save.
+func Load(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var g tableGob
+	if err := gob.NewDecoder(f).Decode(&g); err != nil {
+		return nil, fmt.Errorf("perfdb: decode %s: %w", path, err)
+	}
+	if g.Version != cacheVersion {
+		return nil, fmt.Errorf("perfdb: %s has cache version %d, want %d", path, g.Version, cacheVersion)
+	}
+	t := &Table{
+		name:    g.Name,
+		k:       g.K,
+		suite:   g.Suite,
+		Solo:    g.Solo,
+		entries: make(map[uint64]*Entry, len(g.Entries)),
+	}
+	for _, eg := range g.Entries {
+		t.entries[Key(eg.Cos)] = eg.entry()
+	}
+	return t, nil
+}
+
+// CacheKey derives a stable cache file name for a model + suite pair. The
+// fingerprint must capture every machine parameter that influences rates
+// (e.g. fmt.Sprintf("%+v", machine)); the suite profiles are hashed in
+// full, so any profile change yields a different file.
+func CacheKey(m Model, suite []program.Profile, fingerprint string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|%s|%d|%s|", cacheVersion, m.Name(), m.Contexts(), fingerprint)
+	for i := range suite {
+		fmt.Fprintf(h, "%+v|", suite[i])
+	}
+	return fmt.Sprintf("perfdb-%016x.gob", h.Sum64())
+}
+
+// LoadOrBuild returns the cached table for (m, suite, fingerprint) from
+// dir, or builds it with BuildWith and writes it back. An unreadable or
+// mismatching cache file is treated as a miss and overwritten. The cache
+// is best-effort: a failed write-back (full disk, lost permissions) does
+// not discard the freshly built table — the build result is returned and
+// only the persistence step is dropped. The bool reports whether the
+// cache was hit.
+func LoadOrBuild(ctx context.Context, rc runner.Config, m Model, suite []program.Profile, dir, fingerprint string) (*Table, bool, error) {
+	path := filepath.Join(dir, CacheKey(m, suite, fingerprint))
+	if t, err := Load(path); err == nil && t.matches(m, suite) {
+		return t, true, nil
+	}
+	t, err := BuildWith(ctx, rc, m, suite)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err == nil {
+		_ = t.Save(path) // best-effort; the built table is the result
+	}
+	return t, false, nil
+}
+
+// matches sanity-checks a loaded table against the requesting model and
+// suite (the hashed file name already encodes both; this guards against
+// hand-renamed or corrupted files).
+func (t *Table) matches(m Model, suite []program.Profile) bool {
+	if t.name != m.Name() || t.k != m.Contexts() || len(t.suite) != len(suite) {
+		return false
+	}
+	for i := range suite {
+		if t.suite[i] != suite[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package perfdb
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"symbiosched/internal/runner"
+	"symbiosched/internal/uarch"
+)
+
+// gobBytes serialises a table the same way Save does, for bit-level
+// comparisons.
+func gobBytes(t *testing.T, tab *Table) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.gob")
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBuildDeterministicAcrossParallelism(t *testing.T) {
+	suite := miniSuite(t)
+	model := SMTModel{Machine: uarch.DefaultSMT()}
+	ref, err := BuildWith(context.Background(), runner.Config{Parallelism: 1}, model, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := gobBytes(t, ref)
+	for _, p := range []int{2, 8} {
+		tab, err := BuildWith(context.Background(), runner.Config{Parallelism: p}, model, suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Solo, tab.Solo) {
+			t.Fatalf("p=%d: solo rates differ: %v vs %v", p, ref.Solo, tab.Solo)
+		}
+		if !reflect.DeepEqual(ref.entries, tab.entries) {
+			t.Fatalf("p=%d: entries differ from sequential build", p)
+		}
+		if !bytes.Equal(refBytes, gobBytes(t, tab)) {
+			t.Fatalf("p=%d: serialised table not bit-identical to sequential build", p)
+		}
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	suite := miniSuite(t)
+	tab := Build(SMTModel{Machine: uarch.DefaultSMT()}, suite)
+	path := filepath.Join(t.TempDir(), "table.gob")
+	if err := tab.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.name != tab.name || got.k != tab.k {
+		t.Fatalf("identity mismatch: (%q, %d) vs (%q, %d)", got.name, got.k, tab.name, tab.k)
+	}
+	if !reflect.DeepEqual(got.suite, tab.suite) {
+		t.Fatal("suite profiles differ after round trip")
+	}
+	if !reflect.DeepEqual(got.Solo, tab.Solo) {
+		t.Fatal("solo rates differ after round trip")
+	}
+	if !reflect.DeepEqual(got.entries, tab.entries) {
+		t.Fatal("entries differ after round trip")
+	}
+	// Bit-identical re-serialisation: Save(Load(Save(t))) == Save(t).
+	if !bytes.Equal(gobBytes(t, tab), gobBytes(t, got)) {
+		t.Fatal("re-serialised table not bit-identical")
+	}
+}
+
+func TestLoadOrBuild(t *testing.T) {
+	suite := miniSuite(t)
+	model := SMTModel{Machine: uarch.DefaultSMT()}
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	built, hit, err := LoadOrBuild(ctx, runner.Config{}, model, suite, dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first call reported a cache hit on an empty directory")
+	}
+	cached, hit, err := LoadOrBuild(ctx, runner.Config{}, model, suite, dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second call missed the cache")
+	}
+	if !reflect.DeepEqual(built.entries, cached.entries) {
+		t.Fatal("cached table differs from built table")
+	}
+
+	// A different fingerprint must not reuse the file.
+	if _, hit, err = LoadOrBuild(ctx, runner.Config{}, model, suite, dir, "other"); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatal("different fingerprint hit the cache")
+	}
+
+	// A shorter suite maps to a different key, not a false hit.
+	if _, hit, err = LoadOrBuild(ctx, runner.Config{}, model, suite[:3], dir, "fp"); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatal("different suite hit the cache")
+	}
+}
+
+func TestLoadOrBuildSurvivesUnwritableDir(t *testing.T) {
+	suite := miniSuite(t)
+	model := SMTModel{Machine: uarch.DefaultSMT()}
+	// A directory that cannot be created: the write-back fails, but the
+	// built table must still be returned.
+	dir := filepath.Join(os.DevNull, "sub")
+	tab, hit, err := LoadOrBuild(context.Background(), runner.Config{}, model, suite, dir, "fp")
+	if err != nil {
+		t.Fatalf("write-back failure leaked as an error: %v", err)
+	}
+	if hit {
+		t.Fatal("impossible cache hit")
+	}
+	if tab == nil || tab.Size() == 0 {
+		t.Fatal("built table was discarded on write-back failure")
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gob")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a corrupt file")
+	}
+}
+
+func TestLoadRejectsVersionSkew(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(tableGob{Version: cacheVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted a future cache version")
+	}
+}

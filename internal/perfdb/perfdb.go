@@ -16,12 +16,12 @@
 package perfdb
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"symbiosched/internal/multicore"
 	"symbiosched/internal/program"
+	"symbiosched/internal/runner"
 	"symbiosched/internal/smtmodel"
 	"symbiosched/internal/uarch"
 	"symbiosched/internal/workload"
@@ -110,8 +110,21 @@ func Key(c workload.Coschedule) uint64 {
 }
 
 // Build runs the model over every coschedule of size 1..K over the suite
-// and returns the populated table. Work is spread over all CPUs.
+// and returns the populated table. Work is spread over all CPUs; use
+// BuildWith to bound parallelism, observe progress or cancel.
 func Build(m Model, suite []program.Profile) *Table {
+	t, err := BuildWith(context.Background(), runner.Config{}, m, suite)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return t
+}
+
+// BuildWith is Build with an explicit context and runner configuration.
+// The table contents are independent of rc.Parallelism: every coschedule's
+// rates land in their enumeration slot and derived quantities are folded
+// in enumeration order.
+func BuildWith(ctx context.Context, rc runner.Config, m Model, suite []program.Profile) (*Table, error) {
 	k := m.Contexts()
 	if k < 1 {
 		panic("perfdb: model with no contexts")
@@ -131,32 +144,16 @@ func Build(m Model, suite []program.Profile) *Table {
 	for size := 1; size <= k; size++ {
 		all = append(all, workload.Multisets(len(suite), size)...)
 	}
-	results := make([][]float64, len(all))
-	var wg sync.WaitGroup
-	nw := runtime.GOMAXPROCS(0)
-	chunk := (len(all) + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(all) {
-			hi = len(all)
+	results, err := runner.Map(ctx, rc, len(all), func(_ context.Context, i int) ([]float64, error) {
+		jobs := make([]*program.Profile, len(all[i]))
+		for j, typ := range all[i] {
+			jobs[j] = &suite[typ]
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				jobs := make([]*program.Profile, len(all[i]))
-				for j, typ := range all[i] {
-					jobs[j] = &suite[typ]
-				}
-				results[i] = m.SlotIPC(jobs)
-			}
-		}(lo, hi)
+		return m.SlotIPC(jobs), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	// Solo rates first (they are the size-1 coschedules).
 	for i, c := range all {
@@ -183,7 +180,7 @@ func Build(m Model, suite []program.Profile) *Table {
 		}
 		t.entries[Key(c)] = e
 	}
-	return t
+	return t, nil
 }
 
 // Name returns the model/machine name the table was built with.

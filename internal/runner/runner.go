@@ -1,0 +1,192 @@
+// Package runner is the repo's single parallel-sweep engine. Every
+// embarrassingly parallel fan-out — the perfdb co-schedule table fill, the
+// Figure 1-3 suite sweeps, the Section VI event-simulation sweeps — runs
+// through it instead of hand-rolling goroutines.
+//
+// The engine makes three guarantees the ad-hoc fan-outs did not all share:
+//
+//   - Determinism. Results are collected into an index-ordered slice and
+//     reductions fold in index order, so the outcome is bit-identical to
+//     the sequential path regardless of Parallelism or GOMAXPROCS (floats
+//     are added in the same order every time).
+//   - Deterministic first-error propagation. When several items fail, the
+//     error of the lowest index is returned — the same error a sequential
+//     loop would have hit first — and remaining work is cancelled.
+//   - Bounded concurrency with cancellation. At most Parallelism items run
+//     at once; context cancellation (or the first error) stops the sweep
+//     promptly without leaking goroutines.
+//
+// Hooks provide per-sweep progress and timing without the call sites
+// growing their own instrumentation.
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Hooks observe a sweep. All callbacks are optional; the engine serialises
+// calls, so implementations need not be safe for concurrent use.
+type Hooks struct {
+	// Start fires once before the first item, with the item count.
+	Start func(total int)
+	// Item fires after each item completes, with its index and duration.
+	Item func(index int, d time.Duration)
+	// Done fires once after the sweep, with the item count and wall time.
+	Done func(total int, elapsed time.Duration)
+}
+
+// Config parameterises a sweep.
+type Config struct {
+	// Parallelism bounds the number of concurrently running items.
+	// Zero or negative means runtime.GOMAXPROCS(0).
+	Parallelism int
+	// Hooks observe progress; the zero value observes nothing.
+	Hooks Hooks
+}
+
+// workers returns the effective pool size for n items.
+func (c Config) workers(n int) int {
+	p := c.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) with bounded parallelism and
+// returns the results in index order. Item i's result lands in slot i, so
+// output is independent of scheduling. On failure the lowest-index error
+// is returned (with a nil slice) and outstanding items are cancelled;
+// cancellation errors recorded by items that were themselves cancelled as
+// a consequence rank below the causing failure. If the context is
+// cancelled externally, ctx's error is returned unless an item error
+// precedes it.
+func Map[T any](ctx context.Context, c Config, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	var hookMu sync.Mutex
+	if c.Hooks.Start != nil {
+		c.Hooks.Start(n)
+	}
+
+	// Workers pull the next index from a shared cursor; a mutex-guarded
+	// int keeps the engine free of per-item channel traffic.
+	var (
+		cursorMu sync.Mutex
+		cursor   int
+	)
+	next := func() int {
+		cursorMu.Lock()
+		defer cursorMu.Unlock()
+		if cursor >= n {
+			return -1
+		}
+		i := cursor
+		cursor++
+		return i
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < c.workers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := next()
+				if i < 0 {
+					return
+				}
+				itemStart := time.Now()
+				v, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel() // stop handing out new items
+					return
+				}
+				results[i] = v
+				if c.Hooks.Item != nil {
+					hookMu.Lock()
+					c.Hooks.Item(i, time.Since(itemStart))
+					hookMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Lowest index wins, deterministically. Prefer a real failure over a
+	// bare cancellation: when an item's error cancels the sweep, nested
+	// sweeps in other in-flight items observe the cancelled context and
+	// record context.Canceled at possibly lower indices — those are
+	// victims, not causes.
+	var cancelErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelErr == nil {
+				cancelErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.Hooks.Done != nil {
+		c.Hooks.Done(n, time.Since(start))
+	}
+	return results, nil
+}
+
+// ForEach is Map without results: it runs fn(ctx, i) for every i in
+// [0, n) with the same determinism, cancellation and error guarantees.
+// Callers that fill pre-allocated index-addressed slices (slot i written
+// only by item i) remain deterministic by construction.
+func ForEach(ctx context.Context, c Config, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, c, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// Reduce maps every index through fn and folds the results into acc in
+// strict index order. Because the fold is sequential and ordered, the
+// reduction is bit-identical to a sequential loop even for
+// non-associative operations such as floating-point accumulation.
+func Reduce[A, T any](ctx context.Context, c Config, n int, acc A, fn func(ctx context.Context, i int) (T, error), fold func(acc A, i int, v T) A) (A, error) {
+	results, err := Map(ctx, c, n, fn)
+	if err != nil {
+		return acc, err
+	}
+	for i, v := range results {
+		acc = fold(acc, i, v)
+	}
+	return acc, nil
+}

@@ -1,0 +1,223 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 64} {
+		got, err := Map(context.Background(), Config{Parallelism: p}, 100,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("p=%d: result[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), Config{}, 0,
+		func(_ context.Context, i int) (int, error) { return 0, errors.New("must not run") })
+	if err != nil || got != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestMapBoundsParallelism(t *testing.T) {
+	const p = 3
+	var cur, peak atomic.Int32
+	_, err := Map(context.Background(), Config{Parallelism: p}, 50,
+		func(_ context.Context, i int) (int, error) {
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > p {
+		t.Fatalf("observed %d concurrent items, bound is %d", got, p)
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Higher indices fail fast, a low index fails slow: the low-index
+	// error must still win.
+	errLow := errors.New("low")
+	for run := 0; run < 10; run++ {
+		_, err := Map(context.Background(), Config{Parallelism: 8}, 8,
+			func(_ context.Context, i int) (int, error) {
+				if i == 2 {
+					time.Sleep(5 * time.Millisecond)
+					return 0, errLow
+				}
+				if i >= 4 {
+					return 0, fmt.Errorf("high %d", i)
+				}
+				return i, nil
+			})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("run %d: got %v, want lowest-index error", run, err)
+		}
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(ctx, Config{Parallelism: 2}, 1000,
+			func(ctx context.Context, i int) (int, error) {
+				started.Add(1)
+				select {
+				case <-ctx.Done():
+				case <-time.After(2 * time.Millisecond):
+				}
+				return i, nil
+			})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("got %v, want context.Canceled", err)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	<-done
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop the sweep (%d items ran)", n)
+	}
+}
+
+func TestErrorCancelsRemainingWork(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), Config{Parallelism: 2}, 1000,
+		func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("first error did not cancel the sweep (%d items ran)", n)
+	}
+}
+
+func TestMapRealErrorOutranksCancellationVictim(t *testing.T) {
+	// Item 2 fails; item 0, still in flight, observes the resulting
+	// cancellation (as a nested sweep would) and records ctx.Err() at a
+	// lower index. The cause must win over the victim.
+	boom := errors.New("boom")
+	for run := 0; run < 10; run++ {
+		_, err := Map(context.Background(), Config{Parallelism: 4}, 4,
+			func(ctx context.Context, i int) (int, error) {
+				if i == 2 {
+					time.Sleep(2 * time.Millisecond)
+					return 0, boom
+				}
+				select {
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				case <-time.After(20 * time.Millisecond):
+					return i, nil
+				}
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("run %d: got %v, want the causing error", run, err)
+		}
+	}
+}
+
+func TestForEachIndexAddressedWrites(t *testing.T) {
+	out := make([]int, 200)
+	if err := ForEach(context.Background(), Config{Parallelism: 16}, len(out),
+		func(_ context.Context, i int) error {
+			out[i] = i + 1
+			return nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestReduceFoldsInIndexOrder(t *testing.T) {
+	// A non-commutative fold exposes any ordering violation.
+	got, err := Reduce(context.Background(), Config{Parallelism: 8}, 6, "",
+		func(_ context.Context, i int) (string, error) { return fmt.Sprintf("%d", i), nil },
+		func(acc string, _ int, v string) string { return acc + v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "012345" {
+		t.Fatalf("got %q, want %q", got, "012345")
+	}
+}
+
+func TestReduceDeterministicFloatSum(t *testing.T) {
+	// Bit-identical float accumulation across parallelism levels.
+	sum := func(p int) float64 {
+		s, err := Reduce(context.Background(), Config{Parallelism: p}, 10_000, 0.0,
+			func(_ context.Context, i int) (float64, error) { return 1.0 / float64(i+3), nil },
+			func(acc float64, _ int, v float64) float64 { return acc + v })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ref := sum(1)
+	for _, p := range []int{2, 4, 8, 32} {
+		if got := sum(p); got != ref {
+			t.Fatalf("p=%d: sum %v != sequential %v", p, got, ref)
+		}
+	}
+}
+
+func TestHooks(t *testing.T) {
+	var mu sync.Mutex
+	var startTotal, items, doneTotal int
+	cfg := Config{
+		Parallelism: 4,
+		Hooks: Hooks{
+			Start: func(total int) { startTotal = total },
+			Item: func(index int, d time.Duration) {
+				mu.Lock()
+				items++
+				mu.Unlock()
+			},
+			Done: func(total int, elapsed time.Duration) { doneTotal = total },
+		},
+	}
+	if err := ForEach(context.Background(), cfg, 37, func(_ context.Context, i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if startTotal != 37 || items != 37 || doneTotal != 37 {
+		t.Fatalf("hooks saw start=%d items=%d done=%d, want 37 each", startTotal, items, doneTotal)
+	}
+}
