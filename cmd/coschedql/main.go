@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,30 +24,41 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the benchmark suite and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: coschedql [-list] <benchmark>...\nbenchmarks: %s\n",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("coschedql", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the benchmark suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: coschedql [-list] <benchmark>...\nbenchmarks: %s\n",
 			strings.Join(program.IDs(), ", "))
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 	if *list {
 		for _, id := range program.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 
 	suite := program.Suite()
 	var types []int
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		_, idx, ok := program.ByID(arg)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "coschedql: unknown benchmark %q (try -list)\n", arg)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "coschedql: unknown benchmark %q (try -list)\n", arg)
+			return 2
 		}
 		types = append(types, idx)
 	}
@@ -59,20 +72,21 @@ func main() {
 	} {
 		t := build()
 		if len(cos) > t.K() {
-			fmt.Fprintf(os.Stderr, "coschedql: %d jobs exceed the machine's %d contexts\n", len(cos), t.K())
-			os.Exit(2)
+			fmt.Fprintf(stderr, "coschedql: %d jobs exceed the machine's %d contexts\n", len(cos), t.K())
+			return 2
 		}
 		e := t.Entry(cos)
-		fmt.Printf("%s:\n", t.Name())
-		fmt.Printf("  %-22s %8s %8s %8s\n", "job", "IPC", "soloIPC", "WIPC")
+		fmt.Fprintf(stdout, "%s:\n", t.Name())
+		fmt.Fprintf(stdout, "  %-22s %8s %8s %8s\n", "job", "IPC", "soloIPC", "WIPC")
 		for _, b := range cos.Types() {
-			fmt.Printf("  %-22s %8.3f %8.3f %8.3f", suite[b].ID(), t.JobIPC(cos, b), t.Solo[b], t.JobWIPC(cos, b))
+			fmt.Fprintf(stdout, "  %-22s %8.3f %8.3f %8.3f", suite[b].ID(), t.JobIPC(cos, b), t.Solo[b], t.JobWIPC(cos, b))
 			if n := cos.Count(b); n > 1 {
-				fmt.Printf("   (x%d)", n)
+				fmt.Fprintf(stdout, "   (x%d)", n)
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		fmt.Printf("  instantaneous throughput it(s) = %.3f WIPC (heterogeneity %d)\n\n",
+		fmt.Fprintf(stdout, "  instantaneous throughput it(s) = %.3f WIPC (heterogeneity %d)\n\n",
 			e.InstTP, cos.Heterogeneity())
 	}
+	return 0
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"symbiosched/internal/program"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(program.IDs()) {
+		t.Errorf("-list printed %d benchmarks, want %d", len(lines), len(program.IDs()))
+	}
+}
+
+func TestRunQuery(t *testing.T) {
+	var out, errb strings.Builder
+	ids := program.IDs()
+	if code := run([]string{ids[0], ids[1]}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	// Both machine configurations, both benchmarks, and the throughput line.
+	for _, want := range []string{ids[0], ids[1], "instantaneous throughput"} {
+		if strings.Count(got, want) < 2 {
+			t.Errorf("output mentions %q %d times, want >= 2 (both machines):\n%s",
+				want, strings.Count(got, want), got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: run = %d, want 2", code)
+	}
+	if code := run([]string{"nonexistent.bench"}, &out, &errb); code != 2 {
+		t.Errorf("unknown benchmark: run = %d, want 2", code)
+	}
+}

@@ -1,0 +1,113 @@
+// Command farmsim simulates a farm of symbiosis-aware servers behind one
+// dispatcher: a single Poisson stream of jobs is routed over N (optionally
+// heterogeneous) servers by each of the selected dispatch policies, and
+// per-policy mean/p95 turnaround, utilisation and empty fraction are
+// reported, averaged over R replications. Loads are offered relative to
+// the farm's aggregate FCFS maximum throughput.
+//
+// Usage:
+//
+//	farmsim [-servers 4] [-hetero] [-sched FCFS] [-dispatchers random,rr,jsq,li]
+//	        [-loads 0.5,0.8,0.95] [-jobs 20000] [-reps 3] [-seed 1]
+//	        [-parallel N] [-cache dir] [-csv dir] [-progress]
+//
+// Replication sweeps run through the shared runner engine: output is
+// byte-identical at any -parallel value.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"symbiosched/internal/exp"
+	"symbiosched/internal/farm"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("farmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		servers     = fs.Int("servers", 4, "number of servers in the farm")
+		hetero      = fs.Bool("hetero", false, "alternate SMT and quad-core servers (all-SMT otherwise)")
+		schedName   = fs.String("sched", "FCFS", "per-server scheduler: FCFS, MAXIT, SRPT or MAXTP")
+		dispatchers = fs.String("dispatchers", strings.Join(farm.DispatcherNames, ","), "comma-separated dispatch policies")
+		loads       = fs.String("loads", "0.5,0.8,0.95", "comma-separated offered loads relative to farm capacity")
+		jobs        = fs.Int("jobs", 20000, "jobs per simulation")
+		reps        = fs.Int("reps", 3, "replications (independent seeds) per cell")
+		seed        = fs.Uint64("seed", 1, "base random seed")
+		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (results are identical at any value)")
+		cacheDir    = fs.String("cache", "", "cache built performance databases as gob files in this directory")
+		csvDir      = fs.String("csv", "", "also write the result grid as a CSV file into this directory")
+		progress    = fs.Bool("progress", false, "print per-sweep progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	var dispList []string
+	for _, s := range strings.Split(*dispatchers, ",") {
+		dispList = append(dispList, strings.TrimSpace(s))
+	}
+	var loadList []float64
+	for _, s := range strings.Split(*loads, ",") {
+		l, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || l <= 0 || l >= 1 {
+			fmt.Fprintf(stderr, "farmsim: -loads wants fractions in (0,1), got %q\n", s)
+			return 2
+		}
+		loadList = append(loadList, l)
+	}
+
+	cfg := exp.DefaultConfig()
+	cfg.SimJobs = *jobs
+	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
+	cfg.CacheDir = *cacheDir
+	if cfg.CacheDir != "" {
+		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "farmsim: -cache %s: %v\n", cfg.CacheDir, err)
+			return 1
+		}
+	}
+	if *progress {
+		cfg.Progress = func(sweep string, done, total int) {
+			if done == total || done == 0 {
+				fmt.Fprintf(stderr, "%-12s %d/%d\n", sweep, done, total)
+			}
+		}
+	}
+	env := exp.NewEnv(cfg)
+
+	r, err := exp.Farm(env, exp.FarmOptions{
+		Servers:      *servers,
+		Hetero:       *hetero,
+		Sched:        *schedName,
+		Dispatchers:  dispList,
+		Loads:        loadList,
+		Replications: *reps,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "farmsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, r.Format())
+	if *csvDir != "" {
+		if _, err := exp.WriteCSV(*csvDir, "farm", r); err != nil {
+			fmt.Fprintf(stderr, "farmsim: csv: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunTinyFarm is the end-to-end smoke run: a 2-server farm, one
+// dispatcher pair, one load, tiny job counts.
+func TestRunTinyFarm(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	code := run([]string{
+		"-servers", "2", "-jobs", "800", "-reps", "2",
+		"-dispatchers", "rr,li", "-loads", "0.8",
+		"-parallel", "2", "-csv", dir,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"Server farm (2 x smt / FCFS)", "rr", "li", "load=0.80"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "farm.csv"))
+	if err != nil {
+		t.Fatalf("farm.csv: %v", err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) != 3 {
+		t.Errorf("farm.csv has %d lines, want header + 2 cells:\n%s", len(lines), data)
+	}
+}
+
+// TestRunDeterministicAcrossParallel pins the acceptance criterion at
+// the CLI level: the full farmsim output is byte-identical at
+// -parallel 1 and -parallel NumCPU (or 8 if larger).
+func TestRunDeterministicAcrossParallel(t *testing.T) {
+	wide := runtime.NumCPU()
+	if wide < 8 {
+		wide = 8
+	}
+	var outs []string
+	for _, p := range []int{1, wide} {
+		var out, errb strings.Builder
+		code := run([]string{
+			"-servers", "2", "-jobs", "600", "-reps", "4",
+			"-dispatchers", "jsq,li", "-loads", "0.5,0.9",
+			"-parallel", strconv.Itoa(p),
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("-parallel %d: run = %d, stderr: %s", p, code, errb.String())
+		}
+		outs = append(outs, out.String())
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("output differs between -parallel 1 and -parallel %d:\n--- p=1 ---\n%s\n--- p=%d ---\n%s",
+			wide, outs[0], wide, outs[1])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-loads", "1.5"}, &out, &errb); code != 2 {
+		t.Errorf("out-of-range load: run = %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: run = %d, want 2", code)
+	}
+	if code := run([]string{"-jobs", "300", "-reps", "1", "-loads", "0.5", "-sched", "NOPE"}, &out, &errb); code != 1 {
+		t.Errorf("unknown scheduler: run = %d, want 1", code)
+	}
+}

@@ -10,42 +10,63 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"symbiosched/internal/queueing"
 )
 
 func main() {
-	lambda := flag.Float64("lambda", 3.5, "arrival rate (jobs per unit time)")
-	mu := flag.Float64("mu", 1.0, "per-server service rate")
-	c := flag.Int("c", 4, "number of servers")
-	improve := flag.Float64("improve", 0.03, "relative service-rate improvement to compare against")
-	flag.Parse()
-
-	show := func(q queueing.MMC) (w float64) {
-		pw, err := q.ErlangC()
-		fail(err)
-		l, err := q.MeanJobs()
-		fail(err)
-		w, err = q.MeanTurnaround()
-		fail(err)
-		fmt.Printf("M/M/%d lambda=%.3f mu=%.3f: rho=%.3f  P(wait)=%.3f  L=%.2f jobs  W=%.3f\n",
-			q.C, q.Lambda, q.Mu, q.Utilisation(), pw, l, w)
-		return w
-	}
-	base := show(queueing.MMC{Lambda: *lambda, Mu: *mu, C: *c})
-	if *improve > 0 {
-		better := show(queueing.MMC{Lambda: *lambda, Mu: *mu * (1 + *improve), C: *c})
-		fmt.Printf("service rate %+.1f%%  ->  turnaround %+.1f%%\n",
-			100**improve, 100*(better/base-1))
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mmc: %v\n", err)
-		os.Exit(1)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mmc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	lambda := fs.Float64("lambda", 3.5, "arrival rate (jobs per unit time)")
+	mu := fs.Float64("mu", 1.0, "per-server service rate")
+	c := fs.Int("c", 4, "number of servers")
+	improve := fs.Float64("improve", 0.03, "relative service-rate improvement to compare against")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
+
+	show := func(q queueing.MMC) (w float64, err error) {
+		pw, err := q.ErlangC()
+		if err != nil {
+			return 0, err
+		}
+		l, err := q.MeanJobs()
+		if err != nil {
+			return 0, err
+		}
+		w, err = q.MeanTurnaround()
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(stdout, "M/M/%d lambda=%.3f mu=%.3f: rho=%.3f  P(wait)=%.3f  L=%.2f jobs  W=%.3f\n",
+			q.C, q.Lambda, q.Mu, q.Utilisation(), pw, l, w)
+		return w, nil
+	}
+	base, err := show(queueing.MMC{Lambda: *lambda, Mu: *mu, C: *c})
+	if err != nil {
+		fmt.Fprintf(stderr, "mmc: %v\n", err)
+		return 1
+	}
+	if *improve > 0 {
+		better, err := show(queueing.MMC{Lambda: *lambda, Mu: *mu * (1 + *improve), C: *c})
+		if err != nil {
+			fmt.Fprintf(stderr, "mmc: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "service rate %+.1f%%  ->  turnaround %+.1f%%\n",
+			100**improve, 100*(better/base-1))
+	}
+	return 0
 }

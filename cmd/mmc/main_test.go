@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	// The paper's example: M/M/4 at lambda=3.5, mu=1 -> W~2.5; +3% mu
+	// -> W~2.1, a ~16% reduction.
+	for _, want := range []string{"M/M/4", "W=2.476", "W=2.081", "turnaround -15.9%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCustomQueueAndFlagError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-lambda", "0.5", "-mu", "1", "-c", "1", "-improve", "0"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	// M/M/1 at rho=0.5: W = 1/(mu-lambda) = 2.
+	if !strings.Contains(out.String(), "W=2.000") {
+		t.Errorf("M/M/1 output wrong:\n%s", out.String())
+	}
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: run = %d, want 2", code)
+	}
+}

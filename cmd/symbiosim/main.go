@@ -6,7 +6,7 @@
 //	symbiosim [flags] <experiment> [<experiment>...]
 //
 // Experiments: table1, fig1, fig2, fig3, table2, n8, fairness, fig4,
-// fig5, fig6, uarch, makespan, all.
+// fig5, fig6, uarch, makespan, farm, all.
 //
 // -parallel bounds the worker pool of every sweep (results are identical
 // at any value), -cache caches built performance databases on disk, and
@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -25,25 +27,36 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("symbiosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fcfsJobs = flag.Int("fcfs-jobs", 20000, "jobs per FCFS throughput simulation")
-		simJobs  = flag.Int("sim-jobs", 20000, "jobs per Section VI event simulation")
-		sample   = flag.Int("sample", 99, "workloads sampled for fig5/fig6/fairness (0 = all 495)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		csvDir   = flag.String("csv", "", "also write plottable series as CSV files into this directory")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for every sweep (results are identical at any value)")
-		cacheDir = flag.String("cache", "", "cache built performance databases as gob files in this directory")
-		progress = flag.Bool("progress", false, "print per-sweep progress to stderr")
+		fcfsJobs = fs.Int("fcfs-jobs", 20000, "jobs per FCFS throughput simulation")
+		simJobs  = fs.Int("sim-jobs", 20000, "jobs per Section VI event simulation")
+		sample   = fs.Int("sample", 99, "workloads sampled for fig5/fig6/fairness (0 = all 495)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		csvDir   = fs.String("csv", "", "also write plottable series as CSV files into this directory")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for every sweep (results are identical at any value)")
+		cacheDir = fs.String("cache", "", "cache built performance databases as gob files in this directory")
+		progress = fs.Bool("progress", false, "print per-sweep progress to stderr")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: symbiosim [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(order, ", "))
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: symbiosim [flags] <experiment>...\n")
+		fmt.Fprintf(stderr, "experiments: %s\n", strings.Join(order, ", "))
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 
 	cfg := exp.DefaultConfig()
@@ -55,8 +68,8 @@ func main() {
 	cfg.CacheDir = *cacheDir
 	if cfg.CacheDir != "" {
 		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "symbiosim: -cache %s: %v\n", cfg.CacheDir, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "symbiosim: -cache %s: %v\n", cfg.CacheDir, err)
+			return 1
 		}
 	}
 	if *progress {
@@ -69,16 +82,16 @@ func main() {
 			if done%step != 0 && done != total {
 				return
 			}
-			fmt.Fprintf(os.Stderr, "\r%-12s %d/%d", sweep, done, total)
+			fmt.Fprintf(stderr, "\r%-12s %d/%d", sweep, done, total)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
 		}
 	}
 	env := exp.NewEnv(cfg)
 
 	var names []string
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		if arg == "all" {
 			names = order
 			break
@@ -86,30 +99,31 @@ func main() {
 		names = append(names, arg)
 	}
 	for _, name := range names {
-		run, ok := experiments[name]
+		drive, ok := experiments[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "symbiosim: unknown experiment %q (want one of %s)\n",
+			fmt.Fprintf(stderr, "symbiosim: unknown experiment %q (want one of %s)\n",
 				name, strings.Join(order, ", "))
-			os.Exit(2)
+			return 2
 		}
 		start := time.Now()
-		out, err := run(env)
+		out, err := drive(env)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "symbiosim: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "symbiosim: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 		if *csvDir != "" {
 			if err := writeCSVs(env, *csvDir, name); err != nil {
-				fmt.Fprintf(os.Stderr, "symbiosim: %s: csv: %v\n", name, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "symbiosim: %s: csv: %v\n", name, err)
+				return 1
 			}
 		}
-		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
-var order = []string{"table1", "fig1", "fig2", "fig3", "table2", "n8", "fairness", "fig4", "fig5", "fig6", "uarch", "makespan"}
+var order = []string{"table1", "fig1", "fig2", "fig3", "table2", "n8", "fairness", "fig4", "fig5", "fig6", "uarch", "makespan", "farm"}
 
 var experiments = map[string]func(*exp.Env) (string, error){
 	"table1": func(e *exp.Env) (string, error) {
@@ -185,6 +199,13 @@ var experiments = map[string]func(*exp.Env) (string, error){
 		}
 		return r.Format(), nil
 	},
+	"farm": func(e *exp.Env) (string, error) {
+		r, err := exp.Farm(e, exp.FarmOptions{})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	},
 	"makespan": func(e *exp.Env) (string, error) {
 		small, err := exp.MakespanExperiment(e, 8)
 		if err != nil {
@@ -251,6 +272,13 @@ func writeCSVs(env *exp.Env, dir, name string) error {
 			return err
 		}
 		_, err = exp.WriteCSV(dir, "makespan8", r)
+		return err
+	case "farm":
+		r, err := exp.Farm(env, exp.FarmOptions{})
+		if err != nil {
+			return err
+		}
+		_, err = exp.WriteCSV(dir, "farm", r)
 		return err
 	}
 	return nil

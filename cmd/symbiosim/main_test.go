@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFig4 is the tiny end-to-end smoke run: fig4 is purely analytic
+// (M/M/c curves), so it exercises flag parsing, the experiment registry
+// and the output path in milliseconds.
+func TestRunFig4(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-parallel", "1", "fig4"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Figure 4") || !strings.Contains(got, "fig4 took") {
+		t.Errorf("fig4 output unexpected:\n%s", got)
+	}
+}
+
+func TestRunFig4CSV(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	if code := run([]string{"-csv", dir, "fig4"}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4.csv")); err != nil {
+		t.Errorf("fig4.csv not written: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no experiments: run = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage: symbiosim") {
+		t.Errorf("usage not printed: %s", errb.String())
+	}
+	if code := run([]string{"nonsense"}, &out, &errb); code != 2 {
+		t.Errorf("unknown experiment: run = %d, want 2", code)
+	}
+}

@@ -7,9 +7,12 @@
 // the machine performance models in internal/{interval,smtmodel,multicore,
 // cachemodel,membus}, the cycle-level validation simulator in
 // internal/{trace,cyclesim}, the Section VI schedulers and event simulator
-// in internal/{sched,eventsim,queueing}, and one driver per table/figure
-// in internal/exp. Executables are under cmd/ (symbiosim, coschedql, mmc)
-// and runnable examples under examples/.
+// in internal/{sched,eventsim,queueing}, the cluster-scale multi-server
+// farm simulator (pluggable dispatchers over per-server schedulers,
+// cross-validated against M/M/c analytics) in internal/farm, and one
+// driver per table/figure in internal/exp. Executables are under cmd/
+// (symbiosim, farmsim, coschedql, mmc) and runnable examples under
+// examples/.
 //
 // All sweeps — the per-coschedule performance-database fill in
 // internal/perfdb, the suite analyses in internal/core, and the Section

@@ -5,7 +5,13 @@
 // utilisation and empty fraction — showing how a tiny throughput
 // improvement becomes a large turnaround reduction near saturation.
 //
-// Run with: go run ./examples/serverfarm [-load 0.95] [-jobs 30000]
+// The experiment runs through internal/farm as a farm of one server: the
+// single-server scenario of the paper is the N=1 special case of the farm
+// simulator (and reproduces the direct eventsim.Latency call bit for bit).
+// Pass -servers 4 to see the same contest on a four-server farm behind a
+// symbiosis-aware dispatcher.
+//
+// Run with: go run ./examples/serverfarm [-load 0.95] [-jobs 30000] [-servers 1]
 package main
 
 import (
@@ -13,7 +19,7 @@ import (
 	"fmt"
 
 	"symbiosched/internal/core"
-	"symbiosched/internal/eventsim"
+	"symbiosched/internal/farm"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/program"
 	"symbiosched/internal/sched"
@@ -24,6 +30,7 @@ import (
 func main() {
 	load := flag.Float64("load", 0.95, "offered load relative to FCFS maximum throughput")
 	jobs := flag.Int("jobs", 30000, "jobs per experiment")
+	servers := flag.Int("servers", 1, "number of servers in the farm")
 	flag.Parse()
 
 	table := perfdb.Build(perfdb.SMTModel{Machine: uarch.DefaultSMT()}, program.Suite())
@@ -33,27 +40,25 @@ func main() {
 		w = append(w, idx)
 	}
 
-	// Calibrate the arrival rate against the FCFS maximum throughput.
+	// Calibrate the arrival rate against the aggregate FCFS maximum
+	// throughput.
 	maxTP := core.FCFS(table, w, core.FCFSConfig{Jobs: 30000}).Throughput
-	lambda := *load * maxTP
-	fmt.Printf("server: %s   workload: perlbench+gcc+h264ref+xalancbmk\n", table.Name())
-	fmt.Printf("FCFS max throughput %.3f, offered load %.0f%% -> lambda = %.3f jobs/unit time\n\n",
+	lambda := *load * maxTP * float64(*servers)
+	fmt.Printf("farm: %d x %s   workload: perlbench+gcc+h264ref+xalancbmk\n", *servers, table.Name())
+	fmt.Printf("FCFS max throughput %.3f/server, offered load %.0f%% -> lambda = %.3f jobs/unit time\n\n",
 		maxTP, 100**load, lambda)
 
-	schedulers := []func() (sched.Scheduler, error){
-		func() (sched.Scheduler, error) { return sched.FCFS{}, nil },
-		func() (sched.Scheduler, error) { return &sched.MAXIT{Table: table}, nil },
-		func() (sched.Scheduler, error) { return &sched.SRPT{Table: table}, nil },
-		func() (sched.Scheduler, error) { return sched.NewMAXTP(table, w) },
-	}
-	fmt.Printf("%-7s %12s %12s %12s %12s\n", "sched", "turnaround", "vs FCFS", "utilisation", "empty frac")
+	fmt.Printf("%-7s %12s %12s %12s %12s %12s\n", "sched", "turnaround", "p95", "vs FCFS", "utilisation", "empty frac")
 	var base float64
-	for _, mk := range schedulers {
-		s, err := mk()
-		if err != nil {
-			panic(err)
+	for _, name := range sched.Names {
+		mk := func() (sched.Scheduler, error) { return sched.New(name, table, w) }
+		specs := make([]farm.ServerSpec, *servers)
+		for i := range specs {
+			specs[i] = farm.ServerSpec{Table: table, Sched: mk}
 		}
-		res, err := eventsim.Latency(table, w, s, eventsim.LatencyConfig{
+		// The symbiosis-aware dispatcher reduces to "the one server" at
+		// N=1, so the farm-of-1 runs are exactly the paper's scenario.
+		res, err := farm.Simulate(specs, farm.LeastInterference{}, w, farm.Config{
 			Lambda:    lambda,
 			Jobs:      *jobs,
 			SizeShape: 4, // jobs of "approximately the same size"
@@ -61,12 +66,12 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		if s.Name() == "FCFS" {
+		if name == "FCFS" {
 			base = res.MeanTurnaround
 		}
-		fmt.Printf("%-7s %12.3f %11.1f%% %12.3f %12.4f\n",
-			s.Name(), res.MeanTurnaround, 100*(res.MeanTurnaround/base-1),
-			res.Utilisation, res.EmptyFraction)
+		fmt.Printf("%-7s %12.3f %12.3f %11.1f%% %12.3f %12.4f\n",
+			name, res.MeanTurnaround, res.P95Turnaround, 100*(res.MeanTurnaround/base-1),
+			res.Utilisation*float64(table.K()), res.EmptyFraction)
 	}
 	fmt.Println("\nNear saturation, schedulers with slightly higher maximum throughput")
 	fmt.Println("(MAXTP) cut turnaround disproportionately; SRPT cuts turnaround")

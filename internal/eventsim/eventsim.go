@@ -14,7 +14,6 @@ package eventsim
 
 import (
 	"fmt"
-	"math"
 
 	"symbiosched/internal/numeric"
 	"symbiosched/internal/perfdb"
@@ -91,7 +90,7 @@ func Latency(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg Latenc
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	gen := func() float64 { return rng.Exp(cfg.Lambda) }
-	return run(t, w, s, cfg, gen)
+	return run(t, w, s, cfg, gen, 0)
 }
 
 // MaxThroughputConfig parameterises a maximum-throughput experiment
@@ -133,20 +132,19 @@ func MaxThroughput(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg 
 		// Lambda unused by the pooled generator.
 		Lambda: 1,
 	}
-	return run(t, w, s, lcfg, nil)
+	return run(t, w, s, lcfg, nil, cfg.Pool)
 }
 
-// run is the shared event loop. interarrival == nil selects pooled mode:
-// the system is refilled to a pool size immediately.
-func run(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg LatencyConfig, interarrival func() float64) (*Result, error) {
-	k := t.K()
+// NewJobStream returns a deterministic job factory over workload w: types
+// are drawn uniformly, sizes follow cfg's JobSize/SizeShape, and IDs
+// increase with creation order. The stream is seeded exactly as the
+// single-server experiments seed theirs, so a farm of one server fed by
+// the same stream reproduces Latency bit for bit.
+func NewJobStream(w workload.Workload, cfg LatencyConfig) func(now float64) *sched.Job {
+	cfg = cfg.withDefaults()
 	rng := stats.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
-	pooled := interarrival == nil
-	pool := 4 * k
-
-	var system []*sched.Job
 	nextID := 0
-	newJob := func(now float64) *sched.Job {
+	return func(now float64) *sched.Job {
 		size := cfg.JobSize
 		if cfg.SizeShape >= 1 {
 			// Erlang-k with mean JobSize (k = 1 is exponential).
@@ -166,55 +164,53 @@ func run(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg LatencyCon
 		nextID++
 		return j
 	}
+}
+
+// run is the shared event loop, driving one Server. interarrival == nil
+// selects pooled mode: the system is refilled to pool jobs immediately
+// (pool <= 0 defaults to 4*K).
+func run(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg LatencyConfig, interarrival func() float64, pool int) (*Result, error) {
+	pooled := interarrival == nil
+	if pool <= 0 {
+		pool = 4 * t.K()
+	}
+
+	sv := NewServer(t, s)
+	newJob := NewJobStream(w, cfg)
 
 	var now float64
 	var nextArrival float64
 	arrivalsLeft := cfg.Jobs
 	if pooled {
-		for len(system) < pool && arrivalsLeft > 0 {
-			system = append(system, newJob(0))
+		for sv.JobsInSystem() < pool && arrivalsLeft > 0 {
+			sv.Add(newJob(0))
 			arrivalsLeft--
 		}
 	} else {
 		nextArrival = interarrival()
 	}
 
-	var turnaround, busyTime, emptyTime, workDone numeric.KahanSum
+	var turnaround numeric.KahanSum
 	completed, counted := 0, 0
 
 	for completed < cfg.Jobs {
-		if len(system) == 0 {
+		if sv.JobsInSystem() == 0 {
 			if pooled || arrivalsLeft == 0 {
 				break // drained
 			}
 			// Idle until the next arrival.
-			emptyTime.Add(nextArrival - now)
+			sv.Advance(nextArrival - now)
 			now = nextArrival
-			system = append(system, newJob(now))
+			sv.Add(newJob(now))
 			arrivalsLeft--
 			nextArrival = now + interarrival()
 			continue
 		}
-		running := s.Select(system, k)
-		if len(running) == 0 || len(running) > k {
-			return nil, fmt.Errorf("eventsim: scheduler %s selected %d jobs (k=%d, system=%d)",
-				s.Name(), len(running), k, len(system))
+		if err := sv.Reschedule(); err != nil {
+			return nil, err
 		}
-		cos := make(workload.Coschedule, len(running))
-		for i, ji := range running {
-			cos[i] = system[ji].Type
-		}
-		canon := workload.NewCoschedule(cos...)
-		// Time to the next completion among running jobs.
-		dt := math.Inf(1)
-		for _, ji := range running {
-			j := system[ji]
-			rate := t.JobWIPC(canon, j.Type)
-			if d := j.Remaining / rate; d < dt {
-				dt = d
-			}
-		}
-		// Or the next arrival, whichever first.
+		// Time to the next completion, or the next arrival, whichever first.
+		dt := sv.TimeToNextCompletion()
 		arrivalDue := false
 		if !pooled && arrivalsLeft > 0 && now+dt >= nextArrival {
 			dt = nextArrival - now
@@ -223,41 +219,25 @@ func run(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg LatencyCon
 		if dt < 0 {
 			dt = 0
 		}
-		// Advance.
 		now += dt
-		busyTime.Add(float64(len(running)) * dt)
-		for _, ji := range running {
-			j := system[ji]
-			adv := t.JobWIPC(canon, j.Type) * dt
-			j.Remaining -= adv
-			workDone.Add(adv)
-		}
-		s.Observe(canon, dt)
-		// Completions.
-		var kept []*sched.Job
-		for _, j := range system {
-			if j.Remaining > eps {
-				kept = append(kept, j)
-				continue
-			}
+		for _, j := range sv.Advance(dt) {
 			completed++
 			if completed > cfg.Warmup {
 				turnaround.Add(now - j.Arrival)
 				counted++
 			}
 		}
-		system = kept
 		// Arrivals / pool refill.
 		if arrivalDue {
-			system = append(system, newJob(now))
+			sv.Add(newJob(now))
 			arrivalsLeft--
 			if arrivalsLeft > 0 {
 				nextArrival = now + interarrival()
 			}
 		}
 		if pooled {
-			for len(system) < pool && arrivalsLeft > 0 {
-				system = append(system, newJob(now))
+			for sv.JobsInSystem() < pool && arrivalsLeft > 0 {
+				sv.Add(newJob(now))
 				arrivalsLeft--
 			}
 		}
@@ -266,9 +246,9 @@ func run(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg LatencyCon
 		return nil, fmt.Errorf("eventsim: experiment completed no work")
 	}
 	res := &Result{
-		Utilisation:   busyTime.Value() / now,
-		EmptyFraction: emptyTime.Value() / now,
-		Throughput:    workDone.Value() / now,
+		Utilisation:   sv.BusyTime() / now,
+		EmptyFraction: sv.EmptyTime() / now,
+		Throughput:    sv.WorkDone() / now,
 		Completed:     completed,
 		Elapsed:       now,
 	}

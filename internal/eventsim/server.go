@@ -1,0 +1,154 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+
+	"symbiosched/internal/numeric"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/sched"
+	"symbiosched/internal/workload"
+)
+
+// Server is one machine's share of an event-driven experiment: a job
+// queue, the scheduler that picks which jobs occupy the machine's K
+// contexts, and the performance table that sets each running job's rate.
+// It exposes the stepping primitives — reschedule, time-to-next-completion,
+// advance — that event loops compose: the single-server loops in this
+// package drive one Server, and internal/farm multiplexes many Servers on
+// a shared clock.
+//
+// The caller owns the clock. The protocol per event is:
+//
+//  1. Reschedule every server whose job set changed since the last event
+//     (arrival or completion at that server).
+//  2. dt = min over servers of TimeToNextCompletion(), capped by the next
+//     arrival.
+//  3. Advance every server by dt; completed jobs are returned.
+//
+// A Server accumulates its own busy/empty/work integrals so per-server
+// utilisation survives multiplexing.
+type Server struct {
+	table *perfdb.Table
+	sched sched.Scheduler
+
+	jobs    []*sched.Job
+	running []int               // indices into jobs, valid after Reschedule
+	canon   workload.Coschedule // canonical coschedule of the running jobs
+
+	busy, empty, work numeric.KahanSum
+	dispatched        int
+}
+
+// NewServer returns an empty server over the given table and scheduler.
+// The scheduler must not be shared with another server (MAXTP carries
+// per-run state).
+func NewServer(t *perfdb.Table, s sched.Scheduler) *Server {
+	return &Server{table: t, sched: s}
+}
+
+// Table returns the server's performance table.
+func (sv *Server) Table() *perfdb.Table { return sv.table }
+
+// Scheduler returns the server's scheduler.
+func (sv *Server) Scheduler() sched.Scheduler { return sv.sched }
+
+// K returns the server's context count.
+func (sv *Server) K() int { return sv.table.K() }
+
+// JobsInSystem returns the number of jobs queued or running.
+func (sv *Server) JobsInSystem() int { return len(sv.jobs) }
+
+// Dispatched returns how many jobs have been added over the server's
+// lifetime.
+func (sv *Server) Dispatched() int { return sv.dispatched }
+
+// Running returns the canonical coschedule currently occupying the
+// contexts (nil when idle or not yet rescheduled). The caller must not
+// mutate it; symbiosis-aware dispatchers probe it against the table.
+func (sv *Server) Running() workload.Coschedule { return sv.canon }
+
+// Add enqueues a job. The server must be rescheduled before the next
+// TimeToNextCompletion/Advance.
+func (sv *Server) Add(j *sched.Job) {
+	sv.jobs = append(sv.jobs, j)
+	sv.dispatched++
+}
+
+// Reschedule re-runs the scheduler over the current job set, fixing the
+// running coschedule until the next event. It is a no-op on an empty
+// server and errors when the scheduler selects an invalid set.
+func (sv *Server) Reschedule() error {
+	if len(sv.jobs) == 0 {
+		sv.running, sv.canon = nil, nil
+		return nil
+	}
+	running := sv.sched.Select(sv.jobs, sv.table.K())
+	if len(running) == 0 || len(running) > sv.table.K() {
+		return fmt.Errorf("eventsim: scheduler %s selected %d jobs (k=%d, system=%d)",
+			sv.sched.Name(), len(running), sv.table.K(), len(sv.jobs))
+	}
+	cos := make(workload.Coschedule, len(running))
+	for i, ji := range running {
+		cos[i] = sv.jobs[ji].Type
+	}
+	sv.running = running
+	sv.canon = workload.NewCoschedule(cos...)
+	return nil
+}
+
+// TimeToNextCompletion returns the time until the first running job
+// completes at the current rates, or +Inf for an idle server.
+func (sv *Server) TimeToNextCompletion() float64 {
+	dt := math.Inf(1)
+	for _, ji := range sv.running {
+		j := sv.jobs[ji]
+		rate := sv.table.JobWIPC(sv.canon, j.Type)
+		if d := j.Remaining / rate; d < dt {
+			dt = d
+		}
+	}
+	return dt
+}
+
+// Advance progresses the running jobs by dt at their per-coschedule
+// rates, accumulates the busy/empty/work integrals, notifies the
+// scheduler, and removes and returns the jobs that completed (in queue
+// order). When jobs complete the server must be rescheduled before the
+// next event.
+func (sv *Server) Advance(dt float64) []*sched.Job {
+	if len(sv.jobs) == 0 {
+		sv.empty.Add(dt)
+		return nil
+	}
+	sv.busy.Add(float64(len(sv.running)) * dt)
+	for _, ji := range sv.running {
+		j := sv.jobs[ji]
+		adv := sv.table.JobWIPC(sv.canon, j.Type) * dt
+		j.Remaining -= adv
+		sv.work.Add(adv)
+	}
+	sv.sched.Observe(sv.canon, dt)
+	var done, kept []*sched.Job
+	for _, j := range sv.jobs {
+		if j.Remaining > eps {
+			kept = append(kept, j)
+			continue
+		}
+		done = append(done, j)
+	}
+	if len(done) > 0 {
+		sv.jobs = kept
+		sv.running, sv.canon = nil, nil // stale; Reschedule before stepping
+	}
+	return done
+}
+
+// BusyTime returns the integral of the number of busy contexts over time.
+func (sv *Server) BusyTime() float64 { return sv.busy.Value() }
+
+// EmptyTime returns the total time the server had zero jobs in system.
+func (sv *Server) EmptyTime() float64 { return sv.empty.Value() }
+
+// WorkDone returns the total completed work in WIPC time units.
+func (sv *Server) WorkDone() float64 { return sv.work.Value() }

@@ -1,0 +1,62 @@
+package eventsim
+
+import (
+	"math"
+	"testing"
+
+	"symbiosched/internal/sched"
+	"symbiosched/internal/workload"
+)
+
+// badScheduler selects nothing, violating the work-conserving contract.
+type badScheduler struct{}
+
+func (badScheduler) Name() string                         { return "bad" }
+func (badScheduler) Select([]*sched.Job, int) []int       { return nil }
+func (badScheduler) Observe(workload.Coschedule, float64) {}
+
+func TestServerStepping(t *testing.T) {
+	tb := table(t)
+	sv := NewServer(tb, sched.FCFS{})
+	if sv.K() != tb.K() || sv.Table() != tb {
+		t.Fatal("accessors broken")
+	}
+	// Idle: infinite horizon, advancing accumulates empty time only.
+	if dt := sv.TimeToNextCompletion(); !math.IsInf(dt, 1) {
+		t.Errorf("idle TimeToNextCompletion = %v, want +Inf", dt)
+	}
+	sv.Advance(2.5)
+	if sv.EmptyTime() != 2.5 || sv.BusyTime() != 0 {
+		t.Errorf("idle advance: empty %v busy %v", sv.EmptyTime(), sv.BusyTime())
+	}
+	// One job: runs solo at WIPC 1, so it completes in exactly Size.
+	sv.Add(&sched.Job{ID: 0, Type: 0, Size: 2, Remaining: 2})
+	if err := sv.Reschedule(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sv.Running(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Running = %v, want [0]", got)
+	}
+	dt := sv.TimeToNextCompletion()
+	if math.Abs(dt-2) > 1e-9 {
+		t.Errorf("solo TimeToNextCompletion = %v, want 2 (WIPC 1)", dt)
+	}
+	done := sv.Advance(dt)
+	if len(done) != 1 || done[0].ID != 0 {
+		t.Fatalf("Advance completed %v, want job 0", done)
+	}
+	if sv.JobsInSystem() != 0 || sv.Dispatched() != 1 {
+		t.Errorf("after completion: jobs %d dispatched %d", sv.JobsInSystem(), sv.Dispatched())
+	}
+	if math.Abs(sv.WorkDone()-2) > 1e-9 || math.Abs(sv.BusyTime()-2) > 1e-9 {
+		t.Errorf("integrals: work %v busy %v, want 2, 2", sv.WorkDone(), sv.BusyTime())
+	}
+}
+
+func TestServerRescheduleRejectsBadScheduler(t *testing.T) {
+	sv := NewServer(table(t), badScheduler{})
+	sv.Add(&sched.Job{ID: 0, Type: 0, Size: 1, Remaining: 1})
+	if err := sv.Reschedule(); err == nil {
+		t.Error("empty selection accepted")
+	}
+}

@@ -6,12 +6,15 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"symbiosched/internal/core"
 )
 
 // WriteCSV saves an experiment's plottable series as CSV files under dir
 // (created if needed), so the figures can be regenerated with any plotting
-// tool. Supported results: Fig2Result, Fig3Result, Fig4Result, Fig5Result,
-// Fig6Result and MakespanResult; other types are ignored with ok=false.
+// tool. Supported results: Fig1Result, Fig2Result, Fig3Result, Fig4Result,
+// Fig5Result, Fig6Result, []Table1Row, Table2Result, MakespanResult and
+// FarmResult; other types are ignored with ok=false.
 func WriteCSV(dir string, name string, result any) (ok bool, err error) {
 	rows, header := csvRows(result)
 	if rows == nil {
@@ -44,6 +47,36 @@ func WriteCSV(dir string, name string, result any) (ok bool, err error) {
 func csvRows(result any) (rows [][]string, header []string) {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
 	switch r := result.(type) {
+	case *Fig1Result:
+		header = []string{"config", "metric", "avg_best", "avg_worst", "max_best", "min_worst", "variability"}
+		for _, cv := range []ConfigVariability{r.SMT, r.Quad} {
+			for _, m := range []struct {
+				name string
+				s    core.SpreadStats
+			}{{"job_ipc", cv.JobIPC}, {"inst_tp", cv.InstTP}, {"avg_tp", cv.AvgTP}} {
+				rows = append(rows, []string{cv.Name, m.name,
+					f(m.s.AvgBest), f(m.s.AvgWorst), f(m.s.MaxBest), f(m.s.MinWorst), f(m.s.Variability())})
+			}
+		}
+	case []Table1Row:
+		header = []string{"benchmark", "solo_ipc_smt", "solo_ipc_quad", "branch_mpki", "mem_mpki_solo", "cache_sensitivity"}
+		for _, row := range r {
+			rows = append(rows, []string{row.ID,
+				f(row.SoloIPCSMT), f(row.SoloIPCQuad), f(row.BranchMPKI), f(row.MemMPKISolo), f(row.CacheSensitivity)})
+		}
+	case *Table2Result:
+		header = []string{"heterogeneity", "avg_inst_tp", "fcfs", "optimal", "worst", "theoretical_fcfs"}
+		for i, row := range r.Rows {
+			rows = append(rows, []string{strconv.Itoa(row.Heterogeneity),
+				f(row.AvgInstTP), f(row.FCFS), f(row.Optimal), f(row.Worst), f(r.TheoreticalFCFS[i])})
+		}
+	case *FarmResult:
+		header = []string{"dispatcher", "load", "mean_turnaround", "p95_turnaround", "turnaround_std", "utilisation", "empty_fraction", "throughput"}
+		for _, c := range r.Cells {
+			rows = append(rows, []string{c.Dispatcher, f(c.Load),
+				f(c.MeanTurnaround), f(c.P95Turnaround), f(c.TurnaroundStd),
+				f(c.Utilisation), f(c.EmptyFraction), f(c.Throughput)})
+		}
 	case *Fig2Result:
 		header = []string{"workload", "opt_vs_worst", "fcfs_vs_worst"}
 		for _, p := range r.Points {

@@ -1,0 +1,277 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"symbiosched/internal/core"
+	"symbiosched/internal/farm"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/runner"
+	"symbiosched/internal/sched"
+	"symbiosched/internal/workload"
+)
+
+// FarmLoads are the default offered loads of the farm experiment,
+// relative to the farm's aggregate FCFS maximum throughput.
+var FarmLoads = []float64{0.5, 0.8, 0.95}
+
+// FarmOptions parameterises the farm experiment grid.
+type FarmOptions struct {
+	// Servers is the farm size (default 4).
+	Servers int
+	// Hetero alternates SMT and quad-core servers; all-SMT otherwise.
+	Hetero bool
+	// Sched names the per-server scheduler (default "FCFS").
+	Sched string
+	// Dispatchers defaults to every built-in policy.
+	Dispatchers []string
+	// Loads defaults to FarmLoads.
+	Loads []float64
+	// Replications is the number of seeds per cell (default 3).
+	Replications int
+}
+
+func (o FarmOptions) withDefaults() FarmOptions {
+	if o.Servers <= 0 {
+		o.Servers = 4
+	}
+	if o.Sched == "" {
+		o.Sched = "FCFS"
+	}
+	if len(o.Dispatchers) == 0 {
+		o.Dispatchers = farm.DispatcherNames
+	}
+	if len(o.Loads) == 0 {
+		o.Loads = FarmLoads
+	}
+	if o.Replications <= 0 {
+		o.Replications = 3
+	}
+	return o
+}
+
+// FarmCell is one (dispatcher, load) aggregate of the farm experiment.
+type FarmCell struct {
+	Dispatcher string
+	Load       float64
+	// MeanTurnaround and P95Turnaround are means over replications.
+	MeanTurnaround float64
+	P95Turnaround  float64
+	// TurnaroundStd is the across-replication standard deviation of the
+	// mean turnaround.
+	TurnaroundStd float64
+	Utilisation   float64
+	EmptyFraction float64
+	Throughput    float64
+}
+
+// FarmResult is the full dispatcher-by-load grid.
+type FarmResult struct {
+	// Name describes the farm (server count, machine mix, scheduler).
+	Name string
+	// Workload is the jobs' workload key over the suite.
+	Workload string
+	// Capacity is the aggregate FCFS maximum throughput the loads are
+	// calibrated against.
+	Capacity     float64
+	Servers      int
+	Replications int
+	// Cells are ordered dispatcher-major, load-minor.
+	Cells []FarmCell
+}
+
+// farmWorkload picks the experiment's workload: the first four suite
+// benchmarks (or fewer for tiny suites).
+func farmWorkload(e *Env) workload.Workload {
+	n := 4
+	if len(e.Cfg.Suite) < n {
+		n = len(e.Cfg.Suite)
+	}
+	w := make(workload.Workload, n)
+	for i := range w {
+		w[i] = i
+	}
+	return w
+}
+
+// farmSpecs builds the server list: all-SMT, or alternating SMT/quad when
+// hetero is set. MAXTP is constructed per simulation via the spec factory
+// (it carries run state); the offline LP phase it needs runs inside the
+// factory, once per replication.
+func farmSpecs(e *Env, opt FarmOptions, w workload.Workload) ([]farm.ServerSpec, error) {
+	tables := []*perfdb.Table{e.SMTTable()}
+	if opt.Hetero {
+		tables = append(tables, e.QuadTable())
+	}
+	specs := make([]farm.ServerSpec, opt.Servers)
+	for i := range specs {
+		t := tables[i%len(tables)]
+		specs[i] = farm.ServerSpec{
+			Table: t,
+			Sched: func() (sched.Scheduler, error) { return newScheduler(opt.Sched, t, w) },
+		}
+	}
+	// Validate the scheduler name once, eagerly.
+	if _, err := newScheduler(opt.Sched, tables[0], w); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// Farm runs the dispatcher-by-load grid: every cell averages
+// opt.Replications independent farm simulations through the runner
+// engine, so the grid is bit-identical at any parallelism level.
+func Farm(e *Env, opt FarmOptions) (*FarmResult, error) {
+	opt = opt.withDefaults()
+	w := farmWorkload(e)
+	specs, err := farmSpecs(e, opt, w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Calibrate the offered loads against the farm's aggregate capacity:
+	// the sum over servers of the per-table FCFS maximum throughput.
+	capacity := 0.0
+	perTable := map[*perfdb.Table]float64{}
+	for _, sp := range specs {
+		tp, ok := perTable[sp.Table]
+		if !ok {
+			tp = core.FCFS(sp.Table, w, core.FCFSConfig{Jobs: e.Cfg.FCFSJobs, Seed: e.Cfg.Seed}).Throughput
+			perTable[sp.Table] = tp
+		}
+		capacity += tp
+	}
+
+	mix := "smt"
+	if opt.Hetero {
+		mix = "smt+quad"
+	}
+	r := &FarmResult{
+		Name:         fmt.Sprintf("%d x %s / %s", opt.Servers, mix, opt.Sched),
+		Workload:     w.Key(),
+		Capacity:     capacity,
+		Servers:      opt.Servers,
+		Replications: opt.Replications,
+	}
+	// Flatten the full dispatcher x load x replication grid into one
+	// runner sweep so -parallel scales over every simulation, not just
+	// the replications of one cell. Item order is cell-major (dispatcher
+	// outermost, replication innermost) and every replication's seed
+	// derives from its in-cell index, so the grid is bit-identical to
+	// the cell-by-cell sequential path at any parallelism level.
+	type cellKey struct {
+		disp string
+		load float64
+	}
+	var cells []cellKey
+	for _, disp := range opt.Dispatchers {
+		for _, load := range opt.Loads {
+			cells = append(cells, cellKey{disp, load})
+		}
+	}
+	reps := opt.Replications
+	runs, err := runner.Map(context.Background(), e.runCfg("farm"), len(cells)*reps,
+		func(_ context.Context, i int) (farm.Replication, error) {
+			c := cells[i/reps]
+			rep, err := farm.Replicate(specs, c.disp, w, farm.Config{
+				Lambda:    c.load * capacity,
+				Jobs:      e.Cfg.SimJobs,
+				SizeShape: 4, // jobs of "approximately the same size"
+				Seed:      e.Cfg.Seed,
+			}, i%reps)
+			if err != nil {
+				return farm.Replication{}, fmt.Errorf("farm %s load %.2f: %w", c.disp, c.load, err)
+			}
+			return rep, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cells {
+		cell := farm.Aggregate(runs[ci*reps : (ci+1)*reps])
+		r.Cells = append(r.Cells, FarmCell{
+			Dispatcher:     c.disp,
+			Load:           c.load,
+			MeanTurnaround: cell.MeanTurnaround,
+			P95Turnaround:  cell.P95Turnaround,
+			TurnaroundStd:  cell.TurnaroundStd,
+			Utilisation:    cell.Utilisation,
+			EmptyFraction:  cell.EmptyFraction,
+			Throughput:     cell.Throughput,
+		})
+	}
+	return r, nil
+}
+
+// Cell returns the aggregate for a dispatcher and load.
+func (r *FarmResult) Cell(dispatcher string, load float64) (FarmCell, bool) {
+	for _, c := range r.Cells {
+		if c.Dispatcher == dispatcher && c.Load == load {
+			return c, true
+		}
+	}
+	return FarmCell{}, false
+}
+
+// loads returns the distinct loads in first-seen order.
+func (r *FarmResult) loads() []float64 {
+	var out []float64
+	seen := map[float64]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Load] {
+			seen[c.Load] = true
+			out = append(out, c.Load)
+		}
+	}
+	return out
+}
+
+// dispatchers returns the distinct dispatchers in first-seen order.
+func (r *FarmResult) dispatchers() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Dispatcher] {
+			seen[c.Dispatcher] = true
+			out = append(out, c.Dispatcher)
+		}
+	}
+	return out
+}
+
+// Format renders the grid: turnaround (mean and p95), utilisation and
+// empty fraction per dispatcher and load.
+func (r *FarmResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Server farm (%s): workload %s, aggregate FCFS capacity %.3f, %d replications/cell\n",
+		r.Name, r.Workload, r.Capacity, r.Replications)
+	loads := r.loads()
+	panel := func(title string, get func(FarmCell) float64, format string) {
+		fmt.Fprintf(&b, "  %s\n          ", title)
+		for _, l := range loads {
+			fmt.Fprintf(&b, "  load=%.2f", l)
+		}
+		fmt.Fprintln(&b)
+		for _, d := range r.dispatchers() {
+			fmt.Fprintf(&b, "  %-8s", d)
+			for _, l := range loads {
+				c, _ := r.Cell(d, l)
+				fmt.Fprintf(&b, format, get(c))
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	panel("mean turnaround time (± std across replications below)",
+		func(c FarmCell) float64 { return c.MeanTurnaround }, "  %9.3f")
+	panel("p95 turnaround time",
+		func(c FarmCell) float64 { return c.P95Turnaround }, "  %9.3f")
+	panel("turnaround std across replications",
+		func(c FarmCell) float64 { return c.TurnaroundStd }, "  %9.3f")
+	panel("farm utilisation (busy contexts / total contexts)",
+		func(c FarmCell) float64 { return c.Utilisation }, "  %9.3f")
+	panel("per-server empty fraction (mean over servers)",
+		func(c FarmCell) float64 { return c.EmptyFraction }, "  %9.4f")
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFarmDriverHetero(t *testing.T) {
+	e := tinyEnv(0)
+	r, err := Farm(e, FarmOptions{
+		Servers:      3,
+		Hetero:       true,
+		Dispatchers:  []string{"rr", "li"},
+		Loads:        []float64{0.6},
+		Replications: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (2 dispatchers x 1 load)", len(r.Cells))
+	}
+	if r.Capacity <= 0 {
+		t.Errorf("capacity = %v, want > 0", r.Capacity)
+	}
+	if !strings.Contains(r.Name, "smt+quad") {
+		t.Errorf("hetero farm named %q", r.Name)
+	}
+	cell, ok := r.Cell("li", 0.6)
+	if !ok {
+		t.Fatal("Cell(li, 0.6) missing")
+	}
+	if cell.MeanTurnaround <= 0 || cell.P95Turnaround < cell.MeanTurnaround {
+		t.Errorf("implausible cell %+v", cell)
+	}
+	if out := r.Format(); !strings.Contains(out, "load=0.60") || !strings.Contains(out, "li") {
+		t.Errorf("Format missing grid content:\n%s", out)
+	}
+}
+
+func TestFarmDriverErrors(t *testing.T) {
+	e := tinyEnv(0)
+	if _, err := Farm(e, FarmOptions{Sched: "NOPE", Loads: []float64{0.5}, Replications: 1}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := Farm(e, FarmOptions{Dispatchers: []string{"bogus"}, Loads: []float64{0.5}, Replications: 1}); err == nil {
+		t.Error("unknown dispatcher accepted")
+	}
+}

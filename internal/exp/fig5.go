@@ -40,23 +40,12 @@ type Fig5Result struct {
 }
 
 // SchedulerNames lists the Section VI schedulers in the paper's order.
-var SchedulerNames = []string{"FCFS", "MAXIT", "SRPT", "MAXTP"}
+var SchedulerNames = sched.Names
 
 // newScheduler builds a fresh scheduler instance (MAXTP carries state and
 // must not be shared across runs).
 func newScheduler(name string, t *perfdb.Table, w workload.Workload) (sched.Scheduler, error) {
-	switch name {
-	case "FCFS":
-		return sched.FCFS{}, nil
-	case "MAXIT":
-		return &sched.MAXIT{Table: t}, nil
-	case "SRPT":
-		return &sched.SRPT{Table: t}, nil
-	case "MAXTP":
-		return sched.NewMAXTP(t, w)
-	default:
-		return nil, fmt.Errorf("exp: unknown scheduler %q", name)
-	}
+	return sched.New(name, t, w)
 }
 
 // sampledWorkloads returns the N=4 workloads of the sweep, thinned to

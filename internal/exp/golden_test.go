@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// Regenerate the golden CSVs with:
+//
+//	go test ./internal/exp -run TestCSVGolden -update
+var update = flag.Bool("update", false, "rewrite the golden CSV files")
+
+// goldenCSVs runs every CSV-capable driver on a fresh tiny Env at the
+// given parallelism and writes the files into dir. The driver set covers
+// fig1-fig6, both tables, makespan and the farm grid.
+func goldenCSVs(t *testing.T, dir string, parallelism int) []string {
+	t.Helper()
+	e := tinyEnv(parallelism)
+
+	var names []string
+	emit := func(name string, result any) {
+		t.Helper()
+		ok, err := WriteCSV(dir, name, result)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ok {
+			t.Fatalf("%s: type %T not CSV-capable", name, result)
+		}
+		names = append(names, name+".csv")
+	}
+
+	f1, err := Fig1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit("fig1", f1)
+	f2s, f2q, err := Fig2(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(CSVName("fig2", "smt"), f2s)
+	emit(CSVName("fig2", "quad"), f2q)
+	f3s, f3q, err := Fig3(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(CSVName("fig3", "smt"), f3s)
+	emit(CSVName("fig3", "quad"), f3q)
+	f4, err := Fig4(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit("fig4", f4)
+	f5, err := Fig5(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit("fig5", f5)
+	f6, err := Fig6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit("fig6", f6)
+	emit("table1", Table1(e))
+	t2s, t2q, err := Table2(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit(CSVName("table2", "smt"), t2s)
+	emit(CSVName("table2", "quad"), t2q)
+	mk, err := MakespanExperiment(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit("makespan8", mk)
+	fr, err := Farm(e, FarmOptions{Servers: 2, Replications: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit("farm", fr)
+	return names
+}
+
+// TestCSVGolden pins the actual figure content, not just its determinism:
+// every CSV driver's output must be byte-identical to the committed golden
+// files, at Parallelism 1 and at NumCPU. A real change to the models or
+// simulators shows up as a golden diff to be reviewed and regenerated
+// with -update.
+func TestCSVGolden(t *testing.T) {
+	goldenDir := filepath.Join("testdata", "golden")
+
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		goldenCSVs(t, goldenDir, 1)
+		t.Log("golden CSVs rewritten")
+		return
+	}
+
+	// Pool of NumCPU, but at least 8 so single-core machines still
+	// exercise a genuinely concurrent pool.
+	wide := runtime.NumCPU()
+	if wide < 8 {
+		wide = 8
+	}
+	for _, p := range []int{1, wide} {
+		t.Run(fmt.Sprintf("parallel=%d", p), func(t *testing.T) {
+			dir := t.TempDir()
+			for _, name := range goldenCSVs(t, dir, p) {
+				got, err := os.ReadFile(filepath.Join(dir, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := os.ReadFile(filepath.Join(goldenDir, name))
+				if err != nil {
+					t.Fatalf("%s: %v (regenerate with -update)", name, err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("%s differs from golden file (regenerate with -update if the change is intended)\n--- got ---\n%s\n--- want ---\n%s",
+						name, got, want)
+				}
+			}
+		})
+	}
+}

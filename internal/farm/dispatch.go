@@ -1,0 +1,126 @@
+package farm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"symbiosched/internal/eventsim"
+	"symbiosched/internal/sched"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+// Dispatcher routes each arriving job to one server. Pick runs at the
+// job's arrival event and may inspect every server's queue length, table
+// and currently running coschedule; rng is the dispatch stream (shared by
+// no other component, so randomised policies stay deterministic per seed).
+// Implementations must be deterministic given (job, server states, rng).
+type Dispatcher interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns the index of the destination server.
+	Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int
+}
+
+// Random routes each job to a uniformly random server.
+type Random struct{}
+
+// Name implements Dispatcher.
+func (Random) Name() string { return "random" }
+
+// Pick implements Dispatcher.
+func (Random) Pick(_ *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int {
+	return rng.Intn(len(servers))
+}
+
+// RoundRobin cycles through the servers in index order.
+type RoundRobin struct{ next int }
+
+// Name implements Dispatcher.
+func (*RoundRobin) Name() string { return "rr" }
+
+// Pick implements Dispatcher.
+func (d *RoundRobin) Pick(_ *sched.Job, servers []*eventsim.Server, _ *stats.RNG) int {
+	i := d.next % len(servers)
+	d.next = (i + 1) % len(servers)
+	return i
+}
+
+// JoinShortestQueue routes each job to the server with the fewest jobs in
+// system; ties go to the lowest index.
+type JoinShortestQueue struct{}
+
+// Name implements Dispatcher.
+func (JoinShortestQueue) Name() string { return "jsq" }
+
+// Pick implements Dispatcher.
+func (JoinShortestQueue) Pick(_ *sched.Job, servers []*eventsim.Server, _ *stats.RNG) int {
+	best, bestLen := 0, servers[0].JobsInSystem()
+	for i := 1; i < len(servers); i++ {
+		if n := servers[i].JobsInSystem(); n < bestLen {
+			best, bestLen = i, n
+		}
+	}
+	return best
+}
+
+// LeastInterference is the symbiosis-aware policy: among servers with a
+// free context it probes each server's performance table for the marginal
+// instantaneous throughput of adding the arriving job next to the jobs
+// already running there — InstTP(running + job) - InstTP(running), the
+// rate the farm actually gains — and picks the server where the job
+// interferes least (an idle server scores the job's solo rate, WIPC 1).
+// When every server is saturated it falls back to the shortest queue.
+// Ties go to the lowest index, keeping the policy deterministic.
+type LeastInterference struct{}
+
+// Name implements Dispatcher.
+func (LeastInterference) Name() string { return "li" }
+
+// Pick implements Dispatcher.
+func (LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int {
+	best, bestGain := -1, math.Inf(-1)
+	for i, sv := range servers {
+		if sv.JobsInSystem() >= sv.K() {
+			continue
+		}
+		running := sv.Running()
+		cand := make(workload.Coschedule, 0, len(running)+1)
+		cand = append(cand, running...)
+		cand = append(cand, j.Type)
+		gain := sv.Table().InstTP(workload.NewCoschedule(cand...))
+		if len(running) > 0 {
+			gain -= sv.Table().InstTP(running)
+		}
+		if gain > bestGain+1e-12 {
+			best, bestGain = i, gain
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return JoinShortestQueue{}.Pick(j, servers, rng)
+}
+
+// DispatcherNames lists the built-in policies in presentation order.
+var DispatcherNames = []string{"random", "rr", "jsq", "li"}
+
+// NewDispatcher builds a fresh dispatcher by name. Stateful policies
+// (round-robin) must not be shared across simulations, so sweeps call
+// this once per run.
+func NewDispatcher(name string) (Dispatcher, error) {
+	switch name {
+	case "random":
+		return Random{}, nil
+	case "rr":
+		return &RoundRobin{}, nil
+	case "jsq":
+		return JoinShortestQueue{}, nil
+	case "li":
+		return LeastInterference{}, nil
+	default:
+		return nil, fmt.Errorf("farm: unknown dispatcher %q (want one of %s)",
+			name, strings.Join(DispatcherNames, ", "))
+	}
+}

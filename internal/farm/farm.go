@@ -1,0 +1,278 @@
+// Package farm simulates a farm of symbiosis-aware servers behind one
+// dispatcher — the cluster-scale extension of the paper's single-server
+// Section VI study. A single Poisson stream of jobs arrives at the farm; a
+// pluggable Dispatcher immediately routes each job to one of N (possibly
+// heterogeneous) servers; each server runs its own scheduler over its own
+// performance table via the per-server stepping primitives exported by
+// internal/eventsim.
+//
+// The farm multiplexes all servers on one deterministic clock: every event
+// (the globally earliest completion, or the next arrival) advances every
+// server by the same dt, and servers are visited in index order — no map
+// iteration, no goroutines — so a run is bit-reproducible from its seed.
+// Replication sweeps run through internal/runner with index-ordered
+// reduction, keeping aggregate results bit-identical at any parallelism.
+//
+// With one server the farm event loop reduces exactly to the single-server
+// experiments: Simulate over a farm of one reproduces eventsim.Latency bit
+// for bit (same RNG streams, same event arithmetic), which is pinned by a
+// test. With interference disabled (perfdb.UniformModel) and exponential
+// sizes it reduces to an M/M/K queue and is cross-validated against the
+// Erlang-C analytics in internal/queueing.
+package farm
+
+import (
+	"fmt"
+	"math"
+
+	"symbiosched/internal/eventsim"
+	"symbiosched/internal/numeric"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/sched"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+// ServerSpec describes one server of the farm: its performance table and a
+// factory for its scheduler. The factory runs once per simulation so that
+// stateful schedulers (MAXTP) never leak state across runs or servers.
+type ServerSpec struct {
+	Table *perfdb.Table
+	Sched func() (sched.Scheduler, error)
+}
+
+// Config parameterises one farm simulation. The fields mirror
+// eventsim.LatencyConfig; Lambda is the total arrival rate offered to the
+// whole farm.
+type Config struct {
+	// Lambda is the Poisson arrival rate to the farm in jobs per time unit.
+	Lambda float64
+	// Jobs is the number of jobs to complete (default 20_000).
+	Jobs int
+	// Warmup jobs are excluded from the turnaround statistics
+	// (default Jobs/10).
+	Warmup int
+	// JobSize is the mean work per job (default 1).
+	JobSize float64
+	// SizeShape selects the job-size distribution: 0 deterministic,
+	// 1 exponential, k >= 2 Erlang-k.
+	SizeShape int
+	// Seed drives arrivals, job types/sizes and randomised dispatchers
+	// (default 1). Arrival and job streams are seeded exactly as
+	// eventsim.Latency seeds them; the dispatcher draws from an
+	// independent third stream so that all dispatch policies see the
+	// same arrival process (common random numbers).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 20_000
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Jobs / 10
+	}
+	if c.JobSize <= 0 {
+		c.JobSize = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ServerStats is one server's share of a farm result.
+type ServerStats struct {
+	// Name is the server's table name plus scheduler name.
+	Name string
+	// Dispatched is the number of jobs the dispatcher routed here.
+	Dispatched int
+	// Utilisation is the time-averaged number of busy contexts (0..K).
+	Utilisation float64
+	// EmptyFraction is the fraction of time with zero jobs at this server.
+	EmptyFraction float64
+	// WorkDone is the completed work in WIPC time units.
+	WorkDone float64
+}
+
+// Result summarises one farm simulation.
+type Result struct {
+	// Dispatcher and Servers identify the configuration.
+	Dispatcher string
+	Servers    int
+	// MeanTurnaround and P95Turnaround summarise the post-warmup
+	// turnaround distribution.
+	MeanTurnaround float64
+	P95Turnaround  float64
+	// Utilisation is farm-wide busy contexts divided by total contexts
+	// (a fraction in [0, 1]).
+	Utilisation float64
+	// EmptyFraction is the mean over servers of the per-server empty
+	// fraction.
+	EmptyFraction float64
+	// Throughput is completed work divided by elapsed time, farm-wide.
+	Throughput float64
+	// Completed counts completed jobs, Counted the post-warmup subset.
+	Completed, Counted int
+	// Elapsed is the simulated time span.
+	Elapsed float64
+	// MeanJobsInSystem is the farm-wide mean population by Little's law
+	// over the counted window (approximate).
+	MeanJobsInSystem float64
+	// PerServer holds one entry per server, in server order.
+	PerServer []ServerStats
+}
+
+// Simulate runs one farm experiment: Poisson arrivals at cfg.Lambda over
+// workload w, routed by d over fresh servers built from specs.
+func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("farm: no servers")
+	}
+	if cfg.Lambda <= 0 {
+		return nil, fmt.Errorf("farm: non-positive arrival rate %v", cfg.Lambda)
+	}
+	if len(w) == 0 {
+		return nil, fmt.Errorf("farm: empty workload")
+	}
+
+	servers := make([]*eventsim.Server, len(specs))
+	totalContexts := 0
+	for i, sp := range specs {
+		if sp.Table == nil || sp.Sched == nil {
+			return nil, fmt.Errorf("farm: server %d has no table or scheduler", i)
+		}
+		for _, b := range w {
+			if b < 0 || b >= len(sp.Table.Suite()) {
+				return nil, fmt.Errorf("farm: job type %d outside server %d's %d-benchmark table", b, i, len(sp.Table.Suite()))
+			}
+		}
+		s, err := sp.Sched()
+		if err != nil {
+			return nil, fmt.Errorf("farm: server %d scheduler: %w", i, err)
+		}
+		servers[i] = eventsim.NewServer(sp.Table, s)
+		totalContexts += sp.Table.K()
+	}
+
+	// Three independent streams, so every dispatcher sees the same
+	// arrival process: arrivals (as eventsim.Latency), job types/sizes
+	// (as eventsim's job stream), dispatch decisions.
+	arng := stats.NewRNG(cfg.Seed)
+	drng := stats.NewRNG(cfg.Seed ^ 0xd1b54a32d192ed03)
+	newJob := eventsim.NewJobStream(w, eventsim.LatencyConfig{
+		Lambda:    cfg.Lambda,
+		Jobs:      cfg.Jobs,
+		Warmup:    cfg.Warmup,
+		JobSize:   cfg.JobSize,
+		SizeShape: cfg.SizeShape,
+		Seed:      cfg.Seed,
+	})
+
+	var now float64
+	nextArrival := arng.Exp(cfg.Lambda)
+	arrivalsLeft := cfg.Jobs
+
+	var turnaround numeric.KahanSum
+	expected := cfg.Jobs - cfg.Warmup
+	if expected < 0 {
+		expected = 0 // Warmup >= Jobs: legal, just counts nothing
+	}
+	turnarounds := make([]float64, 0, expected)
+	completed, counted := 0, 0
+
+	dispatch := func(j *sched.Job) error {
+		ti := d.Pick(j, servers, drng)
+		if ti < 0 || ti >= len(servers) {
+			return fmt.Errorf("farm: dispatcher %s picked server %d of %d", d.Name(), ti, len(servers))
+		}
+		servers[ti].Add(j)
+		return servers[ti].Reschedule()
+	}
+
+	for completed < cfg.Jobs {
+		// Globally earliest completion across servers (index order).
+		dt := math.Inf(1)
+		for _, sv := range servers {
+			if d := sv.TimeToNextCompletion(); d < dt {
+				dt = d
+			}
+		}
+		// Or the next arrival, whichever first.
+		arrivalDue := false
+		if arrivalsLeft > 0 && now+dt >= nextArrival {
+			dt = nextArrival - now
+			arrivalDue = true
+		}
+		if math.IsInf(dt, 1) {
+			break // drained: nothing running, no arrivals left
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		now += dt
+		// Advance every server on the shared clock; completions and
+		// rescheduling happen in server index order.
+		for _, sv := range servers {
+			done := sv.Advance(dt)
+			for _, j := range done {
+				completed++
+				if completed > cfg.Warmup {
+					tr := now - j.Arrival
+					turnaround.Add(tr)
+					turnarounds = append(turnarounds, tr)
+					counted++
+				}
+			}
+			if len(done) > 0 {
+				if err := sv.Reschedule(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if arrivalDue {
+			if err := dispatch(newJob(now)); err != nil {
+				return nil, err
+			}
+			arrivalsLeft--
+			if arrivalsLeft > 0 {
+				nextArrival = now + arng.Exp(cfg.Lambda)
+			}
+		}
+	}
+	if now <= 0 {
+		return nil, fmt.Errorf("farm: experiment completed no work")
+	}
+
+	res := &Result{
+		Dispatcher: d.Name(),
+		Servers:    len(servers),
+		Completed:  completed,
+		Counted:    counted,
+		Elapsed:    now,
+		PerServer:  make([]ServerStats, len(servers)),
+	}
+	var busy, empty, work numeric.KahanSum
+	for i, sv := range servers {
+		busy.Add(sv.BusyTime())
+		empty.Add(sv.EmptyTime() / now)
+		work.Add(sv.WorkDone())
+		res.PerServer[i] = ServerStats{
+			Name:          fmt.Sprintf("%s/%s", sv.Table().Name(), sv.Scheduler().Name()),
+			Dispatched:    sv.Dispatched(),
+			Utilisation:   sv.BusyTime() / now,
+			EmptyFraction: sv.EmptyTime() / now,
+			WorkDone:      sv.WorkDone(),
+		}
+	}
+	res.Utilisation = busy.Value() / now / float64(totalContexts)
+	res.EmptyFraction = empty.Value() / float64(len(servers))
+	res.Throughput = work.Value() / now
+	if counted > 0 {
+		res.MeanTurnaround = turnaround.Value() / float64(counted)
+		res.P95Turnaround = stats.Quantile(turnarounds, 0.95)
+		res.MeanJobsInSystem = res.MeanTurnaround * float64(counted) / now
+	}
+	return res, nil
+}

@@ -1,0 +1,324 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"symbiosched/internal/eventsim"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/program"
+	"symbiosched/internal/queueing"
+	"symbiosched/internal/runner"
+	"symbiosched/internal/sched"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/uarch"
+	"symbiosched/internal/workload"
+)
+
+var (
+	smtOnce sync.Once
+	smtTab  *perfdb.Table
+)
+
+// smtTable builds (once) a 4-benchmark SMT table — the interference-rich
+// configuration for the symbiosis tests.
+func smtTable(t *testing.T) *perfdb.Table {
+	t.Helper()
+	smtOnce.Do(func() {
+		suite := program.Suite()
+		mini := []program.Profile{suite[1], suite[5], suite[6], suite[7]}
+		smtTab = perfdb.Build(perfdb.SMTModel{Machine: uarch.DefaultSMT()}, mini)
+	})
+	return smtTab
+}
+
+// uniformTable builds a no-interference table with k contexts over a
+// single job type: the M/M/k oracle machine.
+func uniformTable(k int) *perfdb.Table {
+	return perfdb.Build(perfdb.UniformModel{K: k}, program.Suite()[:1])
+}
+
+func fcfsSpec(tab *perfdb.Table) ServerSpec {
+	return ServerSpec{Table: tab, Sched: func() (sched.Scheduler, error) { return sched.FCFS{}, nil }}
+}
+
+func w4() workload.Workload { return workload.Workload{0, 1, 2, 3} }
+
+// TestFarmOfOneReproducesEventsimLatency pins the refactoring contract:
+// a farm of one server is the single-server experiment, bit for bit —
+// same RNG streams, same event arithmetic, same accumulators.
+func TestFarmOfOneReproducesEventsimLatency(t *testing.T) {
+	tab := smtTable(t)
+	for _, name := range []string{"FCFS", "MAXIT", "SRPT"} {
+		cfg := eventsim.LatencyConfig{Lambda: 1.5, Jobs: 4000, SizeShape: 4, Seed: 7}
+		s, err := sched.New(name, tab, w4())
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := eventsim.Latency(tab, w4(), s, cfg)
+		if err != nil {
+			t.Fatalf("%s: eventsim: %v", name, err)
+		}
+		mk := func() (sched.Scheduler, error) { return sched.New(name, tab, w4()) }
+		farm, err := Simulate([]ServerSpec{{Table: tab, Sched: mk}}, &RoundRobin{}, w4(), Config{
+			Lambda: 1.5, Jobs: 4000, SizeShape: 4, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("%s: farm: %v", name, err)
+		}
+		if farm.MeanTurnaround != single.MeanTurnaround {
+			t.Errorf("%s: farm-of-1 turnaround %v != single-server %v",
+				name, farm.MeanTurnaround, single.MeanTurnaround)
+		}
+		if farm.PerServer[0].Utilisation != single.Utilisation {
+			t.Errorf("%s: farm-of-1 utilisation %v != single-server %v",
+				name, farm.PerServer[0].Utilisation, single.Utilisation)
+		}
+		if farm.EmptyFraction != single.EmptyFraction {
+			t.Errorf("%s: farm-of-1 empty fraction %v != single-server %v",
+				name, farm.EmptyFraction, single.EmptyFraction)
+		}
+		if farm.Throughput != single.Throughput {
+			t.Errorf("%s: farm-of-1 throughput %v != single-server %v",
+				name, farm.Throughput, single.Throughput)
+		}
+	}
+}
+
+// TestFarmMatchesMMCAnalytics is the farm's correctness oracle (the
+// ISSUE's cross-validation satellite): homogeneous jobs, interference
+// disabled (uniform table), exponential sizes and FCFS reduce the farm to
+// an M/M/c queue, whose mean turnaround internal/queueing computes
+// analytically via Erlang-C. Simulated turnaround must match within a
+// few percent across c in {1, 2, 4} and loads {0.5, 0.8, 0.95}.
+func TestFarmMatchesMMCAnalytics(t *testing.T) {
+	for _, c := range []int{1, 2, 4} {
+		tab := uniformTable(c)
+		for _, load := range []float64{0.5, 0.8, 0.95} {
+			lambda := load * float64(c) // mu = 1 per context
+			q := queueing.MMC{Lambda: lambda, Mu: 1, C: c}
+			want, err := q.MeanTurnaround()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Average several replications through the sweep engine:
+			// near saturation a single run's mean is too noisy to pin
+			// tightly.
+			res, err := Sweep(context.Background(), runner.Config{},
+				[]ServerSpec{fcfsSpec(tab)}, "rr", workload.Workload{0},
+				Config{Lambda: lambda, Jobs: 50_000, SizeShape: 1, Seed: 1}, 10)
+			if err != nil {
+				t.Fatalf("c=%d load=%v: %v", c, load, err)
+			}
+			rel := math.Abs(res.MeanTurnaround-want) / want
+			if rel > 0.05 {
+				t.Errorf("c=%d load=%v: farm turnaround %.4f vs M/M/%d analytic %.4f (rel err %.1f%%)",
+					c, load, res.MeanTurnaround, c, want, 100*rel)
+			}
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossParallelism pins the acceptance criterion:
+// replication sweeps are bit-identical at parallelism 1 and 8.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	tab := smtTable(t)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab)}
+	var outs []string
+	for _, p := range []int{1, 8} {
+		res, err := Sweep(context.Background(), runner.Config{Parallelism: p},
+			specs, "li", w4(), Config{Lambda: 2.5, Jobs: 3000, SizeShape: 4, Seed: 3}, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, fmt.Sprintf("%v %v %v %v %v %v",
+			res.MeanTurnaround, res.P95Turnaround, res.Utilisation,
+			res.EmptyFraction, res.Throughput, res.TurnaroundStd))
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("sweep differs across parallelism:\np=1: %s\np=8: %s", outs[0], outs[1])
+	}
+}
+
+// TestSimulateDeterministicRepeat: same seed, same everything.
+func TestSimulateDeterministicRepeat(t *testing.T) {
+	tab := smtTable(t)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab)}
+	run := func() *Result {
+		d, _ := NewDispatcher("random")
+		res, err := Simulate(specs, d, w4(), Config{Lambda: 2.0, Jobs: 3000, SizeShape: 4, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanTurnaround != b.MeanTurnaround || a.P95Turnaround != b.P95Turnaround ||
+		a.Throughput != b.Throughput || a.PerServer[0].Dispatched != b.PerServer[0].Dispatched {
+		t.Errorf("same-seed runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestWarmupExceedsJobs: a warmup longer than the run is legal — nothing
+// is counted and nothing panics (eventsim handles the same config the
+// same way).
+func TestWarmupExceedsJobs(t *testing.T) {
+	tab := uniformTable(1)
+	d, _ := NewDispatcher("rr")
+	res, err := Simulate([]ServerSpec{fcfsSpec(tab)}, d, workload.Workload{0},
+		Config{Lambda: 0.5, Jobs: 50, Warmup: 100, SizeShape: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counted != 0 || res.MeanTurnaround != 0 {
+		t.Errorf("counted %d turnaround %v, want 0, 0", res.Counted, res.MeanTurnaround)
+	}
+	if res.Completed != 50 {
+		t.Errorf("completed %d, want 50", res.Completed)
+	}
+}
+
+// TestDispatchersRouteSensibly sanity-checks each policy's routing on a
+// two-server farm.
+func TestDispatchersRouteSensibly(t *testing.T) {
+	tab := smtTable(t)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab)}
+	for _, name := range DispatcherNames {
+		d, err := NewDispatcher(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(specs, d, w4(), Config{Lambda: 2.0, Jobs: 4000, SizeShape: 4, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Dispatcher != name {
+			t.Errorf("%s: result labelled %q", name, res.Dispatcher)
+		}
+		total := 0
+		for _, ps := range res.PerServer {
+			total += ps.Dispatched
+			if ps.Dispatched == 0 {
+				t.Errorf("%s: server %q received no jobs", name, ps.Name)
+			}
+		}
+		if total != res.Completed {
+			t.Errorf("%s: dispatched %d != completed %d", name, total, res.Completed)
+		}
+	}
+	if _, err := NewDispatcher("bogus"); err == nil {
+		t.Error("NewDispatcher(bogus) succeeded")
+	}
+}
+
+// TestRoundRobinCycles verifies rr's routing order directly.
+func TestRoundRobinCycles(t *testing.T) {
+	tab := uniformTable(1)
+	servers := []*eventsim.Server{
+		eventsim.NewServer(tab, sched.FCFS{}),
+		eventsim.NewServer(tab, sched.FCFS{}),
+		eventsim.NewServer(tab, sched.FCFS{}),
+	}
+	d := &RoundRobin{}
+	rng := stats.NewRNG(1)
+	j := &sched.Job{Type: 0}
+	for i := 0; i < 7; i++ {
+		if got := d.Pick(j, servers, rng); got != i%3 {
+			t.Fatalf("pick %d = %d, want %d", i, got, i%3)
+		}
+	}
+}
+
+// TestJSQPicksShortest verifies jsq against hand-loaded queues.
+func TestJSQPicksShortest(t *testing.T) {
+	tab := uniformTable(1)
+	mk := func(n int) *eventsim.Server {
+		sv := eventsim.NewServer(tab, sched.FCFS{})
+		for i := 0; i < n; i++ {
+			sv.Add(&sched.Job{ID: i, Type: 0, Size: 1, Remaining: 1})
+		}
+		return sv
+	}
+	servers := []*eventsim.Server{mk(2), mk(0), mk(1)}
+	if got := (JoinShortestQueue{}).Pick(&sched.Job{Type: 0}, servers, stats.NewRNG(1)); got != 1 {
+		t.Errorf("jsq picked %d, want 1 (empty server)", got)
+	}
+}
+
+// TestLeastInterferencePrefersSymbiosis: with one server running a
+// cache-hungry co-runner and another running a friendly one, li must send
+// the arriving job where the probed marginal throughput is higher, and
+// must prefer an idle server (marginal WIPC 1) over any interfering one.
+func TestLeastInterferencePrefersSymbiosis(t *testing.T) {
+	tab := smtTable(t)
+	idle := eventsim.NewServer(tab, sched.FCFS{})
+	busy := eventsim.NewServer(tab, sched.FCFS{})
+	busy.Add(&sched.Job{ID: 0, Type: 1, Size: 1, Remaining: 1})
+	if err := busy.Reschedule(); err != nil {
+		t.Fatal(err)
+	}
+	j := &sched.Job{ID: 1, Type: 2}
+	servers := []*eventsim.Server{busy, idle}
+	if got := (LeastInterference{}).Pick(j, servers, stats.NewRNG(1)); got != 1 {
+		// Marginal gain at the idle server is WIPC 1; next to an
+		// interfering co-runner it is strictly less on the SMT model.
+		t.Errorf("li picked busy server %d, want idle server 1", got)
+	}
+	// All saturated -> falls back to shortest queue.
+	full := eventsim.NewServer(tab, sched.FCFS{})
+	for i := 0; i < tab.K(); i++ {
+		full.Add(&sched.Job{ID: i, Type: 0, Size: 1, Remaining: 1})
+	}
+	if err := full.Reschedule(); err != nil {
+		t.Fatal(err)
+	}
+	fuller := eventsim.NewServer(tab, sched.FCFS{})
+	for i := 0; i < tab.K()+2; i++ {
+		fuller.Add(&sched.Job{ID: i, Type: 0, Size: 1, Remaining: 1})
+	}
+	if err := fuller.Reschedule(); err != nil {
+		t.Fatal(err)
+	}
+	if got := (LeastInterference{}).Pick(j, []*eventsim.Server{fuller, full}, stats.NewRNG(1)); got != 1 {
+		t.Errorf("saturated li picked %d, want 1 (shorter queue)", got)
+	}
+}
+
+// TestHeterogeneousFarm runs SMT and no-interference servers side by
+// side; both tables must cover the workload's four job types.
+func TestHeterogeneousFarm(t *testing.T) {
+	uni4 := perfdb.Build(perfdb.UniformModel{K: 4}, program.Suite()[:4])
+	specs := []ServerSpec{fcfsSpec(smtTable(t)), fcfsSpec(uni4)}
+	d, _ := NewDispatcher("li")
+	res, err := Simulate(specs, d, w4(), Config{Lambda: 3.0, Jobs: 4000, SizeShape: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4000 {
+		t.Errorf("completed %d, want 4000", res.Completed)
+	}
+	if res.Utilisation <= 0 || res.Utilisation > 1 {
+		t.Errorf("farm utilisation %v outside (0,1]", res.Utilisation)
+	}
+}
+
+// TestJSQBeatsRandomNearSaturation: queue-aware dispatch must cut mean
+// turnaround versus blind random dispatch at high load.
+func TestJSQBeatsRandomNearSaturation(t *testing.T) {
+	tab := uniformTable(2)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab)}
+	cfg := Config{Lambda: 0.85 * 6, Jobs: 20_000, SizeShape: 1, Seed: 9}
+	run := func(disp string) float64 {
+		res, err := Sweep(context.Background(), runner.Config{}, specs, disp, workload.Workload{0}, cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanTurnaround
+	}
+	if jsq, rnd := run("jsq"), run("random"); jsq >= rnd {
+		t.Errorf("JSQ turnaround %v not better than random %v at load 0.85", jsq, rnd)
+	}
+}

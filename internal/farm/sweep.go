@@ -1,0 +1,110 @@
+package farm
+
+import (
+	"context"
+	"math"
+
+	"symbiosched/internal/numeric"
+	"symbiosched/internal/runner"
+	"symbiosched/internal/workload"
+)
+
+// Replication is one seed's farm result within a sweep.
+type Replication struct {
+	Seed uint64
+	*Result
+}
+
+// SweepResult aggregates R independent replications of one farm
+// configuration: every scalar metric is the mean over replications, folded
+// in replication order so the aggregate is bit-identical at any
+// parallelism level.
+type SweepResult struct {
+	Dispatcher   string
+	Replications int
+	// Means over replications.
+	MeanTurnaround, P95Turnaround float64
+	Utilisation, EmptyFraction    float64
+	Throughput, MeanJobsInSystem  float64
+	// TurnaroundStd is the sample standard deviation of the per-replication
+	// mean turnaround — the statistical confidence the cluster story needs.
+	TurnaroundStd float64
+	// Runs holds the individual replications, in seed order.
+	Runs []Replication
+}
+
+// ReplicationSeed derives the i-th replication's seed from a base seed.
+// The derivation depends only on (base, i), never on a shared RNG, so
+// replications are independent of execution order. Callers flattening a
+// larger grid through internal/runner (e.g. exp.Farm's dispatchers x
+// loads x reps sweep) use it to give every grid item its stream.
+func ReplicationSeed(base uint64, i int) uint64 {
+	return base ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+}
+
+// Aggregate folds replications into a SweepResult in slice order, so the
+// aggregate is bit-identical however the runs were scheduled.
+func Aggregate(runs []Replication) *SweepResult {
+	out := &SweepResult{Replications: len(runs), Runs: runs}
+	var turn, p95, util, empty, tp, pop, turnSq numeric.KahanSum
+	for _, r := range runs {
+		out.Dispatcher = r.Dispatcher
+		turn.Add(r.MeanTurnaround)
+		p95.Add(r.P95Turnaround)
+		util.Add(r.Utilisation)
+		empty.Add(r.EmptyFraction)
+		tp.Add(r.Throughput)
+		pop.Add(r.MeanJobsInSystem)
+	}
+	n := float64(len(runs))
+	if n == 0 {
+		return out
+	}
+	out.MeanTurnaround = turn.Value() / n
+	out.P95Turnaround = p95.Value() / n
+	out.Utilisation = util.Value() / n
+	out.EmptyFraction = empty.Value() / n
+	out.Throughput = tp.Value() / n
+	out.MeanJobsInSystem = pop.Value() / n
+	if len(runs) > 1 {
+		for _, r := range runs {
+			d := r.MeanTurnaround - out.MeanTurnaround
+			turnSq.Add(d * d)
+		}
+		out.TurnaroundStd = math.Sqrt(turnSq.Value() / float64(len(runs)-1))
+	}
+	return out
+}
+
+// Replicate runs one replication of the farm configuration with the i-th
+// seed derived from cfg.Seed — the unit of work grid sweeps fan out.
+func Replicate(specs []ServerSpec, disp string, w workload.Workload, cfg Config, i int) (Replication, error) {
+	d, err := NewDispatcher(disp)
+	if err != nil {
+		return Replication{}, err
+	}
+	rcfg := cfg.withDefaults()
+	rcfg.Seed = ReplicationSeed(rcfg.Seed, i)
+	res, err := Simulate(specs, d, w, rcfg)
+	if err != nil {
+		return Replication{}, err
+	}
+	return Replication{Seed: rcfg.Seed, Result: res}, nil
+}
+
+// Sweep runs reps independent replications of the farm configuration
+// (specs, dispatcher named disp, workload w, cfg with per-replication
+// seeds derived from cfg.Seed) through the shared runner engine and
+// aggregates them in index order.
+func Sweep(ctx context.Context, rc runner.Config, specs []ServerSpec, disp string, w workload.Workload, cfg Config, reps int) (*SweepResult, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	runs, err := runner.Map(ctx, rc, reps, func(_ context.Context, i int) (Replication, error) {
+		return Replicate(specs, disp, w, cfg, i)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Aggregate(runs), nil
+}

@@ -68,6 +68,29 @@ func (m MulticoreModel) SlotIPC(jobs []*program.Profile) []float64 {
 	return multicore.Rates(m.Machine, jobs).IPC
 }
 
+// UniformModel is a synthetic machine with K symmetric contexts and no
+// interference: every job runs at IPC 1 regardless of its co-runners, so
+// every WIPC in the resulting table is exactly 1. With exponential job
+// sizes the event simulation over such a table is a textbook M/M/K queue,
+// which makes the model the analytic cross-validation oracle for the
+// simulators (internal/farm pins itself to queueing.MMC through it).
+type UniformModel struct{ K int }
+
+// Name implements Model.
+func (m UniformModel) Name() string { return fmt.Sprintf("uniform-%d", m.K) }
+
+// Contexts implements Model.
+func (m UniformModel) Contexts() int { return m.K }
+
+// SlotIPC implements Model.
+func (m UniformModel) SlotIPC(jobs []*program.Profile) []float64 {
+	ipc := make([]float64, len(jobs))
+	for i := range ipc {
+		ipc[i] = 1
+	}
+	return ipc
+}
+
 // Entry is the stored performance of one coschedule.
 type Entry struct {
 	// Cos is the canonical (sorted) coschedule in global type indices.

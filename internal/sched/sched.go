@@ -16,8 +16,10 @@
 package sched
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"symbiosched/internal/core"
 	"symbiosched/internal/perfdb"
@@ -46,6 +48,30 @@ type Scheduler interface {
 	// Observe informs the scheduler that the coschedule cos just ran for
 	// dt time units (needed by MAXTP to track its time fractions).
 	Observe(cos workload.Coschedule, dt float64)
+}
+
+// Names lists the Section VI schedulers New constructs, in the paper's
+// order.
+var Names = []string{"FCFS", "MAXIT", "SRPT", "MAXTP"}
+
+// New builds a fresh scheduler by name over the given table and workload
+// (the workload is only needed by MAXTP's offline LP phase). Stateful
+// schedulers (MAXTP) must not be shared across runs or servers, so
+// callers construct one per simulation.
+func New(name string, t *perfdb.Table, w workload.Workload) (Scheduler, error) {
+	switch name {
+	case "FCFS":
+		return FCFS{}, nil
+	case "MAXIT":
+		return &MAXIT{Table: t}, nil
+	case "SRPT":
+		return &SRPT{Table: t}, nil
+	case "MAXTP":
+		return NewMAXTP(t, w)
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %q (want one of %s)",
+			name, strings.Join(Names, ", "))
+	}
 }
 
 // FCFS runs jobs strictly in arrival order.
@@ -124,13 +150,6 @@ func compositions(jobs []*Job, m int, pick func(a, b *Job) bool) []composition {
 	m = min(m, len(jobs))
 	rec(0, m)
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func allIndices(jobs []*Job) []int {

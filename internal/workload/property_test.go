@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"symbiosched/internal/stats"
+)
+
+// The farm's coschedule keying (perfdb.Key over canonical multisets)
+// silently depends on three invariants of this package: Multisets
+// enumerates exactly MultisetCount sorted multisets, without duplicates,
+// and Remap preserves multiset identity across local/global index spaces.
+// These property tests pin them over a grid of (n, k).
+
+func TestMultisetsCountMatchesFormula(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for k := 0; k <= 6; k++ {
+			got := len(Multisets(n, k))
+			want := MultisetCount(n, k)
+			if got != want {
+				t.Errorf("len(Multisets(%d,%d)) = %d, want C(%d,%d) = %d",
+					n, k, got, n+k-1, k, want)
+			}
+		}
+	}
+}
+
+func TestMultisetsSortedAndDuplicateFree(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for k := 1; k <= 5; k++ {
+			seen := map[string]bool{}
+			for _, c := range Multisets(n, k) {
+				if len(c) != k {
+					t.Fatalf("Multisets(%d,%d): entry %v has size %d", n, k, c, len(c))
+				}
+				if !sort.IntsAreSorted(c) {
+					t.Errorf("Multisets(%d,%d): entry %v not sorted", n, k, c)
+				}
+				for _, x := range c {
+					if x < 0 || x >= n {
+						t.Errorf("Multisets(%d,%d): entry %v outside [0,%d)", n, k, c, n)
+					}
+				}
+				if key := c.Key(); seen[key] {
+					t.Errorf("Multisets(%d,%d): duplicate entry %v", n, k, c)
+				} else {
+					seen[key] = true
+				}
+			}
+		}
+	}
+}
+
+// TestRemapRoundTrips: remapping a local coschedule through a workload's
+// local-to-global table and back through the inverse recovers the
+// original, for random strictly increasing tables (the Workload case).
+func TestRemapRoundTrips(t *testing.T) {
+	rng := stats.NewRNG(42)
+	const suite = 16
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(5)
+		// Random workload: n distinct global types, sorted.
+		perm := rng.Perm(suite)
+		w := append(Workload(nil), perm[:n]...)
+		sort.Ints(w)
+		inverse := map[int]int{}
+		for li, g := range w {
+			inverse[g] = li
+		}
+		for _, lc := range Multisets(n, k) {
+			global := lc.Remap(w)
+			back := make(Coschedule, len(global))
+			for i, g := range global {
+				back[i] = inverse[g]
+			}
+			sort.Ints(back)
+			if back.Key() != lc.Key() {
+				t.Fatalf("w=%v: Remap(%v) = %v, inverse %v != original", w, lc, global, back)
+			}
+			// A strictly increasing table also preserves counts per type.
+			for _, typ := range lc.Types() {
+				if global.Count(w[typ]) != lc.Count(typ) {
+					t.Fatalf("w=%v: Remap(%v) count mismatch for type %d", w, lc, typ)
+				}
+			}
+		}
+	}
+}
+
+// TestLocalCoschedulesMatchMultisetCount ties the two enumerations
+// together the way perfdb consumes them.
+func TestLocalCoschedulesMatchMultisetCount(t *testing.T) {
+	w := Workload{2, 5, 9, 11}
+	cs := LocalCoschedules(w, 4)
+	if len(cs) != MultisetCount(len(w), 4) {
+		t.Fatalf("LocalCoschedules: %d coschedules, want %d", len(cs), MultisetCount(len(w), 4))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if seen[c.Key()] {
+			t.Errorf("duplicate global coschedule %v", c)
+		}
+		seen[c.Key()] = true
+		for _, g := range c {
+			if w2 := (Workload{2, 5, 9, 11}); Coschedule(w2).Count(g) == 0 {
+				t.Errorf("coschedule %v uses type %d outside workload %v", c, g, w)
+			}
+		}
+	}
+}
