@@ -246,7 +246,7 @@ func BenchmarkLatencyExperiment(b *testing.B) {
 	w := workload.Workload{0, 1, 2, 3}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := &sched.MAXIT{Table: t}
+		s := &sched.MAXIT{Rates: t}
 		if _, err := eventsim.Latency(t, w, s, eventsim.LatencyConfig{
 			Lambda: 1.0, Jobs: 3000, Seed: uint64(i) + 1,
 		}); err != nil {
@@ -362,7 +362,7 @@ func BenchmarkAblationMAXTPFallback(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		r2, err := eventsim.MaxThroughput(t, w, &sched.MAXIT{Table: t}, cfg)
+		r2, err := eventsim.MaxThroughput(t, w, &sched.MAXIT{Rates: t}, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,9 +7,16 @@
 //
 // Usage:
 //
-//	farmsim [-servers 4] [-hetero] [-sched FCFS] [-dispatchers random,rr,jsq,li]
-//	        [-loads 0.5,0.8,0.95] [-jobs 20000] [-reps 3] [-seed 1]
+//	farmsim [-servers 4] [-hetero] [-sched FCFS] [-estimator oracle]
+//	        [-dispatchers random,rr,jsq,li] [-loads 0.5,0.8,0.95]
+//	        [-jobs 20000] [-reps 3] [-seed 1] [-quantiles]
 //	        [-parallel N] [-cache dir] [-csv dir] [-progress]
+//
+// -estimator replaces the oracle performance table with an online learner
+// (sampler or pairwise, see internal/online): schedulers and the li
+// dispatcher then decide over rates discovered at run time, while jobs
+// still progress at the machine's true rates. -quantiles appends P50/P99
+// turnaround panels to the report.
 //
 // Replication sweeps run through the shared runner engine: output is
 // byte-identical at any -parallel value.
@@ -27,6 +34,7 @@ import (
 
 	"symbiosched/internal/exp"
 	"symbiosched/internal/farm"
+	"symbiosched/internal/online"
 )
 
 func main() {
@@ -40,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		servers     = fs.Int("servers", 4, "number of servers in the farm")
 		hetero      = fs.Bool("hetero", false, "alternate SMT and quad-core servers (all-SMT otherwise)")
 		schedName   = fs.String("sched", "FCFS", "per-server scheduler: FCFS, MAXIT, SRPT or MAXTP")
+		estimator   = fs.String("estimator", "oracle", "per-server rate knowledge: "+strings.Join(online.Names, ", ")+" (non-oracle learns co-run rates online)")
+		quantiles   = fs.Bool("quantiles", false, "also print P50/P99 turnaround panels")
 		dispatchers = fs.String("dispatchers", strings.Join(farm.DispatcherNames, ","), "comma-separated dispatch policies")
 		loads       = fs.String("loads", "0.5,0.8,0.95", "comma-separated offered loads relative to farm capacity")
 		jobs        = fs.Int("jobs", 20000, "jobs per simulation")
@@ -94,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Servers:      *servers,
 		Hetero:       *hetero,
 		Sched:        *schedName,
+		Estimator:    *estimator,
 		Dispatchers:  dispList,
 		Loads:        loadList,
 		Replications: *reps,
@@ -103,6 +114,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprint(stdout, r.Format())
+	if *quantiles {
+		fmt.Fprint(stdout, r.FormatQuantiles())
+	}
 	if *csvDir != "" {
 		if _, err := exp.WriteCSV(*csvDir, "farm", r); err != nil {
 			fmt.Fprintf(stderr, "farmsim: csv: %v\n", err)

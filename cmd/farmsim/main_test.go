@@ -37,6 +37,30 @@ func TestRunTinyFarm(t *testing.T) {
 	}
 }
 
+// TestRunOnlineEstimator smoke-runs the learning path: -estimator swaps
+// the oracle table for an online learner and -quantiles appends the
+// P50/P99 panels.
+func TestRunOnlineEstimator(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{
+		"-servers", "2", "-jobs", "600", "-reps", "1", "-sched", "MAXIT",
+		"-estimator", "sampler", "-quantiles",
+		"-dispatchers", "li", "-loads", "0.8",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"@ sampler", "p50 turnaround", "p99 turnaround"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if code := run([]string{"-estimator", "psychic", "-jobs", "300", "-reps", "1", "-loads", "0.5"}, &out, &errb); code != 1 {
+		t.Errorf("unknown estimator: run = %d, want 1", code)
+	}
+}
+
 // TestRunDeterministicAcrossParallel pins the acceptance criterion at
 // the CLI level: the full farmsim output is byte-identical at
 // -parallel 1 and -parallel NumCPU (or 8 if larger).

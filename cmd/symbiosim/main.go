@@ -6,7 +6,7 @@
 //	symbiosim [flags] <experiment> [<experiment>...]
 //
 // Experiments: table1, fig1, fig2, fig3, table2, n8, fairness, fig4,
-// fig5, fig6, uarch, makespan, farm, all.
+// fig5, fig6, uarch, makespan, farm, online, all.
 //
 // -parallel bounds the worker pool of every sweep (results are identical
 // at any value), -cache caches built performance databases on disk, and
@@ -123,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-var order = []string{"table1", "fig1", "fig2", "fig3", "table2", "n8", "fairness", "fig4", "fig5", "fig6", "uarch", "makespan", "farm"}
+var order = []string{"table1", "fig1", "fig2", "fig3", "table2", "n8", "fairness", "fig4", "fig5", "fig6", "uarch", "makespan", "farm", "online"}
 
 var experiments = map[string]func(*exp.Env) (string, error){
 	"table1": func(e *exp.Env) (string, error) {
@@ -206,6 +206,13 @@ var experiments = map[string]func(*exp.Env) (string, error){
 		}
 		return r.Format(), nil
 	},
+	"online": func(e *exp.Env) (string, error) {
+		r, err := exp.Online(e, exp.OnlineOptions{})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	},
 	"makespan": func(e *exp.Env) (string, error) {
 		small, err := exp.MakespanExperiment(e, 8)
 		if err != nil {
@@ -279,6 +286,13 @@ func writeCSVs(env *exp.Env, dir, name string) error {
 			return err
 		}
 		_, err = exp.WriteCSV(dir, "farm", r)
+		return err
+	case "online":
+		r, err := exp.Online(env, exp.OnlineOptions{})
+		if err != nil {
+			return err
+		}
+		_, err = exp.WriteCSV(dir, "online", r)
 		return err
 	}
 	return nil

@@ -9,8 +9,10 @@
 // internal/{trace,cyclesim}, the Section VI schedulers and event simulator
 // in internal/{sched,eventsim,queueing}, the cluster-scale multi-server
 // farm simulator (pluggable dispatchers over per-server schedulers,
-// cross-validated against M/M/c analytics) in internal/farm, and one
-// driver per table/figure in internal/exp. Executables are under cmd/
+// cross-validated against M/M/c analytics) in internal/farm, the online
+// rate-estimation subsystem that lets schedulers discover co-run rates at
+// run time instead of consuming the oracle table in internal/online, and
+// one driver per table/figure in internal/exp. Executables are under cmd/
 // (symbiosim, farmsim, coschedql, mmc) and runnable examples under
 // examples/.
 //

@@ -20,6 +20,7 @@ import (
 
 	"symbiosched/internal/core"
 	"symbiosched/internal/farm"
+	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/program"
 	"symbiosched/internal/sched"
@@ -51,7 +52,7 @@ func main() {
 	fmt.Printf("%-7s %12s %12s %12s %12s %12s\n", "sched", "turnaround", "p95", "vs FCFS", "utilisation", "empty frac")
 	var base float64
 	for _, name := range sched.Names {
-		mk := func() (sched.Scheduler, error) { return sched.New(name, table, w) }
+		mk := func(rs online.RateSource) (sched.Scheduler, error) { return sched.New(name, rs, w) }
 		specs := make([]farm.ServerSpec, *servers)
 		for i := range specs {
 			specs[i] = farm.ServerSpec{Table: table, Sched: mk}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"symbiosched/internal/numeric"
+	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/stats"
@@ -84,13 +85,22 @@ type Result struct {
 // Latency runs a latency experiment: Poisson arrivals at cfg.Lambda on
 // workload w, scheduled by s on the K contexts of table t.
 func Latency(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg LatencyConfig) (*Result, error) {
+	return LatencyObserved(t, w, s, nil, cfg)
+}
+
+// LatencyObserved is Latency with an interval observer installed on the
+// server — the online-learning loop: the scheduler s typically decides
+// over the estimator passed as obs, while the server measures the true
+// rates of every simulated interval into it. With obs == nil (or the
+// no-op online.Oracle) it is exactly Latency, bit for bit.
+func LatencyObserved(t *perfdb.Table, w workload.Workload, s sched.Scheduler, obs online.IntervalObserver, cfg LatencyConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Lambda <= 0 {
 		return nil, fmt.Errorf("eventsim: non-positive arrival rate %v", cfg.Lambda)
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	gen := func() float64 { return rng.Exp(cfg.Lambda) }
-	return run(t, w, s, cfg, gen, 0)
+	return run(t, w, s, obs, cfg, gen, 0)
 }
 
 // MaxThroughputConfig parameterises a maximum-throughput experiment
@@ -132,7 +142,7 @@ func MaxThroughput(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg 
 		// Lambda unused by the pooled generator.
 		Lambda: 1,
 	}
-	return run(t, w, s, lcfg, nil, cfg.Pool)
+	return run(t, w, s, nil, lcfg, nil, cfg.Pool)
 }
 
 // NewJobStream returns a deterministic job factory over workload w: types
@@ -168,14 +178,18 @@ func NewJobStream(w workload.Workload, cfg LatencyConfig) func(now float64) *sch
 
 // run is the shared event loop, driving one Server. interarrival == nil
 // selects pooled mode: the system is refilled to pool jobs immediately
-// (pool <= 0 defaults to 4*K).
-func run(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg LatencyConfig, interarrival func() float64, pool int) (*Result, error) {
+// (pool <= 0 defaults to 4*K). obs, when non-nil, receives every
+// interval's ground-truth measurement.
+func run(t *perfdb.Table, w workload.Workload, s sched.Scheduler, obs online.IntervalObserver, cfg LatencyConfig, interarrival func() float64, pool int) (*Result, error) {
 	pooled := interarrival == nil
 	if pool <= 0 {
 		pool = 4 * t.K()
 	}
 
 	sv := NewServer(t, s)
+	if obs != nil {
+		sv.SetObserver(obs)
+	}
 	newJob := NewJobStream(w, cfg)
 
 	var now float64

@@ -144,7 +144,7 @@ func TestSRPTMatchesFCFSMaxThroughput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srpt, err := MaxThroughput(tb, w4(), &sched.SRPT{Table: tab}, MaxThroughputConfig{Jobs: 25_000, Seed: 9})
+	srpt, err := MaxThroughput(tb, w4(), &sched.SRPT{Rates: tab}, MaxThroughputConfig{Jobs: 25_000, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,6 +53,7 @@ func Makespan(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg Makes
 		cfg.Seed = 1
 	}
 	rng := stats.NewRNG(cfg.Seed)
+	observer, _ := s.(sched.Observer)
 	system := make([]*sched.Job, cfg.Batch)
 	for i := range system {
 		size := cfg.JobSize
@@ -89,7 +90,9 @@ func Makespan(t *perfdb.Table, w workload.Workload, s sched.Scheduler, cfg Makes
 			j := system[ji]
 			j.Remaining -= t.JobWIPC(canon, j.Type) * dt
 		}
-		s.Observe(canon, dt)
+		if observer != nil {
+			observer.Observe(canon, dt)
+		}
 		var kept []*sched.Job
 		for _, j := range system {
 			if j.Remaining > eps {

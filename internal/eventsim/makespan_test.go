@@ -34,7 +34,7 @@ func TestMakespanLowerBoundedByWork(t *testing.T) {
 	tb := table(t)
 	// With K contexts and max instantaneous throughput bounded by the best
 	// coschedule, makespan >= totalWork / maxInstTP.
-	res, err := Makespan(tb, w4(), &sched.MAXIT{Table: tb}, MakespanConfig{Batch: 12, Seed: 5})
+	res, err := Makespan(tb, w4(), &sched.MAXIT{Rates: tb}, MakespanConfig{Batch: 12, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestLJFBeatsSRPTOnMakespan(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sr, err := Makespan(tb, w4(), &sched.SRPT{Table: tb}, cfg)
+		sr, err := Makespan(tb, w4(), &sched.SRPT{Rates: tb}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +87,7 @@ func TestSRPTBeatsLJFOnTurnaround(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sr, err := Makespan(tb, w4(), &sched.SRPT{Table: tb}, cfg)
+		sr, err := Makespan(tb, w4(), &sched.SRPT{Rates: tb}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func TestMakespanSchedulerComparison(t *testing.T) {
 	// the same batch.
 	tb := table(t)
 	cfg := MakespanConfig{Batch: 16, Seed: 11}
-	maxit, err := Makespan(tb, w4(), &sched.MAXIT{Table: tb}, cfg)
+	maxit, err := Makespan(tb, w4(), &sched.MAXIT{Rates: tb}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

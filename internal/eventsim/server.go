@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"symbiosched/internal/numeric"
+	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/workload"
@@ -18,6 +19,14 @@ import (
 // package drive one Server, and internal/farm multiplexes many Servers on
 // a shared clock.
 //
+// The table is the ground truth: jobs always progress at the true
+// per-coschedule rates. Decisions may run on less: the scheduler decides
+// over whatever rate source it was built with, and SetRates exposes a
+// (possibly learned) source to symbiosis-aware dispatchers. SetObserver
+// installs the online-learning measurement hook: after every advance the
+// observer receives the interval's true coschedule, duration and per-slot
+// progress — what hardware counters would report.
+//
 // The caller owns the clock. The protocol per event is:
 //
 //  1. Reschedule every server whose job set changed since the last event
@@ -29,29 +38,50 @@ import (
 // A Server accumulates its own busy/empty/work integrals so per-server
 // utilisation survives multiplexing.
 type Server struct {
-	table *perfdb.Table
-	sched sched.Scheduler
+	table    *perfdb.Table
+	rates    online.RateSource
+	sched    sched.Scheduler
+	schedObs sched.Observer // sched, when it observes time; else nil
+	obs      online.IntervalObserver
 
 	jobs    []*sched.Job
 	running []int               // indices into jobs, valid after Reschedule
 	canon   workload.Coschedule // canonical coschedule of the running jobs
+	prog    []float64           // scratch per-slot progress for the observer
 
 	busy, empty, work numeric.KahanSum
 	dispatched        int
 }
 
 // NewServer returns an empty server over the given table and scheduler.
-// The scheduler must not be shared with another server (MAXTP carries
-// per-run state).
+// The scheduler must not be shared with another server (MAXTP and the
+// online estimators carry per-run state).
 func NewServer(t *perfdb.Table, s sched.Scheduler) *Server {
-	return &Server{table: t, sched: s}
+	sv := &Server{table: t, rates: t, sched: s}
+	if o, ok := s.(sched.Observer); ok {
+		sv.schedObs = o
+	}
+	return sv
 }
 
-// Table returns the server's performance table.
+// Table returns the server's ground-truth performance table.
 func (sv *Server) Table() *perfdb.Table { return sv.table }
 
 // Scheduler returns the server's scheduler.
 func (sv *Server) Scheduler() sched.Scheduler { return sv.sched }
+
+// Rates returns the rate source decision-makers outside the server
+// (symbiosis-aware dispatchers) should probe: the learned estimator when
+// one is installed, the oracle table otherwise.
+func (sv *Server) Rates() online.RateSource { return sv.rates }
+
+// SetRates replaces the decision-rate source exposed by Rates. It does
+// not change the physics: jobs still progress at the table's true rates.
+func (sv *Server) SetRates(rs online.RateSource) { sv.rates = rs }
+
+// SetObserver installs the measurement hook fed by Advance. The observer
+// must not retain the progress slice it is handed.
+func (sv *Server) SetObserver(o online.IntervalObserver) { sv.obs = o }
 
 // K returns the server's context count.
 func (sv *Server) K() int { return sv.table.K() }
@@ -98,7 +128,7 @@ func (sv *Server) Reschedule() error {
 }
 
 // TimeToNextCompletion returns the time until the first running job
-// completes at the current rates, or +Inf for an idle server.
+// completes at the current (true) rates, or +Inf for an idle server.
 func (sv *Server) TimeToNextCompletion() float64 {
 	dt := math.Inf(1)
 	for _, ji := range sv.running {
@@ -111,11 +141,11 @@ func (sv *Server) TimeToNextCompletion() float64 {
 	return dt
 }
 
-// Advance progresses the running jobs by dt at their per-coschedule
-// rates, accumulates the busy/empty/work integrals, notifies the
-// scheduler, and removes and returns the jobs that completed (in queue
-// order). When jobs complete the server must be rescheduled before the
-// next event.
+// Advance progresses the running jobs by dt at their true per-coschedule
+// rates, accumulates the busy/empty/work integrals, reports the interval
+// to the installed observer and the scheduler, and removes and returns
+// the jobs that completed (in queue order). When jobs complete the server
+// must be rescheduled before the next event.
 func (sv *Server) Advance(dt float64) []*sched.Job {
 	if len(sv.jobs) == 0 {
 		sv.empty.Add(dt)
@@ -128,7 +158,16 @@ func (sv *Server) Advance(dt float64) []*sched.Job {
 		j.Remaining -= adv
 		sv.work.Add(adv)
 	}
-	sv.sched.Observe(sv.canon, dt)
+	if sv.obs != nil && dt > 0 && len(sv.canon) > 0 {
+		sv.prog = sv.prog[:0]
+		for _, typ := range sv.canon {
+			sv.prog = append(sv.prog, sv.table.JobWIPC(sv.canon, typ)*dt)
+		}
+		sv.obs.ObserveInterval(sv.canon, dt, sv.prog)
+	}
+	if sv.schedObs != nil {
+		sv.schedObs.Observe(sv.canon, dt)
+	}
 	var done, kept []*sched.Job
 	for _, j := range sv.jobs {
 		if j.Remaining > eps {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"symbiosched/internal/online"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/workload"
 )
@@ -11,9 +12,65 @@ import (
 // badScheduler selects nothing, violating the work-conserving contract.
 type badScheduler struct{}
 
-func (badScheduler) Name() string                         { return "bad" }
-func (badScheduler) Select([]*sched.Job, int) []int       { return nil }
-func (badScheduler) Observe(workload.Coschedule, float64) {}
+func (badScheduler) Name() string                   { return "bad" }
+func (badScheduler) Select([]*sched.Job, int) []int { return nil }
+
+// recordingObserver captures the measurement hook's reports.
+type recordingObserver struct {
+	cos      []workload.Coschedule
+	dt       []float64
+	progress [][]float64
+}
+
+func (r *recordingObserver) ObserveInterval(cos workload.Coschedule, dt float64, progress []float64) {
+	r.cos = append(r.cos, append(workload.Coschedule(nil), cos...))
+	r.dt = append(r.dt, dt)
+	r.progress = append(r.progress, append([]float64(nil), progress...))
+}
+
+// TestServerObservationHook pins the online-learning feed: after every
+// non-idle Advance the observer receives the canonical coschedule, the
+// interval length and the true per-slot progress (WIPC * dt).
+func TestServerObservationHook(t *testing.T) {
+	tb := table(t)
+	rec := &recordingObserver{}
+	sv := NewServer(tb, sched.FCFS{})
+	sv.SetObserver(rec)
+	sv.Advance(1) // idle: no observation
+	sv.Add(&sched.Job{ID: 0, Type: 0, Size: 2, Remaining: 2})
+	sv.Add(&sched.Job{ID: 1, Type: 1, Size: 2, Remaining: 2})
+	if err := sv.Reschedule(); err != nil {
+		t.Fatal(err)
+	}
+	sv.Advance(0.5)
+	if len(rec.cos) != 1 {
+		t.Fatalf("observer got %d intervals, want 1 (idle advance must not report)", len(rec.cos))
+	}
+	want := workload.NewCoschedule(0, 1)
+	if rec.cos[0].Key() != want.Key() || rec.dt[0] != 0.5 {
+		t.Errorf("observed (%v, %v), want (%v, 0.5)", rec.cos[0], rec.dt[0], want)
+	}
+	for i, typ := range want {
+		exp := tb.JobWIPC(want, typ) * 0.5
+		if got := rec.progress[0][i]; got != exp {
+			t.Errorf("slot %d progress %v, want true WIPC*dt %v", i, got, exp)
+		}
+	}
+}
+
+// TestServerRatesDefaultToTable pins the decision-source plumbing.
+func TestServerRatesDefaultToTable(t *testing.T) {
+	tb := table(t)
+	sv := NewServer(tb, sched.FCFS{})
+	if sv.Rates() != online.RateSource(tb) {
+		t.Error("Rates() != table before SetRates")
+	}
+	est := online.Oracle{Table: tb}
+	sv.SetRates(est)
+	if sv.Rates() != online.RateSource(est) {
+		t.Error("SetRates not exposed via Rates()")
+	}
+}
 
 func TestServerStepping(t *testing.T) {
 	tb := table(t)

@@ -13,8 +13,8 @@ import (
 // WriteCSV saves an experiment's plottable series as CSV files under dir
 // (created if needed), so the figures can be regenerated with any plotting
 // tool. Supported results: Fig1Result, Fig2Result, Fig3Result, Fig4Result,
-// Fig5Result, Fig6Result, []Table1Row, Table2Result, MakespanResult and
-// FarmResult; other types are ignored with ok=false.
+// Fig5Result, Fig6Result, []Table1Row, Table2Result, MakespanResult,
+// FarmResult and OnlineResult; other types are ignored with ok=false.
 func WriteCSV(dir string, name string, result any) (ok bool, err error) {
 	rows, header := csvRows(result)
 	if rows == nil {
@@ -71,11 +71,17 @@ func csvRows(result any) (rows [][]string, header []string) {
 				f(row.AvgInstTP), f(row.FCFS), f(row.Optimal), f(row.Worst), f(r.TheoreticalFCFS[i])})
 		}
 	case *FarmResult:
-		header = []string{"dispatcher", "load", "mean_turnaround", "p95_turnaround", "turnaround_std", "utilisation", "empty_fraction", "throughput"}
+		header = []string{"dispatcher", "load", "mean_turnaround", "p50_turnaround", "p95_turnaround", "p99_turnaround", "turnaround_std", "utilisation", "empty_fraction", "throughput"}
 		for _, c := range r.Cells {
 			rows = append(rows, []string{c.Dispatcher, f(c.Load),
-				f(c.MeanTurnaround), f(c.P95Turnaround), f(c.TurnaroundStd),
+				f(c.MeanTurnaround), f(c.P50Turnaround), f(c.P95Turnaround), f(c.P99Turnaround), f(c.TurnaroundStd),
 				f(c.Utilisation), f(c.EmptyFraction), f(c.Throughput)})
+		}
+	case *OnlineResult:
+		header = []string{"machine", "estimator", "load", "turnaround", "throughput", "turnaround_vs_oracle", "throughput_vs_oracle"}
+		for _, c := range r.Cells {
+			rows = append(rows, []string{c.Machine, c.Estimator, f(c.Load),
+				f(c.Turnaround), f(c.Throughput), f(c.TurnaroundVsOracle), f(c.ThroughputVsOracle)})
 		}
 	case *Fig2Result:
 		header = []string{"workload", "opt_vs_worst", "fcfs_vs_worst"}

@@ -63,6 +63,13 @@ func TestDriversDeterministicAcrossParallelism(t *testing.T) {
 			}
 			return r.Format(), nil
 		}},
+		{"online", func(e *Env) (string, error) {
+			r, err := Online(e, OnlineOptions{Workloads: 2})
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		}},
 	}
 	outputs := map[int]map[string]string{}
 	for _, p := range []int{1, 8} {

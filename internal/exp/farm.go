@@ -7,6 +7,7 @@ import (
 
 	"symbiosched/internal/core"
 	"symbiosched/internal/farm"
+	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/runner"
 	"symbiosched/internal/sched"
@@ -25,6 +26,11 @@ type FarmOptions struct {
 	Hetero bool
 	// Sched names the per-server scheduler (default "FCFS").
 	Sched string
+	// Estimator names the per-server rate knowledge: "oracle" (default)
+	// decides over the true performance table; "sampler" and "pairwise"
+	// learn co-run rates online (internal/online) — schedulers and the
+	// li dispatcher then run on estimates instead of the oracle.
+	Estimator string
 	// Dispatchers defaults to every built-in policy.
 	Dispatchers []string
 	// Loads defaults to FarmLoads.
@@ -39,6 +45,9 @@ func (o FarmOptions) withDefaults() FarmOptions {
 	}
 	if o.Sched == "" {
 		o.Sched = "FCFS"
+	}
+	if o.Estimator == "" {
+		o.Estimator = "oracle"
 	}
 	if len(o.Dispatchers) == 0 {
 		o.Dispatchers = farm.DispatcherNames
@@ -56,9 +65,12 @@ func (o FarmOptions) withDefaults() FarmOptions {
 type FarmCell struct {
 	Dispatcher string
 	Load       float64
-	// MeanTurnaround and P95Turnaround are means over replications.
+	// MeanTurnaround and the P50/P95/P99 quantiles are means over
+	// replications.
 	MeanTurnaround float64
+	P50Turnaround  float64
 	P95Turnaround  float64
+	P99Turnaround  float64
 	// TurnaroundStd is the across-replication standard deviation of the
 	// mean turnaround.
 	TurnaroundStd float64
@@ -97,9 +109,9 @@ func farmWorkload(e *Env) workload.Workload {
 }
 
 // farmSpecs builds the server list: all-SMT, or alternating SMT/quad when
-// hetero is set. MAXTP is constructed per simulation via the spec factory
-// (it carries run state); the offline LP phase it needs runs inside the
-// factory, once per replication.
+// hetero is set. MAXTP and the online estimators are constructed per
+// simulation via the spec factories (they carry run state); the offline
+// LP phase MAXTP needs runs inside the factory, once per replication.
 func farmSpecs(e *Env, opt FarmOptions, w workload.Workload) ([]farm.ServerSpec, error) {
 	tables := []*perfdb.Table{e.SMTTable()}
 	if opt.Hetero {
@@ -110,11 +122,19 @@ func farmSpecs(e *Env, opt FarmOptions, w workload.Workload) ([]farm.ServerSpec,
 		t := tables[i%len(tables)]
 		specs[i] = farm.ServerSpec{
 			Table: t,
-			Sched: func() (sched.Scheduler, error) { return newScheduler(opt.Sched, t, w) },
+			Sched: func(rs online.RateSource) (sched.Scheduler, error) { return newScheduler(opt.Sched, rs, w) },
+		}
+		if opt.Estimator != "oracle" {
+			specs[i].Estimator = func(seed uint64) (online.Estimator, error) { return online.New(opt.Estimator, t, seed) }
 		}
 	}
-	// Validate the scheduler name once, eagerly.
-	if _, err := newScheduler(opt.Sched, tables[0], w); err != nil {
+	// Validate the names once, eagerly — including combinations the
+	// factories would only reject mid-sweep (MAXTP over a learner).
+	val, err := online.New(opt.Estimator, tables[0], 1)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := newScheduler(opt.Sched, val, w); err != nil {
 		return nil, err
 	}
 	return specs, nil
@@ -148,8 +168,12 @@ func Farm(e *Env, opt FarmOptions) (*FarmResult, error) {
 	if opt.Hetero {
 		mix = "smt+quad"
 	}
+	name := fmt.Sprintf("%d x %s / %s", opt.Servers, mix, opt.Sched)
+	if opt.Estimator != "oracle" {
+		name += " @ " + opt.Estimator
+	}
 	r := &FarmResult{
-		Name:         fmt.Sprintf("%d x %s / %s", opt.Servers, mix, opt.Sched),
+		Name:         name,
 		Workload:     w.Key(),
 		Capacity:     capacity,
 		Servers:      opt.Servers,
@@ -195,7 +219,9 @@ func Farm(e *Env, opt FarmOptions) (*FarmResult, error) {
 			Dispatcher:     c.disp,
 			Load:           c.load,
 			MeanTurnaround: cell.MeanTurnaround,
+			P50Turnaround:  cell.P50Turnaround,
 			P95Turnaround:  cell.P95Turnaround,
+			P99Turnaround:  cell.P99Turnaround,
 			TurnaroundStd:  cell.TurnaroundStd,
 			Utilisation:    cell.Utilisation,
 			EmptyFraction:  cell.EmptyFraction,
@@ -273,5 +299,32 @@ func (r *FarmResult) Format() string {
 		func(c FarmCell) float64 { return c.Utilisation }, "  %9.3f")
 	panel("per-server empty fraction (mean over servers)",
 		func(c FarmCell) float64 { return c.EmptyFraction }, "  %9.4f")
+	return b.String()
+}
+
+// FormatQuantiles renders the turnaround quantile panels (P50/P99) that
+// farmsim -quantiles appends to the standard grid — the latency-SLO view
+// of the same replications.
+func (r *FarmResult) FormatQuantiles() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Turnaround quantiles (%s), mean over %d replications/cell\n", r.Name, r.Replications)
+	loads := r.loads()
+	panel := func(title string, get func(FarmCell) float64) {
+		fmt.Fprintf(&b, "  %s\n          ", title)
+		for _, l := range loads {
+			fmt.Fprintf(&b, "  load=%.2f", l)
+		}
+		fmt.Fprintln(&b)
+		for _, d := range r.dispatchers() {
+			fmt.Fprintf(&b, "  %-8s", d)
+			for _, l := range loads {
+				c, _ := r.Cell(d, l)
+				fmt.Fprintf(&b, "  %9.3f", get(c))
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	panel("p50 turnaround time (median)", func(c FarmCell) float64 { return c.P50Turnaround })
+	panel("p99 turnaround time (tail SLO)", func(c FarmCell) float64 { return c.P99Turnaround })
 	return b.String()
 }

@@ -6,7 +6,7 @@ import (
 	"strings"
 
 	"symbiosched/internal/eventsim"
-	"symbiosched/internal/perfdb"
+	"symbiosched/internal/online"
 	"symbiosched/internal/runner"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/workload"
@@ -42,10 +42,11 @@ type Fig5Result struct {
 // SchedulerNames lists the Section VI schedulers in the paper's order.
 var SchedulerNames = sched.Names
 
-// newScheduler builds a fresh scheduler instance (MAXTP carries state and
-// must not be shared across runs).
-func newScheduler(name string, t *perfdb.Table, w workload.Workload) (sched.Scheduler, error) {
-	return sched.New(name, t, w)
+// newScheduler builds a fresh scheduler instance over a rate source — the
+// oracle table in the paper's experiments, a learned estimator in the
+// online ones (MAXTP carries state and must not be shared across runs).
+func newScheduler(name string, rs online.RateSource, w workload.Workload) (sched.Scheduler, error) {
+	return sched.New(name, rs, w)
 }
 
 // sampledWorkloads returns the N=4 workloads of the sweep, thinned to

@@ -16,7 +16,8 @@ var update = flag.Bool("update", false, "rewrite the golden CSV files")
 
 // goldenCSVs runs every CSV-capable driver on a fresh tiny Env at the
 // given parallelism and writes the files into dir. The driver set covers
-// fig1-fig6, both tables, makespan and the farm grid.
+// fig1-fig6, both tables, makespan, the farm grid and the online
+// knowledge-gap sweep.
 func goldenCSVs(t *testing.T, dir string, parallelism int) []string {
 	t.Helper()
 	e := tinyEnv(parallelism)
@@ -83,6 +84,11 @@ func goldenCSVs(t *testing.T, dir string, parallelism int) []string {
 		t.Fatal(err)
 	}
 	emit("farm", fr)
+	on, err := Online(e, OnlineOptions{Workloads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit("online", on)
 	return names
 }
 

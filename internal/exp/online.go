@@ -1,0 +1,285 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"symbiosched/internal/core"
+	"symbiosched/internal/eventsim"
+	"symbiosched/internal/online"
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/runner"
+	"symbiosched/internal/sched"
+)
+
+// OnlineLoads are the default offered loads of the knowledge-gap
+// experiment, relative to each workload's FCFS maximum throughput.
+var OnlineLoads = []float64{0.5, 0.8, 0.9}
+
+// OnlineOptions parameterises the knowledge-gap experiment grid.
+type OnlineOptions struct {
+	// Estimators defaults to every built-in estimator (online.Names).
+	Estimators []string
+	// Loads defaults to OnlineLoads.
+	Loads []float64
+	// Workloads caps the number of sampled N=4 workloads per machine
+	// (default 8); each grid cell averages over them.
+	Workloads int
+	// Sched is the scheduler run over each estimator (default "MAXIT",
+	// the paper's throughput-greedy policy and the one whose quality
+	// depends entirely on the rate knowledge).
+	Sched string
+}
+
+func (o OnlineOptions) withDefaults() OnlineOptions {
+	if len(o.Estimators) == 0 {
+		o.Estimators = online.Names
+	}
+	if len(o.Loads) == 0 {
+		o.Loads = OnlineLoads
+	}
+	if o.Workloads <= 0 {
+		o.Workloads = 8
+	}
+	if o.Sched == "" {
+		o.Sched = "MAXIT"
+	}
+	return o
+}
+
+// OnlineCell is one (machine, estimator, load) aggregate.
+type OnlineCell struct {
+	Machine   string
+	Estimator string
+	Load      float64
+	// Turnaround and Throughput are means over workloads.
+	Turnaround float64
+	Throughput float64
+	// TurnaroundVsOracle and ThroughputVsOracle are the same runs
+	// normalised, per workload, to the oracle estimator under identical
+	// arrivals (common random numbers): the price of learning.
+	TurnaroundVsOracle float64
+	ThroughputVsOracle float64
+}
+
+// OnlineResult is the knowledge-gap experiment: how close schedulers that
+// must discover co-run rates at run time come to the paper's
+// perfect-knowledge oracle, as load grows.
+type OnlineResult struct {
+	Sched     string
+	Workloads int
+	// Cells are ordered machine-major (smt then quad), then estimator,
+	// then load.
+	Cells []OnlineCell
+}
+
+// Online runs the knowledge-gap experiment on the SMT and quad-core
+// machines: for every sampled workload and load, the chosen scheduler is
+// run once per estimator — oracle knowledge, SOS-style sampling, and the
+// pairwise interference model — under identical Poisson arrivals, and
+// turnaround/throughput are reported relative to the oracle run. The
+// sweep fans out over internal/runner with index-ordered folding, so the
+// grid is byte-identical at any parallelism level.
+func Online(e *Env, opt OnlineOptions) (*OnlineResult, error) {
+	opt = opt.withDefaults()
+	type machine struct {
+		name string
+		t    *perfdb.Table
+	}
+	machines := []machine{{"smt", e.SMTTable()}, {"quad", e.QuadTable()}}
+
+	ws := e.sampledWorkloads()
+	if len(ws) > opt.Workloads {
+		step := len(ws) / opt.Workloads
+		thinned := ws[:0:0]
+		for i := 0; i < len(ws) && len(thinned) < opt.Workloads; i += step {
+			thinned = append(thinned, ws[i])
+		}
+		ws = thinned
+	}
+
+	type acc struct{ turn, tp, turnRel, tpRel float64 }
+	// One (machine, workload) item's contribution: [estimator][load].
+	perItem := func(_ context.Context, idx int) ([][]acc, error) {
+		mi, wi := idx/len(ws), idx%len(ws)
+		m, w := machines[mi], ws[wi]
+		base := core.FCFS(m.t, w, core.FCFSConfig{Jobs: e.Cfg.FCFSJobs, Seed: e.Cfg.Seed}).Throughput
+		if base <= 0 {
+			return nil, fmt.Errorf("online: workload %v has no FCFS throughput", w)
+		}
+		local := make([][]acc, len(opt.Estimators))
+		for i := range local {
+			local[i] = make([]acc, len(opt.Loads))
+		}
+		for li, load := range opt.Loads {
+			runOne := func(name string) (*eventsim.Result, error) {
+				est, err := online.New(name, m.t, e.Cfg.Seed+uint64(idx)*0x9e3779b97f4a7c15+uint64(li))
+				if err != nil {
+					return nil, err
+				}
+				s, err := sched.New(opt.Sched, est, w)
+				if err != nil {
+					return nil, err
+				}
+				// Identical arrival/job streams for every estimator
+				// (common random numbers): the seed depends only on the
+				// grid position, never on the estimator.
+				return eventsim.LatencyObserved(m.t, w, s, est, eventsim.LatencyConfig{
+					Lambda:    load * base,
+					Jobs:      e.Cfg.SimJobs,
+					SizeShape: 4,
+					Seed:      e.Cfg.Seed + uint64(idx)*31 + uint64(li),
+				})
+			}
+			oracle, err := runOne("oracle")
+			if err != nil {
+				return nil, fmt.Errorf("online %s %v load %.2f oracle: %w", m.name, w, load, err)
+			}
+			for ei, name := range opt.Estimators {
+				res := oracle
+				if name != "oracle" {
+					if res, err = runOne(name); err != nil {
+						return nil, fmt.Errorf("online %s %v load %.2f %s: %w", m.name, w, load, name, err)
+					}
+				}
+				a := acc{turn: res.MeanTurnaround, tp: res.Throughput, turnRel: 1, tpRel: 1}
+				if oracle.MeanTurnaround > 0 {
+					a.turnRel = res.MeanTurnaround / oracle.MeanTurnaround
+				}
+				if oracle.Throughput > 0 {
+					a.tpRel = res.Throughput / oracle.Throughput
+				}
+				local[ei][li] = a
+			}
+		}
+		return local, nil
+	}
+
+	// accs[machine][estimator][load], folded in item order so float sums
+	// are identical at every parallelism level.
+	accs := make([][][]acc, len(machines))
+	for mi := range accs {
+		accs[mi] = make([][]acc, len(opt.Estimators))
+		for ei := range accs[mi] {
+			accs[mi][ei] = make([]acc, len(opt.Loads))
+		}
+	}
+	_, err := runner.Reduce(context.Background(), e.runCfg("online"), len(machines)*len(ws), accs, perItem,
+		func(accs [][][]acc, idx int, local [][]acc) [][][]acc {
+			mi := idx / len(ws)
+			for ei := range local {
+				for li := range local[ei] {
+					accs[mi][ei][li].turn += local[ei][li].turn
+					accs[mi][ei][li].tp += local[ei][li].tp
+					accs[mi][ei][li].turnRel += local[ei][li].turnRel
+					accs[mi][ei][li].tpRel += local[ei][li].tpRel
+				}
+			}
+			return accs
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &OnlineResult{Sched: opt.Sched, Workloads: len(ws)}
+	n := float64(len(ws))
+	for mi, m := range machines {
+		for ei, name := range opt.Estimators {
+			for li, load := range opt.Loads {
+				a := accs[mi][ei][li]
+				r.Cells = append(r.Cells, OnlineCell{
+					Machine:            m.name,
+					Estimator:          name,
+					Load:               load,
+					Turnaround:         a.turn / n,
+					Throughput:         a.tp / n,
+					TurnaroundVsOracle: a.turnRel / n,
+					ThroughputVsOracle: a.tpRel / n,
+				})
+			}
+		}
+	}
+	return r, nil
+}
+
+// Cell returns the aggregate for a machine, estimator and load.
+func (r *OnlineResult) Cell(machine, estimator string, load float64) (OnlineCell, bool) {
+	for _, c := range r.Cells {
+		if c.Machine == machine && c.Estimator == estimator && c.Load == load {
+			return c, true
+		}
+	}
+	return OnlineCell{}, false
+}
+
+// machines returns the distinct machines in first-seen order.
+func (r *OnlineResult) machines() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Machine] {
+			seen[c.Machine] = true
+			out = append(out, c.Machine)
+		}
+	}
+	return out
+}
+
+// estimators returns the distinct estimators in first-seen order.
+func (r *OnlineResult) estimators() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Estimator] {
+			seen[c.Estimator] = true
+			out = append(out, c.Estimator)
+		}
+	}
+	return out
+}
+
+// loads returns the distinct loads in first-seen order.
+func (r *OnlineResult) loads() []float64 {
+	var out []float64
+	seen := map[float64]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Load] {
+			seen[c.Load] = true
+			out = append(out, c.Load)
+		}
+	}
+	return out
+}
+
+// Format renders the knowledge-gap grids: per machine, turnaround and
+// throughput relative to the perfect-knowledge oracle.
+func (r *OnlineResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Knowledge gap (%s over learned rates, %d workloads): online estimators vs the oracle table\n",
+		r.Sched, r.Workloads)
+	loads := r.loads()
+	for _, m := range r.machines() {
+		fmt.Fprintf(&b, "  %s machine\n", m)
+		panel := func(title string, get func(OnlineCell) float64) {
+			fmt.Fprintf(&b, "    %s\n            ", title)
+			for _, l := range loads {
+				fmt.Fprintf(&b, "  load=%.2f", l)
+			}
+			fmt.Fprintln(&b)
+			for _, est := range r.estimators() {
+				fmt.Fprintf(&b, "    %-8s", est)
+				for _, l := range loads {
+					c, _ := r.Cell(m, est, l)
+					fmt.Fprintf(&b, "  %9.3f", get(c))
+				}
+				fmt.Fprintln(&b)
+			}
+		}
+		panel("turnaround vs oracle (1 = perfect knowledge; lower is better)",
+			func(c OnlineCell) float64 { return c.TurnaroundVsOracle })
+		panel("throughput vs oracle (1 = perfect knowledge; higher is better)",
+			func(c OnlineCell) float64 { return c.ThroughputVsOracle })
+	}
+	return b.String()
+}

@@ -66,7 +66,8 @@ func (JoinShortestQueue) Pick(_ *sched.Job, servers []*eventsim.Server, _ *stats
 }
 
 // LeastInterference is the symbiosis-aware policy: among servers with a
-// free context it probes each server's performance table for the marginal
+// free context it probes each server's rate source — the oracle table,
+// or the learned estimator when the server runs online — for the marginal
 // instantaneous throughput of adding the arriving job next to the jobs
 // already running there — InstTP(running + job) - InstTP(running), the
 // rate the farm actually gains — and picks the server where the job
@@ -89,9 +90,9 @@ func (LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, rng *sta
 		cand := make(workload.Coschedule, 0, len(running)+1)
 		cand = append(cand, running...)
 		cand = append(cand, j.Type)
-		gain := sv.Table().InstTP(workload.NewCoschedule(cand...))
+		gain := sv.Rates().InstTP(workload.NewCoschedule(cand...))
 		if len(running) > 0 {
-			gain -= sv.Table().InstTP(running)
+			gain -= sv.Rates().InstTP(running)
 		}
 		if gain > bestGain+1e-12 {
 			best, bestGain = i, gain

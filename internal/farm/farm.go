@@ -24,21 +24,34 @@ package farm
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"symbiosched/internal/eventsim"
 	"symbiosched/internal/numeric"
+	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/stats"
 	"symbiosched/internal/workload"
 )
 
-// ServerSpec describes one server of the farm: its performance table and a
-// factory for its scheduler. The factory runs once per simulation so that
-// stateful schedulers (MAXTP) never leak state across runs or servers.
+// ServerSpec describes one server of the farm: its ground-truth
+// performance table plus factories for its scheduler and (optionally) its
+// online rate estimator. The factories run once per simulation so that
+// stateful schedulers (MAXTP) and estimators never leak state across runs
+// or servers.
 type ServerSpec struct {
 	Table *perfdb.Table
-	Sched func() (sched.Scheduler, error)
+	// Sched builds the server's scheduler over the rate source rs — the
+	// oracle Table itself unless Estimator is set, in which case rs is the
+	// freshly built estimator and the scheduler decides over learned rates.
+	Sched func(rs online.RateSource) (sched.Scheduler, error)
+	// Estimator, when set, builds a fresh online estimator per simulation.
+	// The server feeds it ground-truth interval measurements and exposes
+	// it to symbiosis-aware dispatchers in place of the oracle table. The
+	// seed is derived by Simulate from the run's seed and the server
+	// index, so replications learn on independent streams.
+	Estimator func(seed uint64) (online.Estimator, error)
 }
 
 // Config parameterises one farm simulation. The fields mirror
@@ -100,10 +113,13 @@ type Result struct {
 	// Dispatcher and Servers identify the configuration.
 	Dispatcher string
 	Servers    int
-	// MeanTurnaround and P95Turnaround summarise the post-warmup
-	// turnaround distribution.
+	// MeanTurnaround and the P50/P95/P99 quantiles summarise the
+	// post-warmup turnaround distribution (the tail quantiles are the
+	// latency-SLO view of the same runs).
 	MeanTurnaround float64
+	P50Turnaround  float64
 	P95Turnaround  float64
+	P99Turnaround  float64
 	// Utilisation is farm-wide busy contexts divided by total contexts
 	// (a fraction in [0, 1]).
 	Utilisation float64
@@ -148,11 +164,26 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 				return nil, fmt.Errorf("farm: job type %d outside server %d's %d-benchmark table", b, i, len(sp.Table.Suite()))
 			}
 		}
-		s, err := sp.Sched()
+		rs := online.RateSource(sp.Table)
+		var est online.Estimator
+		if sp.Estimator != nil {
+			var err error
+			// cfg.Seed is already replication-specific (ReplicationSeed),
+			// so (replication, server) pairs learn on independent streams.
+			if est, err = sp.Estimator(cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15); err != nil {
+				return nil, fmt.Errorf("farm: server %d estimator: %w", i, err)
+			}
+			rs = est
+		}
+		s, err := sp.Sched(rs)
 		if err != nil {
 			return nil, fmt.Errorf("farm: server %d scheduler: %w", i, err)
 		}
 		servers[i] = eventsim.NewServer(sp.Table, s)
+		if est != nil {
+			servers[i].SetRates(est)
+			servers[i].SetObserver(est)
+		}
 		totalContexts += sp.Table.K()
 	}
 
@@ -258,8 +289,12 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 		busy.Add(sv.BusyTime())
 		empty.Add(sv.EmptyTime() / now)
 		work.Add(sv.WorkDone())
+		name := fmt.Sprintf("%s/%s", sv.Table().Name(), sv.Scheduler().Name())
+		if rs := sv.Rates(); rs != online.RateSource(sv.Table()) {
+			name += "+" + rs.Name()
+		}
 		res.PerServer[i] = ServerStats{
-			Name:          fmt.Sprintf("%s/%s", sv.Table().Name(), sv.Scheduler().Name()),
+			Name:          name,
 			Dispatched:    sv.Dispatched(),
 			Utilisation:   sv.BusyTime() / now,
 			EmptyFraction: sv.EmptyTime() / now,
@@ -271,7 +306,10 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	res.Throughput = work.Value() / now
 	if counted > 0 {
 		res.MeanTurnaround = turnaround.Value() / float64(counted)
-		res.P95Turnaround = stats.Quantile(turnarounds, 0.95)
+		sort.Float64s(turnarounds) // sort once for all three order statistics
+		res.P50Turnaround = stats.SortedQuantile(turnarounds, 0.50)
+		res.P95Turnaround = stats.SortedQuantile(turnarounds, 0.95)
+		res.P99Turnaround = stats.SortedQuantile(turnarounds, 0.99)
 		res.MeanJobsInSystem = res.MeanTurnaround * float64(counted) / now
 	}
 	return res, nil

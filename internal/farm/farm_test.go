@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 
 	"symbiosched/internal/eventsim"
+	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/program"
 	"symbiosched/internal/queueing"
@@ -42,7 +44,7 @@ func uniformTable(k int) *perfdb.Table {
 }
 
 func fcfsSpec(tab *perfdb.Table) ServerSpec {
-	return ServerSpec{Table: tab, Sched: func() (sched.Scheduler, error) { return sched.FCFS{}, nil }}
+	return ServerSpec{Table: tab, Sched: func(online.RateSource) (sched.Scheduler, error) { return sched.FCFS{}, nil }}
 }
 
 func w4() workload.Workload { return workload.Workload{0, 1, 2, 3} }
@@ -62,7 +64,7 @@ func TestFarmOfOneReproducesEventsimLatency(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: eventsim: %v", name, err)
 		}
-		mk := func() (sched.Scheduler, error) { return sched.New(name, tab, w4()) }
+		mk := func(rs online.RateSource) (sched.Scheduler, error) { return sched.New(name, rs, w4()) }
 		farm, err := Simulate([]ServerSpec{{Table: tab, Sched: mk}}, &RoundRobin{}, w4(), Config{
 			Lambda: 1.5, Jobs: 4000, SizeShape: 4, Seed: 7,
 		})
@@ -302,6 +304,65 @@ func TestHeterogeneousFarm(t *testing.T) {
 	}
 	if res.Utilisation <= 0 || res.Utilisation > 1 {
 		t.Errorf("farm utilisation %v outside (0,1]", res.Utilisation)
+	}
+}
+
+// TestOnlineFarm wires the learning path end to end: servers built with
+// an estimator factory run their scheduler and the li dispatcher over
+// learned rates, complete the run, label themselves with the estimator,
+// and stay deterministic per seed.
+func TestOnlineFarm(t *testing.T) {
+	tab := smtTable(t)
+	spec := func() ServerSpec {
+		return ServerSpec{
+			Table:     tab,
+			Sched:     func(rs online.RateSource) (sched.Scheduler, error) { return sched.New("MAXIT", rs, w4()) },
+			Estimator: func(seed uint64) (online.Estimator, error) { return online.New("sampler", tab, seed) },
+		}
+	}
+	run := func() *Result {
+		d, _ := NewDispatcher("li")
+		res, err := Simulate([]ServerSpec{spec(), spec()}, d, w4(), Config{
+			Lambda: 2.5, Jobs: 3000, SizeShape: 4, Seed: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Completed != 3000 {
+		t.Errorf("completed %d, want 3000", a.Completed)
+	}
+	for _, ps := range a.PerServer {
+		if !strings.Contains(ps.Name, "+sampler") {
+			t.Errorf("server %q not labelled with its estimator", ps.Name)
+		}
+	}
+	if a.MeanTurnaround != b.MeanTurnaround || a.P99Turnaround != b.P99Turnaround || a.Throughput != b.Throughput {
+		t.Errorf("online farm runs differ across identical seeds: %+v vs %+v", a, b)
+	}
+}
+
+// TestResultQuantilesOrdered pins the new turnaround quantiles: P50 <=
+// mean-ish ordering is not guaranteed, but P50 <= P95 <= P99 always is.
+func TestResultQuantilesOrdered(t *testing.T) {
+	tab := smtTable(t)
+	d, _ := NewDispatcher("rr")
+	res, err := Simulate([]ServerSpec{fcfsSpec(tab)}, d, w4(), Config{
+		Lambda: 2.0, Jobs: 4000, SizeShape: 4, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.P50Turnaround > 0 && res.P50Turnaround <= res.P95Turnaround && res.P95Turnaround <= res.P99Turnaround) {
+		t.Errorf("quantiles out of order: p50 %v p95 %v p99 %v",
+			res.P50Turnaround, res.P95Turnaround, res.P99Turnaround)
+	}
+	agg := Aggregate([]Replication{{Seed: 1, Result: res}, {Seed: 2, Result: res}})
+	if agg.P50Turnaround != res.P50Turnaround || agg.P99Turnaround != res.P99Turnaround {
+		t.Errorf("aggregate quantiles %v/%v != replication's %v/%v",
+			agg.P50Turnaround, agg.P99Turnaround, res.P50Turnaround, res.P99Turnaround)
 	}
 }
 

@@ -23,7 +23,8 @@ type SweepResult struct {
 	Dispatcher   string
 	Replications int
 	// Means over replications.
-	MeanTurnaround, P95Turnaround float64
+	MeanTurnaround, P50Turnaround float64
+	P95Turnaround, P99Turnaround  float64
 	Utilisation, EmptyFraction    float64
 	Throughput, MeanJobsInSystem  float64
 	// TurnaroundStd is the sample standard deviation of the per-replication
@@ -46,11 +47,13 @@ func ReplicationSeed(base uint64, i int) uint64 {
 // aggregate is bit-identical however the runs were scheduled.
 func Aggregate(runs []Replication) *SweepResult {
 	out := &SweepResult{Replications: len(runs), Runs: runs}
-	var turn, p95, util, empty, tp, pop, turnSq numeric.KahanSum
+	var turn, p50, p95, p99, util, empty, tp, pop, turnSq numeric.KahanSum
 	for _, r := range runs {
 		out.Dispatcher = r.Dispatcher
 		turn.Add(r.MeanTurnaround)
+		p50.Add(r.P50Turnaround)
 		p95.Add(r.P95Turnaround)
+		p99.Add(r.P99Turnaround)
 		util.Add(r.Utilisation)
 		empty.Add(r.EmptyFraction)
 		tp.Add(r.Throughput)
@@ -61,7 +64,9 @@ func Aggregate(runs []Replication) *SweepResult {
 		return out
 	}
 	out.MeanTurnaround = turn.Value() / n
+	out.P50Turnaround = p50.Value() / n
 	out.P95Turnaround = p95.Value() / n
+	out.P99Turnaround = p99.Value() / n
 	out.Utilisation = util.Value() / n
 	out.EmptyFraction = empty.Value() / n
 	out.Throughput = tp.Value() / n

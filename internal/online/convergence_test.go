@@ -1,0 +1,90 @@
+package online_test
+
+import (
+	"testing"
+
+	"symbiosched/internal/core"
+	"symbiosched/internal/eventsim"
+	"symbiosched/internal/online"
+	"symbiosched/internal/sched"
+	"symbiosched/internal/workload"
+)
+
+// TestLearnedMAXITReachesOracleThroughput pins the PR's acceptance
+// criterion end to end: MAXIT deciding over each learned estimator, on
+// the SMT machine at offered load 0.9 of the FCFS maximum throughput,
+// must reach at least 90% of the throughput of MAXIT with the oracle
+// table — under identical arrivals, with the estimator fed only by the
+// simulation's own interval measurements.
+func TestLearnedMAXITReachesOracleThroughput(t *testing.T) {
+	tb := table(t)
+	w := workload.Workload{0, 1, 2, 3}
+	base := core.FCFS(tb, w, core.FCFSConfig{Jobs: 5000}).Throughput
+	cfg := eventsim.LatencyConfig{Lambda: 0.9 * base, Jobs: 8000, SizeShape: 4, Seed: 11}
+
+	run := func(estimator string) *eventsim.Result {
+		t.Helper()
+		est, err := online.New(estimator, tb, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.New("MAXIT", est, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eventsim.LatencyObserved(tb, w, s, est, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", estimator, err)
+		}
+		return res
+	}
+
+	oracle := run("oracle")
+	if oracle.Throughput <= 0 {
+		t.Fatalf("oracle throughput %v", oracle.Throughput)
+	}
+	for _, name := range []string{"sampler", "pairwise"} {
+		res := run(name)
+		if ratio := res.Throughput / oracle.Throughput; ratio < 0.9 {
+			t.Errorf("%s-MAXIT throughput %.4f is %.1f%% of oracle-MAXIT %.4f (want >= 90%%)",
+				name, res.Throughput, 100*ratio, oracle.Throughput)
+		}
+		// A learner that "keeps up" by letting the queue explode would
+		// still pass a throughput check at sub-saturation load; bound the
+		// turnaround blow-up too.
+		if rel := res.MeanTurnaround / oracle.MeanTurnaround; rel > 1.5 {
+			t.Errorf("%s-MAXIT turnaround %.3f is %.2fx oracle's %.3f (want <= 1.5x)",
+				name, res.MeanTurnaround, rel, oracle.MeanTurnaround)
+		}
+	}
+}
+
+// TestObservedOracleMatchesLatency: LatencyObserved with the no-op oracle
+// observer is the plain Latency experiment, bit for bit — installing the
+// measurement hook must not perturb the simulation.
+func TestObservedOracleMatchesLatency(t *testing.T) {
+	tb := table(t)
+	w := workload.Workload{0, 1, 2, 3}
+	cfg := eventsim.LatencyConfig{Lambda: 1.2, Jobs: 3000, SizeShape: 4, Seed: 4}
+	s1, err := sched.New("MAXIT", tb, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := eventsim.Latency(tb, w, s1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _ := online.New("oracle", tb, 1)
+	s2, err := sched.New("MAXIT", est, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := eventsim.LatencyObserved(tb, w, s2, est, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MeanTurnaround != observed.MeanTurnaround || plain.Throughput != observed.Throughput ||
+		plain.Utilisation != observed.Utilisation {
+		t.Errorf("observed-oracle run differs from plain Latency: %+v vs %+v", observed, plain)
+	}
+}

@@ -1,0 +1,206 @@
+package online
+
+import (
+	"symbiosched/internal/linalg"
+	"symbiosched/internal/workload"
+)
+
+// PairwiseConfig parameterises the model-based estimator.
+type PairwiseConfig struct {
+	// Ridge is the L2 regularisation weight pulling interference
+	// coefficients toward zero — the no-interference prior (default 1e-3).
+	Ridge float64
+	// MinRate and MaxRate clamp predicted WIPCs so a prediction can never
+	// be non-positive or absurdly optimistic (defaults 0.05 and 1.5).
+	MinRate, MaxRate float64
+}
+
+func (c PairwiseConfig) withDefaults() PairwiseConfig {
+	if c.Ridge <= 0 {
+		c.Ridge = 1e-3
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 0.05
+	}
+	if c.MaxRate <= 0 {
+		c.MaxRate = 1.5
+	}
+	return c
+}
+
+// Pairwise learns a per-pair interference matrix from observed interval
+// rates: the WIPC of a type-b job in coschedule c is modelled as
+//
+//	wipc_b(c) = 1 + sum over co-runner slots t of beta[b][t]
+//
+// with the intercept pinned at the solo rate (WIPC 1 by definition).
+// Every observed interval contributes one dt-weighted sample per distinct
+// type in the coschedule; the per-type normal equations are accumulated
+// incrementally (an n-by-n Gram matrix per type, n the suite size) and
+// re-solved lazily with ridge regularisation whenever new data arrived.
+// Because the model factors interference into pairwise terms, it predicts
+// rates for multisets it has never run — the generalisation the sampler
+// lacks — at the cost of a linear-superposition assumption the true
+// machine only approximates.
+type Pairwise struct {
+	k, n int
+	cfg  PairwiseConfig
+
+	gram []*linalg.Matrix // per type: X' W X, n x n
+	rhs  [][]float64      // per type: X' W (y - 1)
+	beta [][]float64      // per type: solved coefficients (nil until seen)
+	seen []bool
+	obsT []float64 // per type: total observed time (sample weight mass)
+
+	dirty bool
+	nobs  int
+}
+
+// NewPairwise returns a pairwise estimator for a k-context machine over a
+// suite of n job types.
+func NewPairwise(k, n int, cfg PairwiseConfig) *Pairwise {
+	p := &Pairwise{
+		k:    k,
+		n:    n,
+		cfg:  cfg.withDefaults(),
+		gram: make([]*linalg.Matrix, n),
+		rhs:  make([][]float64, n),
+		beta: make([][]float64, n),
+		seen: make([]bool, n),
+		obsT: make([]float64, n),
+	}
+	return p
+}
+
+// Name implements RateSource.
+func (p *Pairwise) Name() string { return "pairwise" }
+
+// K implements RateSource.
+func (p *Pairwise) K() int { return p.k }
+
+// Observations implements Estimator.
+func (p *Pairwise) Observations() int { return p.nobs }
+
+// ObserveInterval implements IntervalObserver: fold the interval's
+// measured per-type rates into the normal equations.
+func (p *Pairwise) ObserveInterval(cos workload.Coschedule, dt float64, progress []float64) {
+	if dt <= 0 || len(cos) == 0 {
+		return
+	}
+	for i := 0; i < len(cos); i++ {
+		b := cos[i]
+		if i > 0 && b == cos[i-1] {
+			continue // same-type slots are symmetric: one sample per type
+		}
+		// Measured WIPC of one type-b job, averaged over its slots.
+		var work float64
+		cnt := 0
+		for j, typ := range cos {
+			if typ == b {
+				work += progress[j]
+				cnt++
+			}
+		}
+		y := work / (float64(cnt) * dt)
+		if p.gram[b] == nil {
+			p.gram[b] = linalg.NewMatrix(p.n, p.n)
+			p.rhs[b] = make([]float64, p.n)
+		}
+		// Feature vector: co-runner counts (x[t] = count_t minus one for
+		// b itself). Only the coschedule's types are non-zero, so the
+		// rank-1 Gram update touches at most k*k entries.
+		types := cos.Types()
+		xs := make([]float64, len(types))
+		for ti, t := range types {
+			x := float64(cos.Count(t))
+			if t == b {
+				x--
+			}
+			xs[ti] = x
+		}
+		g, r := p.gram[b], p.rhs[b]
+		for ti, t := range types {
+			if xs[ti] == 0 {
+				continue
+			}
+			r[t] += dt * (y - 1) * xs[ti]
+			for tj, u := range types {
+				if xs[tj] == 0 {
+					continue
+				}
+				g.Set(t, u, g.At(t, u)+dt*xs[ti]*xs[tj])
+			}
+		}
+		p.seen[b] = true
+		p.obsT[b] += dt
+	}
+	p.nobs++
+	p.dirty = true
+}
+
+// solve refits every seen type's coefficients from the accumulated normal
+// equations. The ridge term keeps the system positive definite even
+// before every pair has been observed, shrinking unidentified
+// coefficients to the no-interference prior.
+func (p *Pairwise) solve() {
+	if !p.dirty {
+		return
+	}
+	p.dirty = false
+	for b := 0; b < p.n; b++ {
+		if !p.seen[b] {
+			continue
+		}
+		a := p.gram[b].Clone()
+		// Scale the ridge with the accumulated weight so regularisation
+		// stays a prior, not a cap, as evidence grows.
+		lambda := p.cfg.Ridge * (1 + p.obsT[b])
+		for i := 0; i < p.n; i++ {
+			a.Set(i, i, a.At(i, i)+lambda)
+		}
+		x, err := linalg.Solve(a, p.rhs[b])
+		if err != nil {
+			continue // keep the previous fit; ridge makes this unreachable
+		}
+		p.beta[b] = x
+	}
+}
+
+// Coef returns the fitted interference coefficient of co-runner type t on
+// type b (0 until observed) — the learned pairwise matrix entry.
+func (p *Pairwise) Coef(b, t int) float64 {
+	p.solve()
+	if p.beta[b] == nil {
+		return 0
+	}
+	return p.beta[b][t]
+}
+
+// JobWIPC implements RateSource: the model prediction, clamped to a
+// positive range; types never observed fall back to the solo prior.
+func (p *Pairwise) JobWIPC(c workload.Coschedule, b int) float64 {
+	p.solve()
+	pred := 1.0
+	if beta := p.beta[b]; beta != nil {
+		for _, t := range c {
+			pred += beta[t]
+		}
+		pred -= beta[b] // b's own slot is not a co-runner
+	}
+	if pred < p.cfg.MinRate {
+		return p.cfg.MinRate
+	}
+	if pred > p.cfg.MaxRate {
+		return p.cfg.MaxRate
+	}
+	return pred
+}
+
+// InstTP implements RateSource: the sum of the per-slot predictions.
+func (p *Pairwise) InstTP(c workload.Coschedule) float64 {
+	var sum float64
+	for _, typ := range c {
+		sum += p.JobWIPC(c, typ)
+	}
+	return sum
+}

@@ -1,0 +1,164 @@
+package online
+
+import (
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+// SamplerConfig parameterises the SOS-style sampling estimator.
+type SamplerConfig struct {
+	// Epsilon is the probability that a phase quantum is a sample phase
+	// rather than a symbiosis phase — the long-run fraction of time spent
+	// measuring instead of exploiting (0 disables sampling after the
+	// bootstrap quantum; New uses 0.1).
+	Epsilon float64
+	// Quantum is the observed-time length of one phase (default 4).
+	Quantum float64
+	// MinSample is the observed time under which a coschedule still counts
+	// as unmeasured and is served the optimistic Prior (default 0.5).
+	MinSample float64
+	// Prior is the optimistic per-job WIPC assumed for unmeasured
+	// coschedules: 1 means "no interference", which makes unexplored mixes
+	// attractive and bootstraps exploration (default 1).
+	Prior float64
+	// Seed drives the phase draws (default 1).
+	Seed uint64
+}
+
+func (c SamplerConfig) withDefaults() SamplerConfig {
+	if c.Quantum <= 0 {
+		c.Quantum = 4
+	}
+	if c.MinSample <= 0 {
+		c.MinSample = 0.5
+	}
+	if c.Prior <= 0 {
+		c.Prior = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// sampleAcc accumulates one coschedule's measurements: total observed time
+// and total progress per job type.
+type sampleAcc struct {
+	time float64
+	work map[int]float64
+}
+
+// Sampler learns co-run rates the way Snavely & Tullsen's SOS scheduler
+// does: by running coschedules and measuring them. Phases alternate on the
+// observed clock — during a sample phase InstTP ranks feasible coschedules
+// by how little they have been measured, steering a MAXIT-style scheduler
+// toward the least-known mix; during a symbiosis phase it reports the
+// empirical rates (optimistic Prior for unmeasured mixes). The estimate
+// for a measured coschedule is its exact empirical WIPC, so with full
+// coverage the sampler reproduces the oracle's ranking.
+type Sampler struct {
+	k    int
+	cfg  SamplerConfig
+	rng  *stats.RNG
+	accs map[uint64]*sampleAcc
+
+	clock     float64 // total observed time
+	phaseLeft float64 // time left in the current quantum
+	exploring bool
+	nobs      int
+}
+
+// NewSampler returns a sampler for a k-context machine. The first quantum
+// is always a sample phase, bootstrapping measurements; afterwards each
+// quantum is a sample phase with probability cfg.Epsilon. Unlike New,
+// NewSampler takes cfg.Epsilon literally (0 means no sampling phases
+// beyond the bootstrap).
+func NewSampler(k int, cfg SamplerConfig) *Sampler {
+	cfg = cfg.withDefaults()
+	return &Sampler{
+		k:         k,
+		cfg:       cfg,
+		rng:       stats.NewRNG(cfg.Seed),
+		accs:      make(map[uint64]*sampleAcc),
+		phaseLeft: cfg.Quantum,
+		exploring: true,
+	}
+}
+
+// Name implements RateSource.
+func (s *Sampler) Name() string { return "sampler" }
+
+// K implements RateSource.
+func (s *Sampler) K() int { return s.k }
+
+// Observations implements Estimator.
+func (s *Sampler) Observations() int { return s.nobs }
+
+// Exploring reports whether the sampler is currently in a sample phase.
+func (s *Sampler) Exploring() bool { return s.exploring }
+
+// ObservedTime returns how long coschedule c has been measured.
+func (s *Sampler) ObservedTime(c workload.Coschedule) float64 {
+	if acc := s.accs[perfdb.Key(c)]; acc != nil {
+		return acc.time
+	}
+	return 0
+}
+
+// ObserveInterval implements IntervalObserver: accumulate the interval
+// into the coschedule's empirical rates and advance the phase clock.
+func (s *Sampler) ObserveInterval(cos workload.Coschedule, dt float64, progress []float64) {
+	if dt <= 0 || len(cos) == 0 {
+		return
+	}
+	key := perfdb.Key(cos)
+	acc := s.accs[key]
+	if acc == nil {
+		acc = &sampleAcc{work: make(map[int]float64, len(cos))}
+		s.accs[key] = acc
+	}
+	acc.time += dt
+	for i, typ := range cos {
+		acc.work[typ] += progress[i]
+	}
+	s.nobs++
+	s.clock += dt
+	s.phaseLeft -= dt
+	for s.phaseLeft <= 0 {
+		s.phaseLeft += s.cfg.Quantum
+		s.exploring = s.rng.Float64() < s.cfg.Epsilon
+	}
+}
+
+// JobWIPC implements RateSource: the empirical per-job rate once the
+// coschedule has been measured for MinSample time, the optimistic Prior
+// before that.
+func (s *Sampler) JobWIPC(c workload.Coschedule, b int) float64 {
+	if acc := s.accs[perfdb.Key(c)]; acc != nil && acc.time >= s.cfg.MinSample {
+		if n := c.Count(b); n > 0 {
+			return acc.work[b] / (float64(n) * acc.time)
+		}
+	}
+	return s.cfg.Prior
+}
+
+// InstTP implements RateSource. During a symbiosis phase it is the sum of
+// the per-slot estimated WIPCs. During a sample phase it ranks coschedules
+// so that an InstTP-maximising scheduler implements SOS sampling: the
+// slot-count term keeps selection work-conserving (more jobs always beat
+// fewer) and the 1/(1+observed) term steers same-size choices toward the
+// least-measured mix.
+func (s *Sampler) InstTP(c workload.Coschedule) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	if s.exploring {
+		return 2*s.cfg.Prior*float64(len(c)) + 1/(1+s.ObservedTime(c))
+	}
+	var sum float64
+	for _, typ := range c {
+		sum += s.JobWIPC(c, typ)
+	}
+	return sum
+}

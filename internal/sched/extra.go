@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"symbiosched/internal/stats"
-	"symbiosched/internal/workload"
 )
 
 // LJF is the symbiosis-unaware long-job-first scheduler of Xu et al.
@@ -34,9 +33,6 @@ func (LJF) Select(jobs []*Job, k int) []int {
 	return idx
 }
 
-// Observe implements Scheduler.
-func (LJF) Observe(workload.Coschedule, float64) {}
-
 // Random selects a uniformly random feasible job set at every scheduling
 // event — a noise floor for scheduler comparisons.
 type Random struct {
@@ -59,6 +55,3 @@ func (r *Random) Select(jobs []*Job, k int) []int {
 	perm := r.RNG.Perm(n)
 	return perm[:m]
 }
-
-// Observe implements Scheduler.
-func (r *Random) Observe(workload.Coschedule, float64) {}

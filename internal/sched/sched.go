@@ -13,6 +13,12 @@
 // Schedulers select jobs at every scheduling event (arrival or completion)
 // with free preemption and zero context-switch cost, exactly as in the
 // paper's idealised study.
+//
+// MAXIT and SRPT decide over an online.RateSource — the oracle performance
+// table in the paper's perfect-knowledge setting, or a learned estimator
+// from internal/online in the knowledge-gap experiments. MAXTP is
+// inherently oracular: its offline linear-programming phase needs the full
+// table, so it cannot run over a learned source.
 package sched
 
 import (
@@ -22,6 +28,7 @@ import (
 	"strings"
 
 	"symbiosched/internal/core"
+	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/workload"
 )
@@ -45,8 +52,13 @@ type Scheduler interface {
 	// Select returns the indices into jobs of the jobs to run, at most k.
 	// Work-conserving schedulers return min(k, len(jobs)) indices.
 	Select(jobs []*Job, k int) []int
-	// Observe informs the scheduler that the coschedule cos just ran for
-	// dt time units (needed by MAXTP to track its time fractions).
+}
+
+// Observer is implemented by the schedulers that track simulated time:
+// Observe informs them that the coschedule cos just ran for dt time units
+// (MAXTP uses it to track its time fractions). Event loops assert for it
+// at the call site, so stateless schedulers need no stub.
+type Observer interface {
 	Observe(cos workload.Coschedule, dt float64)
 }
 
@@ -54,23 +66,42 @@ type Scheduler interface {
 // order.
 var Names = []string{"FCFS", "MAXIT", "SRPT", "MAXTP"}
 
-// New builds a fresh scheduler by name over the given table and workload
-// (the workload is only needed by MAXTP's offline LP phase). Stateful
-// schedulers (MAXTP) must not be shared across runs or servers, so
-// callers construct one per simulation.
-func New(name string, t *perfdb.Table, w workload.Workload) (Scheduler, error) {
+// New builds a fresh scheduler by name over the given rate source and
+// workload (the workload is only needed by MAXTP's offline LP phase).
+// Stateful schedulers (MAXIT/SRPT over a learning source, MAXTP always)
+// must not be shared across runs or servers, so callers construct one per
+// simulation. MAXTP requires perfect knowledge: rs must be the oracle
+// table (or the online.Oracle wrapper around it).
+func New(name string, rs online.RateSource, w workload.Workload) (Scheduler, error) {
 	switch name {
 	case "FCFS":
 		return FCFS{}, nil
 	case "MAXIT":
-		return &MAXIT{Table: t}, nil
+		return &MAXIT{Rates: rs}, nil
 	case "SRPT":
-		return &SRPT{Table: t}, nil
+		return &SRPT{Rates: rs}, nil
 	case "MAXTP":
+		t, err := oracleTable(rs)
+		if err != nil {
+			return nil, err
+		}
 		return NewMAXTP(t, w)
 	default:
 		return nil, fmt.Errorf("sched: unknown scheduler %q (want one of %s)",
 			name, strings.Join(Names, ", "))
+	}
+}
+
+// oracleTable unwraps the oracle performance table from a rate source, for
+// the schedulers whose offline phase needs the full database.
+func oracleTable(rs online.RateSource) (*perfdb.Table, error) {
+	switch s := rs.(type) {
+	case *perfdb.Table:
+		return s, nil
+	case online.Oracle:
+		return s.Table, nil
+	default:
+		return nil, fmt.Errorf("sched: MAXTP needs the oracle table, not the %s estimator (its offline LP phase requires full knowledge)", rs.Name())
 	}
 }
 
@@ -89,9 +120,6 @@ func (FCFS) Select(jobs []*Job, k int) []int {
 	}
 	return idx
 }
-
-// Observe implements Scheduler.
-func (FCFS) Observe(workload.Coschedule, float64) {}
 
 // composition is a feasible multiset of job types with concrete job
 // choices attached.
@@ -162,10 +190,13 @@ func allIndices(jobs []*Job) []int {
 
 func oldestFirst(a, b *Job) bool { return a.ID < b.ID }
 
-// MAXIT selects the combination with the highest instantaneous throughput;
-// among equal-throughput combinations it prefers the oldest jobs.
+// MAXIT selects the combination with the highest instantaneous throughput
+// according to its rate source; among equal-throughput combinations it
+// prefers the oldest jobs. Over a learning source whose sample phase
+// inflates under-measured coschedules, the same argmax implements
+// SOS-style sampling.
 type MAXIT struct {
-	Table *perfdb.Table
+	Rates online.RateSource
 }
 
 // Name implements Scheduler.
@@ -179,7 +210,7 @@ func (m *MAXIT) Select(jobs []*Job, k int) []int {
 	comps := compositions(jobs, min(k, len(jobs)), oldestFirst)
 	bestIdx, bestTP, bestAge := -1, math.Inf(-1), math.Inf(1)
 	for ci, c := range comps {
-		tp := m.Table.InstTP(c.cos)
+		tp := m.Rates.InstTP(c.cos)
 		age := 0.0
 		for _, ji := range c.jobs {
 			age += float64(jobs[ji].ID)
@@ -191,14 +222,12 @@ func (m *MAXIT) Select(jobs []*Job, k int) []int {
 	return comps[bestIdx].jobs
 }
 
-// Observe implements Scheduler.
-func (m *MAXIT) Observe(workload.Coschedule, float64) {}
-
 // SRPT selects the combination with the smallest sum of remaining
 // execution times, where each job's remaining execution time accounts for
-// its rate in that particular combination (Section VI).
+// its rate in that particular combination (Section VI) — estimated rates
+// when the source is a learner.
 type SRPT struct {
-	Table *perfdb.Table
+	Rates online.RateSource
 }
 
 // Name implements Scheduler.
@@ -221,7 +250,7 @@ func (s *SRPT) Select(jobs []*Job, k int) []int {
 		var sum float64
 		for _, ji := range c.jobs {
 			j := jobs[ji]
-			rate := s.Table.JobWIPC(c.cos, j.Type)
+			rate := s.Rates.JobWIPC(c.cos, j.Type)
 			sum += j.Remaining / rate
 		}
 		if sum < bestSum {
@@ -230,9 +259,6 @@ func (s *SRPT) Select(jobs []*Job, k int) []int {
 	}
 	return comps[bestIdx].jobs
 }
-
-// Observe implements Scheduler.
-func (s *SRPT) Observe(workload.Coschedule, float64) {}
 
 // MAXTP implements the paper's practical use of the linear-programming
 // methodology: an offline phase computes the optimal coschedules and their
@@ -259,7 +285,7 @@ func NewMAXTP(t *perfdb.Table, w workload.Workload) (*MAXTP, error) {
 		Table:     t,
 		fractions: opt.NonZero(1e-9),
 		selected:  make(map[uint64]float64),
-		fallback:  &MAXIT{Table: t},
+		fallback:  &MAXIT{Rates: t},
 	}, nil
 }
 
@@ -315,7 +341,7 @@ func (m *MAXTP) Select(jobs []*Job, k int) []int {
 	return out
 }
 
-// Observe implements Scheduler: track elapsed time and per-coschedule
+// Observe implements Observer: track elapsed time and per-coschedule
 // selected time.
 func (m *MAXTP) Observe(cos workload.Coschedule, dt float64) {
 	m.elapsed += dt

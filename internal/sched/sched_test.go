@@ -56,7 +56,7 @@ func TestFCFSFewerJobsThanContexts(t *testing.T) {
 
 func TestMAXITPicksHighestInstTP(t *testing.T) {
 	tb := table(t)
-	m := &MAXIT{Table: tb}
+	m := &MAXIT{Rates: tb}
 	// Offer every type twice; MAXIT must find the composition with the
 	// highest instantaneous throughput among all multisets.
 	js := jobs(0, 0, 1, 1, 2, 2, 3, 3)
@@ -91,7 +91,7 @@ func TestMAXITPicksHighestInstTP(t *testing.T) {
 
 func TestMAXITWorkConserving(t *testing.T) {
 	tb := table(t)
-	m := &MAXIT{Table: tb}
+	m := &MAXIT{Rates: tb}
 	js := jobs(3, 3)
 	if sel := m.Select(js, 4); len(sel) != 2 {
 		t.Errorf("MAXIT selected %d of 2 jobs; must be work-conserving", len(sel))
@@ -100,7 +100,7 @@ func TestMAXITWorkConserving(t *testing.T) {
 
 func TestSRPTPrefersShortJobs(t *testing.T) {
 	tb := table(t)
-	s := &SRPT{Table: tb}
+	s := &SRPT{Rates: tb}
 	// Five same-type jobs with distinct remaining sizes: the four shortest
 	// must be picked.
 	js := jobs(0, 0, 0, 0, 0)
@@ -119,7 +119,7 @@ func TestSRPTPrefersShortJobs(t *testing.T) {
 
 func TestSRPTAccountsForRates(t *testing.T) {
 	tb := table(t)
-	s := &SRPT{Table: tb}
+	s := &SRPT{Rates: tb}
 	js := jobs(0, 1, 2, 3, 0, 1)
 	sel := s.Select(js, 4)
 	if len(sel) != 4 {
@@ -207,7 +207,7 @@ func TestSchedulerNames(t *testing.T) {
 	tb := table(t)
 	w := workload.Workload{0, 1, 2, 3}
 	m, _ := NewMAXTP(tb, w)
-	for _, s := range []Scheduler{FCFS{}, &MAXIT{Table: tb}, &SRPT{Table: tb}, m} {
+	for _, s := range []Scheduler{FCFS{}, &MAXIT{Rates: tb}, &SRPT{Rates: tb}, m} {
 		if s.Name() == "" {
 			t.Errorf("%T has empty name", s)
 		}

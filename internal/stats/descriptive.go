@@ -68,14 +68,21 @@ func Mean(xs []float64) float64 {
 // Quantile returns the q-quantile (0<=q<=1) using linear interpolation on
 // the sorted sample. It panics on an empty sample or q outside [0,1].
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return SortedQuantile(sorted, q)
+}
+
+// SortedQuantile is Quantile over an already-sorted sample, skipping the
+// copy and sort — for callers reading several order statistics from one
+// sample. It panics on an empty sample or q outside [0,1].
+func SortedQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
 		panic("stats: Quantile of empty sample")
 	}
 	if q < 0 || q > 1 {
 		panic("stats: Quantile q outside [0,1]")
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
