@@ -1,0 +1,52 @@
+package eventsim
+
+import (
+	"testing"
+
+	"symbiosched/internal/sched"
+)
+
+// TestServerAdvanceZeroAllocs pins the stepping hot path: with no
+// observer installed, advancing a busy server (including the fused
+// next-completion refresh) must not allocate. Completions are excluded —
+// they hand back the reusable done buffer and trigger a reschedule — so
+// the run advances in slices far smaller than any job's remaining work.
+func TestServerAdvanceZeroAllocs(t *testing.T) {
+	tb := table(t)
+	sv := NewServer(tb, &sched.MAXIT{Rates: tb})
+	for i := 0; i < 6; i++ {
+		sv.Add(&sched.Job{ID: i, Type: i % 4, Size: 1e9, Remaining: 1e9})
+	}
+	if err := sv.Reschedule(); err != nil {
+		t.Fatal(err)
+	}
+	sv.Advance(0.25) // grow scratch once
+	allocs := testing.AllocsPerRun(200, func() {
+		sv.Advance(0.25)
+	})
+	if allocs != 0 {
+		t.Errorf("Server.Advance allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestServerRescheduleZeroAllocs pins the other half of the per-event
+// path: re-running a memo-warm MAXIT and refreshing the cached rates and
+// next-completion time is allocation-free too.
+func TestServerRescheduleZeroAllocs(t *testing.T) {
+	tb := table(t)
+	sv := NewServer(tb, &sched.MAXIT{Rates: tb})
+	for i := 0; i < 6; i++ {
+		sv.Add(&sched.Job{ID: i, Type: i % 4, Size: 1e9, Remaining: 1e9})
+	}
+	if err := sv.Reschedule(); err != nil { // warm scratch and memo
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := sv.Reschedule(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Server.Reschedule allocates %v times per call, want 0", allocs)
+	}
+}

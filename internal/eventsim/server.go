@@ -3,6 +3,7 @@ package eventsim
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"symbiosched/internal/numeric"
 	"symbiosched/internal/online"
@@ -37,6 +38,16 @@ import (
 //
 // A Server accumulates its own busy/empty/work integrals so per-server
 // utilisation survives multiplexing.
+//
+// The stepping path is allocation-free at steady state: the canonical
+// coschedule, the per-slot rates (resolved once per reschedule through a
+// single uint64-keyed table probe), the completion buffer and the
+// time-to-next-completion are all held in per-server scratch. Reschedule
+// computes the rates and the time to the next completion; Advance folds
+// the refresh of that time into its progress loop — dividing the same
+// decremented remaining work by the same cached rate, in the same job
+// order, that a fresh scan would use, so the cached value is bit-identical
+// to recomputation.
 type Server struct {
 	table    *perfdb.Table
 	rates    online.RateSource
@@ -44,10 +55,15 @@ type Server struct {
 	schedObs sched.Observer // sched, when it observes time; else nil
 	obs      online.IntervalObserver
 
-	jobs    []*sched.Job
-	running []int               // indices into jobs, valid after Reschedule
-	canon   workload.Coschedule // canonical coschedule of the running jobs
-	prog    []float64           // scratch per-slot progress for the observer
+	jobs     []*sched.Job
+	running  []int               // indices into jobs, valid after Reschedule
+	canon    workload.Coschedule // canonical coschedule scratch of the running jobs
+	canonKey uint64              // perfdb.Key(canon)
+	runRate  []float64           // true WIPC of jobs[running[i]] in canon
+	canonRt  []float64           // true WIPC per canon slot, for the observer
+	ttc      float64             // cached time to next completion (+Inf when idle/stale)
+	done     []*sched.Job        // completion scratch returned by Advance
+	prog     []float64           // scratch per-slot progress for the observer
 
 	busy, empty, work numeric.KahanSum
 	dispatched        int
@@ -57,7 +73,7 @@ type Server struct {
 // The scheduler must not be shared with another server (MAXTP and the
 // online estimators carry per-run state).
 func NewServer(t *perfdb.Table, s sched.Scheduler) *Server {
-	sv := &Server{table: t, rates: t, sched: s}
+	sv := &Server{table: t, rates: t, sched: s, ttc: math.Inf(1)}
 	if o, ok := s.(sched.Observer); ok {
 		sv.schedObs = o
 	}
@@ -94,23 +110,28 @@ func (sv *Server) JobsInSystem() int { return len(sv.jobs) }
 func (sv *Server) Dispatched() int { return sv.dispatched }
 
 // Running returns the canonical coschedule currently occupying the
-// contexts (nil when idle or not yet rescheduled). The caller must not
-// mutate it; symbiosis-aware dispatchers probe it against the table.
+// contexts (empty when idle or not yet rescheduled). The slice is
+// per-server scratch, valid only until the next Reschedule; the caller
+// must not mutate or retain it. Symbiosis-aware dispatchers probe it
+// against the table.
 func (sv *Server) Running() workload.Coschedule { return sv.canon }
 
 // Add enqueues a job. The server must be rescheduled before the next
-// TimeToNextCompletion/Advance.
+// TimeToNextCompletion/Advance. Jobs must be added in nondecreasing ID
+// order — the arrival-order invariant the schedulers rely on.
 func (sv *Server) Add(j *sched.Job) {
 	sv.jobs = append(sv.jobs, j)
 	sv.dispatched++
 }
 
 // Reschedule re-runs the scheduler over the current job set, fixing the
-// running coschedule until the next event. It is a no-op on an empty
-// server and errors when the scheduler selects an invalid set.
+// running coschedule, its per-slot rates and the time to the next
+// completion until the next event. It is a no-op on an empty server and
+// errors when the scheduler selects an invalid set.
 func (sv *Server) Reschedule() error {
 	if len(sv.jobs) == 0 {
-		sv.running, sv.canon = nil, nil
+		sv.running, sv.canon = nil, sv.canon[:0]
+		sv.canonKey, sv.ttc = 0, math.Inf(1)
 		return nil
 	}
 	running := sv.sched.Select(sv.jobs, sv.table.K())
@@ -118,69 +139,91 @@ func (sv *Server) Reschedule() error {
 		return fmt.Errorf("eventsim: scheduler %s selected %d jobs (k=%d, system=%d)",
 			sv.sched.Name(), len(running), sv.table.K(), len(sv.jobs))
 	}
-	cos := make(workload.Coschedule, len(running))
-	for i, ji := range running {
-		cos[i] = sv.jobs[ji].Type
-	}
 	sv.running = running
-	sv.canon = workload.NewCoschedule(cos...)
+	sv.canon = sv.canon[:0]
+	for _, ji := range running {
+		sv.canon = append(sv.canon, sv.jobs[ji].Type)
+	}
+	slices.Sort(sv.canon)
+	sv.canonKey = perfdb.Key(sv.canon)
+	// One keyed probe resolves every rate for the interval.
+	e := sv.table.EntryByKey(sv.canonKey)
+	sv.runRate = sv.runRate[:0]
+	for _, ji := range running {
+		sv.runRate = append(sv.runRate, e.TypeWIPC[sv.jobs[ji].Type])
+	}
+	sv.canonRt = sv.canonRt[:0]
+	for _, typ := range sv.canon {
+		sv.canonRt = append(sv.canonRt, e.TypeWIPC[typ])
+	}
+	dt := math.Inf(1)
+	for i, ji := range running {
+		if d := sv.jobs[ji].Remaining / sv.runRate[i]; d < dt {
+			dt = d
+		}
+	}
+	sv.ttc = dt
 	return nil
 }
 
 // TimeToNextCompletion returns the time until the first running job
-// completes at the current (true) rates, or +Inf for an idle server.
-func (sv *Server) TimeToNextCompletion() float64 {
-	dt := math.Inf(1)
-	for _, ji := range sv.running {
-		j := sv.jobs[ji]
-		rate := sv.table.JobWIPC(sv.canon, j.Type)
-		if d := j.Remaining / rate; d < dt {
-			dt = d
-		}
-	}
-	return dt
-}
+// completes at the current (true) rates, or +Inf for an idle server. The
+// value is maintained by Reschedule and Advance; reading it is O(1).
+func (sv *Server) TimeToNextCompletion() float64 { return sv.ttc }
 
 // Advance progresses the running jobs by dt at their true per-coschedule
 // rates, accumulates the busy/empty/work integrals, reports the interval
 // to the installed observer and the scheduler, and removes and returns
-// the jobs that completed (in queue order). When jobs complete the server
-// must be rescheduled before the next event.
+// the jobs that completed (in queue order). The returned slice is
+// per-server scratch, valid until the next Advance. When jobs complete
+// the server must be rescheduled before the next event.
 func (sv *Server) Advance(dt float64) []*sched.Job {
 	if len(sv.jobs) == 0 {
 		sv.empty.Add(dt)
 		return nil
 	}
 	sv.busy.Add(float64(len(sv.running)) * dt)
-	for _, ji := range sv.running {
+	next := math.Inf(1)
+	for i, ji := range sv.running {
 		j := sv.jobs[ji]
-		adv := sv.table.JobWIPC(sv.canon, j.Type) * dt
+		adv := sv.runRate[i] * dt
 		j.Remaining -= adv
 		sv.work.Add(adv)
+		if d := j.Remaining / sv.runRate[i]; d < next {
+			next = d
+		}
 	}
+	sv.ttc = next
 	if sv.obs != nil && dt > 0 && len(sv.canon) > 0 {
 		sv.prog = sv.prog[:0]
-		for _, typ := range sv.canon {
-			sv.prog = append(sv.prog, sv.table.JobWIPC(sv.canon, typ)*dt)
+		for i := range sv.canon {
+			sv.prog = append(sv.prog, sv.canonRt[i]*dt)
 		}
 		sv.obs.ObserveInterval(sv.canon, dt, sv.prog)
 	}
 	if sv.schedObs != nil {
 		sv.schedObs.Observe(sv.canon, dt)
 	}
-	var done, kept []*sched.Job
+	sv.done = sv.done[:0]
+	kept := 0
 	for _, j := range sv.jobs {
 		if j.Remaining > eps {
-			kept = append(kept, j)
+			sv.jobs[kept] = j
+			kept++
 			continue
 		}
-		done = append(done, j)
+		sv.done = append(sv.done, j)
 	}
-	if len(done) > 0 {
-		sv.jobs = kept
-		sv.running, sv.canon = nil, nil // stale; Reschedule before stepping
+	if len(sv.done) > 0 {
+		for i := kept; i < len(sv.jobs); i++ {
+			sv.jobs[i] = nil // release completed jobs to the GC
+		}
+		sv.jobs = sv.jobs[:kept]
+		// Stale until the next Reschedule.
+		sv.running, sv.canon = nil, sv.canon[:0]
+		sv.canonKey, sv.ttc = 0, math.Inf(1)
 	}
-	return done
+	return sv.done
 }
 
 // BusyTime returns the integral of the number of busy contexts over time.

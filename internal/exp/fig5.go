@@ -7,6 +7,7 @@ import (
 
 	"symbiosched/internal/eventsim"
 	"symbiosched/internal/online"
+	"symbiosched/internal/perfdb"
 	"symbiosched/internal/runner"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/workload"
@@ -73,9 +74,13 @@ func Fig5(e *Env) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	fcfsTP := make(map[string]float64, len(sweep.Workloads))
+	// Keyed by the packed uint64 workload signature: this lookup sits in
+	// the per-workload sweep path, where string keys would re-format the
+	// workload on every probe. Workload.Key() remains the CSV/report
+	// label form.
+	fcfsTP := make(map[uint64]float64, len(sweep.Workloads))
 	for _, a := range sweep.Workloads {
-		fcfsTP[a.Workload.Key()] = a.FCFSTP
+		fcfsTP[perfdb.Key(workload.Coschedule(a.Workload))] = a.FCFSTP
 	}
 
 	type cellAcc struct {
@@ -85,7 +90,7 @@ func Fig5(e *Env) (*Fig5Result, error) {
 	// normalised to the workload's own FCFS run.
 	perWorkload := func(_ context.Context, wi int) ([][]cellAcc, error) {
 		w := ws[wi]
-		base, ok := fcfsTP[w.Key()]
+		base, ok := fcfsTP[perfdb.Key(workload.Coschedule(w))]
 		if !ok || base <= 0 {
 			return nil, nil // skipped workloads contribute nothing
 		}

@@ -1,0 +1,40 @@
+package farm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFarmScaling measures one farm simulation as the server count
+// grows with the offered load held at ~0.8 of aggregate capacity. The
+// per-event cost of finding the next completion is what separates the
+// implementations here; output is pinned identical across iterations, so
+// the benchmark doubles as a determinism check at every size.
+func BenchmarkFarmScaling(b *testing.B) {
+	tab := smtTable(b)
+	for _, n := range []int{4, 64, 512} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			specs := make([]ServerSpec, n)
+			for i := range specs {
+				specs[i] = fcfsSpec(tab)
+			}
+			cfg := Config{Lambda: 1.5 * float64(n), Jobs: 4000, SizeShape: 4, Seed: 1}
+			var pin string
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(specs, &RoundRobin{}, w4(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fp := fmt.Sprintf("%v/%v/%v/%v",
+					res.MeanTurnaround, res.P99Turnaround, res.Throughput, res.Utilisation)
+				if pin == "" {
+					pin = fp
+				} else if fp != pin {
+					b.Fatalf("output drifted across iterations:\n%s\nvs\n%s", pin, fp)
+				}
+			}
+		})
+	}
+}

@@ -213,24 +213,30 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	turnarounds := make([]float64, 0, expected)
 	completed, counted := 0, 0
 
+	// Indexed min-heap over the servers' cached next-completion times:
+	// the globally earliest completion is a peek instead of a scan over
+	// every server, and only servers whose completion horizon moved pay a
+	// sift. The heap's minimum is the exact minimum of the same cached
+	// values the former scan compared, so event times are bit-identical.
+	h := newTTCHeap(len(servers))
+
 	dispatch := func(j *sched.Job) error {
 		ti := d.Pick(j, servers, drng)
 		if ti < 0 || ti >= len(servers) {
 			return fmt.Errorf("farm: dispatcher %s picked server %d of %d", d.Name(), ti, len(servers))
 		}
 		servers[ti].Add(j)
-		return servers[ti].Reschedule()
+		if err := servers[ti].Reschedule(); err != nil {
+			return err
+		}
+		h.Update(ti, servers[ti].TimeToNextCompletion())
+		return nil
 	}
 
 	for completed < cfg.Jobs {
-		// Globally earliest completion across servers (index order).
-		dt := math.Inf(1)
-		for _, sv := range servers {
-			if d := sv.TimeToNextCompletion(); d < dt {
-				dt = d
-			}
-		}
-		// Or the next arrival, whichever first.
+		// Globally earliest completion across servers, or the next
+		// arrival, whichever first.
+		dt := h.Min()
 		arrivalDue := false
 		if arrivalsLeft > 0 && now+dt >= nextArrival {
 			dt = nextArrival - now
@@ -245,7 +251,7 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 		now += dt
 		// Advance every server on the shared clock; completions and
 		// rescheduling happen in server index order.
-		for _, sv := range servers {
+		for i, sv := range servers {
 			done := sv.Advance(dt)
 			for _, j := range done {
 				completed++
@@ -261,6 +267,7 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 					return nil, err
 				}
 			}
+			h.Update(i, sv.TimeToNextCompletion())
 		}
 		if arrivalDue {
 			if err := dispatch(newJob(now)); err != nil {

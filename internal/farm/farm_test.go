@@ -27,7 +27,7 @@ var (
 
 // smtTable builds (once) a 4-benchmark SMT table — the interference-rich
 // configuration for the symbiosis tests.
-func smtTable(t *testing.T) *perfdb.Table {
+func smtTable(t testing.TB) *perfdb.Table {
 	t.Helper()
 	smtOnce.Do(func() {
 		suite := program.Suite()

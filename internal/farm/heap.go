@@ -1,0 +1,141 @@
+package farm
+
+import "math"
+
+// ttcHeap is an indexed binary min-heap over the servers' cached
+// time-to-next-completion values. It holds only busy servers (finite
+// keys), Update is an O(1) no-op for servers whose key did not move
+// (idle ones between events), and sifts are near-O(1) in the common case
+// where every busy key shrinks by the same dt, preserving relative
+// order. The event loop's physics sweep still advances every server per
+// event — that per-event O(N) floor is the golden-output bit-identity
+// contract (see DESIGN.md, "Hot path & memoization"); what the heap
+// removes is the second full pass that recomputed and compared every
+// server's completion time. Ties order by server index, keeping the
+// heap's internal layout — and therefore the whole event loop —
+// deterministic.
+//
+// Min returns exactly the minimum of the stored float64 keys, so
+// replacing the former scan over every server's TimeToNextCompletion with
+// a heap peek leaves every simulated event time bit-identical.
+type ttcHeap struct {
+	keys []float64 // key per server index (+Inf when absent)
+	pos  []int     // heap position per server index, -1 when absent
+	heap []int     // server indices, heap-ordered by (key, index)
+}
+
+func newTTCHeap(n int) *ttcHeap {
+	h := &ttcHeap{
+		keys: make([]float64, n),
+		pos:  make([]int, n),
+		heap: make([]int, 0, n),
+	}
+	for i := range h.pos {
+		h.keys[i] = math.Inf(1)
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Min returns the smallest stored key, or +Inf when no server is busy.
+func (h *ttcHeap) Min() float64 {
+	if len(h.heap) == 0 {
+		return math.Inf(1)
+	}
+	return h.keys[h.heap[0]]
+}
+
+// Update sets server i's key, inserting, removing (key +Inf) or
+// repositioning it as needed. It is a cheap no-op when the key is
+// unchanged (idle servers between events).
+func (h *ttcHeap) Update(i int, key float64) {
+	if key == h.keys[i] {
+		return
+	}
+	inf := math.IsInf(key, 1)
+	switch {
+	case h.pos[i] == -1 && inf:
+		return // stays absent
+	case h.pos[i] == -1:
+		h.keys[i] = key
+		h.pos[i] = len(h.heap)
+		h.heap = append(h.heap, i)
+		h.up(h.pos[i])
+	case inf:
+		h.remove(i)
+	default:
+		up := key < h.keys[i]
+		h.keys[i] = key
+		if up {
+			h.up(h.pos[i])
+		} else {
+			h.down(h.pos[i])
+		}
+	}
+}
+
+func (h *ttcHeap) remove(i int) {
+	p, last := h.pos[i], len(h.heap)-1
+	h.keys[i] = math.Inf(1)
+	h.pos[i] = -1
+	if p != last {
+		moved := h.heap[last]
+		h.heap[p] = moved
+		h.pos[moved] = p
+	}
+	h.heap = h.heap[:last]
+	if p != last {
+		if !h.up(p) {
+			h.down(p)
+		}
+	}
+}
+
+// less orders heap slots by (key, server index).
+func (h *ttcHeap) less(a, b int) bool {
+	ia, ib := h.heap[a], h.heap[b]
+	if h.keys[ia] != h.keys[ib] {
+		return h.keys[ia] < h.keys[ib]
+	}
+	return ia < ib
+}
+
+func (h *ttcHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+// up sifts slot p toward the root, reporting whether it moved.
+func (h *ttcHeap) up(p int) bool {
+	moved := false
+	for p > 0 {
+		parent := (p - 1) / 2
+		if !h.less(p, parent) {
+			break
+		}
+		h.swap(p, parent)
+		p = parent
+		moved = true
+	}
+	return moved
+}
+
+// down sifts slot p toward the leaves.
+func (h *ttcHeap) down(p int) {
+	for {
+		l, r := 2*p+1, 2*p+2
+		smallest := p
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == p {
+			return
+		}
+		h.swap(p, smallest)
+		p = smallest
+	}
+}

@@ -1,0 +1,71 @@
+package farm
+
+import (
+	"math"
+	"testing"
+
+	"symbiosched/internal/stats"
+)
+
+// TestTTCHeapMatchesScan fuzzes the indexed heap against the reference
+// min-scan it replaced: after every update — inserts, moves up and down,
+// removals to +Inf, repeated no-ops — the heap's minimum must equal the
+// scan's minimum over the same keys, bit for bit, and the index/position
+// bookkeeping must stay consistent.
+func TestTTCHeapMatchesScan(t *testing.T) {
+	const n = 37
+	rng := stats.NewRNG(5)
+	h := newTTCHeap(n)
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = math.Inf(1)
+	}
+	scanMin := func() float64 {
+		m := math.Inf(1)
+		for _, k := range keys {
+			if k < m {
+				m = k
+			}
+		}
+		return m
+	}
+	for step := 0; step < 20_000; step++ {
+		i := rng.Intn(n)
+		var k float64
+		switch rng.Intn(5) {
+		case 0:
+			k = math.Inf(1) // remove (or keep absent)
+		case 1:
+			k = keys[i] // no-op
+		case 2:
+			k = keys[i] - rng.Float64() // shrink, the per-event common case
+			if math.IsInf(k, 1) {
+				k = 10 * rng.Float64()
+			}
+		default:
+			k = 20 * rng.Float64()
+		}
+		keys[i] = k
+		h.Update(i, k)
+		if got, want := h.Min(), scanMin(); got != want {
+			t.Fatalf("step %d: heap min %v, scan min %v", step, got, want)
+		}
+	}
+	// Structural invariants at the end of the walk.
+	for p := range h.heap {
+		if h.pos[h.heap[p]] != p {
+			t.Fatalf("pos/heap mismatch at slot %d", p)
+		}
+		if l := 2*p + 1; l < len(h.heap) && h.less(l, p) {
+			t.Fatalf("heap order violated at slot %d (left child)", p)
+		}
+		if r := 2*p + 2; r < len(h.heap) && h.less(r, p) {
+			t.Fatalf("heap order violated at slot %d (right child)", p)
+		}
+	}
+	for i, k := range keys {
+		if math.IsInf(k, 1) != (h.pos[i] == -1) {
+			t.Fatalf("server %d: key %v but pos %d", i, k, h.pos[i])
+		}
+	}
+}

@@ -50,6 +50,12 @@ type RateSource interface {
 	// InstTP returns the (estimated) instantaneous throughput of
 	// coschedule c — the score MAXIT-style schedulers maximise.
 	InstTP(c workload.Coschedule) float64
+	// Static reports whether the source's rates are fixed for the
+	// duration of a simulation run. Static sources (the oracle table and
+	// its wrapper) answer every query for one multiset identically, so
+	// schedulers may memoize decisions made over them; learners drift as
+	// observations arrive and must answer false.
+	Static() bool
 }
 
 // The oracle table is one RateSource implementation.
@@ -58,8 +64,8 @@ var _ RateSource = (*perfdb.Table)(nil)
 // IntervalObserver receives ground-truth interval measurements from the
 // event loop: canonical coschedule cos ran for dt time units and the job
 // in slot i progressed by progress[i] WIPC-units of work (progress[i]/dt
-// is slot i's measured WIPC). Callers may reuse the progress slice across
-// calls; implementations must not retain it.
+// is slot i's measured WIPC). Callers may reuse both the cos and progress
+// slices across calls; implementations must copy whatever they retain.
 type IntervalObserver interface {
 	ObserveInterval(cos workload.Coschedule, dt float64, progress []float64)
 }
@@ -109,6 +115,16 @@ func (o Oracle) JobWIPC(c workload.Coschedule, b int) float64 { return o.Table.J
 
 // InstTP implements RateSource.
 func (o Oracle) InstTP(c workload.Coschedule) float64 { return o.Table.InstTP(c) }
+
+// Static implements RateSource: the oracle's rates never drift.
+func (Oracle) Static() bool { return true }
+
+// JobWIPCByKey exposes the table's uint64-keyed probe, so schedulers take
+// the same fast path over the wrapper as over the bare table.
+func (o Oracle) JobWIPCByKey(k uint64, b int) float64 { return o.Table.JobWIPCByKey(k, b) }
+
+// InstTPByKey exposes the table's uint64-keyed probe.
+func (o Oracle) InstTPByKey(k uint64) float64 { return o.Table.InstTPByKey(k) }
 
 // ObserveInterval implements IntervalObserver: the oracle has nothing to
 // learn.

@@ -37,11 +37,14 @@ func (c PairwiseConfig) withDefaults() PairwiseConfig {
 // Every observed interval contributes one dt-weighted sample per distinct
 // type in the coschedule; the per-type normal equations are accumulated
 // incrementally (an n-by-n Gram matrix per type, n the suite size) and
-// re-solved lazily with ridge regularisation whenever new data arrived.
-// Because the model factors interference into pairwise terms, it predicts
-// rates for multisets it has never run — the generalisation the sampler
-// lacks — at the cost of a linear-superposition assumption the true
-// machine only approximates.
+// re-solved lazily with ridge regularisation. Laziness is per type: an
+// observation only marks the types it touched dirty, and a query
+// re-solves just the queried type, once, however many observations
+// arrived since its last solve — so the ridge cost scales with queries
+// of stale types, not with observations. Because the model factors
+// interference into pairwise terms, it predicts rates for multisets it
+// has never run — the generalisation the sampler lacks — at the cost of a
+// linear-superposition assumption the true machine only approximates.
 type Pairwise struct {
 	k, n int
 	cfg  PairwiseConfig
@@ -52,25 +55,34 @@ type Pairwise struct {
 	seen []bool
 	obsT []float64 // per type: total observed time (sample weight mass)
 
-	dirty bool
+	dirty []bool // per type: observations newer than beta
 	nobs  int
+
+	// ObserveInterval scratch, reused across intervals.
+	typesBuf []int
+	xsBuf    []float64
 }
 
 // NewPairwise returns a pairwise estimator for a k-context machine over a
 // suite of n job types.
 func NewPairwise(k, n int, cfg PairwiseConfig) *Pairwise {
 	p := &Pairwise{
-		k:    k,
-		n:    n,
-		cfg:  cfg.withDefaults(),
-		gram: make([]*linalg.Matrix, n),
-		rhs:  make([][]float64, n),
-		beta: make([][]float64, n),
-		seen: make([]bool, n),
-		obsT: make([]float64, n),
+		k:     k,
+		n:     n,
+		cfg:   cfg.withDefaults(),
+		gram:  make([]*linalg.Matrix, n),
+		rhs:   make([][]float64, n),
+		beta:  make([][]float64, n),
+		seen:  make([]bool, n),
+		obsT:  make([]float64, n),
+		dirty: make([]bool, n),
 	}
 	return p
 }
+
+// Static implements RateSource: predictions drift as intervals arrive, so
+// decisions over the learner must never be memoized.
+func (p *Pairwise) Static() bool { return false }
 
 // Name implements RateSource.
 func (p *Pairwise) Name() string { return "pairwise" }
@@ -87,6 +99,21 @@ func (p *Pairwise) ObserveInterval(cos workload.Coschedule, dt float64, progress
 	if dt <= 0 || len(cos) == 0 {
 		return
 	}
+	// Interval-invariant feature scratch, built once per interval: the
+	// distinct types of the (canonical, sorted) coschedule and their slot
+	// counts. The observe path runs at every simulated interval and must
+	// not allocate.
+	p.typesBuf = p.typesBuf[:0]
+	for j, t := range cos {
+		if j == 0 || t != cos[j-1] {
+			p.typesBuf = append(p.typesBuf, t)
+		}
+	}
+	types := p.typesBuf
+	if cap(p.xsBuf) < len(types) {
+		p.xsBuf = make([]float64, len(types))
+	}
+	xs := p.xsBuf[:len(types)]
 	for i := 0; i < len(cos); i++ {
 		b := cos[i]
 		if i > 0 && b == cos[i-1] {
@@ -109,8 +136,6 @@ func (p *Pairwise) ObserveInterval(cos workload.Coschedule, dt float64, progress
 		// Feature vector: co-runner counts (x[t] = count_t minus one for
 		// b itself). Only the coschedule's types are non-zero, so the
 		// rank-1 Gram update touches at most k*k entries.
-		types := cos.Types()
-		xs := make([]float64, len(types))
 		for ti, t := range types {
 			x := float64(cos.Count(t))
 			if t == b {
@@ -133,43 +158,41 @@ func (p *Pairwise) ObserveInterval(cos workload.Coschedule, dt float64, progress
 		}
 		p.seen[b] = true
 		p.obsT[b] += dt
+		p.dirty[b] = true
 	}
 	p.nobs++
-	p.dirty = true
 }
 
-// solve refits every seen type's coefficients from the accumulated normal
-// equations. The ridge term keeps the system positive definite even
-// before every pair has been observed, shrinking unidentified
-// coefficients to the no-interference prior.
-func (p *Pairwise) solve() {
-	if !p.dirty {
+// solve refits type b's coefficients from its accumulated normal
+// equations, if observations arrived since the last fit. The ridge term
+// keeps the system positive definite even before every pair has been
+// observed, shrinking unidentified coefficients to the no-interference
+// prior. Solving per queried type is what makes the laziness genuine: a
+// burst of observations costs one re-solve per type at its next query,
+// not one per observation.
+func (p *Pairwise) solve(b int) {
+	if !p.dirty[b] || !p.seen[b] {
 		return
 	}
-	p.dirty = false
-	for b := 0; b < p.n; b++ {
-		if !p.seen[b] {
-			continue
-		}
-		a := p.gram[b].Clone()
-		// Scale the ridge with the accumulated weight so regularisation
-		// stays a prior, not a cap, as evidence grows.
-		lambda := p.cfg.Ridge * (1 + p.obsT[b])
-		for i := 0; i < p.n; i++ {
-			a.Set(i, i, a.At(i, i)+lambda)
-		}
-		x, err := linalg.Solve(a, p.rhs[b])
-		if err != nil {
-			continue // keep the previous fit; ridge makes this unreachable
-		}
-		p.beta[b] = x
+	p.dirty[b] = false
+	a := p.gram[b].Clone()
+	// Scale the ridge with the accumulated weight so regularisation
+	// stays a prior, not a cap, as evidence grows.
+	lambda := p.cfg.Ridge * (1 + p.obsT[b])
+	for i := 0; i < p.n; i++ {
+		a.Set(i, i, a.At(i, i)+lambda)
 	}
+	x, err := linalg.Solve(a, p.rhs[b])
+	if err != nil {
+		return // keep the previous fit; ridge makes this unreachable
+	}
+	p.beta[b] = x
 }
 
 // Coef returns the fitted interference coefficient of co-runner type t on
 // type b (0 until observed) — the learned pairwise matrix entry.
 func (p *Pairwise) Coef(b, t int) float64 {
-	p.solve()
+	p.solve(b)
 	if p.beta[b] == nil {
 		return 0
 	}
@@ -179,7 +202,7 @@ func (p *Pairwise) Coef(b, t int) float64 {
 // JobWIPC implements RateSource: the model prediction, clamped to a
 // positive range; types never observed fall back to the solo prior.
 func (p *Pairwise) JobWIPC(c workload.Coschedule, b int) float64 {
-	p.solve()
+	p.solve(b)
 	pred := 1.0
 	if beta := p.beta[b]; beta != nil {
 		for _, t := range c {

@@ -92,6 +92,11 @@ func (s *Sampler) Name() string { return "sampler" }
 // K implements RateSource.
 func (s *Sampler) K() int { return s.k }
 
+// Static implements RateSource: the sampler's estimates move with every
+// observation and its sample phases deliberately re-rank coschedules, so
+// decisions over it must never be memoized.
+func (s *Sampler) Static() bool { return false }
+
 // Observations implements Estimator.
 func (s *Sampler) Observations() int { return s.nobs }
 

@@ -122,15 +122,27 @@ func Key(c workload.Coschedule) uint64 {
 	if len(c) > 8 {
 		panic("perfdb: coschedule longer than 8")
 	}
-	var k uint64 = 1 // leading 1 distinguishes lengths
+	k := EmptyKey
 	for _, t := range c {
 		if t < 0 || t > 255 {
 			panic(fmt.Sprintf("perfdb: type %d out of key range", t))
 		}
-		k = k<<8 | uint64(t+1)
+		k = KeyAppend(k, t)
 	}
 	return k
 }
+
+// EmptyKey is Key of the empty coschedule — the fold's starting value
+// (a leading 1 distinguishes lengths).
+const EmptyKey uint64 = 1
+
+// KeyAppend folds one more type into a key built left to right over a
+// canonical (sorted) coschedule: KeyAppend(Key(c), t) == Key(append(c, t))
+// for t >= the last type of c. Hot paths that build coschedules
+// incrementally use it to keep a running key instead of re-deriving the
+// key per probe; unlike Key it performs no bounds checks, so callers
+// outside the table's validated universe must check types themselves.
+func KeyAppend(k uint64, t int) uint64 { return k<<8 | uint64(t+1) }
 
 // Build runs the model over every coschedule of size 1..K over the suite
 // and returns the populated table. Work is spread over all CPUs; use
@@ -225,6 +237,17 @@ func (t *Table) Entry(c workload.Coschedule) *Entry {
 	return e
 }
 
+// EntryByKey is Entry keyed by Key(c) — the uint64 route hot paths take
+// when they already hold the canonical key and must not re-derive it per
+// probe.
+func (t *Table) EntryByKey(k uint64) *Entry {
+	e, ok := t.entries[k]
+	if !ok {
+		panic(fmt.Sprintf("perfdb: unknown coschedule key %#x", k))
+	}
+	return e
+}
+
 // JobWIPC returns the WIPC of one job of global type b in coschedule c.
 // It panics if b is not in c.
 func (t *Table) JobWIPC(c workload.Coschedule, b int) float64 {
@@ -234,6 +257,25 @@ func (t *Table) JobWIPC(c workload.Coschedule, b int) float64 {
 	}
 	return w
 }
+
+// JobWIPCByKey is JobWIPC keyed by Key(c).
+func (t *Table) JobWIPCByKey(k uint64, b int) float64 {
+	w, ok := t.EntryByKey(k).TypeWIPC[b]
+	if !ok {
+		panic(fmt.Sprintf("perfdb: type %d not in coschedule key %#x", b, k))
+	}
+	return w
+}
+
+// InstTPByKey is InstTP keyed by Key(c).
+func (t *Table) InstTPByKey(k uint64) float64 { return t.EntryByKey(k).InstTP }
+
+// Static reports that the table's rates do not drift while a simulation
+// runs, so per-multiset decisions made over it may be memoized
+// (online.RateSource). Override is a build-time counterfactual edit:
+// schedulers are constructed per run, after any overrides, so a memo
+// never spans one.
+func (t *Table) Static() bool { return true }
 
 // JobIPC returns the raw IPC of one job of global type b in coschedule c.
 func (t *Table) JobIPC(c workload.Coschedule, b int) float64 {

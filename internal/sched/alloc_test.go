@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"testing"
+
+	"symbiosched/internal/workload"
+)
+
+// The allocation pins below are the tentpole's contract: at steady state
+// (scratch grown, memo warm) the decision hot path must not touch the
+// heap at all over the oracle table. A regression here silently taxes
+// every simulated event of every experiment.
+
+func allocQueues() [][]*Job {
+	queues := make([][]*Job, 8)
+	for qi := range queues {
+		js := make([]*Job, 8)
+		for i := range js {
+			js[i] = &Job{
+				ID:        qi*8 + i,
+				Type:      (qi + i) % 4,
+				Size:      1,
+				Remaining: 0.1 + float64(i)*0.07,
+			}
+		}
+		queues[qi] = js
+	}
+	return queues
+}
+
+func testSelectAllocs(t *testing.T, s Scheduler) {
+	t.Helper()
+	queues := allocQueues()
+	for _, q := range queues {
+		s.Select(q, 4)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Select(queues[i%len(queues)], 4)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("%s.Select allocates %v times per steady-state call, want 0", s.Name(), allocs)
+	}
+}
+
+func TestMAXITSelectZeroAllocs(t *testing.T) {
+	testSelectAllocs(t, &MAXIT{Rates: table(t)})
+}
+
+func TestSRPTSelectZeroAllocs(t *testing.T) {
+	testSelectAllocs(t, &SRPT{Rates: table(t)})
+}
+
+func TestFCFSSelectZeroAllocs(t *testing.T) {
+	testSelectAllocs(t, FCFS{})
+}
+
+func TestMAXTPSelectZeroAllocs(t *testing.T) {
+	tb := table(t)
+	m, err := NewMAXTP(tb, workload.Workload{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the LP support a positive deficit so the non-fallback path is
+	// the one measured.
+	m.Observe(workload.NewCoschedule(0, 0, 0, 0), 1)
+	testSelectAllocs(t, m)
+}

@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"sort"
+
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/workload"
+)
+
+// enumerator is the allocation-free candidate machinery the
+// knowledge-driven schedulers own: it groups a job queue by type, then
+// walks every feasible type-count multiset of a given size in the exact
+// lexicographic order the old recursive enumerator produced (count vector
+// ascending, types ascending), materialising nothing until the winner is
+// known. All buffers are reused across Select calls, so steady-state
+// enumeration performs zero heap allocations.
+//
+// The enumeration order is load-bearing: MAXIT breaks instantaneous-
+// throughput ties within a 1e-12 tolerance by job age, and on exact ties
+// the first candidate in enumeration order wins, so golden outputs are
+// only bit-identical if the order is preserved.
+type enumerator struct {
+	jobs []*Job // the queue being enumerated, set by prepare
+
+	idx    []int // all job indices, sorted by (type, preference)
+	byRem  bool  // preference inside a type: remaining-then-ID, else ID
+	types  []int // distinct types present, ascending
+	grpOff []int // grpOff[i]..grpOff[i+1] bounds type i's run inside idx
+
+	counts []int               // current candidate: count per distinct type
+	caps   []int               // available jobs per distinct type
+	best   []int               // winning count vector (copied on improvement)
+	cos    workload.Coschedule // scratch candidate multiset, sorted
+	cosKey uint64              // perfdb.Key(cos), maintained by buildCos
+	out    []int               // selection returned to the caller
+}
+
+// Len, Less and Swap implement sort.Interface over idx so prepare can
+// sort without any per-call closure or interface allocation.
+func (e *enumerator) Len() int      { return len(e.idx) }
+func (e *enumerator) Swap(a, b int) { e.idx[a], e.idx[b] = e.idx[b], e.idx[a] }
+func (e *enumerator) Less(a, b int) bool {
+	ja, jb := e.jobs[e.idx[a]], e.jobs[e.idx[b]]
+	if ja.Type != jb.Type {
+		return ja.Type < jb.Type
+	}
+	if e.byRem && ja.Remaining != jb.Remaining {
+		return ja.Remaining < jb.Remaining
+	}
+	return ja.ID < jb.ID
+}
+
+// prepare groups jobs by type with the given within-type preference
+// (byRem false: oldest first; true: shortest remaining first, ties to the
+// oldest — SRPT's order). It reuses all scratch.
+func (e *enumerator) prepare(jobs []*Job, byRem bool) {
+	e.jobs, e.byRem = jobs, byRem
+	e.idx = e.idx[:0]
+	for i := range jobs {
+		e.idx = append(e.idx, i)
+	}
+	sort.Sort(e)
+	e.types, e.grpOff, e.caps = e.types[:0], e.grpOff[:0], e.caps[:0]
+	for i, ji := range e.idx {
+		if t := jobs[ji].Type; i == 0 || t != jobs[e.idx[i-1]].Type {
+			e.types = append(e.types, t)
+			e.grpOff = append(e.grpOff, i)
+		}
+	}
+	e.grpOff = append(e.grpOff, len(e.idx))
+	for i := range e.types {
+		e.caps = append(e.caps, e.grpOff[i+1]-e.grpOff[i])
+	}
+}
+
+// group returns type slot ti's job indices, preference order.
+func (e *enumerator) group(ti int) []int { return e.idx[e.grpOff[ti]:e.grpOff[ti+1]] }
+
+// typeIndex returns the type-group slot of type b; it must be present.
+func (e *enumerator) typeIndex(b int) int { return sort.SearchInts(e.types, b) }
+
+// countOf returns how many queued jobs have type b (0 when absent).
+func (e *enumerator) countOf(b int) int {
+	ti := sort.SearchInts(e.types, b)
+	if ti == len(e.types) || e.types[ti] != b {
+		return 0
+	}
+	return e.caps[ti]
+}
+
+// firstCandidate resets counts to the lexicographically smallest vector
+// summing to m (filled from the last types backward) and rebuilds cos. It
+// returns false when m is non-positive; m must not exceed the queue
+// length.
+func (e *enumerator) firstCandidate(m int) bool {
+	if m <= 0 {
+		return false
+	}
+	if cap(e.counts) < len(e.types) {
+		e.counts = make([]int, len(e.types))
+	}
+	e.counts = e.counts[:len(e.types)]
+	rem := m
+	for i := len(e.types) - 1; i >= 0; i-- {
+		c := min(e.caps[i], rem)
+		e.counts[i], rem = c, rem-c
+	}
+	e.buildCos()
+	return true
+}
+
+// next advances counts to the lexicographic successor, returning false
+// when the enumeration is exhausted.
+func (e *enumerator) next() bool {
+	// Find the rightmost position that can take one unit from its suffix.
+	suffix := 0
+	for p := len(e.counts) - 1; p >= 0; p-- {
+		if suffix >= 1 && e.counts[p] < e.caps[p] {
+			e.counts[p]++
+			rem := suffix - 1
+			for i := len(e.counts) - 1; i > p; i-- {
+				c := min(e.caps[i], rem)
+				e.counts[i], rem = c, rem-c
+			}
+			e.buildCos()
+			return true
+		}
+		suffix += e.counts[p]
+	}
+	return false
+}
+
+// buildCos materialises the current count vector as a sorted multiset and
+// folds its perfdb.Key alongside (valid for keyed rate sources, whose
+// tables enforce the key's type/length bounds).
+func (e *enumerator) buildCos() {
+	e.cos = e.cos[:0]
+	e.cosKey = perfdb.EmptyKey
+	for ti, c := range e.counts {
+		for j := 0; j < c; j++ {
+			e.cos = append(e.cos, e.types[ti])
+			e.cosKey = perfdb.KeyAppend(e.cosKey, e.types[ti])
+		}
+	}
+}
+
+// materialize writes the selection for a count vector — the first
+// counts[ti] jobs of each type group, preference order — into the shared
+// out buffer. Callers must not retain the returned slice across Select
+// calls.
+func (e *enumerator) materialize(counts []int) []int {
+	e.out = e.out[:0]
+	for ti, c := range counts {
+		g := e.group(ti)
+		for j := 0; j < c; j++ {
+			e.out = append(e.out, g[j])
+		}
+	}
+	return e.out
+}
+
+// keepBest copies the current counts into best.
+func (e *enumerator) keepBest() {
+	e.best = append(e.best[:0], e.counts...)
+}
+
+// memoKeyBits packs (k, then per distinct type its identity and its count
+// capped at k) into a uint64 decision-memo key, in the spirit of
+// perfdb.Key. Capping is lossless for the argmax: no candidate can use
+// more than min(k, queue length) jobs of one type, and the selection
+// takes group prefixes, so queues agreeing on capped counts have the same
+// candidate set and the same materialisation. ok is false when the
+// signature does not fit 64 bits (more than four distinct types, a type
+// above 255, or k above 15) — callers then skip the memo.
+func (e *enumerator) memoKey(k int) (key uint64, ok bool) {
+	if len(e.types) > 4 || k > 15 {
+		return 0, false
+	}
+	key = 1 // leading 1 marks the length
+	for ti, t := range e.types {
+		if t > 255 {
+			return 0, false
+		}
+		key = key<<12 | uint64(t)<<4 | uint64(min(e.caps[ti], k))
+	}
+	return key<<4 | uint64(k), true
+}
+
+// packCounts encodes a winning count vector (each entry <= 15, at most
+// four entries when memoKey accepted the queue) for memo storage.
+func packCounts(counts []int) uint64 {
+	var v uint64 = 1
+	for _, c := range counts {
+		v = v<<4 | uint64(c)
+	}
+	return v
+}
+
+// unpackCounts decodes packCounts into the shared counts scratch, sized
+// to the current type-group count.
+func (e *enumerator) unpackCounts(v uint64) []int {
+	if cap(e.counts) < len(e.types) {
+		e.counts = make([]int, len(e.types))
+	}
+	e.counts = e.counts[:len(e.types)]
+	for i := len(e.counts) - 1; i >= 0; i-- {
+		e.counts[i] = int(v & 0xf)
+		v >>= 4
+	}
+	return e.counts
+}

@@ -6,6 +6,14 @@ import (
 	"symbiosched/internal/stats"
 )
 
+func allIndices(jobs []*Job) []int {
+	idx := make([]int, len(jobs))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
 // LJF is the symbiosis-unaware long-job-first scheduler of Xu et al.
 // (PACT 2010), which the paper's related-work section notes "outperforms
 // their symbiosis-aware scheduler" when small sets of jobs are run to

@@ -1,0 +1,313 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"symbiosched/internal/online"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+// This file pins the allocation-free hot path to a naive reference: the
+// pre-optimization recursive enumerator and argmax loops, kept verbatim
+// below. The iterative enumerator must produce exactly the same candidate
+// sequence, and the schedulers exactly the same picks — including
+// oldest-first tie-breaks and memoized replays — across randomized
+// queues, type universes and context counts.
+
+// refComposition mirrors the old heap-allocated candidate.
+type refComposition struct {
+	cos  workload.Coschedule
+	jobs []int
+}
+
+// refCompositions is the old recursive enumerator, verbatim.
+func refCompositions(jobs []*Job, m int, pick func(a, b *Job) bool) []refComposition {
+	byType := map[int][]int{}
+	var types []int
+	for i, j := range jobs {
+		if _, ok := byType[j.Type]; !ok {
+			types = append(types, j.Type)
+		}
+		byType[j.Type] = append(byType[j.Type], i)
+	}
+	sort.Ints(types)
+	for _, t := range types {
+		g := byType[t]
+		sort.Slice(g, func(a, b int) bool { return pick(jobs[g[a]], jobs[g[b]]) })
+	}
+	var out []refComposition
+	counts := make([]int, len(types))
+	var rec func(pos, left int)
+	rec = func(pos, left int) {
+		if left == 0 {
+			c := refComposition{}
+			for ti, cnt := range counts {
+				for j := 0; j < cnt; j++ {
+					c.cos = append(c.cos, types[ti])
+					c.jobs = append(c.jobs, byType[types[ti]][j])
+				}
+			}
+			sort.Ints(c.cos)
+			out = append(out, c)
+			return
+		}
+		if pos == len(types) {
+			return
+		}
+		max := len(byType[types[pos]])
+		if max > left {
+			max = left
+		}
+		for cnt := 0; cnt <= max; cnt++ {
+			counts[pos] = cnt
+			rec(pos+1, left-cnt)
+		}
+		counts[pos] = 0
+	}
+	m = min(m, len(jobs))
+	rec(0, m)
+	return out
+}
+
+func refOldestFirst(a, b *Job) bool { return a.ID < b.ID }
+
+// refMAXITSelect is the old MAXIT.Select, verbatim.
+func refMAXITSelect(rs online.RateSource, jobs []*Job, k int) []int {
+	if len(jobs) == 0 {
+		return nil
+	}
+	comps := refCompositions(jobs, min(k, len(jobs)), refOldestFirst)
+	bestIdx, bestTP, bestAge := -1, math.Inf(-1), math.Inf(1)
+	for ci, c := range comps {
+		tp := rs.InstTP(c.cos)
+		age := 0.0
+		for _, ji := range c.jobs {
+			age += float64(jobs[ji].ID)
+		}
+		if tp > bestTP+1e-12 || (tp > bestTP-1e-12 && age < bestAge) {
+			bestIdx, bestTP, bestAge = ci, tp, age
+		}
+	}
+	return comps[bestIdx].jobs
+}
+
+// refSRPTSelect is the old SRPT.Select, verbatim.
+func refSRPTSelect(rs online.RateSource, jobs []*Job, k int) []int {
+	if len(jobs) == 0 {
+		return nil
+	}
+	shortestFirst := func(a, b *Job) bool {
+		if a.Remaining != b.Remaining {
+			return a.Remaining < b.Remaining
+		}
+		return a.ID < b.ID
+	}
+	comps := refCompositions(jobs, min(k, len(jobs)), shortestFirst)
+	bestIdx, bestSum := -1, math.Inf(1)
+	for ci, c := range comps {
+		var sum float64
+		for _, ji := range c.jobs {
+			j := jobs[ji]
+			rate := rs.JobWIPC(c.cos, j.Type)
+			sum += j.Remaining / rate
+		}
+		if sum < bestSum {
+			bestIdx, bestSum = ci, sum
+		}
+	}
+	return comps[bestIdx].jobs
+}
+
+// quantizedRates is a static synthetic source whose InstTP is coarsely
+// quantized, manufacturing frequent exact throughput ties so the
+// age-based tie-break (and the memo's refusal to cache tied keys) is
+// exercised hard.
+type quantizedRates struct{ k int }
+
+func (quantizedRates) Name() string { return "quantized" }
+func (q quantizedRates) K() int     { return q.k }
+func (quantizedRates) JobWIPC(c workload.Coschedule, b int) float64 {
+	return 1 / (1 + 0.25*float64(len(c)-1))
+}
+func (q quantizedRates) InstTP(c workload.Coschedule) float64 {
+	// Only the candidate size matters: every same-size multiset ties.
+	return float64(len(c))
+}
+func (quantizedRates) Static() bool { return true }
+
+// randomQueue builds an ID-ordered queue (the Select contract) of depth
+// up to maxDepth over nTypes types.
+func randomQueue(rng *stats.RNG, nextID *int, nTypes, maxDepth int) []*Job {
+	depth := 1 + rng.Intn(maxDepth)
+	js := make([]*Job, depth)
+	for i := range js {
+		size := 0.25 + 2*rng.Float64()
+		js[i] = &Job{
+			ID:        *nextID,
+			Type:      rng.Intn(nTypes),
+			Size:      size,
+			Remaining: size * rng.Float64(),
+			Arrival:   float64(i),
+		}
+		*nextID++
+	}
+	return js
+}
+
+// TestEnumeratorMatchesNaive pins the candidate sequence: same multisets,
+// same concrete job choices, same order as the recursive reference.
+func TestEnumeratorMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(11)
+	nextID := 0
+	for trial := 0; trial < 300; trial++ {
+		nTypes := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(5)
+		js := randomQueue(rng, &nextID, nTypes, 9)
+		for _, byRem := range []bool{false, true} {
+			pick := refOldestFirst
+			if byRem {
+				pick = func(a, b *Job) bool {
+					if a.Remaining != b.Remaining {
+						return a.Remaining < b.Remaining
+					}
+					return a.ID < b.ID
+				}
+			}
+			want := refCompositions(js, min(k, len(js)), pick)
+			var e enumerator
+			e.prepare(js, byRem)
+			got := 0
+			for ok := e.firstCandidate(min(k, len(js))); ok; ok = e.next() {
+				if got >= len(want) {
+					t.Fatalf("trial %d: enumerator yields more than %d candidates", trial, len(want))
+				}
+				w := want[got]
+				if fmt.Sprint(e.cos) != fmt.Sprint(w.cos) {
+					t.Fatalf("trial %d candidate %d: cos %v, want %v", trial, got, e.cos, w.cos)
+				}
+				if fmt.Sprint(e.materialize(e.counts)) != fmt.Sprint(w.jobs) {
+					t.Fatalf("trial %d candidate %d: jobs %v, want %v",
+						trial, got, e.materialize(e.counts), w.jobs)
+				}
+				got++
+			}
+			if got != len(want) {
+				t.Fatalf("trial %d: %d candidates, want %d", trial, got, len(want))
+			}
+		}
+	}
+}
+
+// TestSelectMatchesNaive pins MAXIT and SRPT picks to the reference over
+// the real oracle table (realistic rates) across randomized queues and k,
+// replaying every queue twice so memo hits must reproduce cold argmaxes.
+func TestSelectMatchesNaive(t *testing.T) {
+	tb := table(t)
+	rng := stats.NewRNG(23)
+	nextID := 0
+	maxit := &MAXIT{Rates: tb}
+	srpt := &SRPT{Rates: tb}
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(tb.K()) // candidates above K are not in the table
+		js := randomQueue(rng, &nextID, len(tb.Suite()), 10)
+		for pass := 0; pass < 2; pass++ {
+			wantM := refMAXITSelect(tb, js, k)
+			if got := maxit.Select(js, k); fmt.Sprint(got) != fmt.Sprint(wantM) {
+				t.Fatalf("trial %d pass %d k=%d: MAXIT %v, want %v", trial, pass, k, got, wantM)
+			}
+			wantS := refSRPTSelect(tb, js, k)
+			if got := srpt.Select(js, k); fmt.Sprint(got) != fmt.Sprint(wantS) {
+				t.Fatalf("trial %d pass %d k=%d: SRPT %v, want %v", trial, pass, k, got, wantS)
+			}
+		}
+	}
+}
+
+// TestSelectMatchesNaiveUnderTies drives MAXIT over the quantized source
+// where whole size classes tie exactly: the age tie-break must match the
+// reference on every queue, and — because tied argmaxes depend on job
+// IDs, not just type counts — the memo must not leak a previous queue's
+// pick into a later queue with the same type-count signature.
+func TestSelectMatchesNaiveUnderTies(t *testing.T) {
+	rng := stats.NewRNG(37)
+	nextID := 0
+	src := quantizedRates{k: 4}
+	m := &MAXIT{Rates: src}
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(4)
+		js := randomQueue(rng, &nextID, 4, 8)
+		want := refMAXITSelect(src, js, k)
+		if got := m.Select(js, k); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("trial %d k=%d: MAXIT %v, want %v (jobs %v)", trial, k, got, want, js)
+		}
+	}
+}
+
+// TestMAXITTiedSignatureNotLeakedAcrossQueues is the memo-soundness
+// directed case: two queues share the type-count signature {A:2, B:1},
+// every size-2 candidate ties on throughput, and the age tie-break picks
+// a different multiset in each queue. A memo that cached the first tied
+// argmax would replay {A,A} into the second queue.
+func TestMAXITTiedSignatureNotLeakedAcrossQueues(t *testing.T) {
+	src := quantizedRates{k: 2}
+	m := &MAXIT{Rates: src}
+	mk := func(ids [3]int, types [3]int) []*Job {
+		js := make([]*Job, 3)
+		for i := range js {
+			js[i] = &Job{ID: ids[i], Type: types[i], Size: 1, Remaining: 1}
+		}
+		return js
+	}
+	// Queue 1: A0, A1, B2 — ages: {A,A}=1 < {A,B}=2, so AA wins.
+	q1 := mk([3]int{0, 1, 2}, [3]int{0, 0, 1})
+	// Queue 2: B3, A10, A11 — ages: {A,A}=21 > {A,B}=13, so AB wins.
+	q2 := mk([3]int{3, 10, 11}, [3]int{1, 0, 0})
+	for _, tc := range []struct {
+		q    []*Job
+		want string
+	}{{q1, "[0 1]"}, {q2, "[1 0]"}} {
+		want := refMAXITSelect(src, tc.q, 2)
+		if fmt.Sprint(want) != tc.want {
+			t.Fatalf("reference picked %v, want %s — test setup wrong", want, tc.want)
+		}
+		if got := m.Select(tc.q, 2); fmt.Sprint(got) != tc.want {
+			t.Errorf("MAXIT picked %v, want %s (tied signature leaked through the memo?)", got, tc.want)
+		}
+	}
+}
+
+// TestMAXITMemoBypassedForLearners pins the Static gate: over a drifting
+// source the same queue signature must be re-evaluated every time.
+func TestMAXITMemoBypassedForLearners(t *testing.T) {
+	tb := table(t)
+	sampler := online.NewSampler(tb.K(), online.SamplerConfig{Epsilon: 0.5, Seed: 1})
+	m := &MAXIT{Rates: sampler}
+	js := jobs(0, 1, 2, 3)
+	m.Select(js, 4)
+	if len(m.memo) != 0 {
+		t.Fatalf("memo populated over a non-static source")
+	}
+}
+
+// TestSelectRequiresArrivalOrder pins the documented queue invariant the
+// schedulers rely on: every event loop hands Select an ID-ordered slice.
+// (eventsim appends arrivals in ID order and compacts completions in
+// place; this test is the contract's canary should that ever change.)
+func TestSelectRequiresArrivalOrder(t *testing.T) {
+	js := jobs(0, 1, 2, 3, 0, 1)
+	for i := 1; i < len(js); i++ {
+		if js[i].ID < js[i-1].ID {
+			t.Fatal("test queue not ID-ordered")
+		}
+	}
+	sel := FCFS{}.Select(js, 4)
+	for i, idx := range sel {
+		if idx != i {
+			t.Errorf("FCFS over an ID-ordered queue must select the identity prefix, got %v", sel)
+		}
+	}
+}

@@ -19,12 +19,17 @@
 // from internal/online in the knowledge-gap experiments. MAXTP is
 // inherently oracular: its offline linear-programming phase needs the full
 // table, so it cannot run over a learned source.
+//
+// Select is the hot path of every experiment (it runs at every simulated
+// arrival and completion), so the knowledge-driven schedulers carry
+// per-instance scratch and enumerate candidates without allocating; over a
+// static rate source MAXIT additionally memoizes the winning multiset per
+// queue signature (see DESIGN.md, "Hot path & memoization").
 package sched
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"symbiosched/internal/core"
@@ -51,6 +56,14 @@ type Scheduler interface {
 	Name() string
 	// Select returns the indices into jobs of the jobs to run, at most k.
 	// Work-conserving schedulers return min(k, len(jobs)) indices.
+	//
+	// Contract: jobs arrive in nondecreasing ID order — the arrival order
+	// every event loop in this repo maintains (queues append on arrival
+	// and compact in place on completion). FCFS relies on it outright and
+	// the others use it to keep within-type preference sorts cheap; it is
+	// pinned by TestSelectRequiresArrivalOrder. The returned slice is
+	// owned by the scheduler (or shared, for FCFS) and is only valid
+	// until the next Select call; callers must not mutate or retain it.
 	Select(jobs []*Job, k int) []int
 }
 
@@ -61,6 +74,18 @@ type Scheduler interface {
 type Observer interface {
 	Observe(cos workload.Coschedule, dt float64)
 }
+
+// keyedRates is the uint64 probe fast path: rate sources that can be
+// queried by a perfdb.Key avoid re-deriving the key per candidate.
+// *perfdb.Table and online.Oracle implement it.
+type keyedRates interface {
+	InstTPByKey(key uint64) float64
+	JobWIPCByKey(key uint64, b int) float64
+}
+
+// tieTol is the instantaneous-throughput tolerance within which MAXIT
+// considers two candidates tied and defers to job age.
+const tieTol = 1e-12
 
 // Names lists the Section VI schedulers New constructs, in the paper's
 // order.
@@ -111,92 +136,48 @@ type FCFS struct{}
 // Name implements Scheduler.
 func (FCFS) Name() string { return "FCFS" }
 
-// Select implements Scheduler: the min(k, n) oldest jobs.
+// identity is the shared index prefix FCFS serves: with jobs already in
+// arrival order (the Select contract), the oldest min(k, n) jobs are
+// simply the first min(k, n) indices.
+var identity = func() []int {
+	ix := make([]int, 64)
+	for i := range ix {
+		ix[i] = i
+	}
+	return ix
+}()
+
+// Select implements Scheduler: the min(k, n) oldest jobs, which under the
+// arrival-order contract is the identity prefix — no sort, no allocation.
 func (FCFS) Select(jobs []*Job, k int) []int {
-	idx := allIndices(jobs)
-	sort.Slice(idx, func(a, b int) bool { return jobs[idx[a]].ID < jobs[idx[b]].ID })
-	if len(idx) > k {
-		idx = idx[:k]
+	n := min(k, len(jobs))
+	if n <= len(identity) {
+		return identity[:n]
 	}
-	return idx
-}
-
-// composition is a feasible multiset of job types with concrete job
-// choices attached.
-type composition struct {
-	cos  workload.Coschedule
-	jobs []int // indices into the scheduler's jobs slice
-}
-
-// compositions enumerates every multiset of size m of the available jobs'
-// types, picking concrete jobs within each type by the given preference
-// order (pick receives the indices of one type's jobs, best first).
-func compositions(jobs []*Job, m int, pick func(a, b *Job) bool) []composition {
-	// Group job indices by type, each group sorted by preference.
-	byType := map[int][]int{}
-	var types []int
-	for i, j := range jobs {
-		if _, ok := byType[j.Type]; !ok {
-			types = append(types, j.Type)
-		}
-		byType[j.Type] = append(byType[j.Type], i)
-	}
-	sort.Ints(types)
-	for _, t := range types {
-		g := byType[t]
-		sort.Slice(g, func(a, b int) bool { return pick(jobs[g[a]], jobs[g[b]]) })
-	}
-	var out []composition
-	counts := make([]int, len(types))
-	var rec func(pos, left int)
-	rec = func(pos, left int) {
-		if left == 0 {
-			c := composition{}
-			for ti, cnt := range counts {
-				for j := 0; j < cnt; j++ {
-					c.cos = append(c.cos, types[ti])
-					c.jobs = append(c.jobs, byType[types[ti]][j])
-				}
-			}
-			sort.Ints(c.cos)
-			out = append(out, c)
-			return
-		}
-		if pos == len(types) {
-			return
-		}
-		max := len(byType[types[pos]])
-		if max > left {
-			max = left
-		}
-		for cnt := 0; cnt <= max; cnt++ {
-			counts[pos] = cnt
-			rec(pos+1, left-cnt)
-		}
-		counts[pos] = 0
-	}
-	m = min(m, len(jobs))
-	rec(0, m)
-	return out
-}
-
-func allIndices(jobs []*Job) []int {
-	idx := make([]int, len(jobs))
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
 	return idx
 }
 
-func oldestFirst(a, b *Job) bool { return a.ID < b.ID }
-
 // MAXIT selects the combination with the highest instantaneous throughput
 // according to its rate source; among equal-throughput combinations it
 // prefers the oldest jobs. Over a learning source whose sample phase
 // inflates under-measured coschedules, the same argmax implements
 // SOS-style sampling.
+//
+// MAXIT carries per-instance scratch and, over a static source, a
+// decision memo; instances must not be shared across goroutines.
 type MAXIT struct {
 	Rates online.RateSource
+
+	enum enumerator
+	// memo caches the winning count vector per queue signature when the
+	// rate source is static. Keys whose argmax involved a throughput tie
+	// are never stored: ties are broken by job age, which depends on the
+	// concrete job IDs behind the signature, not the signature alone.
+	memo map[uint64]uint64
 }
 
 // Name implements Scheduler.
@@ -207,27 +188,66 @@ func (m *MAXIT) Select(jobs []*Job, k int) []int {
 	if len(jobs) == 0 {
 		return nil
 	}
-	comps := compositions(jobs, min(k, len(jobs)), oldestFirst)
-	bestIdx, bestTP, bestAge := -1, math.Inf(-1), math.Inf(1)
-	for ci, c := range comps {
-		tp := m.Rates.InstTP(c.cos)
-		age := 0.0
-		for _, ji := range c.jobs {
-			age += float64(jobs[ji].ID)
-		}
-		if tp > bestTP+1e-12 || (tp > bestTP-1e-12 && age < bestAge) {
-			bestIdx, bestTP, bestAge = ci, tp, age
+	e := &m.enum
+	e.prepare(jobs, false)
+	var memoKey uint64
+	memoOK := false
+	if m.Rates.Static() {
+		if memoKey, memoOK = e.memoKey(k); memoOK {
+			if v, hit := m.memo[memoKey]; hit {
+				return e.materialize(e.unpackCounts(v))
+			}
 		}
 	}
-	return comps[bestIdx].jobs
+	kr, keyed := m.Rates.(keyedRates)
+	bestTP, bestAge := math.Inf(-1), math.Inf(1)
+	tied := false
+	for ok := e.firstCandidate(min(k, len(jobs))); ok; ok = e.next() {
+		var tp float64
+		if keyed {
+			tp = kr.InstTPByKey(e.cosKey)
+		} else {
+			tp = m.Rates.InstTP(e.cos)
+		}
+		age := 0.0
+		for ti, c := range e.counts {
+			g := e.group(ti)
+			for j := 0; j < c; j++ {
+				age += float64(jobs[g[j]].ID)
+			}
+		}
+		if tp > bestTP+tieTol {
+			e.keepBest()
+			bestTP, bestAge = tp, age
+		} else if tp > bestTP-tieTol {
+			tied = true
+			if age < bestAge {
+				e.keepBest()
+				bestTP, bestAge = tp, age
+			}
+		}
+	}
+	if memoOK && !tied {
+		if m.memo == nil {
+			m.memo = make(map[uint64]uint64)
+		}
+		m.memo[memoKey] = packCounts(e.best)
+	}
+	return e.materialize(e.best)
 }
 
 // SRPT selects the combination with the smallest sum of remaining
 // execution times, where each job's remaining execution time accounts for
 // its rate in that particular combination (Section VI) — estimated rates
 // when the source is a learner.
+//
+// SRPT carries per-instance scratch; instances must not be shared across
+// goroutines. Its decision depends on the jobs' remaining work, not just
+// the queued type counts, so it cannot reuse MAXIT's multiset memo.
 type SRPT struct {
 	Rates online.RateSource
+
+	enum enumerator
 }
 
 // Name implements Scheduler.
@@ -238,26 +258,31 @@ func (s *SRPT) Select(jobs []*Job, k int) []int {
 	if len(jobs) == 0 {
 		return nil
 	}
-	shortestFirst := func(a, b *Job) bool {
-		if a.Remaining != b.Remaining {
-			return a.Remaining < b.Remaining
-		}
-		return a.ID < b.ID
-	}
-	comps := compositions(jobs, min(k, len(jobs)), shortestFirst)
-	bestIdx, bestSum := -1, math.Inf(1)
-	for ci, c := range comps {
+	e := &s.enum
+	e.prepare(jobs, true)
+	kr, keyed := s.Rates.(keyedRates)
+	bestSum := math.Inf(1)
+	for ok := e.firstCandidate(min(k, len(jobs))); ok; ok = e.next() {
 		var sum float64
-		for _, ji := range c.jobs {
-			j := jobs[ji]
-			rate := s.Rates.JobWIPC(c.cos, j.Type)
-			sum += j.Remaining / rate
+		for ti, c := range e.counts {
+			g := e.group(ti)
+			for j := 0; j < c; j++ {
+				jb := jobs[g[j]]
+				var rate float64
+				if keyed {
+					rate = kr.JobWIPCByKey(e.cosKey, jb.Type)
+				} else {
+					rate = s.Rates.JobWIPC(e.cos, jb.Type)
+				}
+				sum += jb.Remaining / rate
+			}
 		}
 		if sum < bestSum {
-			bestIdx, bestSum = ci, sum
+			e.keepBest()
+			bestSum = sum
 		}
 	}
-	return comps[bestIdx].jobs
+	return e.materialize(e.best)
 }
 
 // MAXTP implements the paper's practical use of the linear-programming
@@ -268,11 +293,19 @@ func (s *SRPT) Select(jobs []*Job, k int) []int {
 // composable.
 type MAXTP struct {
 	Table *perfdb.Table
-	// fractions holds the LP support (non-zero optimal fractions).
-	fractions []core.Fraction
-	selected  map[uint64]float64
-	elapsed   float64
-	fallback  *MAXIT
+	// fractions holds the LP support (non-zero optimal fractions);
+	// fracTypes/fracCounts/fracKeys are its per-fraction type multiset and
+	// perfdb key, precomputed so Select never re-derives them.
+	fractions  []core.Fraction
+	fracTypes  [][]int
+	fracCounts [][]int
+	fracKeys   []uint64
+	selected   map[uint64]float64
+	elapsed    float64
+	fallback   *MAXIT
+
+	enum enumerator
+	out  []int
 }
 
 // NewMAXTP runs the offline phase for a workload and returns the scheduler.
@@ -281,12 +314,23 @@ func NewMAXTP(t *perfdb.Table, w workload.Workload) (*MAXTP, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MAXTP{
+	m := &MAXTP{
 		Table:     t,
 		fractions: opt.NonZero(1e-9),
 		selected:  make(map[uint64]float64),
 		fallback:  &MAXIT{Rates: t},
-	}, nil
+	}
+	for _, f := range m.fractions {
+		types := f.Cos.Types()
+		counts := make([]int, len(types))
+		for i, b := range types {
+			counts[i] = f.Cos.Count(b)
+		}
+		m.fracTypes = append(m.fracTypes, types)
+		m.fracCounts = append(m.fracCounts, counts)
+		m.fracKeys = append(m.fracKeys, perfdb.Key(f.Cos))
+	}
+	return m, nil
 }
 
 // Name implements Scheduler.
@@ -297,22 +341,17 @@ func (m *MAXTP) Select(jobs []*Job, k int) []int {
 	if len(jobs) == 0 {
 		return nil
 	}
-	// Available jobs per type, oldest first.
-	byType := map[int][]int{}
-	for i, j := range jobs {
-		byType[j.Type] = append(byType[j.Type], i)
-	}
-	for _, g := range byType {
-		sort.Slice(g, func(a, b int) bool { return jobs[g[a]].ID < jobs[g[b]].ID })
-	}
+	// Group the queue by type, oldest first, in reusable scratch.
+	e := &m.enum
+	e.prepare(jobs, false)
 	bestIdx, bestDeficit := -1, math.Inf(-1)
 	for fi, f := range m.fractions {
 		if len(f.Cos) > len(jobs) {
 			continue
 		}
 		composable := true
-		for _, b := range f.Cos.Types() {
-			if len(byType[b]) < f.Cos.Count(b) {
+		for i, b := range m.fracTypes[fi] {
+			if e.countOf(b) < m.fracCounts[fi][i] {
 				composable = false
 				break
 			}
@@ -320,7 +359,7 @@ func (m *MAXTP) Select(jobs []*Job, k int) []int {
 		if !composable {
 			continue
 		}
-		deficit := f.X*m.elapsed - m.selected[perfdb.Key(f.Cos)]
+		deficit := f.X*m.elapsed - m.selected[m.fracKeys[fi]]
 		if deficit > bestDeficit {
 			bestIdx, bestDeficit = fi, deficit
 		}
@@ -331,14 +370,14 @@ func (m *MAXTP) Select(jobs []*Job, k int) []int {
 	if bestIdx < 0 || bestDeficit <= 0 {
 		return m.fallback.Select(jobs, k)
 	}
-	cos := m.fractions[bestIdx].Cos
-	var out []int
-	used := map[int]int{}
-	for _, b := range cos {
-		out = append(out, byType[b][used[b]])
-		used[b]++
+	m.out = m.out[:0]
+	for i, b := range m.fracTypes[bestIdx] {
+		g := e.group(e.typeIndex(b))
+		for j := 0; j < m.fracCounts[bestIdx][i]; j++ {
+			m.out = append(m.out, g[j])
+		}
 	}
-	return out
+	return m.out
 }
 
 // Observe implements Observer: track elapsed time and per-coschedule

@@ -16,7 +16,7 @@ var (
 	tab  *perfdb.Table
 )
 
-func table(t *testing.T) *perfdb.Table {
+func table(t testing.TB) *perfdb.Table {
 	t.Helper()
 	once.Do(func() {
 		suite := program.Suite()
@@ -188,18 +188,21 @@ func TestMAXTPObserveTracksTime(t *testing.T) {
 	}
 }
 
-func TestCompositionsCountAndFeasibility(t *testing.T) {
+func TestEnumeratorCountAndFeasibility(t *testing.T) {
 	js := jobs(0, 0, 1, 2)
-	comps := compositions(js, 3, oldestFirst)
+	var e enumerator
+	e.prepare(js, false)
 	// Multisets of size 3 with at most {0:2, 1:1, 2:1}:
-	// 001,002,012,011(x no),022(no)... enumerate: {0,0,1},{0,0,2},{0,1,2} = 3.
-	if len(comps) != 3 {
-		t.Errorf("got %d compositions, want 3: %v", len(comps), comps)
-	}
-	for _, c := range comps {
-		if len(c.jobs) != 3 {
-			t.Errorf("composition with %d jobs", len(c.jobs))
+	// enumerate: {0,0,1},{0,0,2},{0,1,2} = 3.
+	n := 0
+	for ok := e.firstCandidate(3); ok; ok = e.next() {
+		if len(e.cos) != 3 {
+			t.Errorf("candidate %v has %d slots, want 3", e.cos, len(e.cos))
 		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("enumerated %d candidates, want 3", n)
 	}
 }
 
