@@ -118,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, r.FormatQuantiles())
 	}
 	if *csvDir != "" {
-		if _, err := exp.WriteCSV(*csvDir, "farm", r); err != nil {
+		if err := exp.WriteCSV(*csvDir, "farm", r); err != nil {
 			fmt.Fprintf(stderr, "farmsim: csv: %v\n", err)
 			return 1
 		}

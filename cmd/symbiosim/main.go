@@ -1,19 +1,25 @@
 // Command symbiosim reproduces the tables and figures of "Revisiting
-// Symbiotic Job Scheduling" (Eyerman, Michaud, Rogiest; ISPASS 2015).
+// Symbiotic Job Scheduling" (Eyerman, Michaud, Rogiest; ISPASS 2015) and
+// runs the extension scenarios built on the same models.
 //
 // Usage:
 //
-//	symbiosim [flags] <experiment> [<experiment>...]
+//	symbiosim [flags] list
+//	symbiosim [flags] run <scenario>... | all
 //
-// Experiments: table1, fig1, fig2, fig3, table2, n8, fairness, fig4,
-// fig5, fig6, uarch, makespan, farm, online, all.
+// Scenarios come from the internal/scenario registry (see `symbiosim
+// list`): the paper's table1/fig1-fig6/table2, the n8/fairness/uarch
+// analyses, the makespan/farm/online extensions, and the hetfarm, burst
+// and slo studies.
 //
 // -parallel bounds the worker pool of every sweep (results are identical
-// at any value), -cache caches built performance databases on disk, and
-// -progress reports per-sweep progress on stderr.
+// at any value), -cache caches built performance databases on disk,
+// -csv writes every scenario table as CSV, and -progress reports
+// per-sweep progress on stderr.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"symbiosched/internal/exp"
+	"symbiosched/internal/scenario"
 )
 
 func main() {
@@ -38,14 +45,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		simJobs  = fs.Int("sim-jobs", 20000, "jobs per Section VI event simulation")
 		sample   = fs.Int("sample", 99, "workloads sampled for fig5/fig6/fairness (0 = all 495)")
 		seed     = fs.Uint64("seed", 1, "random seed")
-		csvDir   = fs.String("csv", "", "also write plottable series as CSV files into this directory")
+		csvDir   = fs.String("csv", "", "also write every scenario table as a CSV file into this directory")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for every sweep (results are identical at any value)")
 		cacheDir = fs.String("cache", "", "cache built performance databases as gob files in this directory")
 		progress = fs.Bool("progress", false, "print per-sweep progress to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: symbiosim [flags] <experiment>...\n")
-		fmt.Fprintf(stderr, "experiments: %s\n", strings.Join(order, ", "))
+		fmt.Fprintf(stderr, "usage: symbiosim [flags] list | run <scenario>...\n")
+		fmt.Fprintf(stderr, "scenarios: %s\n", strings.Join(scenario.Names(), ", "))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -55,6 +62,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	switch cmd := fs.Arg(0); cmd {
+	case "list":
+		for _, s := range scenario.All() {
+			fmt.Fprintf(stdout, "%-10s %s\n", s.Name, s.Desc)
+		}
+		return 0
+	case "run":
+		// handled below
+	default:
+		fmt.Fprintf(stderr, "symbiosim: unknown command %q (want list or run)\n", cmd)
+		fs.Usage()
+		return 2
+	}
+	if fs.NArg() < 2 {
+		fmt.Fprintf(stderr, "symbiosim: run wants at least one scenario name\n")
 		fs.Usage()
 		return 2
 	}
@@ -91,209 +117,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	env := exp.NewEnv(cfg)
 
 	var names []string
-	for _, arg := range fs.Args() {
+	for _, arg := range fs.Args()[1:] {
 		if arg == "all" {
-			names = order
+			names = scenario.Names()
 			break
 		}
 		names = append(names, arg)
 	}
+	// Validate every name up front: a typo in the last scenario must not
+	// surface only after the earlier ones spent minutes running.
 	for _, name := range names {
-		drive, ok := experiments[name]
-		if !ok {
-			fmt.Fprintf(stderr, "symbiosim: unknown experiment %q (want one of %s)\n",
-				name, strings.Join(order, ", "))
+		if _, ok := scenario.Lookup(name); !ok {
+			fmt.Fprintf(stderr, "symbiosim: unknown scenario %q (want one of %s)\n",
+				name, strings.Join(scenario.Names(), ", "))
 			return 2
 		}
+	}
+	for _, name := range names {
 		start := time.Now()
-		out, err := drive(env)
+		res, err := exp.RunScenario(context.Background(), env, name)
 		if err != nil {
 			fmt.Fprintf(stderr, "symbiosim: %s: %v\n", name, err)
 			return 1
 		}
-		fmt.Fprint(stdout, out)
+		fmt.Fprint(stdout, res.Text)
 		if *csvDir != "" {
-			if err := writeCSVs(env, *csvDir, name); err != nil {
-				fmt.Fprintf(stderr, "symbiosim: %s: csv: %v\n", name, err)
-				return 1
+			for _, t := range res.Tables {
+				if err := t.WriteFile(*csvDir); err != nil {
+					fmt.Fprintf(stderr, "symbiosim: %s: csv: %v\n", name, err)
+					return 1
+				}
 			}
 		}
 		fmt.Fprintf(stdout, "(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
-}
-
-var order = []string{"table1", "fig1", "fig2", "fig3", "table2", "n8", "fairness", "fig4", "fig5", "fig6", "uarch", "makespan", "farm", "online"}
-
-var experiments = map[string]func(*exp.Env) (string, error){
-	"table1": func(e *exp.Env) (string, error) {
-		return exp.FormatTable1(exp.Table1(e)), nil
-	},
-	"fig1": func(e *exp.Env) (string, error) {
-		r, err := exp.Fig1(e)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	},
-	"fig2": func(e *exp.Env) (string, error) {
-		smt, quad, err := exp.Fig2(e)
-		if err != nil {
-			return "", err
-		}
-		return smt.Format() + quad.Format(), nil
-	},
-	"fig3": func(e *exp.Env) (string, error) {
-		smt, quad, err := exp.Fig3(e)
-		if err != nil {
-			return "", err
-		}
-		return smt.Format() + quad.Format(), nil
-	},
-	"table2": func(e *exp.Env) (string, error) {
-		smt, quad, err := exp.Table2(e)
-		if err != nil {
-			return "", err
-		}
-		return smt.Format() + quad.Format(), nil
-	},
-	"n8": func(e *exp.Env) (string, error) {
-		r, err := exp.N8(e)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	},
-	"fairness": func(e *exp.Env) (string, error) {
-		r, err := exp.Fairness(e)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	},
-	"fig4": func(e *exp.Env) (string, error) {
-		r, err := exp.Fig4(e)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	},
-	"fig5": func(e *exp.Env) (string, error) {
-		r, err := exp.Fig5(e)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	},
-	"fig6": func(e *exp.Env) (string, error) {
-		r, err := exp.Fig6(e)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	},
-	"uarch": func(e *exp.Env) (string, error) {
-		r, err := exp.Uarch(e)
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	},
-	"farm": func(e *exp.Env) (string, error) {
-		r, err := exp.Farm(e, exp.FarmOptions{})
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	},
-	"online": func(e *exp.Env) (string, error) {
-		r, err := exp.Online(e, exp.OnlineOptions{})
-		if err != nil {
-			return "", err
-		}
-		return r.Format(), nil
-	},
-	"makespan": func(e *exp.Env) (string, error) {
-		small, err := exp.MakespanExperiment(e, 8)
-		if err != nil {
-			return "", err
-		}
-		large, err := exp.MakespanExperiment(e, 16)
-		if err != nil {
-			return "", err
-		}
-		return small.Format() + large.Format(), nil
-	},
-}
-
-// writeCSVs writes the plottable series of the named experiment under dir.
-// Figures 2-4 reuse the Env's cached sweeps; figures 5/6 and makespan
-// re-run their (deterministic) simulations, doubling their cost — CSV
-// export is opt-in for that reason.
-func writeCSVs(env *exp.Env, dir, name string) error {
-	switch name {
-	case "fig2":
-		smt, quad, err := exp.Fig2(env)
-		if err != nil {
-			return err
-		}
-		if _, err := exp.WriteCSV(dir, exp.CSVName("fig2", "smt"), smt); err != nil {
-			return err
-		}
-		_, err = exp.WriteCSV(dir, exp.CSVName("fig2", "quad"), quad)
-		return err
-	case "fig3":
-		smt, quad, err := exp.Fig3(env)
-		if err != nil {
-			return err
-		}
-		if _, err := exp.WriteCSV(dir, exp.CSVName("fig3", "smt"), smt); err != nil {
-			return err
-		}
-		_, err = exp.WriteCSV(dir, exp.CSVName("fig3", "quad"), quad)
-		return err
-	case "fig4":
-		r, err := exp.Fig4(env)
-		if err != nil {
-			return err
-		}
-		_, err = exp.WriteCSV(dir, "fig4", r)
-		return err
-	case "fig5":
-		r, err := exp.Fig5(env)
-		if err != nil {
-			return err
-		}
-		_, err = exp.WriteCSV(dir, "fig5", r)
-		return err
-	case "fig6":
-		r, err := exp.Fig6(env)
-		if err != nil {
-			return err
-		}
-		_, err = exp.WriteCSV(dir, "fig6", r)
-		return err
-	case "makespan":
-		r, err := exp.MakespanExperiment(env, 8)
-		if err != nil {
-			return err
-		}
-		_, err = exp.WriteCSV(dir, "makespan8", r)
-		return err
-	case "farm":
-		r, err := exp.Farm(env, exp.FarmOptions{})
-		if err != nil {
-			return err
-		}
-		_, err = exp.WriteCSV(dir, "farm", r)
-		return err
-	case "online":
-		r, err := exp.Online(env, exp.OnlineOptions{})
-		if err != nil {
-			return err
-		}
-		_, err = exp.WriteCSV(dir, "online", r)
-		return err
-	}
-	return nil
 }

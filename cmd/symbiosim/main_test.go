@@ -8,11 +8,11 @@ import (
 )
 
 // TestRunFig4 is the tiny end-to-end smoke run: fig4 is purely analytic
-// (M/M/c curves), so it exercises flag parsing, the experiment registry
+// (M/M/c curves), so it exercises flag parsing, the scenario registry
 // and the output path in milliseconds.
 func TestRunFig4(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run([]string{"-parallel", "1", "fig4"}, &out, &errb); code != 0 {
+	if code := run([]string{"-parallel", "1", "run", "fig4"}, &out, &errb); code != 0 {
 		t.Fatalf("run = %d, stderr: %s", code, errb.String())
 	}
 	got := out.String()
@@ -24,7 +24,7 @@ func TestRunFig4(t *testing.T) {
 func TestRunFig4CSV(t *testing.T) {
 	dir := t.TempDir()
 	var out, errb strings.Builder
-	if code := run([]string{"-csv", dir, "fig4"}, &out, &errb); code != 0 {
+	if code := run([]string{"-csv", dir, "run", "fig4"}, &out, &errb); code != 0 {
 		t.Fatalf("run = %d, stderr: %s", code, errb.String())
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig4.csv")); err != nil {
@@ -32,15 +32,55 @@ func TestRunFig4CSV(t *testing.T) {
 	}
 }
 
+// TestList pins the registry surface the CLI exposes: every paper
+// experiment plus the extension scenarios, one per line with a
+// description.
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"list"}, &out, &errb); code != 0 {
+		t.Fatalf("list = %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, name := range []string{
+		"table1", "fig1", "fig2", "fig3", "table2", "n8", "fairness",
+		"fig4", "fig5", "fig6", "uarch", "makespan", "farm", "online",
+		"hetfarm", "burst", "slo",
+	} {
+		if !strings.Contains(got, name+" ") && !strings.Contains(got, name+"\n") {
+			t.Errorf("list output missing scenario %q:\n%s", name, got)
+		}
+	}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		if len(strings.Fields(l)) < 2 {
+			t.Errorf("list line %q has no description", l)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run(nil, &out, &errb); code != 2 {
-		t.Errorf("no experiments: run = %d, want 2", code)
+		t.Errorf("no arguments: run = %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "usage: symbiosim") {
 		t.Errorf("usage not printed: %s", errb.String())
 	}
+	errb.Reset()
 	if code := run([]string{"nonsense"}, &out, &errb); code != 2 {
-		t.Errorf("unknown experiment: run = %d, want 2", code)
+		t.Errorf("unknown command: run = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown command") {
+		t.Errorf("unknown command not reported: %s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"run"}, &out, &errb); code != 2 {
+		t.Errorf("run without scenarios: run = %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"run", "nonsense"}, &out, &errb); code != 2 {
+		t.Errorf("unknown scenario: run = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown scenario") {
+		t.Errorf("unknown scenario not reported: %s", errb.String())
 	}
 }

@@ -11,10 +11,14 @@
 // farm simulator (pluggable dispatchers over per-server schedulers,
 // cross-validated against M/M/c analytics) in internal/farm, the online
 // rate-estimation subsystem that lets schedulers discover co-run rates at
-// run time instead of consuming the oracle table in internal/online, and
-// one driver per table/figure in internal/exp. Executables are under cmd/
-// (symbiosim, farmsim, coschedql, mmc) and runnable examples under
-// examples/.
+// run time instead of consuming the oracle table in internal/online, the
+// declarative scenario engine (axis grids, per-point CRN seed derivation,
+// typed-column result tables and the registry cmd/symbiosim dispatches
+// over) in internal/scenario, and one registered scenario per study in
+// internal/exp — the paper's tables and figures plus the hetfarm, burst
+// and slo extensions. Executables are under cmd/ (symbiosim, farmsim,
+// coschedql, mmc) and runnable examples under examples/; `symbiosim list`
+// enumerates every scenario and `symbiosim run <name>` executes it.
 //
 // All sweeps — the per-coschedule performance-database fill in
 // internal/perfdb, the suite analyses in internal/core, and the Section

@@ -1,133 +1,133 @@
 package exp
 
 import (
-	"encoding/csv"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strconv"
 
 	"symbiosched/internal/core"
+	"symbiosched/internal/scenario"
 )
 
-// WriteCSV saves an experiment's plottable series as CSV files under dir
-// (created if needed), so the figures can be regenerated with any plotting
-// tool. Supported results: Fig1Result, Fig2Result, Fig3Result, Fig4Result,
-// Fig5Result, Fig6Result, []Table1Row, Table2Result, MakespanResult,
-// FarmResult and OnlineResult; other types are ignored with ok=false.
-func WriteCSV(dir string, name string, result any) (ok bool, err error) {
-	rows, header := csvRows(result)
-	if rows == nil {
-		return false, nil
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return false, err
-	}
-	path := filepath.Join(dir, name+".csv")
-	f, err := os.Create(path)
-	if err != nil {
-		return false, err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	w := csv.NewWriter(f)
-	if err := w.Write(header); err != nil {
-		return false, err
-	}
-	if err := w.WriteAll(rows); err != nil {
-		return false, err
-	}
-	w.Flush()
-	return true, w.Error()
-}
-
-func csvRows(result any) (rows [][]string, header []string) {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+// resultTable converts a driver result into its scenario table under the
+// given CSV name. The column set and cell formatting are the byte
+// contract the golden files pin. Unknown result types are an error: a
+// result that silently serialises to nothing is a bug at the call site,
+// not a feature.
+func resultTable(name string, result any) (*scenario.Table, error) {
+	str, flt, intc := scenario.StrCol, scenario.FloatCol, scenario.IntCol
 	switch r := result.(type) {
 	case *Fig1Result:
-		header = []string{"config", "metric", "avg_best", "avg_worst", "max_best", "min_worst", "variability"}
+		t := scenario.NewTable(name, str("config"), str("metric"),
+			flt("avg_best"), flt("avg_worst"), flt("max_best"), flt("min_worst"), flt("variability"))
 		for _, cv := range []ConfigVariability{r.SMT, r.Quad} {
 			for _, m := range []struct {
 				name string
 				s    core.SpreadStats
 			}{{"job_ipc", cv.JobIPC}, {"inst_tp", cv.InstTP}, {"avg_tp", cv.AvgTP}} {
-				rows = append(rows, []string{cv.Name, m.name,
-					f(m.s.AvgBest), f(m.s.AvgWorst), f(m.s.MaxBest), f(m.s.MinWorst), f(m.s.Variability())})
+				t.Add(cv.Name, m.name, m.s.AvgBest, m.s.AvgWorst, m.s.MaxBest, m.s.MinWorst, m.s.Variability())
 			}
 		}
+		return t, nil
 	case []Table1Row:
-		header = []string{"benchmark", "solo_ipc_smt", "solo_ipc_quad", "branch_mpki", "mem_mpki_solo", "cache_sensitivity"}
+		t := scenario.NewTable(name, str("benchmark"),
+			flt("solo_ipc_smt"), flt("solo_ipc_quad"), flt("branch_mpki"), flt("mem_mpki_solo"), flt("cache_sensitivity"))
 		for _, row := range r {
-			rows = append(rows, []string{row.ID,
-				f(row.SoloIPCSMT), f(row.SoloIPCQuad), f(row.BranchMPKI), f(row.MemMPKISolo), f(row.CacheSensitivity)})
+			t.Add(row.ID, row.SoloIPCSMT, row.SoloIPCQuad, row.BranchMPKI, row.MemMPKISolo, row.CacheSensitivity)
 		}
+		return t, nil
 	case *Table2Result:
-		header = []string{"heterogeneity", "avg_inst_tp", "fcfs", "optimal", "worst", "theoretical_fcfs"}
+		t := scenario.NewTable(name, intc("heterogeneity"),
+			flt("avg_inst_tp"), flt("fcfs"), flt("optimal"), flt("worst"), flt("theoretical_fcfs"))
 		for i, row := range r.Rows {
-			rows = append(rows, []string{strconv.Itoa(row.Heterogeneity),
-				f(row.AvgInstTP), f(row.FCFS), f(row.Optimal), f(row.Worst), f(r.TheoreticalFCFS[i])})
+			t.Add(row.Heterogeneity, row.AvgInstTP, row.FCFS, row.Optimal, row.Worst, r.TheoreticalFCFS[i])
 		}
+		return t, nil
 	case *FarmResult:
-		header = []string{"dispatcher", "load", "mean_turnaround", "p50_turnaround", "p95_turnaround", "p99_turnaround", "turnaround_std", "utilisation", "empty_fraction", "throughput"}
+		t := scenario.NewTable(name, str("dispatcher"), flt("load"),
+			flt("mean_turnaround"), flt("p50_turnaround"), flt("p95_turnaround"), flt("p99_turnaround"),
+			flt("turnaround_std"), flt("utilisation"), flt("empty_fraction"), flt("throughput"))
 		for _, c := range r.Cells {
-			rows = append(rows, []string{c.Dispatcher, f(c.Load),
-				f(c.MeanTurnaround), f(c.P50Turnaround), f(c.P95Turnaround), f(c.P99Turnaround), f(c.TurnaroundStd),
-				f(c.Utilisation), f(c.EmptyFraction), f(c.Throughput)})
+			t.Add(c.Dispatcher, c.Load, c.MeanTurnaround, c.P50Turnaround, c.P95Turnaround, c.P99Turnaround,
+				c.TurnaroundStd, c.Utilisation, c.EmptyFraction, c.Throughput)
 		}
+		return t, nil
 	case *OnlineResult:
-		header = []string{"machine", "estimator", "load", "turnaround", "throughput", "turnaround_vs_oracle", "throughput_vs_oracle"}
+		t := scenario.NewTable(name, str("machine"), str("estimator"), flt("load"),
+			flt("turnaround"), flt("throughput"), flt("turnaround_vs_oracle"), flt("throughput_vs_oracle"))
 		for _, c := range r.Cells {
-			rows = append(rows, []string{c.Machine, c.Estimator, f(c.Load),
-				f(c.Turnaround), f(c.Throughput), f(c.TurnaroundVsOracle), f(c.ThroughputVsOracle)})
+			t.Add(c.Machine, c.Estimator, c.Load, c.Turnaround, c.Throughput, c.TurnaroundVsOracle, c.ThroughputVsOracle)
 		}
+		return t, nil
 	case *Fig2Result:
-		header = []string{"workload", "opt_vs_worst", "fcfs_vs_worst"}
+		t := scenario.NewTable(name, str("workload"), flt("opt_vs_worst"), flt("fcfs_vs_worst"))
 		for _, p := range r.Points {
-			rows = append(rows, []string{p.Workload, f(p.OptVsWorst), f(p.FCFSVsWorst)})
+			t.Add(p.Workload, p.OptVsWorst, p.FCFSVsWorst)
 		}
+		return t, nil
 	case *Fig3Result:
-		header = []string{"workload", "bottleneck_err", "opt_vs_worst", "type_wipc_diff"}
+		t := scenario.NewTable(name, str("workload"), flt("bottleneck_err"), flt("opt_vs_worst"), flt("type_wipc_diff"))
 		for _, p := range r.Points {
-			rows = append(rows, []string{p.Workload, f(p.BottleneckErr), f(p.OptVsWorst), f(p.TypeWIPCDiff)})
+			t.Add(p.Workload, p.BottleneckErr, p.OptVsWorst, p.TypeWIPCDiff)
 		}
+		return t, nil
 	case *Fig4Result:
-		header = []string{"lambda", "turnaround_mu1", "turnaround_mu1.03"}
+		t := scenario.NewTable(name, flt("lambda"), flt("turnaround_mu1"), flt("turnaround_mu1.03"))
 		for i := range r.Base {
-			rows = append(rows, []string{f(r.Base[i].Lambda), f(r.Base[i].Turnaround), f(r.Improved[i].Turnaround)})
+			t.Add(r.Base[i].Lambda, r.Base[i].Turnaround, r.Improved[i].Turnaround)
 		}
+		return t, nil
 	case *Fig5Result:
-		header = []string{"scheduler", "load", "turnaround_vs_fcfs", "utilisation", "empty_fraction"}
+		t := scenario.NewTable(name, str("scheduler"), flt("load"),
+			flt("turnaround_vs_fcfs"), flt("utilisation"), flt("empty_fraction"))
 		for _, c := range r.Cells {
-			rows = append(rows, []string{c.Scheduler, f(c.Load), f(c.TurnaroundVsFCFS), f(c.Utilisation), f(c.EmptyFraction)})
+			t.Add(c.Scheduler, c.Load, c.TurnaroundVsFCFS, c.Utilisation, c.EmptyFraction)
 		}
+		return t, nil
 	case *Fig6Result:
-		header = []string{"workload", "theoretical_max", "maxtp", "srpt", "maxit", "theoretical_min"}
+		t := scenario.NewTable(name, str("workload"),
+			flt("theoretical_max"), flt("maxtp"), flt("srpt"), flt("maxit"), flt("theoretical_min"))
 		for _, p := range r.Points {
-			rows = append(rows, []string{p.Workload, f(p.TheoreticalMax), f(p.MAXTP), f(p.SRPT), f(p.MAXIT), f(p.TheoreticalMin)})
+			t.Add(p.Workload, p.TheoreticalMax, p.MAXTP, p.SRPT, p.MAXIT, p.TheoreticalMin)
 		}
+		return t, nil
 	case *MakespanResult:
-		header = []string{"scheduler", "makespan_vs_fcfs", "tail_idle"}
-		for _, name := range MakespanSchedulers {
-			rows = append(rows, []string{name, f(r.MeanMakespan[name]), f(r.MeanTailIdle[name])})
+		t := scenario.NewTable(name, str("scheduler"), flt("makespan_vs_fcfs"), flt("tail_idle"))
+		for _, sn := range MakespanSchedulers {
+			t.Add(sn, r.MeanMakespan[sn], r.MeanTailIdle[sn])
 		}
+		return t, nil
 	default:
-		return nil, nil
+		return nil, fmt.Errorf("exp: no CSV serialisation for result type %T", result)
 	}
-	if len(rows) == 0 {
-		// Emit the header anyway for structurally empty results.
-		rows = [][]string{}
-	}
-	return rows, header
 }
 
-// CSVName returns the canonical file stem for an experiment name and
-// configuration (e.g. "fig2_smt").
-func CSVName(experiment, config string) string {
-	if config == "" {
-		return experiment
+// WriteCSV saves an experiment result's plottable series as dir/name.csv
+// (dir is created if needed). Results without a CSV serialisation are a
+// hard error — callers name what they expect to write, so an unknown
+// type means the experiment and the exporter have drifted apart.
+func WriteCSV(dir string, name string, result any) error {
+	t, err := resultTable(name, result)
+	if err != nil {
+		return err
 	}
-	return fmt.Sprintf("%s_%s", experiment, config)
+	return t.WriteFile(dir)
+}
+
+// floatLabels renders axis labels for a float-valued sweep dimension with
+// the canonical float format, so grid labels, CSV cells and seeds agree.
+func floatLabels(vals []float64) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = scenario.FormatFloat(v)
+	}
+	return out
+}
+
+// repLabels labels a replication axis "0".."n-1".
+func repLabels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = strconv.Itoa(i)
+	}
+	return out
 }

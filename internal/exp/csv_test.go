@@ -14,9 +14,8 @@ func TestWriteCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, err := WriteCSV(dir, "fig2_smt", smt)
-	if err != nil || !ok {
-		t.Fatalf("WriteCSV: ok=%v err=%v", ok, err)
+	if err := WriteCSV(dir, "fig2_smt", smt); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig2_smt.csv"))
 	if err != nil {
@@ -31,16 +30,24 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestWriteCSVUnsupportedType pins the hard-error contract: a result
+// type without a CSV serialisation must fail loudly (and write nothing),
+// not be skipped.
 func TestWriteCSVUnsupportedType(t *testing.T) {
-	ok, err := WriteCSV(t.TempDir(), "x", 42)
-	if err != nil || ok {
-		t.Errorf("unsupported type: ok=%v err=%v", ok, err)
+	dir := t.TempDir()
+	err := WriteCSV(dir, "x", 42)
+	if err == nil {
+		t.Fatal("unsupported type accepted")
 	}
-}
-
-func TestCSVNames(t *testing.T) {
-	if CSVName("fig2", "smt") != "fig2_smt" || CSVName("fig4", "") != "fig4" {
-		t.Error("CSVName format broken")
+	if !strings.Contains(err.Error(), "int") {
+		t.Errorf("error %q does not name the offending type", err)
+	}
+	if _, serr := os.Stat(filepath.Join(dir, "x.csv")); serr == nil {
+		t.Error("a file was written for the unsupported type")
+	}
+	// A typed nil inside the any is just as unknown.
+	if err := WriteCSV(dir, "y", (*struct{ X int })(nil)); err == nil {
+		t.Error("unsupported pointer type accepted")
 	}
 }
 
@@ -60,9 +67,8 @@ func TestWriteCSVAllFigureTypes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for name, r := range map[string]any{"fig4": f4, "fig5": f5, "makespan": mk} {
-		ok, err := WriteCSV(dir, name, r)
-		if err != nil || !ok {
-			t.Errorf("%s: ok=%v err=%v", name, ok, err)
+		if err := WriteCSV(dir, name, r); err != nil {
+			t.Errorf("%s: %v", name, err)
 		}
 		if _, err := os.Stat(filepath.Join(dir, name+".csv")); err != nil {
 			t.Errorf("%s: %v", name, err)

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"testing"
 
 	"symbiosched/internal/program"
+	"symbiosched/internal/scenario"
 )
 
 // tinyEnv builds a fresh (uncached) Env at the given parallelism: 5
@@ -87,6 +89,36 @@ func TestDriversDeterministicAcrossParallelism(t *testing.T) {
 		if outputs[1][d.name] != outputs[8][d.name] {
 			t.Errorf("%s: output differs between Parallelism=1 and Parallelism=8\n--- p=1 ---\n%s\n--- p=8 ---\n%s",
 				d.name, outputs[1][d.name], outputs[8][d.name])
+		}
+	}
+}
+
+// TestNewScenariosDeterministicAcrossParallelism is the determinism
+// driver for the extension scenarios: the full Result — report text and
+// every CSV table's bytes — must be identical at Parallelism 1 and 8.
+// (The golden test additionally pins the table bytes against committed
+// files at 1 and NumCPU.)
+func TestNewScenariosDeterministicAcrossParallelism(t *testing.T) {
+	for _, name := range []string{"hetfarm", "burst", "slo"} {
+		s, ok := scenario.Lookup(name)
+		if !ok {
+			t.Fatalf("scenario %s not registered", name)
+		}
+		render := func(p int) string {
+			e := tinyEnv(p)
+			res, err := s.Run(context.Background(), e, e.runCfg(name))
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", name, p, err)
+			}
+			out := res.Text
+			for _, tbl := range res.Tables {
+				out += "\n--- " + tbl.Name + " ---\n" + tbl.Text()
+			}
+			return out
+		}
+		if one, eight := render(1), render(8); one != eight {
+			t.Errorf("%s: output differs between Parallelism=1 and 8\n--- p=1 ---\n%s\n--- p=8 ---\n%s",
+				name, one, eight)
 		}
 	}
 }

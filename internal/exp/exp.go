@@ -1,12 +1,18 @@
-// Package exp contains one driver per table and figure of the paper's
-// evaluation, each reproducing the corresponding rows/series from the
-// performance database and the analyses in internal/core, internal/sched,
-// internal/eventsim and internal/queueing. The cmd/symbiosim binary and
-// the root-level benchmarks are thin wrappers over these drivers.
+// Package exp contains the paper's evaluation as registered scenarios:
+// one per table and figure, each reproducing the corresponding
+// rows/series from the performance database and the analyses in
+// internal/core, internal/sched, internal/eventsim and
+// internal/queueing, plus the extension studies (farm, online, hetfarm,
+// burst, slo) the same models support. Every study registers itself in
+// the internal/scenario registry (scenarios.go); cmd/symbiosim is
+// registry dispatch (`run <name>`, `list`) and the root-level benchmarks
+// are thin wrappers over the same drivers.
 //
 // Every driver returns a structured result plus a Format() string that
 // prints the same quantities the paper reports, with the paper's numbers
-// quoted alongside for comparison (also recorded in EXPERIMENTS.md).
+// quoted alongside for comparison (also recorded in EXPERIMENTS.md); the
+// scenario layer carries the same data as typed-column tables whose CSV
+// bytes the golden tests pin.
 //
 // Sweeps run on internal/runner: Config.Parallelism bounds every worker
 // pool (perfdb builds, suite analyses, Section VI simulations) without

@@ -9,7 +9,7 @@ import (
 	"symbiosched/internal/farm"
 	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
-	"symbiosched/internal/runner"
+	"symbiosched/internal/scenario"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/workload"
 )
@@ -140,19 +140,10 @@ func farmSpecs(e *Env, opt FarmOptions, w workload.Workload) ([]farm.ServerSpec,
 	return specs, nil
 }
 
-// Farm runs the dispatcher-by-load grid: every cell averages
-// opt.Replications independent farm simulations through the runner
-// engine, so the grid is bit-identical at any parallelism level.
-func Farm(e *Env, opt FarmOptions) (*FarmResult, error) {
-	opt = opt.withDefaults()
-	w := farmWorkload(e)
-	specs, err := farmSpecs(e, opt, w)
-	if err != nil {
-		return nil, err
-	}
-
-	// Calibrate the offered loads against the farm's aggregate capacity:
-	// the sum over servers of the per-table FCFS maximum throughput.
+// farmCapacity calibrates offered loads against the farm's aggregate
+// capacity: the sum over servers of the per-table FCFS maximum
+// throughput.
+func farmCapacity(e *Env, specs []farm.ServerSpec, w workload.Workload) float64 {
 	capacity := 0.0
 	perTable := map[*perfdb.Table]float64{}
 	for _, sp := range specs {
@@ -163,6 +154,23 @@ func Farm(e *Env, opt FarmOptions) (*FarmResult, error) {
 		}
 		capacity += tp
 	}
+	return capacity
+}
+
+// farmPlan lays the dispatcher x load x replication grid out on the
+// scenario engine: every cell is one farm simulation, enumerated
+// dispatcher-major with the replication innermost — exactly the flattened
+// sweep the pre-engine driver ran, so the grid (and the golden CSV) is
+// bit-identical at any parallelism level. tableName is the CSV stem
+// ("farm" for the registered scenario).
+func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error) {
+	opt = opt.withDefaults()
+	w := farmWorkload(e)
+	specs, err := farmSpecs(e, opt, w)
+	if err != nil {
+		return nil, err
+	}
+	capacity := farmCapacity(e, specs, w)
 
 	mix := "smt"
 	if opt.Hetero {
@@ -172,63 +180,108 @@ func Farm(e *Env, opt FarmOptions) (*FarmResult, error) {
 	if opt.Estimator != "oracle" {
 		name += " @ " + opt.Estimator
 	}
-	r := &FarmResult{
-		Name:         name,
-		Workload:     w.Key(),
-		Capacity:     capacity,
-		Servers:      opt.Servers,
-		Replications: opt.Replications,
-	}
-	// Flatten the full dispatcher x load x replication grid into one
-	// runner sweep so -parallel scales over every simulation, not just
-	// the replications of one cell. Item order is cell-major (dispatcher
-	// outermost, replication innermost) and every replication's seed
-	// derives from its in-cell index, so the grid is bit-identical to
-	// the cell-by-cell sequential path at any parallelism level.
-	type cellKey struct {
-		disp string
-		load float64
-	}
-	var cells []cellKey
-	for _, disp := range opt.Dispatchers {
-		for _, load := range opt.Loads {
-			cells = append(cells, cellKey{disp, load})
-		}
-	}
 	reps := opt.Replications
-	runs, err := runner.Map(context.Background(), e.runCfg("farm"), len(cells)*reps,
-		func(_ context.Context, i int) (farm.Replication, error) {
-			c := cells[i/reps]
-			rep, err := farm.Replicate(specs, c.disp, w, farm.Config{
-				Lambda:    c.load * capacity,
+	return &scenario.Plan{
+		Axes: []scenario.Axis{
+			{Name: "dispatcher", Values: opt.Dispatchers},
+			{Name: "load", Values: floatLabels(opt.Loads)},
+			{Name: "rep", Values: repLabels(reps)},
+		},
+		Cell: func(_ context.Context, pt scenario.Point) (any, error) {
+			disp := opt.Dispatchers[pt.Index("dispatcher")]
+			load := opt.Loads[pt.Index("load")]
+			// The replication seed derives from the in-cell index alone:
+			// every (dispatcher, load) cell sees the same arrival streams
+			// (common random numbers), as the pre-engine sweep did.
+			rep, err := farm.Replicate(specs, disp, w, farm.Config{
+				Lambda:    load * capacity,
 				Jobs:      e.Cfg.SimJobs,
 				SizeShape: 4, // jobs of "approximately the same size"
 				Seed:      e.Cfg.Seed,
-			}, i%reps)
+			}, pt.Index("rep"))
 			if err != nil {
-				return farm.Replication{}, fmt.Errorf("farm %s load %.2f: %w", c.disp, c.load, err)
+				return nil, fmt.Errorf("farm %s load %.2f: %w", disp, load, err)
 			}
 			return rep, nil
-		})
+		},
+		Reduce: func(cells []any) (*scenario.Result, error) {
+			r := &FarmResult{
+				Name:         name,
+				Workload:     w.Key(),
+				Capacity:     capacity,
+				Servers:      opt.Servers,
+				Replications: reps,
+			}
+			aggs := foldReps(cells, reps)
+			ci := 0
+			for _, disp := range opt.Dispatchers {
+				for _, load := range opt.Loads {
+					cell := aggs[ci]
+					ci++
+					r.Cells = append(r.Cells, FarmCell{
+						Dispatcher:     disp,
+						Load:           load,
+						MeanTurnaround: cell.MeanTurnaround,
+						P50Turnaround:  cell.P50Turnaround,
+						P95Turnaround:  cell.P95Turnaround,
+						P99Turnaround:  cell.P99Turnaround,
+						TurnaroundStd:  cell.TurnaroundStd,
+						Utilisation:    cell.Utilisation,
+						EmptyFraction:  cell.EmptyFraction,
+						Throughput:     cell.Throughput,
+					})
+				}
+			}
+			tbl, err := resultTable(tableName, r)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: r, Text: r.Format(), Tables: []*scenario.Table{tbl}}, nil
+		},
+	}, nil
+}
+
+// foldReps groups a scenario grid's cell stream — replications innermost
+// — into one aggregated SweepResult per grid row, folding in enumeration
+// order so the aggregates are bit-identical at any parallelism level.
+func foldReps(cells []any, reps int) []*farm.SweepResult {
+	out := make([]*farm.SweepResult, 0, len(cells)/reps)
+	for i := 0; i < len(cells); i += reps {
+		runs := make([]farm.Replication, reps)
+		for k := range runs {
+			runs[k] = cells[i+k].(farm.Replication)
+		}
+		out = append(out, farm.Aggregate(runs))
+	}
+	return out
+}
+
+// fcfsFarm builds the stock farm of the extension scenarios — n FCFS
+// servers over the oracle tables, all-SMT or alternating SMT/quad — plus
+// its calibrated aggregate capacity.
+func fcfsFarm(e *Env, n int, hetero bool) ([]farm.ServerSpec, float64, error) {
+	opt := FarmOptions{Servers: n, Hetero: hetero}.withDefaults()
+	w := farmWorkload(e)
+	specs, err := farmSpecs(e, opt, w)
+	if err != nil {
+		return nil, 0, err
+	}
+	return specs, farmCapacity(e, specs, w), nil
+}
+
+// Farm runs the dispatcher-by-load grid through the scenario engine:
+// every cell averages opt.Replications independent farm simulations, and
+// the grid is bit-identical at any parallelism level.
+func Farm(e *Env, opt FarmOptions) (*FarmResult, error) {
+	p, err := farmPlan(e, opt, "farm")
 	if err != nil {
 		return nil, err
 	}
-	for ci, c := range cells {
-		cell := farm.Aggregate(runs[ci*reps : (ci+1)*reps])
-		r.Cells = append(r.Cells, FarmCell{
-			Dispatcher:     c.disp,
-			Load:           c.load,
-			MeanTurnaround: cell.MeanTurnaround,
-			P50Turnaround:  cell.P50Turnaround,
-			P95Turnaround:  cell.P95Turnaround,
-			P99Turnaround:  cell.P99Turnaround,
-			TurnaroundStd:  cell.TurnaroundStd,
-			Utilisation:    cell.Utilisation,
-			EmptyFraction:  cell.EmptyFraction,
-			Throughput:     cell.Throughput,
-		})
+	res, err := p.Execute(context.Background(), e.runCfg("farm"))
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return res.Value.(*FarmResult), nil
 }
 
 // Cell returns the aggregate for a dispatcher and load.
@@ -243,28 +296,12 @@ func (r *FarmResult) Cell(dispatcher string, load float64) (FarmCell, bool) {
 
 // loads returns the distinct loads in first-seen order.
 func (r *FarmResult) loads() []float64 {
-	var out []float64
-	seen := map[float64]bool{}
-	for _, c := range r.Cells {
-		if !seen[c.Load] {
-			seen[c.Load] = true
-			out = append(out, c.Load)
-		}
-	}
-	return out
+	return scenario.Distinct(r.Cells, func(c FarmCell) float64 { return c.Load })
 }
 
 // dispatchers returns the distinct dispatchers in first-seen order.
 func (r *FarmResult) dispatchers() []string {
-	var out []string
-	seen := map[string]bool{}
-	for _, c := range r.Cells {
-		if !seen[c.Dispatcher] {
-			seen[c.Dispatcher] = true
-			out = append(out, c.Dispatcher)
-		}
-	}
-	return out
+	return scenario.Distinct(r.Cells, func(c FarmCell) string { return c.Dispatcher })
 }
 
 // Format renders the grid: turnaround (mean and p95), utilisation and

@@ -8,7 +8,7 @@ import (
 	"symbiosched/internal/eventsim"
 	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
-	"symbiosched/internal/runner"
+	"symbiosched/internal/scenario"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/workload"
 )
@@ -66,8 +66,18 @@ func (e *Env) sampledWorkloads() []workload.Workload {
 	return out
 }
 
-// Fig5 runs the latency experiments on the SMT configuration.
-func Fig5(e *Env) (*Fig5Result, error) {
+// fig5Acc is one (scheduler, load) cell's running sum while folding
+// workloads.
+type fig5Acc struct {
+	turnaround, util, empty float64
+}
+
+// fig5Plan lays Figure 5 out on the scenario engine: the grid is the
+// sampled-workload axis (each cell runs all scheduler x load simulations
+// for one workload, normalised to that workload's own FCFS run), and the
+// reduction folds the cells in workload order — so float sums, and hence
+// the golden CSV, are identical at every parallelism level.
+func fig5Plan(e *Env) (*scenario.Plan, error) {
 	t := e.SMTTable()
 	ws := e.sampledWorkloads()
 	sweep, err := e.SMTSweep()
@@ -83,20 +93,17 @@ func Fig5(e *Env) (*Fig5Result, error) {
 		fcfsTP[perfdb.Key(workload.Coschedule(a.Workload))] = a.FCFSTP
 	}
 
-	type cellAcc struct {
-		turnaround, util, empty float64
-	}
 	// One workload's contribution: [scheduler][load], turnaround already
 	// normalised to the workload's own FCFS run.
-	perWorkload := func(_ context.Context, wi int) ([][]cellAcc, error) {
+	perWorkload := func(wi int) ([][]fig5Acc, error) {
 		w := ws[wi]
 		base, ok := fcfsTP[perfdb.Key(workload.Coschedule(w))]
 		if !ok || base <= 0 {
 			return nil, nil // skipped workloads contribute nothing
 		}
-		local := make([][]cellAcc, len(SchedulerNames))
+		local := make([][]fig5Acc, len(SchedulerNames))
 		for i := range local {
-			local[i] = make([]cellAcc, len(Fig5Loads))
+			local[i] = make([]fig5Acc, len(Fig5Loads))
 		}
 		fcfsTurn := make([]float64, len(Fig5Loads))
 		for li, load := range Fig5Loads {
@@ -121,7 +128,7 @@ func Fig5(e *Env) (*Fig5Result, error) {
 				if name == "FCFS" {
 					fcfsTurn[li] = res.MeanTurnaround
 				}
-				local[si][li] = cellAcc{res.MeanTurnaround, res.Utilisation, res.EmptyFraction}
+				local[si][li] = fig5Acc{res.MeanTurnaround, res.Utilisation, res.EmptyFraction}
 			}
 		}
 		for si := range local {
@@ -136,41 +143,74 @@ func Fig5(e *Env) (*Fig5Result, error) {
 		return local, nil
 	}
 
-	// accs[scheduler][load], folded in workload order so float sums are
-	// identical at every parallelism level.
-	accs := make([][]cellAcc, len(SchedulerNames))
-	for i := range accs {
-		accs[i] = make([]cellAcc, len(Fig5Loads))
-	}
-	_, err = runner.Reduce(context.Background(), e.runCfg("fig5"), len(ws), accs, perWorkload,
-		func(accs [][]cellAcc, _ int, local [][]cellAcc) [][]cellAcc {
-			for si := range local {
-				for li := range local[si] {
-					accs[si][li].turnaround += local[si][li].turnaround
-					accs[si][li].util += local[si][li].util
-					accs[si][li].empty += local[si][li].empty
+	return &scenario.Plan{
+		Axes: []scenario.Axis{{Name: "workload", Values: workloadLabels(ws)}},
+		Cell: func(_ context.Context, pt scenario.Point) (any, error) {
+			local, err := perWorkload(pt.Index("workload"))
+			if err != nil {
+				return nil, err
+			}
+			return local, nil
+		},
+		Reduce: func(cells []any) (*scenario.Result, error) {
+			// accs[scheduler][load], folded in workload order.
+			accs := make([][]fig5Acc, len(SchedulerNames))
+			for i := range accs {
+				accs[i] = make([]fig5Acc, len(Fig5Loads))
+			}
+			for _, c := range cells {
+				local := c.([][]fig5Acc)
+				for si := range local {
+					for li := range local[si] {
+						accs[si][li].turnaround += local[si][li].turnaround
+						accs[si][li].util += local[si][li].util
+						accs[si][li].empty += local[si][li].empty
+					}
 				}
 			}
-			return accs
-		})
+			r := &Fig5Result{Name: t.Name(), Workloads: len(ws)}
+			n := float64(len(ws))
+			for si, name := range SchedulerNames {
+				for li, load := range Fig5Loads {
+					a := accs[si][li]
+					r.Cells = append(r.Cells, Fig5Cell{
+						Scheduler:        name,
+						Load:             load,
+						TurnaroundVsFCFS: a.turnaround / n,
+						Utilisation:      a.util / n,
+						EmptyFraction:    a.empty / n,
+					})
+				}
+			}
+			tbl, err := resultTable("fig5", r)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: r, Text: r.Format(), Tables: []*scenario.Table{tbl}}, nil
+		},
+	}, nil
+}
+
+// Fig5 runs the latency experiments on the SMT configuration.
+func Fig5(e *Env) (*Fig5Result, error) {
+	p, err := fig5Plan(e)
 	if err != nil {
 		return nil, err
 	}
-	r := &Fig5Result{Name: t.Name(), Workloads: len(ws)}
-	n := float64(len(ws))
-	for si, name := range SchedulerNames {
-		for li, load := range Fig5Loads {
-			a := accs[si][li]
-			r.Cells = append(r.Cells, Fig5Cell{
-				Scheduler:        name,
-				Load:             load,
-				TurnaroundVsFCFS: a.turnaround / n,
-				Utilisation:      a.util / n,
-				EmptyFraction:    a.empty / n,
-			})
-		}
+	res, err := p.Execute(context.Background(), e.runCfg("fig5"))
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return res.Value.(*Fig5Result), nil
+}
+
+// workloadLabels renders a workload axis with the canonical Key labels.
+func workloadLabels(ws []workload.Workload) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Key()
+	}
+	return out
 }
 
 // Cell returns the aggregate for a scheduler and load.

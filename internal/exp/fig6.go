@@ -8,7 +8,7 @@ import (
 
 	"symbiosched/internal/core"
 	"symbiosched/internal/eventsim"
-	"symbiosched/internal/runner"
+	"symbiosched/internal/scenario"
 )
 
 // Fig6Point is one workload in Figure 6: the throughput each online
@@ -34,60 +34,91 @@ type Fig6Result struct {
 	MAXTPGapToOptimal float64
 }
 
-// Fig6 runs the maximum-throughput experiments.
-func Fig6(e *Env) (*Fig6Result, error) {
+// fig6Plan lays Figure 6 out on the scenario engine: one cell per sampled
+// workload (LP bounds plus one max-throughput simulation per scheduler),
+// reduced in workload order into the sorted point list and its means.
+func fig6Plan(e *Env) (*scenario.Plan, error) {
 	t := e.SMTTable()
 	ws := e.sampledWorkloads()
-	r := &Fig6Result{Name: t.Name()}
-	points, err := runner.Map(context.Background(), e.runCfg("fig6"), len(ws),
-		func(_ context.Context, wi int) (Fig6Point, error) {
-			w := ws[wi]
-			opt, err := core.Optimal(t, w)
+	perWorkload := func(wi int) (Fig6Point, error) {
+		w := ws[wi]
+		opt, err := core.Optimal(t, w)
+		if err != nil {
+			return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
+		}
+		worst, err := core.Worst(t, w)
+		if err != nil {
+			return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
+		}
+		cfg := eventsim.MaxThroughputConfig{Jobs: e.Cfg.SimJobs, Seed: e.Cfg.Seed + uint64(wi)}
+		tps := map[string]float64{}
+		for _, name := range SchedulerNames {
+			s, err := newScheduler(name, t, w)
 			if err != nil {
 				return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
 			}
-			worst, err := core.Worst(t, w)
+			res, err := eventsim.MaxThroughput(t, w, s, cfg)
 			if err != nil {
 				return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
 			}
-			cfg := eventsim.MaxThroughputConfig{Jobs: e.Cfg.SimJobs, Seed: e.Cfg.Seed + uint64(wi)}
-			tps := map[string]float64{}
-			for _, name := range SchedulerNames {
-				s, err := newScheduler(name, t, w)
-				if err != nil {
-					return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
-				}
-				res, err := eventsim.MaxThroughput(t, w, s, cfg)
-				if err != nil {
-					return Fig6Point{}, fmt.Errorf("workload %v: %w", w, err)
-				}
-				tps[name] = res.Throughput
+			tps[name] = res.Throughput
+		}
+		base := tps["FCFS"]
+		return Fig6Point{
+			Workload:       w.Key(),
+			TheoreticalMax: opt.Throughput / base,
+			TheoreticalMin: worst.Throughput / base,
+			MAXIT:          tps["MAXIT"] / base,
+			SRPT:           tps["SRPT"] / base,
+			MAXTP:          tps["MAXTP"] / base,
+		}, nil
+	}
+
+	return &scenario.Plan{
+		Axes: []scenario.Axis{{Name: "workload", Values: workloadLabels(ws)}},
+		Cell: func(_ context.Context, pt scenario.Point) (any, error) {
+			p, err := perWorkload(pt.Index("workload"))
+			if err != nil {
+				return nil, err
 			}
-			base := tps["FCFS"]
-			return Fig6Point{
-				Workload:       w.Key(),
-				TheoreticalMax: opt.Throughput / base,
-				TheoreticalMin: worst.Throughput / base,
-				MAXIT:          tps["MAXIT"] / base,
-				SRPT:           tps["SRPT"] / base,
-				MAXTP:          tps["MAXTP"] / base,
-			}, nil
-		})
+			return p, nil
+		},
+		Reduce: func(cells []any) (*scenario.Result, error) {
+			r := &Fig6Result{Name: t.Name()}
+			r.Points = make([]Fig6Point, len(cells))
+			for i, c := range cells {
+				r.Points[i] = c.(Fig6Point)
+			}
+			sort.Slice(r.Points, func(i, j int) bool { return r.Points[i].TheoreticalMax < r.Points[j].TheoreticalMax })
+			n := float64(len(r.Points))
+			for _, p := range r.Points {
+				r.MeanMAXIT += p.MAXIT / n
+				r.MeanSRPT += p.SRPT / n
+				r.MeanMAXTP += p.MAXTP / n
+				r.MeanTheoreticalMax += p.TheoreticalMax / n
+				r.MeanTheoreticalMin += p.TheoreticalMin / n
+				r.MAXTPGapToOptimal += (p.TheoreticalMax - p.MAXTP) / p.TheoreticalMax / n
+			}
+			tbl, err := resultTable("fig6", r)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: r, Text: r.Format(), Tables: []*scenario.Table{tbl}}, nil
+		},
+	}, nil
+}
+
+// Fig6 runs the maximum-throughput experiments.
+func Fig6(e *Env) (*Fig6Result, error) {
+	p, err := fig6Plan(e)
 	if err != nil {
 		return nil, err
 	}
-	r.Points = points
-	sort.Slice(r.Points, func(i, j int) bool { return r.Points[i].TheoreticalMax < r.Points[j].TheoreticalMax })
-	n := float64(len(r.Points))
-	for _, p := range r.Points {
-		r.MeanMAXIT += p.MAXIT / n
-		r.MeanSRPT += p.SRPT / n
-		r.MeanMAXTP += p.MAXTP / n
-		r.MeanTheoreticalMax += p.TheoreticalMax / n
-		r.MeanTheoreticalMin += p.TheoreticalMin / n
-		r.MAXTPGapToOptimal += (p.TheoreticalMax - p.MAXTP) / p.TheoreticalMax / n
+	res, err := p.Execute(context.Background(), e.runCfg("fig6"))
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return res.Value.(*Fig6Result), nil
 }
 
 // Format renders the series summary and a down-sampled point list.

@@ -1,12 +1,15 @@
 package exp
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
+
+	"symbiosched/internal/scenario"
 )
 
 // Regenerate the golden CSVs with:
@@ -14,86 +17,55 @@ import (
 //	go test ./internal/exp -run TestCSVGolden -update
 var update = flag.Bool("update", false, "rewrite the golden CSV files")
 
-// goldenCSVs runs every CSV-capable driver on a fresh tiny Env at the
-// given parallelism and writes the files into dir. The driver set covers
-// fig1-fig6, both tables, makespan, the farm grid and the online
-// knowledge-gap sweep.
+// goldenScenarios lists the CSV-producing scenarios the golden files pin,
+// in registry order: the paper's figures and tables, the farm/online
+// extensions (tiny grids, matching the historical golden content), and
+// the hetfarm/burst/slo scenarios.
+func goldenScenarios() []*scenario.Scenario {
+	var out []*scenario.Scenario
+	for _, name := range scenario.Names() {
+		switch name {
+		case "n8", "fairness", "uarch":
+			continue // text-only, and far too slow for a golden run
+		case "farm":
+			out = append(out, FarmScenario(FarmOptions{Servers: 2, Replications: 2}))
+		case "online":
+			out = append(out, OnlineScenario(OnlineOptions{Workloads: 3}))
+		default:
+			s, _ := scenario.Lookup(name)
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// goldenCSVs runs every golden scenario through the engine on a fresh
+// tiny Env at the given parallelism, writes every result table into dir,
+// and returns the file names.
 func goldenCSVs(t *testing.T, dir string, parallelism int) []string {
 	t.Helper()
 	e := tinyEnv(parallelism)
-
 	var names []string
-	emit := func(name string, result any) {
-		t.Helper()
-		ok, err := WriteCSV(dir, name, result)
+	for _, s := range goldenScenarios() {
+		res, err := s.Run(context.Background(), e, e.runCfg(s.Name))
 		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+			t.Fatalf("%s: %v", s.Name, err)
 		}
-		if !ok {
-			t.Fatalf("%s: type %T not CSV-capable", name, result)
+		if len(res.Tables) == 0 {
+			t.Fatalf("%s: golden scenario produced no tables", s.Name)
 		}
-		names = append(names, name+".csv")
+		for _, tbl := range res.Tables {
+			if err := tbl.WriteFile(dir); err != nil {
+				t.Fatalf("%s: %v", tbl.Name, err)
+			}
+			names = append(names, tbl.Name+".csv")
+		}
 	}
-
-	f1, err := Fig1(e)
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit("fig1", f1)
-	f2s, f2q, err := Fig2(e)
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit(CSVName("fig2", "smt"), f2s)
-	emit(CSVName("fig2", "quad"), f2q)
-	f3s, f3q, err := Fig3(e)
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit(CSVName("fig3", "smt"), f3s)
-	emit(CSVName("fig3", "quad"), f3q)
-	f4, err := Fig4(e)
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit("fig4", f4)
-	f5, err := Fig5(e)
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit("fig5", f5)
-	f6, err := Fig6(e)
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit("fig6", f6)
-	emit("table1", Table1(e))
-	t2s, t2q, err := Table2(e)
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit(CSVName("table2", "smt"), t2s)
-	emit(CSVName("table2", "quad"), t2q)
-	mk, err := MakespanExperiment(e, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit("makespan8", mk)
-	fr, err := Farm(e, FarmOptions{Servers: 2, Replications: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit("farm", fr)
-	on, err := Online(e, OnlineOptions{Workloads: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	emit("online", on)
 	return names
 }
 
 // TestCSVGolden pins the actual figure content, not just its determinism:
-// every CSV driver's output must be byte-identical to the committed golden
+// every scenario's tables must be byte-identical to the committed golden
 // files, at Parallelism 1 and at NumCPU. A real change to the models or
 // simulators shows up as a golden diff to be reviewed and regenerated
 // with -update.
@@ -133,5 +105,28 @@ func TestCSVGolden(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRegistryComplete pins the registry surface the CLI dispatches over:
+// every legacy experiment name plus the three extension scenarios.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig1", "fig2", "fig3", "table2", "n8", "fairness",
+		"fig4", "fig5", "fig6", "uarch", "makespan", "farm", "online",
+		"hetfarm", "burst", "slo",
+	}
+	got := map[string]bool{}
+	for _, name := range scenario.Names() {
+		got[name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("scenario %q not registered", name)
+		}
+		s, _ := scenario.Lookup(name)
+		if s == nil || s.Desc == "" {
+			t.Errorf("scenario %q has no description for `symbiosim list`", name)
+		}
 	}
 }

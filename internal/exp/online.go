@@ -9,7 +9,7 @@ import (
 	"symbiosched/internal/eventsim"
 	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
-	"symbiosched/internal/runner"
+	"symbiosched/internal/scenario"
 	"symbiosched/internal/sched"
 )
 
@@ -74,14 +74,16 @@ type OnlineResult struct {
 	Cells []OnlineCell
 }
 
-// Online runs the knowledge-gap experiment on the SMT and quad-core
-// machines: for every sampled workload and load, the chosen scheduler is
-// run once per estimator — oracle knowledge, SOS-style sampling, and the
-// pairwise interference model — under identical Poisson arrivals, and
-// turnaround/throughput are reported relative to the oracle run. The
-// sweep fans out over internal/runner with index-ordered folding, so the
-// grid is byte-identical at any parallelism level.
-func Online(e *Env, opt OnlineOptions) (*OnlineResult, error) {
+// onlineAcc is one (estimator, load) cell's contribution while folding
+// (machine, workload) items.
+type onlineAcc struct{ turn, tp, turnRel, tpRel float64 }
+
+// onlinePlan lays the knowledge-gap experiment out on the scenario
+// engine: the grid is machine x sampled workload (each cell runs the
+// scheduler once per estimator and load under identical arrivals), and
+// the reduction folds cells in enumeration order, so the grid — and the
+// golden CSV — is byte-identical at any parallelism level.
+func onlinePlan(e *Env, opt OnlineOptions) (*scenario.Plan, error) {
 	opt = opt.withDefaults()
 	type machine struct {
 		name string
@@ -99,18 +101,20 @@ func Online(e *Env, opt OnlineOptions) (*OnlineResult, error) {
 		ws = thinned
 	}
 
-	type acc struct{ turn, tp, turnRel, tpRel float64 }
-	// One (machine, workload) item's contribution: [estimator][load].
-	perItem := func(_ context.Context, idx int) ([][]acc, error) {
+	// One (machine, workload) item's contribution: [estimator][load]. The
+	// linear index idx = mi*len(ws)+wi matches the engine's row-major
+	// enumeration of the (machine, workload) axes, so the legacy
+	// idx-derived seeds are unchanged.
+	perItem := func(idx int) ([][]onlineAcc, error) {
 		mi, wi := idx/len(ws), idx%len(ws)
 		m, w := machines[mi], ws[wi]
 		base := core.FCFS(m.t, w, core.FCFSConfig{Jobs: e.Cfg.FCFSJobs, Seed: e.Cfg.Seed}).Throughput
 		if base <= 0 {
 			return nil, fmt.Errorf("online: workload %v has no FCFS throughput", w)
 		}
-		local := make([][]acc, len(opt.Estimators))
+		local := make([][]onlineAcc, len(opt.Estimators))
 		for i := range local {
-			local[i] = make([]acc, len(opt.Loads))
+			local[i] = make([]onlineAcc, len(opt.Loads))
 		}
 		for li, load := range opt.Loads {
 			runOne := func(name string) (*eventsim.Result, error) {
@@ -143,7 +147,7 @@ func Online(e *Env, opt OnlineOptions) (*OnlineResult, error) {
 						return nil, fmt.Errorf("online %s %v load %.2f %s: %w", m.name, w, load, name, err)
 					}
 				}
-				a := acc{turn: res.MeanTurnaround, tp: res.Throughput, turnRel: 1, tpRel: 1}
+				a := onlineAcc{turn: res.MeanTurnaround, tp: res.Throughput, turnRel: 1, tpRel: 1}
 				if oracle.MeanTurnaround > 0 {
 					a.turnRel = res.MeanTurnaround / oracle.MeanTurnaround
 				}
@@ -156,51 +160,85 @@ func Online(e *Env, opt OnlineOptions) (*OnlineResult, error) {
 		return local, nil
 	}
 
-	// accs[machine][estimator][load], folded in item order so float sums
-	// are identical at every parallelism level.
-	accs := make([][][]acc, len(machines))
-	for mi := range accs {
-		accs[mi] = make([][]acc, len(opt.Estimators))
-		for ei := range accs[mi] {
-			accs[mi][ei] = make([]acc, len(opt.Loads))
-		}
+	machineNames := make([]string, len(machines))
+	for i, m := range machines {
+		machineNames[i] = m.name
 	}
-	_, err := runner.Reduce(context.Background(), e.runCfg("online"), len(machines)*len(ws), accs, perItem,
-		func(accs [][][]acc, idx int, local [][]acc) [][][]acc {
-			mi := idx / len(ws)
-			for ei := range local {
-				for li := range local[ei] {
-					accs[mi][ei][li].turn += local[ei][li].turn
-					accs[mi][ei][li].tp += local[ei][li].tp
-					accs[mi][ei][li].turnRel += local[ei][li].turnRel
-					accs[mi][ei][li].tpRel += local[ei][li].tpRel
+	return &scenario.Plan{
+		Axes: []scenario.Axis{
+			{Name: "machine", Values: machineNames},
+			{Name: "workload", Values: workloadLabels(ws)},
+		},
+		Cell: func(_ context.Context, pt scenario.Point) (any, error) {
+			local, err := perItem(pt.Index("machine")*len(ws) + pt.Index("workload"))
+			if err != nil {
+				return nil, err
+			}
+			return local, nil
+		},
+		Reduce: func(cells []any) (*scenario.Result, error) {
+			// accs[machine][estimator][load], folded in item order.
+			accs := make([][][]onlineAcc, len(machines))
+			for mi := range accs {
+				accs[mi] = make([][]onlineAcc, len(opt.Estimators))
+				for ei := range accs[mi] {
+					accs[mi][ei] = make([]onlineAcc, len(opt.Loads))
 				}
 			}
-			return accs
-		})
+			for idx, c := range cells {
+				mi := idx / len(ws)
+				local := c.([][]onlineAcc)
+				for ei := range local {
+					for li := range local[ei] {
+						accs[mi][ei][li].turn += local[ei][li].turn
+						accs[mi][ei][li].tp += local[ei][li].tp
+						accs[mi][ei][li].turnRel += local[ei][li].turnRel
+						accs[mi][ei][li].tpRel += local[ei][li].tpRel
+					}
+				}
+			}
+			r := &OnlineResult{Sched: opt.Sched, Workloads: len(ws)}
+			n := float64(len(ws))
+			for mi, m := range machines {
+				for ei, name := range opt.Estimators {
+					for li, load := range opt.Loads {
+						a := accs[mi][ei][li]
+						r.Cells = append(r.Cells, OnlineCell{
+							Machine:            m.name,
+							Estimator:          name,
+							Load:               load,
+							Turnaround:         a.turn / n,
+							Throughput:         a.tp / n,
+							TurnaroundVsOracle: a.turnRel / n,
+							ThroughputVsOracle: a.tpRel / n,
+						})
+					}
+				}
+			}
+			tbl, err := resultTable("online", r)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: r, Text: r.Format(), Tables: []*scenario.Table{tbl}}, nil
+		},
+	}, nil
+}
+
+// Online runs the knowledge-gap experiment on the SMT and quad-core
+// machines: for every sampled workload and load, the chosen scheduler is
+// run once per estimator — oracle knowledge, SOS-style sampling, and the
+// pairwise interference model — under identical Poisson arrivals, and
+// turnaround/throughput are reported relative to the oracle run.
+func Online(e *Env, opt OnlineOptions) (*OnlineResult, error) {
+	p, err := onlinePlan(e, opt)
 	if err != nil {
 		return nil, err
 	}
-
-	r := &OnlineResult{Sched: opt.Sched, Workloads: len(ws)}
-	n := float64(len(ws))
-	for mi, m := range machines {
-		for ei, name := range opt.Estimators {
-			for li, load := range opt.Loads {
-				a := accs[mi][ei][li]
-				r.Cells = append(r.Cells, OnlineCell{
-					Machine:            m.name,
-					Estimator:          name,
-					Load:               load,
-					Turnaround:         a.turn / n,
-					Throughput:         a.tp / n,
-					TurnaroundVsOracle: a.turnRel / n,
-					ThroughputVsOracle: a.tpRel / n,
-				})
-			}
-		}
+	res, err := p.Execute(context.Background(), e.runCfg("online"))
+	if err != nil {
+		return nil, err
 	}
-	return r, nil
+	return res.Value.(*OnlineResult), nil
 }
 
 // Cell returns the aggregate for a machine, estimator and load.
@@ -215,41 +253,17 @@ func (r *OnlineResult) Cell(machine, estimator string, load float64) (OnlineCell
 
 // machines returns the distinct machines in first-seen order.
 func (r *OnlineResult) machines() []string {
-	var out []string
-	seen := map[string]bool{}
-	for _, c := range r.Cells {
-		if !seen[c.Machine] {
-			seen[c.Machine] = true
-			out = append(out, c.Machine)
-		}
-	}
-	return out
+	return scenario.Distinct(r.Cells, func(c OnlineCell) string { return c.Machine })
 }
 
 // estimators returns the distinct estimators in first-seen order.
 func (r *OnlineResult) estimators() []string {
-	var out []string
-	seen := map[string]bool{}
-	for _, c := range r.Cells {
-		if !seen[c.Estimator] {
-			seen[c.Estimator] = true
-			out = append(out, c.Estimator)
-		}
-	}
-	return out
+	return scenario.Distinct(r.Cells, func(c OnlineCell) string { return c.Estimator })
 }
 
 // loads returns the distinct loads in first-seen order.
 func (r *OnlineResult) loads() []float64 {
-	var out []float64
-	seen := map[float64]bool{}
-	for _, c := range r.Cells {
-		if !seen[c.Load] {
-			seen[c.Load] = true
-			out = append(out, c.Load)
-		}
-	}
-	return out
+	return scenario.Distinct(r.Cells, func(c OnlineCell) float64 { return c.Load })
 }
 
 // Format renders the knowledge-gap grids: per machine, turnaround and

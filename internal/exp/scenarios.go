@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"symbiosched/internal/scenario"
+)
+
+// planner adapts an Env-typed plan builder to the engine's opaque-Env
+// signature with one cast at the boundary.
+func planner(build func(e *Env) (*scenario.Plan, error)) func(context.Context, scenario.Env) (*scenario.Plan, error) {
+	return func(_ context.Context, env scenario.Env) (*scenario.Plan, error) {
+		e, ok := env.(*Env)
+		if !ok {
+			return nil, fmt.Errorf("exp: scenario environment is %T, want *exp.Env", env)
+		}
+		return build(e)
+	}
+}
+
+// simple wraps a driver without a swept grid as a one-cell scenario: the
+// driver's own fan-outs (suite sweeps, perfdb builds) already run through
+// the Env's runner configuration, so the engine contributes the uniform
+// Result, registry dispatch and CSV path. tables lists the driver's CSV
+// outputs (nil for text-only studies).
+func simple(name, desc string, run func(e *Env) (*scenario.Result, error)) *scenario.Scenario {
+	return &scenario.Scenario{
+		Name: name,
+		Desc: desc,
+		Plan: planner(func(e *Env) (*scenario.Plan, error) {
+			return &scenario.Plan{
+				Cell: func(context.Context, scenario.Point) (any, error) {
+					return run(e)
+				},
+				Reduce: func(cells []any) (*scenario.Result, error) {
+					return cells[0].(*scenario.Result), nil
+				},
+			}, nil
+		}),
+	}
+}
+
+// tabled builds a one-table Result from a typed driver result.
+func tabled(value any, text, tableName string) (*scenario.Result, error) {
+	tbl, err := resultTable(tableName, value)
+	if err != nil {
+		return nil, err
+	}
+	return &scenario.Result{Value: value, Text: text, Tables: []*scenario.Table{tbl}}, nil
+}
+
+// gridScenario wraps an Env-typed plan builder (whose Reduce already
+// produces the full Result) under a registry name.
+func gridScenario(name, desc string, build func(e *Env) (*scenario.Plan, error)) *scenario.Scenario {
+	return &scenario.Scenario{Name: name, Desc: desc, Plan: planner(build)}
+}
+
+// FarmScenario is the server-farm grid under configurable options; the
+// registered "farm" scenario uses the defaults, tests pin tiny variants.
+func FarmScenario(opt FarmOptions) *scenario.Scenario {
+	return gridScenario("farm",
+		"server farm: dispatcher x load grid, mean/P95 turnaround and utilisation",
+		func(e *Env) (*scenario.Plan, error) { return farmPlan(e, opt, "farm") })
+}
+
+// OnlineScenario is the knowledge-gap grid under configurable options.
+func OnlineScenario(opt OnlineOptions) *scenario.Scenario {
+	return gridScenario("online",
+		"knowledge gap: online estimators (sampler, pairwise) vs the oracle table",
+		func(e *Env) (*scenario.Plan, error) { return onlinePlan(e, opt) })
+}
+
+// Fig5Scenario is the Section VI latency grid.
+func Fig5Scenario() *scenario.Scenario {
+	return gridScenario("fig5",
+		"Figure 5: latency experiment, four schedulers at three loads (SMT)",
+		fig5Plan)
+}
+
+// Fig6Scenario is the max-throughput grid.
+func Fig6Scenario() *scenario.Scenario {
+	return gridScenario("fig6",
+		"Figure 6: max-throughput experiment vs the LP bounds (SMT)",
+		fig6Plan)
+}
+
+// RunScenario looks the named scenario up in the registry and executes it
+// over e with the Env's parallelism and progress wiring.
+func RunScenario(ctx context.Context, e *Env, name string) (*scenario.Result, error) {
+	s, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown scenario %q", name)
+	}
+	return s.Run(ctx, e, e.runCfg(name))
+}
+
+// init registers every study — the paper's tables and figures first, then
+// the extensions — so cmd/symbiosim, the golden CSV tests and any other
+// consumer dispatch off one list.
+func init() {
+	scenario.Register(simple("table1",
+		"Table I: the selected benchmarks and their characteristics",
+		func(e *Env) (*scenario.Result, error) {
+			rows := Table1(e)
+			return tabled(rows, FormatTable1(rows), "table1")
+		}))
+	scenario.Register(simple("fig1",
+		"Figure 1: variability of job IPC, instantaneous and average throughput",
+		func(e *Env) (*scenario.Result, error) {
+			r, err := Fig1(e)
+			if err != nil {
+				return nil, err
+			}
+			return tabled(r, r.Format(), "fig1")
+		}))
+	scenario.Register(simple("fig2",
+		"Figure 2: FCFS vs optimal scheduling, one point per workload",
+		func(e *Env) (*scenario.Result, error) {
+			smt, quad, err := Fig2(e)
+			if err != nil {
+				return nil, err
+			}
+			ts, err := resultTable("fig2_smt", smt)
+			if err != nil {
+				return nil, err
+			}
+			tq, err := resultTable("fig2_quad", quad)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: []*Fig2Result{smt, quad},
+				Text: smt.Format() + quad.Format(), Tables: []*scenario.Table{ts, tq}}, nil
+		}))
+	scenario.Register(simple("fig3",
+		"Figure 3: throughput spread vs the linear-bottleneck model error",
+		func(e *Env) (*scenario.Result, error) {
+			smt, quad, err := Fig3(e)
+			if err != nil {
+				return nil, err
+			}
+			ts, err := resultTable("fig3_smt", smt)
+			if err != nil {
+				return nil, err
+			}
+			tq, err := resultTable("fig3_quad", quad)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: []*Fig3Result{smt, quad},
+				Text: smt.Format() + quad.Format(), Tables: []*scenario.Table{ts, tq}}, nil
+		}))
+	scenario.Register(simple("table2",
+		"Table II: throughput and scheduler time fractions by heterogeneity",
+		func(e *Env) (*scenario.Result, error) {
+			smt, quad, err := Table2(e)
+			if err != nil {
+				return nil, err
+			}
+			ts, err := resultTable("table2_smt", smt)
+			if err != nil {
+				return nil, err
+			}
+			tq, err := resultTable("table2_quad", quad)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: []*Table2Result{smt, quad},
+				Text: smt.Format() + quad.Format(), Tables: []*scenario.Table{ts, tq}}, nil
+		}))
+	scenario.Register(simple("n8",
+		"Section V-B: optimal-scheduler gains with eight job types",
+		func(e *Env) (*scenario.Result, error) {
+			r, err := N8(e)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: r, Text: r.Format()}, nil
+		}))
+	scenario.Register(simple("fairness",
+		"Section V-D: the fairness counterfactual (equalised co-run rates)",
+		func(e *Env) (*scenario.Result, error) {
+			r, err := Fairness(e)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: r, Text: r.Format()}, nil
+		}))
+	scenario.Register(simple("fig4",
+		"Figure 4: analytic M/M/4 turnaround-vs-arrival-rate curves",
+		func(e *Env) (*scenario.Result, error) {
+			r, err := Fig4(e)
+			if err != nil {
+				return nil, err
+			}
+			return tabled(r, r.Format(), "fig4")
+		}))
+	scenario.Register(Fig5Scenario())
+	scenario.Register(Fig6Scenario())
+	scenario.Register(simple("uarch",
+		"Section VII: SMT fetch/ROB policy study under optimal throughput",
+		func(e *Env) (*scenario.Result, error) {
+			r, err := Uarch(e)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: r, Text: r.Format()}, nil
+		}))
+	scenario.Register(simple("makespan",
+		"makespan extension: small-batch scheduling a la Settle/Xu",
+		func(e *Env) (*scenario.Result, error) {
+			small, err := MakespanExperiment(e, 8)
+			if err != nil {
+				return nil, err
+			}
+			large, err := MakespanExperiment(e, 16)
+			if err != nil {
+				return nil, err
+			}
+			tbl, err := resultTable("makespan8", small)
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Value: small,
+				Text: small.Format() + large.Format(), Tables: []*scenario.Table{tbl}}, nil
+		}))
+	scenario.Register(FarmScenario(FarmOptions{}))
+	scenario.Register(OnlineScenario(OnlineOptions{}))
+	scenario.Register(HetfarmScenario())
+	scenario.Register(BurstScenario())
+	scenario.Register(SLOScenario())
+}

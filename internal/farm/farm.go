@@ -54,12 +54,32 @@ type ServerSpec struct {
 	Estimator func(seed uint64) (online.Estimator, error)
 }
 
+// Phase is one piece of a piecewise-constant arrival-rate schedule: the
+// Poisson rate Rate applies for Duration simulated time units.
+type Phase struct {
+	Duration float64
+	Rate     float64
+}
+
 // Config parameterises one farm simulation. The fields mirror
 // eventsim.LatencyConfig; Lambda is the total arrival rate offered to the
 // whole farm.
 type Config struct {
 	// Lambda is the Poisson arrival rate to the farm in jobs per time unit.
 	Lambda float64
+	// Schedule, when non-empty, makes the arrival rate time-varying:
+	// the phases apply in order from time zero and the schedule repeats
+	// cyclically, replacing the constant Lambda (which then only has to
+	// be positive and serves as the nominal rate in reports). Phase
+	// durations must be positive; rates must be non-negative with at
+	// least one positive. Arrivals are generated phase by phase with a
+	// fresh exponential draw at every phase boundary — valid for Poisson
+	// streams by memorylessness, and deterministic per seed.
+	Schedule []Phase
+	// SLO, when positive, is the turnaround-time service-level objective:
+	// Result.SLOAttainment reports the fraction of post-warmup jobs whose
+	// turnaround is at most SLO.
+	SLO float64
 	// Jobs is the number of jobs to complete (default 20_000).
 	Jobs int
 	// Warmup jobs are excluded from the turnaround statistics
@@ -128,6 +148,9 @@ type Result struct {
 	EmptyFraction float64
 	// Throughput is completed work divided by elapsed time, farm-wide.
 	Throughput float64
+	// SLOAttainment is the fraction of post-warmup jobs meeting the
+	// Config.SLO turnaround objective (zero when no SLO is set).
+	SLOAttainment float64
 	// Completed counts completed jobs, Counted the post-warmup subset.
 	Completed, Counted int
 	// Elapsed is the simulated time span.
@@ -148,6 +171,23 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	}
 	if cfg.Lambda <= 0 {
 		return nil, fmt.Errorf("farm: non-positive arrival rate %v", cfg.Lambda)
+	}
+	if len(cfg.Schedule) > 0 {
+		positive := false
+		for i, ph := range cfg.Schedule {
+			if ph.Duration <= 0 {
+				return nil, fmt.Errorf("farm: schedule phase %d has non-positive duration %v", i, ph.Duration)
+			}
+			if ph.Rate < 0 {
+				return nil, fmt.Errorf("farm: schedule phase %d has negative rate %v", i, ph.Rate)
+			}
+			if ph.Rate > 0 {
+				positive = true
+			}
+		}
+		if !positive {
+			return nil, fmt.Errorf("farm: schedule has no positive-rate phase")
+		}
 	}
 	if len(w) == 0 {
 		return nil, fmt.Errorf("farm: empty workload")
@@ -201,8 +241,9 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 		Seed:      cfg.Seed,
 	})
 
+	nextArrivalAfter := arrivalStream(cfg, arng)
 	var now float64
-	nextArrival := arng.Exp(cfg.Lambda)
+	nextArrival := nextArrivalAfter(0)
 	arrivalsLeft := cfg.Jobs
 
 	var turnaround numeric.KahanSum
@@ -275,7 +316,7 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 			}
 			arrivalsLeft--
 			if arrivalsLeft > 0 {
-				nextArrival = now + arng.Exp(cfg.Lambda)
+				nextArrival = nextArrivalAfter(now)
 			}
 		}
 	}
@@ -318,6 +359,61 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 		res.P95Turnaround = stats.SortedQuantile(turnarounds, 0.95)
 		res.P99Turnaround = stats.SortedQuantile(turnarounds, 0.99)
 		res.MeanJobsInSystem = res.MeanTurnaround * float64(counted) / now
+		if cfg.SLO > 0 {
+			// turnarounds is sorted: the attainment is the rank of the
+			// first value beyond the objective.
+			met := sort.Search(len(turnarounds), func(i int) bool { return turnarounds[i] > cfg.SLO })
+			res.SLOAttainment = float64(met) / float64(counted)
+		}
 	}
 	return res, nil
+}
+
+// arrivalStream returns the next-arrival generator over the arrival RNG:
+// with an empty schedule it is the constant-rate exponential draw —
+// bit-identical to the historical fixed-Lambda path — otherwise it walks
+// the cyclic piecewise-constant schedule from t. Within a phase the draw
+// is exponential at the phase's rate; a draw that lands past the phase
+// boundary is discarded and redrawn from the boundary at the next phase's
+// rate, which preserves the Poisson law by memorylessness.
+func arrivalStream(cfg Config, arng *stats.RNG) func(t float64) float64 {
+	if len(cfg.Schedule) == 0 {
+		return func(t float64) float64 { return t + arng.Exp(cfg.Lambda) }
+	}
+	cycle := 0.0
+	for _, ph := range cfg.Schedule {
+		cycle += ph.Duration
+	}
+	return func(t float64) float64 {
+		for {
+			// Locate the phase containing t; pos ∈ [0, cycle).
+			pos := math.Mod(t, cycle)
+			start := t - pos
+			var rate, end float64
+			acc := 0.0
+			for _, ph := range cfg.Schedule {
+				if pos < acc+ph.Duration {
+					rate = ph.Rate
+					end = start + acc + ph.Duration
+					break
+				}
+				acc += ph.Duration
+			}
+			// Guard the restart against float stagnation: once t is large
+			// relative to the cycle, (end - t) can round below one ulp and
+			// end == t would spin forever.
+			if end <= t {
+				end = math.Nextafter(t, math.Inf(1))
+			}
+			if rate > 0 {
+				if cand := t + arng.Exp(rate); cand <= end {
+					return cand
+				}
+			}
+			// No arrival in this phase (zero rate, or the draw crossed
+			// the boundary): restart from the phase end. Progress is
+			// guaranteed — end > t — and some phase has a positive rate.
+			t = end
+		}
+	}
 }

@@ -27,6 +27,9 @@ type SweepResult struct {
 	P95Turnaround, P99Turnaround  float64
 	Utilisation, EmptyFraction    float64
 	Throughput, MeanJobsInSystem  float64
+	// SLOAttainment is the mean fraction of jobs meeting the Config.SLO
+	// turnaround objective (zero when no SLO was set).
+	SLOAttainment float64
 	// TurnaroundStd is the sample standard deviation of the per-replication
 	// mean turnaround — the statistical confidence the cluster story needs.
 	TurnaroundStd float64
@@ -47,7 +50,7 @@ func ReplicationSeed(base uint64, i int) uint64 {
 // aggregate is bit-identical however the runs were scheduled.
 func Aggregate(runs []Replication) *SweepResult {
 	out := &SweepResult{Replications: len(runs), Runs: runs}
-	var turn, p50, p95, p99, util, empty, tp, pop, turnSq numeric.KahanSum
+	var turn, p50, p95, p99, util, empty, tp, pop, slo, turnSq numeric.KahanSum
 	for _, r := range runs {
 		out.Dispatcher = r.Dispatcher
 		turn.Add(r.MeanTurnaround)
@@ -58,6 +61,7 @@ func Aggregate(runs []Replication) *SweepResult {
 		empty.Add(r.EmptyFraction)
 		tp.Add(r.Throughput)
 		pop.Add(r.MeanJobsInSystem)
+		slo.Add(r.SLOAttainment)
 	}
 	n := float64(len(runs))
 	if n == 0 {
@@ -71,6 +75,7 @@ func Aggregate(runs []Replication) *SweepResult {
 	out.EmptyFraction = empty.Value() / n
 	out.Throughput = tp.Value() / n
 	out.MeanJobsInSystem = pop.Value() / n
+	out.SLOAttainment = slo.Value() / n
 	if len(runs) > 1 {
 		for _, r := range runs {
 			d := r.MeanTurnaround - out.MeanTurnaround

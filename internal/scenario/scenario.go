@@ -1,0 +1,266 @@
+// Package scenario is the repo's declarative experiment engine. A
+// Scenario names one study (a figure, a table, or a new question the
+// paper's framework invites) and plans it as a grid of independent cells
+// — the cartesian product of its Axes — plus an index-ordered reduction
+// into a uniform Result (human-readable text and typed-column Tables that
+// serialise to CSV).
+//
+// The engine executes every grid through internal/runner: cells fan out
+// over a bounded worker pool, results land in enumeration order, and the
+// reduction folds them in that order, so a scenario's output is
+// byte-identical at any parallelism level. Cells that need randomness
+// derive their streams from the grid point itself (Point.Seed, or a
+// legacy formula over the point's indices), never from execution order.
+//
+// A package-level registry maps scenario names to their specs;
+// cmd/symbiosim dispatches `run <name>` and `list` off it, and the golden
+// CSV tests pin every registered table's bytes.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"symbiosched/internal/runner"
+)
+
+// Env is the opaque experiment environment threaded through Plan. The
+// engine never inspects it; the package registering a scenario and the
+// caller executing it agree on the concrete type (the exp package passes
+// *exp.Env).
+type Env = any
+
+// Axis is one swept dimension of a grid. Values are canonical labels:
+// they name the coordinate in reports and CSV, and they are what
+// Point.Seed hashes, so a point's seed depends only on where it is, never
+// on how many other values the axis happens to carry.
+type Axis struct {
+	Name   string
+	Values []string
+}
+
+// Point is one cell of a grid: an index into every axis, enumerated
+// row-major (first axis outermost).
+type Point struct {
+	axes    []Axis
+	indices []int
+}
+
+// Index returns the point's index along the named axis. Unknown axis
+// names panic: they are programming errors in the scenario, not data.
+func (p Point) Index(axis string) int {
+	for i, a := range p.axes {
+		if a.Name == axis {
+			return p.indices[i]
+		}
+	}
+	panic(fmt.Sprintf("scenario: point has no axis %q", axis))
+}
+
+// Value returns the point's label along the named axis.
+func (p Point) Value(axis string) string {
+	for i, a := range p.axes {
+		if a.Name == axis {
+			return a.Values[p.indices[i]]
+		}
+	}
+	panic(fmt.Sprintf("scenario: point has no axis %q", axis))
+}
+
+// Seed derives the point's common-random-numbers stream from base and the
+// named axes (all axes when none are named). The derivation hashes axis
+// name=value pairs, so it depends only on the point's coordinates — not
+// on the grid's shape, the point's enumeration index, or the values other
+// points take. Two uses follow:
+//
+//   - Listing a subset pins the stream across the omitted axes: seeding
+//     from ("load", "rep") gives every dispatcher the same arrival
+//     process at a given load — the paper's common-random-numbers setup.
+//   - Growing an axis (another load, another dispatcher) never reseeds
+//     existing cells, so results are extendable without re-running.
+func (p Point) Seed(base uint64, axes ...string) uint64 {
+	h := fnv.New64a()
+	use := func(a Axis, idx int) {
+		h.Write([]byte(a.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(a.Values[idx]))
+		h.Write([]byte{0})
+	}
+	if len(axes) == 0 {
+		for i, a := range p.axes {
+			use(a, p.indices[i])
+		}
+	} else {
+		for _, name := range axes {
+			found := false
+			for i, a := range p.axes {
+				if a.Name == name {
+					use(a, p.indices[i])
+					found = true
+					break
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("scenario: point has no axis %q", name))
+			}
+		}
+	}
+	return mix64(base ^ h.Sum64())
+}
+
+// mix64 is the splitmix64 finaliser: it decorrelates the seeds of nearby
+// grid points so per-point RNG streams do not share low-bit structure.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// gridSize returns the number of points (1 for an axis-free plan).
+func gridSize(axes []Axis) int {
+	n := 1
+	for _, a := range axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// pointAt enumerates the grid row-major: the first axis is outermost, the
+// last innermost, so index i maps to the same coordinates a nest of
+// for-loops over the axes in declaration order would visit i-th.
+func pointAt(axes []Axis, i int) Point {
+	indices := make([]int, len(axes))
+	for k := len(axes) - 1; k >= 0; k-- {
+		n := len(axes[k].Values)
+		indices[k] = i % n
+		i /= n
+	}
+	return Point{axes: axes, indices: indices}
+}
+
+// Plan is one execution of a scenario: the grid, the cell function, and
+// the reduction. Plans are built per run (Scenario.Plan), so Cell and
+// Reduce may close over shared state — prebuilt tables, calibrated
+// capacities — without the engine threading it.
+type Plan struct {
+	// Axes span the grid; an empty list means a single cell (a study
+	// whose fan-out lives inside the cell, e.g. a whole-suite sweep).
+	Axes []Axis
+	// Cell computes one grid point. It must be safe for concurrent calls
+	// and deterministic given the point (derive randomness from the
+	// point, never from shared mutable state).
+	Cell func(ctx context.Context, pt Point) (any, error)
+	// Reduce folds the cells — delivered in enumeration order — into the
+	// scenario's result. It runs once, serially.
+	Reduce func(cells []any) (*Result, error)
+}
+
+// Result is the uniform output of every scenario.
+type Result struct {
+	// Value is the scenario's typed result, for programmatic consumers
+	// (may be nil when the tables say everything).
+	Value any
+	// Text is the human-readable report.
+	Text string
+	// Tables are the plottable series; each serialises to <Name>.csv.
+	Tables []*Table
+}
+
+// Execute runs the plan's grid through the runner engine and reduces it.
+// Cells land in enumeration order regardless of rc.Parallelism, so the
+// reduction — and therefore the Result — is byte-identical at any pool
+// size.
+func (p *Plan) Execute(ctx context.Context, rc runner.Config) (*Result, error) {
+	if p.Cell == nil || p.Reduce == nil {
+		return nil, fmt.Errorf("scenario: plan needs both Cell and Reduce")
+	}
+	for _, a := range p.Axes {
+		if len(a.Values) == 0 {
+			return nil, fmt.Errorf("scenario: axis %q has no values", a.Name)
+		}
+	}
+	cells, err := runner.Map(ctx, rc, gridSize(p.Axes), func(ctx context.Context, i int) (any, error) {
+		return p.Cell(ctx, pointAt(p.Axes, i))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p.Reduce(cells)
+}
+
+// Scenario is a registered study: a stable name, a one-line description
+// for `symbiosim list`, and a planner that lays out one execution over
+// the environment.
+type Scenario struct {
+	Name string
+	Desc string
+	Plan func(ctx context.Context, env Env) (*Plan, error)
+}
+
+// Run plans and executes the scenario over env.
+func (s *Scenario) Run(ctx context.Context, env Env, rc runner.Config) (*Result, error) {
+	if s.Plan == nil {
+		return nil, fmt.Errorf("scenario %s: no planner", s.Name)
+	}
+	p, err := s.Plan(ctx, env)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return p.Execute(ctx, rc)
+}
+
+var (
+	regMu     sync.RWMutex
+	regByName = map[string]*Scenario{}
+	regOrder  []string
+)
+
+// Register adds a scenario to the package registry. Empty names and
+// duplicates panic: registration happens in init functions, where a bad
+// name is a build-time bug.
+func Register(s *Scenario) {
+	if s == nil || s.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regByName[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	regByName[s.Name] = s
+	regOrder = append(regOrder, s.Name)
+}
+
+// Lookup returns the scenario registered under name.
+func Lookup(name string) (*Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := regByName[name]
+	return s, ok
+}
+
+// Names lists the registered scenario names in registration order (the
+// paper's presentation order, then the extensions).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regOrder))
+	copy(out, regOrder)
+	return out
+}
+
+// All returns the registered scenarios in registration order.
+func All() []*Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Scenario, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, regByName[name])
+	}
+	return out
+}
