@@ -8,15 +8,30 @@
 // Usage:
 //
 //	farmsim [-servers 4] [-hetero] [-sched FCFS] [-estimator oracle]
-//	        [-dispatchers random,rr,jsq,li] [-loads 0.5,0.8,0.95]
+//	        [-dispatchers random,rr,jsq,li,pd] [-d 2] [-loads 0.5,0.8,0.95]
 //	        [-jobs 20000] [-reps 3] [-seed 1] [-quantiles]
-//	        [-parallel N] [-cache dir] [-csv dir] [-progress]
+//	        [-shards 0] [-slab 0] [-parallel N] [-cache dir] [-csv dir] [-progress]
 //
 // -estimator replaces the oracle performance table with an online learner
 // (sampler or pairwise, see internal/online): schedulers and the li
 // dispatcher then decide over rates discovered at run time, while jobs
 // still progress at the machine's true rates. -quantiles appends P50/P99
 // turnaround panels to the report.
+//
+// The pd dispatcher is power-of-d-choices: it probes d random distinct
+// servers per arrival and places on the least-interfering of those by the
+// same marginal-throughput criterion li applies to every server. -d sets
+// the probe count a bare "pd" in -dispatchers uses (an explicit pd3 etc.
+// overrides it); pd with d >= N reproduces li exactly, pd1 reproduces
+// random.
+//
+// -shards > 0 runs every simulation on the sharded time-slab engine
+// (contiguous server partitions advanced in parallel between
+// synchronization points; see internal/farm.SimulateSharded), which is
+// what makes 100k-server farms tractable. -slab optionally caps the slab
+// length in simulated time. Sharded results are byte-identical at any
+// -shards/-slab/-parallel combination, but differ from the serial engine
+// in float rounding.
 //
 // Replication sweeps run through the shared runner engine: output is
 // byte-identical at any -parallel value.
@@ -50,11 +65,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		schedName   = fs.String("sched", "FCFS", "per-server scheduler: FCFS, MAXIT, SRPT or MAXTP")
 		estimator   = fs.String("estimator", "oracle", "per-server rate knowledge: "+strings.Join(online.Names, ", ")+" (non-oracle learns co-run rates online)")
 		quantiles   = fs.Bool("quantiles", false, "also print P50/P99 turnaround panels")
-		dispatchers = fs.String("dispatchers", strings.Join(farm.DispatcherNames, ","), "comma-separated dispatch policies")
+		dispatchers = fs.String("dispatchers", strings.Join(farm.DispatcherNames, ","), "comma-separated dispatch policies (pd[<d>] = power-of-d-choices)")
+		probeD      = fs.Int("d", 2, "probe count a bare pd dispatcher uses (pd1 = random, pd>=N = li)")
 		loads       = fs.String("loads", "0.5,0.8,0.95", "comma-separated offered loads relative to farm capacity")
 		jobs        = fs.Int("jobs", 20000, "jobs per simulation")
 		reps        = fs.Int("reps", 3, "replications (independent seeds) per cell")
 		seed        = fs.Uint64("seed", 1, "base random seed")
+		shards      = fs.Int("shards", 0, "run on the sharded time-slab engine with this many shards (0 = serial engine)")
+		slab        = fs.Float64("slab", 0, "cap the sharded engine's slab length in simulated time (0 = arrival to arrival)")
 		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (results are identical at any value)")
 		cacheDir    = fs.String("cache", "", "cache built performance databases as gob files in this directory")
 		csvDir      = fs.String("csv", "", "also write the result grid as a CSV file into this directory")
@@ -66,9 +84,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
+	if *probeD < 1 {
+		fmt.Fprintf(stderr, "farmsim: -d wants a probe count >= 1, got %d\n", *probeD)
+		return 2
+	}
 	var dispList []string
 	for _, s := range strings.Split(*dispatchers, ",") {
-		dispList = append(dispList, strings.TrimSpace(s))
+		name := strings.TrimSpace(s)
+		if name == "pd" {
+			name = fmt.Sprintf("pd%d", *probeD)
+		}
+		dispList = append(dispList, name)
 	}
 	var loadList []float64
 	for _, s := range strings.Split(*loads, ",") {
@@ -108,6 +134,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Dispatchers:  dispList,
 		Loads:        loadList,
 		Replications: *reps,
+		Shards:       *shards,
+		Slab:         *slab,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "farmsim: %v\n", err)

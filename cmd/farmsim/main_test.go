@@ -88,6 +88,36 @@ func TestRunDeterministicAcrossParallel(t *testing.T) {
 	}
 }
 
+// TestRunShardedPD smoke-runs the sharded engine with power-of-d
+// dispatch: a bare "pd" in -dispatchers picks up the -d probe count, and
+// -shards routes every simulation through SimulateSharded. The sharded
+// engine's byte-identity across worker counts is pinned here at the CLI
+// level via -parallel.
+func TestRunShardedPD(t *testing.T) {
+	var outs []string
+	for _, p := range []string{"1", strconv.Itoa(runtime.NumCPU())} {
+		var out, errb strings.Builder
+		code := run([]string{
+			"-servers", "6", "-jobs", "800", "-reps", "2",
+			"-dispatchers", "pd,pd1", "-d", "3", "-loads", "0.8",
+			"-shards", "3", "-slab", "0.5", "-parallel", p,
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("-parallel %s: run = %d, stderr: %s", p, code, errb.String())
+		}
+		outs = append(outs, out.String())
+	}
+	got := outs[0]
+	for _, want := range []string{"[sharded x3]", "pd3", "pd1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("sharded output differs across -parallel:\n--- p=1 ---\n%s\n--- wide ---\n%s", outs[0], outs[1])
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-loads", "1.5"}, &out, &errb); code != 2 {
@@ -98,5 +128,8 @@ func TestRunErrors(t *testing.T) {
 	}
 	if code := run([]string{"-jobs", "300", "-reps", "1", "-loads", "0.5", "-sched", "NOPE"}, &out, &errb); code != 1 {
 		t.Errorf("unknown scheduler: run = %d, want 1", code)
+	}
+	if code := run([]string{"-d", "0"}, &out, &errb); code != 2 {
+		t.Errorf("bad probe count: run = %d, want 2", code)
 	}
 }

@@ -9,8 +9,9 @@
 //
 // Scenarios come from the internal/scenario registry (see `symbiosim
 // list`): the paper's table1/fig1-fig6/table2, the n8/fairness/uarch
-// analyses, the makespan/farm/online extensions, and the hetfarm, burst
-// and slo studies.
+// analyses, the makespan/farm/online extensions, and the hetfarm,
+// megafarm (power-of-d dispatch on the sharded engine), burst and slo
+// studies.
 //
 // -parallel bounds the worker pool of every sweep (results are identical
 // at any value), -cache caches built performance databases on disk,

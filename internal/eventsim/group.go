@@ -1,0 +1,160 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+
+	"symbiosched/internal/sched"
+)
+
+// Completion is one finished job with its absolute completion time and
+// the index (within the group) of the server that ran it.
+type Completion struct {
+	T      float64
+	Server int
+	Job    *sched.Job
+}
+
+// Group is a shard-steppable set of servers: each server keeps its own
+// local clock and is advanced lazily, only at its own events — a
+// completion, a delivered arrival, or a final settle. Server state is
+// piecewise-constant between its own events, so skipping the intermediate
+// global events changes nothing observable at this server; only the
+// order in which the busy/empty/work Kahan integrals accumulate their
+// (identical) interval terms differs from a lockstep loop, an
+// ulp-magnitude effect.
+//
+// A TimeHeap keyed by absolute next-completion times orders the group's
+// events; processing pops in (time, server index) order makes a group's
+// event sequence a deterministic function of its inputs, independent of
+// how the caller slices time into advance horizons. The sharded farm
+// coordinator (internal/farm.SimulateSharded) builds one Group per shard
+// and synchronises them on slab boundaries.
+type Group struct {
+	servers []*Server
+	clock   []float64 // per-server local clock (absolute simulated time)
+	h       *TimeHeap // absolute next-completion time per server
+	buf     []Completion
+}
+
+// NewGroup returns a group over the given (freshly built, empty) servers.
+// The group owns their stepping; the caller must not Advance them
+// directly.
+func NewGroup(servers []*Server) *Group {
+	return &Group{
+		servers: servers,
+		clock:   make([]float64, len(servers)),
+		h:       NewTimeHeap(len(servers)),
+	}
+}
+
+// Len returns the number of servers in the group.
+func (g *Group) Len() int { return len(g.servers) }
+
+// Server returns the i-th server (for dispatch probes and final stats).
+func (g *Group) Server(i int) *Server { return g.servers[i] }
+
+// Clock returns server i's local clock.
+func (g *Group) Clock(i int) float64 { return g.clock[i] }
+
+// NextEvent returns the absolute time of the group's earliest pending
+// completion, or +Inf when no server is busy.
+func (g *Group) NextEvent() float64 { return g.h.Min() }
+
+// refresh re-keys server i's heap entry from its cached time-to-next-
+// completion at local time t. The one-ulp bump guards against float
+// stagnation: at large t a positive ttc below one ulp would otherwise
+// re-pop the same server forever with dt = 0.
+func (g *Group) refresh(i int, t float64) {
+	ttc := g.servers[i].TimeToNextCompletion()
+	if math.IsInf(ttc, 1) {
+		g.h.Update(i, math.Inf(1))
+		return
+	}
+	key := t + ttc
+	if key <= t {
+		key = math.Nextafter(t, math.Inf(1))
+	}
+	g.h.Update(i, key)
+}
+
+// AdvanceTo processes every completion in the group with event time at
+// most horizon, in (time, server index) order, advancing only the
+// servers involved. It returns the completions in that order; the slice
+// is group-owned scratch, valid until the next AdvanceTo/Deliver call.
+func (g *Group) AdvanceTo(horizon float64) ([]Completion, error) {
+	g.buf = g.buf[:0]
+	for {
+		t := g.h.Min()
+		// An idle group (t = +Inf) terminates even against an infinite
+		// drain horizon; a completion exactly at a finite horizon is
+		// processed (inclusive bound — the serial tie rule).
+		if math.IsInf(t, 1) || t > horizon {
+			return g.buf, nil
+		}
+		i := g.h.MinIndex()
+		sv := g.servers[i]
+		dt := t - g.clock[i]
+		if dt < 0 {
+			dt = 0
+		}
+		done := sv.Advance(dt)
+		g.clock[i] = t
+		for _, j := range done {
+			g.buf = append(g.buf, Completion{T: t, Server: i, Job: j})
+		}
+		if len(done) > 0 {
+			if err := sv.Reschedule(); err != nil {
+				return nil, err
+			}
+		}
+		g.refresh(i, t)
+	}
+}
+
+// Deliver routes job j to server i at absolute time t: the server is
+// advanced to t (any job finishing within the completion epsilon at t is
+// returned, exactly as a lockstep advance would complete it), the job is
+// added and the server rescheduled. The caller must have processed all
+// group events up to t first (AdvanceTo(t)). The returned slice shares
+// the group's scratch buffer.
+func (g *Group) Deliver(t float64, i int, j *sched.Job) ([]Completion, error) {
+	if i < 0 || i >= len(g.servers) {
+		return nil, fmt.Errorf("eventsim: deliver to server %d of %d", i, len(g.servers))
+	}
+	sv := g.servers[i]
+	g.buf = g.buf[:0]
+	dt := t - g.clock[i]
+	if dt < 0 {
+		dt = 0
+	}
+	done := sv.Advance(dt)
+	g.clock[i] = t
+	for _, dj := range done {
+		g.buf = append(g.buf, Completion{T: t, Server: i, Job: dj})
+	}
+	sv.Add(j)
+	if err := sv.Reschedule(); err != nil {
+		return nil, err
+	}
+	g.refresh(i, t)
+	return g.buf, nil
+}
+
+// SettleTo advances every server's local clock to t, closing the
+// busy/empty integrals at a common end time. It is the end-of-run
+// counterpart of AdvanceTo and must not cross any pending completion.
+func (g *Group) SettleTo(t float64) error {
+	for i, sv := range g.servers {
+		dt := t - g.clock[i]
+		if dt <= 0 {
+			continue
+		}
+		if done := sv.Advance(dt); len(done) > 0 {
+			return fmt.Errorf("eventsim: group settle crossed %d completions at server %d", len(done), i)
+		}
+		g.clock[i] = t
+		g.refresh(i, t)
+	}
+	return nil
+}

@@ -1,31 +1,29 @@
-package farm
+package eventsim
 
 import "math"
 
-// ttcHeap is an indexed binary min-heap over the servers' cached
-// time-to-next-completion values. It holds only busy servers (finite
-// keys), Update is an O(1) no-op for servers whose key did not move
-// (idle ones between events), and sifts are near-O(1) in the common case
-// where every busy key shrinks by the same dt, preserving relative
-// order. The event loop's physics sweep still advances every server per
-// event — that per-event O(N) floor is the golden-output bit-identity
-// contract (see DESIGN.md, "Hot path & memoization"); what the heap
-// removes is the second full pass that recomputed and compared every
-// server's completion time. Ties order by server index, keeping the
-// heap's internal layout — and therefore the whole event loop —
+// TimeHeap is an indexed binary min-heap over per-server event times. The
+// serial farm event loop keys it by cached time-to-next-completion deltas;
+// the sharded Group keys it by absolute next-completion times. It holds
+// only busy servers (finite keys), Update is an O(1) no-op for servers
+// whose key did not move (idle ones between events), and sifts are
+// near-O(1) in the common case where every busy key shrinks by the same
+// dt, preserving relative order. Ties order by server index, keeping the
+// heap's internal layout — and therefore every event loop built on it —
 // deterministic.
 //
-// Min returns exactly the minimum of the stored float64 keys, so
-// replacing the former scan over every server's TimeToNextCompletion with
-// a heap peek leaves every simulated event time bit-identical.
-type ttcHeap struct {
+// Min returns exactly the minimum of the stored float64 keys, so replacing
+// a scan over every server's next-completion time with a heap peek leaves
+// every simulated event time bit-identical.
+type TimeHeap struct {
 	keys []float64 // key per server index (+Inf when absent)
 	pos  []int     // heap position per server index, -1 when absent
 	heap []int     // server indices, heap-ordered by (key, index)
 }
 
-func newTTCHeap(n int) *ttcHeap {
-	h := &ttcHeap{
+// NewTimeHeap returns an empty heap over n server indices.
+func NewTimeHeap(n int) *TimeHeap {
+	h := &TimeHeap{
 		keys: make([]float64, n),
 		pos:  make([]int, n),
 		heap: make([]int, 0, n),
@@ -37,18 +35,33 @@ func newTTCHeap(n int) *ttcHeap {
 	return h
 }
 
+// Len returns the number of servers currently in the heap (finite keys).
+func (h *TimeHeap) Len() int { return len(h.heap) }
+
 // Min returns the smallest stored key, or +Inf when no server is busy.
-func (h *ttcHeap) Min() float64 {
+func (h *TimeHeap) Min() float64 {
 	if len(h.heap) == 0 {
 		return math.Inf(1)
 	}
 	return h.keys[h.heap[0]]
 }
 
+// MinIndex returns the server index holding the smallest key (lowest
+// index on ties), or -1 when the heap is empty.
+func (h *TimeHeap) MinIndex() int {
+	if len(h.heap) == 0 {
+		return -1
+	}
+	return h.heap[0]
+}
+
+// Key returns server i's stored key (+Inf when absent).
+func (h *TimeHeap) Key(i int) float64 { return h.keys[i] }
+
 // Update sets server i's key, inserting, removing (key +Inf) or
 // repositioning it as needed. It is a cheap no-op when the key is
 // unchanged (idle servers between events).
-func (h *ttcHeap) Update(i int, key float64) {
+func (h *TimeHeap) Update(i int, key float64) {
 	if key == h.keys[i] {
 		return
 	}
@@ -74,7 +87,7 @@ func (h *ttcHeap) Update(i int, key float64) {
 	}
 }
 
-func (h *ttcHeap) remove(i int) {
+func (h *TimeHeap) remove(i int) {
 	p, last := h.pos[i], len(h.heap)-1
 	h.keys[i] = math.Inf(1)
 	h.pos[i] = -1
@@ -92,7 +105,7 @@ func (h *ttcHeap) remove(i int) {
 }
 
 // less orders heap slots by (key, server index).
-func (h *ttcHeap) less(a, b int) bool {
+func (h *TimeHeap) less(a, b int) bool {
 	ia, ib := h.heap[a], h.heap[b]
 	if h.keys[ia] != h.keys[ib] {
 		return h.keys[ia] < h.keys[ib]
@@ -100,14 +113,14 @@ func (h *ttcHeap) less(a, b int) bool {
 	return ia < ib
 }
 
-func (h *ttcHeap) swap(a, b int) {
+func (h *TimeHeap) swap(a, b int) {
 	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
 	h.pos[h.heap[a]] = a
 	h.pos[h.heap[b]] = b
 }
 
 // up sifts slot p toward the root, reporting whether it moved.
-func (h *ttcHeap) up(p int) bool {
+func (h *TimeHeap) up(p int) bool {
 	moved := false
 	for p > 0 {
 		parent := (p - 1) / 2
@@ -122,7 +135,7 @@ func (h *ttcHeap) up(p int) bool {
 }
 
 // down sifts slot p toward the leaves.
-func (h *ttcHeap) down(p int) {
+func (h *TimeHeap) down(p int) {
 	for {
 		l, r := 2*p+1, 2*p+2
 		smallest := p

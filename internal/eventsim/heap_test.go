@@ -1,4 +1,4 @@
-package farm
+package eventsim
 
 import (
 	"math"
@@ -7,27 +7,27 @@ import (
 	"symbiosched/internal/stats"
 )
 
-// TestTTCHeapMatchesScan fuzzes the indexed heap against the reference
+// TestTimeHeapMatchesScan fuzzes the indexed heap against the reference
 // min-scan it replaced: after every update — inserts, moves up and down,
 // removals to +Inf, repeated no-ops — the heap's minimum must equal the
 // scan's minimum over the same keys, bit for bit, and the index/position
 // bookkeeping must stay consistent.
-func TestTTCHeapMatchesScan(t *testing.T) {
+func TestTimeHeapMatchesScan(t *testing.T) {
 	const n = 37
 	rng := stats.NewRNG(5)
-	h := newTTCHeap(n)
+	h := NewTimeHeap(n)
 	keys := make([]float64, n)
 	for i := range keys {
 		keys[i] = math.Inf(1)
 	}
-	scanMin := func() float64 {
-		m := math.Inf(1)
-		for _, k := range keys {
+	scanMin := func() (float64, int) {
+		m, mi := math.Inf(1), -1
+		for i, k := range keys {
 			if k < m {
-				m = k
+				m, mi = k, i
 			}
 		}
-		return m
+		return m, mi
 	}
 	for step := 0; step < 20_000; step++ {
 		i := rng.Intn(n)
@@ -47,8 +47,12 @@ func TestTTCHeapMatchesScan(t *testing.T) {
 		}
 		keys[i] = k
 		h.Update(i, k)
-		if got, want := h.Min(), scanMin(); got != want {
+		if got, want := h.Min(), func() float64 { m, _ := scanMin(); return m }(); got != want {
 			t.Fatalf("step %d: heap min %v, scan min %v", step, got, want)
+		}
+		if _, wi := scanMin(); wi >= 0 && h.MinIndex() != wi && h.Key(h.MinIndex()) != keys[wi] {
+			t.Fatalf("step %d: heap min index %d (key %v), scan min index %d (key %v)",
+				step, h.MinIndex(), h.Key(h.MinIndex()), wi, keys[wi])
 		}
 	}
 	// Structural invariants at the end of the walk.

@@ -99,7 +99,7 @@ func TestDriversDeterministicAcrossParallelism(t *testing.T) {
 // (The golden test additionally pins the table bytes against committed
 // files at 1 and NumCPU.)
 func TestNewScenariosDeterministicAcrossParallelism(t *testing.T) {
-	for _, name := range []string{"hetfarm", "burst", "slo"} {
+	for _, name := range []string{"hetfarm", "megafarm", "burst", "slo"} {
 		s, ok := scenario.Lookup(name)
 		if !ok {
 			t.Fatalf("scenario %s not registered", name)

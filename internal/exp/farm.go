@@ -37,6 +37,16 @@ type FarmOptions struct {
 	Loads []float64
 	// Replications is the number of seeds per cell (default 3).
 	Replications int
+	// Shards, when positive, runs every cell on the sharded time-slab
+	// engine (farm.SimulateSharded) with that many shards; zero keeps the
+	// serial engine. The sharded engine's output is byte-identical at any
+	// shard/worker/slab setting, but differs from the serial engine by
+	// float-advance partitioning, so flipping it is a golden-visible
+	// engine choice, not a tuning knob.
+	Shards int
+	// Slab optionally caps the sharded engine's synchronization slab
+	// length in simulated time (only meaningful with Shards > 0).
+	Slab float64
 }
 
 func (o FarmOptions) withDefaults() FarmOptions {
@@ -180,6 +190,9 @@ func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error)
 	if opt.Estimator != "oracle" {
 		name += " @ " + opt.Estimator
 	}
+	if opt.Shards > 0 {
+		name += fmt.Sprintf(" [sharded x%d]", opt.Shards)
+	}
 	reps := opt.Replications
 	return &scenario.Plan{
 		Axes: []scenario.Axis{
@@ -193,12 +206,21 @@ func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error)
 			// The replication seed derives from the in-cell index alone:
 			// every (dispatcher, load) cell sees the same arrival streams
 			// (common random numbers), as the pre-engine sweep did.
-			rep, err := farm.Replicate(specs, disp, w, farm.Config{
+			cfg := farm.Config{
 				Lambda:    load * capacity,
 				Jobs:      e.Cfg.SimJobs,
 				SizeShape: 4, // jobs of "approximately the same size"
 				Seed:      e.Cfg.Seed,
-			}, pt.Index("rep"))
+			}
+			var rep farm.Replication
+			var err error
+			if opt.Shards > 0 {
+				rep, err = farm.ReplicateSharded(specs, disp, w, cfg,
+					farm.ShardConfig{Shards: opt.Shards, Workers: e.Cfg.Parallelism, Slab: opt.Slab},
+					pt.Index("rep"))
+			} else {
+				rep, err = farm.Replicate(specs, disp, w, cfg, pt.Index("rep"))
+			}
 			if err != nil {
 				return nil, fmt.Errorf("farm %s load %.2f: %w", disp, load, err)
 			}

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"symbiosched/internal/farm"
+	"symbiosched/internal/scenario"
+)
+
+// MegafarmScenario exercises the regime the serial farm engine cannot
+// reach: farms large enough that probing every server per arrival (li,
+// jsq) is off the table and the O(N)-per-event lockstep advance dominates
+// the wall clock. Every cell runs on the sharded time-slab engine
+// (farm.SimulateSharded) under power-of-d-choices dispatch, sweeping farm
+// size x probe count x load. The d axis is the supermarket-model story at
+// farm scale: d = 1 is random splitting, d = 2 already buys most of the
+// queue-length collapse, larger d closes in on full information at fixed
+// O(d) probe cost. Seeds derive from the servers and load axes only, so
+// every d competes under common random numbers.
+func MegafarmScenario() *scenario.Scenario {
+	return gridScenario("megafarm",
+		"mega-farm: power-of-d dispatch on the sharded engine, servers x d x load",
+		megafarmPlan)
+}
+
+func megafarmPlan(e *Env) (*scenario.Plan, error) {
+	sizes := []int{64, 256}
+	ds := []int{1, 2, 4}
+	loads := []float64{0.7, 0.9}
+	w := farmWorkload(e)
+
+	specs := make([][]farm.ServerSpec, len(sizes))
+	caps := make([]float64, len(sizes))
+	for si, n := range sizes {
+		sp, c, err := fcfsFarm(e, n, false)
+		if err != nil {
+			return nil, err
+		}
+		specs[si], caps[si] = sp, c
+	}
+
+	sizeLabels := make([]string, len(sizes))
+	for i, n := range sizes {
+		sizeLabels[i] = strconv.Itoa(n)
+	}
+	dLabels := make([]string, len(ds))
+	for i, d := range ds {
+		dLabels[i] = strconv.Itoa(d)
+	}
+
+	return &scenario.Plan{
+		Axes: []scenario.Axis{
+			{Name: "servers", Values: sizeLabels},
+			{Name: "d", Values: dLabels},
+			{Name: "load", Values: floatLabels(loads)},
+		},
+		Cell: func(_ context.Context, pt scenario.Point) (any, error) {
+			si := pt.Index("servers")
+			d := ds[pt.Index("d")]
+			load := loads[pt.Index("load")]
+			disp, err := farm.NewDispatcher("pd" + strconv.Itoa(d))
+			if err != nil {
+				return nil, err
+			}
+			// The sharded engine's Result is byte-identical at any
+			// Shards/Workers/Slab, so tying Workers to the Env's
+			// parallelism cannot perturb the golden CSV.
+			res, err := farm.SimulateSharded(specs[si], disp, w, farm.Config{
+				Lambda:    load * caps[si],
+				Jobs:      e.Cfg.SimJobs,
+				SizeShape: 4,
+				Seed:      pt.Seed(e.Cfg.Seed, "servers", "load"),
+			}, farm.ShardConfig{Shards: 8, Workers: e.Cfg.Parallelism})
+			if err != nil {
+				return nil, fmt.Errorf("megafarm n=%d pd%d load %.2f: %w", sizes[si], d, load, err)
+			}
+			return res, nil
+		},
+		Reduce: func(cells []any) (*scenario.Result, error) {
+			tbl := scenario.NewTable("megafarm",
+				scenario.IntCol("servers"), scenario.IntCol("d"), scenario.FloatCol("load"),
+				scenario.FloatCol("mean_turnaround"), scenario.FloatCol("p99_turnaround"),
+				scenario.FloatCol("utilisation"), scenario.FloatCol("throughput"),
+				scenario.FloatCol("mean_jobs_in_system"))
+			// turn[si][d index] is the mean turnaround at the highest load,
+			// for the probe-count payoff lines below.
+			turn := make([][]float64, len(sizes))
+			ci := 0
+			for si, n := range sizes {
+				turn[si] = make([]float64, len(ds))
+				for di := range ds {
+					for li, load := range loads {
+						r := cells[ci].(*farm.Result)
+						ci++
+						tbl.Add(n, ds[di], load, r.MeanTurnaround, r.P99Turnaround,
+							r.Utilisation, r.Throughput, r.MeanJobsInSystem)
+						if li == len(loads)-1 {
+							turn[si][di] = r.MeanTurnaround
+						}
+					}
+				}
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "Mega-farm (FCFS servers, sharded engine, pd dispatch, %d jobs/cell)\n", e.Cfg.SimJobs)
+			for si, n := range sizes {
+				fmt.Fprintf(&b, "  capacity n=%d: %.3f\n", n, caps[si])
+			}
+			b.WriteString(tbl.Text())
+			for si, n := range sizes {
+				if turn[si][0] > 0 {
+					fmt.Fprintf(&b, "  n=%d at load %.2f: pd2 mean turnaround is %.1f%% of pd1, pd4 is %.1f%%\n",
+						n, loads[len(loads)-1], 100*turn[si][1]/turn[si][0], 100*turn[si][2]/turn[si][0])
+				}
+			}
+			return &scenario.Result{Value: tbl, Text: b.String(), Tables: []*scenario.Table{tbl}}, nil
+		},
+	}, nil
+}

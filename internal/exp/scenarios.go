@@ -227,6 +227,7 @@ func init() {
 	scenario.Register(FarmScenario(FarmOptions{}))
 	scenario.Register(OnlineScenario(OnlineOptions{}))
 	scenario.Register(HetfarmScenario())
+	scenario.Register(MegafarmScenario())
 	scenario.Register(BurstScenario())
 	scenario.Register(SLOScenario())
 }

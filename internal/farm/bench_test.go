@@ -2,6 +2,7 @@ package farm
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -36,5 +37,49 @@ func BenchmarkFarmScaling(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFarmSharded measures the sharded time-slab engine against the
+// same workload shape: shards=1/workers=1 isolates the lazy per-server
+// advance (O(log n) per event vs the serial engine's O(N) sweep), the
+// NumCPU variant adds slab parallelism on top. Output is pinned across
+// iterations — and across the two shard configurations, since the sharded
+// Result is byte-identical at any Shards/Workers setting.
+func BenchmarkFarmSharded(b *testing.B) {
+	tab := smtTable(b)
+	ncpu := runtime.NumCPU()
+	for _, n := range []int{512, 8192} {
+		specs := make([]ServerSpec, n)
+		for i := range specs {
+			specs[i] = fcfsSpec(tab)
+		}
+		cfg := Config{Lambda: 1.5 * float64(n), Jobs: 4000, SizeShape: 4, Seed: 1}
+		var pin string
+		// On single-core machines the parallel variant still exercises the
+		// multi-shard merge path, just without a second worker.
+		wide := ShardConfig{Shards: ncpu, Workers: ncpu}
+		if ncpu == 1 {
+			wide = ShardConfig{Shards: 8, Workers: 1}
+		}
+		for _, sc := range []ShardConfig{{Shards: 1, Workers: 1}, wide} {
+			b.Run(fmt.Sprintf("servers=%d/shards=%d/workers=%d", n, sc.Shards, sc.Workers), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := SimulateSharded(specs, &RoundRobin{}, w4(), cfg, sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					fp := fmt.Sprintf("%v/%v/%v/%v",
+						res.MeanTurnaround, res.P99Turnaround, res.Throughput, res.Utilisation)
+					if pin == "" {
+						pin = fp
+					} else if fp != pin {
+						b.Fatalf("output drifted across iterations or shard configs:\n%s\nvs\n%s", pin, fp)
+					}
+				}
+			})
+		}
 	}
 }

@@ -3,6 +3,8 @@ package farm
 import (
 	"fmt"
 	"math"
+	"slices"
+	"strconv"
 	"strings"
 
 	"symbiosched/internal/eventsim"
@@ -104,12 +106,102 @@ func (LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, rng *sta
 	return JoinShortestQueue{}.Pick(j, servers, rng)
 }
 
+// PowerOfD is the supermarket-model dispatcher: per arrival it probes D
+// seeded-random distinct servers and places the job on the probed server
+// where it interferes least, by exactly the marginal-InstTP score
+// LeastInterference uses. It interpolates between the farm's extremes:
+//
+//   - D = 1 draws one uniform server index — bit-identical to Random
+//     (same single Intn draw from the same dispatch stream).
+//   - D >= N delegates to LeastInterference verbatim — bit-identical to
+//     li (no RNG draw, same full probe in server index order).
+//
+// Probe sets are drawn from the dispatch stream by rejection sampling
+// and kept sorted ascending, so ties inside the probe set resolve to the
+// lowest server index, like li. When every probed server is saturated
+// the job joins the shortest queue within the probe set — the supermarket
+// model never looks beyond its sample.
+type PowerOfD struct {
+	D int
+
+	probes []int               // sorted probe-set scratch
+	cand   workload.Coschedule // candidate-coschedule scratch
+}
+
+// Name implements Dispatcher.
+func (p *PowerOfD) Name() string { return fmt.Sprintf("pd%d", p.D) }
+
+// sample fills the probe scratch with d distinct uniform server indices
+// out of [0, n), sorted ascending. Rejection sampling keeps the d = 1
+// stream equal to Random's and stays O(d^2) per arrival for d << n.
+func (p *PowerOfD) sample(d, n int, rng *stats.RNG) []int {
+	p.probes = p.probes[:0]
+	for len(p.probes) < d {
+		c := rng.Intn(n)
+		at := 0
+		for at < len(p.probes) && p.probes[at] < c {
+			at++
+		}
+		if at < len(p.probes) && p.probes[at] == c {
+			continue // duplicate: redraw
+		}
+		p.probes = append(p.probes, 0)
+		copy(p.probes[at+1:], p.probes[at:])
+		p.probes[at] = c
+	}
+	return p.probes
+}
+
+// Pick implements Dispatcher.
+func (p *PowerOfD) Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int {
+	d := p.D
+	if d < 1 {
+		d = 1
+	}
+	if d >= len(servers) {
+		return LeastInterference{}.Pick(j, servers, rng)
+	}
+	probes := p.sample(d, len(servers), rng)
+	best, bestGain := -1, math.Inf(-1)
+	for _, i := range probes {
+		sv := servers[i]
+		if sv.JobsInSystem() >= sv.K() {
+			continue
+		}
+		running := sv.Running()
+		p.cand = append(p.cand[:0], running...)
+		p.cand = append(p.cand, j.Type)
+		slices.Sort(p.cand)
+		gain := sv.Rates().InstTP(p.cand)
+		if len(running) > 0 {
+			gain -= sv.Rates().InstTP(running)
+		}
+		if gain > bestGain+1e-12 {
+			best, bestGain = i, gain
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Every probed server is saturated: shortest queue within the probe
+	// set; probes are sorted, so ties go to the lowest index.
+	best, bestLen := probes[0], servers[probes[0]].JobsInSystem()
+	for _, i := range probes[1:] {
+		if n := servers[i].JobsInSystem(); n < bestLen {
+			best, bestLen = i, n
+		}
+	}
+	return best
+}
+
 // DispatcherNames lists the built-in policies in presentation order.
+// The power-of-d family is named separately ("pd", "pd3", ...) so the
+// default list — and every golden output swept over it — is stable.
 var DispatcherNames = []string{"random", "rr", "jsq", "li"}
 
 // NewDispatcher builds a fresh dispatcher by name. Stateful policies
-// (round-robin) must not be shared across simulations, so sweeps call
-// this once per run.
+// (round-robin, power-of-d scratch) must not be shared across
+// simulations, so sweeps call this once per run.
 func NewDispatcher(name string) (Dispatcher, error) {
 	switch name {
 	case "random":
@@ -121,7 +213,18 @@ func NewDispatcher(name string) (Dispatcher, error) {
 	case "li":
 		return LeastInterference{}, nil
 	default:
-		return nil, fmt.Errorf("farm: unknown dispatcher %q (want one of %s)",
+		if rest, ok := strings.CutPrefix(name, "pd"); ok {
+			d := 2
+			if rest != "" {
+				v, err := strconv.Atoi(rest)
+				if err != nil || v < 1 {
+					return nil, fmt.Errorf("farm: bad probe count in dispatcher %q (want pd or pd<d> with d >= 1)", name)
+				}
+				d = v
+			}
+			return &PowerOfD{D: d}, nil
+		}
+		return nil, fmt.Errorf("farm: unknown dispatcher %q (want one of %s, or pd[<d>])",
 			name, strings.Join(DispatcherNames, ", "))
 	}
 }

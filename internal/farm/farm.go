@@ -162,46 +162,53 @@ type Result struct {
 	PerServer []ServerStats
 }
 
-// Simulate runs one farm experiment: Poisson arrivals at cfg.Lambda over
-// workload w, routed by d over fresh servers built from specs.
-func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+// validate checks the (specs, workload, config) triple shared by the
+// serial and sharded entry points. cfg must already carry its defaults.
+func validate(specs []ServerSpec, w workload.Workload, cfg Config) error {
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("farm: no servers")
+		return fmt.Errorf("farm: no servers")
 	}
 	if cfg.Lambda <= 0 {
-		return nil, fmt.Errorf("farm: non-positive arrival rate %v", cfg.Lambda)
+		return fmt.Errorf("farm: non-positive arrival rate %v", cfg.Lambda)
 	}
 	if len(cfg.Schedule) > 0 {
 		positive := false
 		for i, ph := range cfg.Schedule {
 			if ph.Duration <= 0 {
-				return nil, fmt.Errorf("farm: schedule phase %d has non-positive duration %v", i, ph.Duration)
+				return fmt.Errorf("farm: schedule phase %d has non-positive duration %v", i, ph.Duration)
 			}
 			if ph.Rate < 0 {
-				return nil, fmt.Errorf("farm: schedule phase %d has negative rate %v", i, ph.Rate)
+				return fmt.Errorf("farm: schedule phase %d has negative rate %v", i, ph.Rate)
 			}
 			if ph.Rate > 0 {
 				positive = true
 			}
 		}
 		if !positive {
-			return nil, fmt.Errorf("farm: schedule has no positive-rate phase")
+			return fmt.Errorf("farm: schedule has no positive-rate phase")
 		}
 	}
 	if len(w) == 0 {
-		return nil, fmt.Errorf("farm: empty workload")
+		return fmt.Errorf("farm: empty workload")
 	}
+	return nil
+}
 
+// buildServers constructs one fresh server per spec — scheduler,
+// estimator wiring and all — and returns them with the farm's total
+// context count. Both Simulate and SimulateSharded build their fleets
+// here, so a server's construction (and its estimator's seed) never
+// depends on the engine driving it.
+func buildServers(specs []ServerSpec, w workload.Workload, cfg Config) ([]*eventsim.Server, int, error) {
 	servers := make([]*eventsim.Server, len(specs))
 	totalContexts := 0
 	for i, sp := range specs {
 		if sp.Table == nil || sp.Sched == nil {
-			return nil, fmt.Errorf("farm: server %d has no table or scheduler", i)
+			return nil, 0, fmt.Errorf("farm: server %d has no table or scheduler", i)
 		}
 		for _, b := range w {
 			if b < 0 || b >= len(sp.Table.Suite()) {
-				return nil, fmt.Errorf("farm: job type %d outside server %d's %d-benchmark table", b, i, len(sp.Table.Suite()))
+				return nil, 0, fmt.Errorf("farm: job type %d outside server %d's %d-benchmark table", b, i, len(sp.Table.Suite()))
 			}
 		}
 		rs := online.RateSource(sp.Table)
@@ -211,13 +218,13 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 			// cfg.Seed is already replication-specific (ReplicationSeed),
 			// so (replication, server) pairs learn on independent streams.
 			if est, err = sp.Estimator(cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15); err != nil {
-				return nil, fmt.Errorf("farm: server %d estimator: %w", i, err)
+				return nil, 0, fmt.Errorf("farm: server %d estimator: %w", i, err)
 			}
 			rs = est
 		}
 		s, err := sp.Sched(rs)
 		if err != nil {
-			return nil, fmt.Errorf("farm: server %d scheduler: %w", i, err)
+			return nil, 0, fmt.Errorf("farm: server %d scheduler: %w", i, err)
 		}
 		servers[i] = eventsim.NewServer(sp.Table, s)
 		if est != nil {
@@ -225,6 +232,20 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 			servers[i].SetObserver(est)
 		}
 		totalContexts += sp.Table.K()
+	}
+	return servers, totalContexts, nil
+}
+
+// Simulate runs one farm experiment: Poisson arrivals at cfg.Lambda over
+// workload w, routed by d over fresh servers built from specs.
+func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(specs, w, cfg); err != nil {
+		return nil, err
+	}
+	servers, totalContexts, err := buildServers(specs, w, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	// Three independent streams, so every dispatcher sees the same
@@ -259,7 +280,10 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	// every server, and only servers whose completion horizon moved pay a
 	// sift. The heap's minimum is the exact minimum of the same cached
 	// values the former scan compared, so event times are bit-identical.
-	h := newTTCHeap(len(servers))
+	// (The serial loop keys the shared eventsim.TimeHeap by relative
+	// time-to-completion deltas; the sharded engine keys its per-group
+	// heaps by absolute times.)
+	h := eventsim.NewTimeHeap(len(servers))
 
 	dispatch := func(j *sched.Job) error {
 		ti := d.Pick(j, servers, drng)
@@ -323,7 +347,13 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	if now <= 0 {
 		return nil, fmt.Errorf("farm: experiment completed no work")
 	}
+	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, turnarounds), nil
+}
 
+// assembleResult folds the per-server integrals and the turnaround
+// sample into a Result. It is shared by the serial and sharded engines:
+// the same Kahan fold in the same server order over the same inputs.
+func assembleResult(d Dispatcher, servers []*eventsim.Server, totalContexts int, cfg Config, now float64, completed, counted int, turnaround numeric.KahanSum, turnarounds []float64) *Result {
 	res := &Result{
 		Dispatcher: d.Name(),
 		Servers:    len(servers),
@@ -366,7 +396,7 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 			res.SLOAttainment = float64(met) / float64(counted)
 		}
 	}
-	return res, nil
+	return res
 }
 
 // arrivalStream returns the next-arrival generator over the arrival RNG:

@@ -1,0 +1,291 @@
+package farm
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"symbiosched/internal/eventsim"
+	"symbiosched/internal/numeric"
+	"symbiosched/internal/stats"
+	"symbiosched/internal/workload"
+)
+
+// ShardConfig parameterises the sharded farm engine. Every field is a
+// pure execution knob: SimulateSharded's Result is byte-identical for
+// any combination of Shards, Workers and Slab — the engine's output
+// depends only on (specs, dispatcher, workload, Config).
+type ShardConfig struct {
+	// Shards is the number of contiguous server partitions advanced
+	// independently between synchronization points (default 8, clamped
+	// to the server count).
+	Shards int
+	// Workers bounds the goroutines advancing shards within one slab
+	// (default GOMAXPROCS). Workers <= 1 runs the slab phase inline.
+	Workers int
+	// Slab, when positive, caps the length of one synchronization slab
+	// in simulated time; otherwise slabs run arrival to arrival. Shorter
+	// slabs only add synchronization points, never change results.
+	Slab float64
+}
+
+func (sc ShardConfig) withDefaults(n int) ShardConfig {
+	if sc.Shards <= 0 {
+		sc.Shards = 8
+	}
+	if sc.Shards > n {
+		sc.Shards = n
+	}
+	if sc.Workers <= 0 {
+		sc.Workers = runtime.GOMAXPROCS(0)
+	}
+	return sc
+}
+
+// SimulateSharded runs one farm experiment on the sharded engine: the
+// servers are partitioned into contiguous shards, each wrapped in an
+// eventsim.Group with lazy per-server clocks, and the shards advance in
+// parallel to a common horizon per time slab. A slab's horizon is the
+// next arrival (so every dispatch decision happens at its exact time,
+// with every completion up to it already applied — the serial tie rule),
+// optionally capped by sc.Slab.
+//
+// Determinism does not come from lockstep advancement but from three
+// ordering rules (see DESIGN.md, "Time-slab determinism"): each server
+// advances only at its own events, so its float arithmetic is a function
+// of its own event times; each shard processes completions in (time,
+// server index) order; and the coordinator merges shard completion lists
+// back into one global (time, server index) order before folding the
+// turnaround statistics. The Result is therefore byte-identical at any
+// Shards/Workers/Slab setting. Against the serial Simulate the advance
+// partitioning differs, so results agree only to float tolerance — the
+// serial engine remains the golden reference for the lockstep contract.
+//
+// Complexity per event is O(log n_shard) instead of the serial engine's
+// O(N) advance sweep, which is what makes 100k-server farms feasible.
+func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config, sc ShardConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(specs, w, cfg); err != nil {
+		return nil, err
+	}
+	servers, totalContexts, err := buildServers(specs, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc = sc.withDefaults(len(servers))
+
+	// Contiguous near-equal partition; shardOf maps a global server index
+	// to its shard, base to the shard's first global index.
+	base := make([]int, sc.Shards+1)
+	for s := 0; s <= sc.Shards; s++ {
+		base[s] = s * len(servers) / sc.Shards
+	}
+	groups := make([]*eventsim.Group, sc.Shards)
+	shardOf := make([]int, len(servers))
+	for s := 0; s < sc.Shards; s++ {
+		groups[s] = eventsim.NewGroup(servers[base[s]:base[s+1]])
+		for i := base[s]; i < base[s+1]; i++ {
+			shardOf[i] = s
+		}
+	}
+
+	// The same three RNG streams, seeded identically to Simulate, so both
+	// engines see the same arrival process and dispatch draws.
+	arng := stats.NewRNG(cfg.Seed)
+	drng := stats.NewRNG(cfg.Seed ^ 0xd1b54a32d192ed03)
+	newJob := eventsim.NewJobStream(w, eventsim.LatencyConfig{
+		Lambda:    cfg.Lambda,
+		Jobs:      cfg.Jobs,
+		Warmup:    cfg.Warmup,
+		JobSize:   cfg.JobSize,
+		SizeShape: cfg.SizeShape,
+		Seed:      cfg.Seed,
+	})
+	nextArrivalAfter := arrivalStream(cfg, arng)
+	// now is the observable event clock: the time of the last folded
+	// completion or dispatched arrival. It becomes Result.Elapsed, so it
+	// must never touch a slab boundary (a pure execution artefact) —
+	// frontier tracks those separately.
+	var now, frontier float64
+	nextArrival := nextArrivalAfter(0)
+	arrivalsLeft := cfg.Jobs
+
+	var turnaround numeric.KahanSum
+	expected := cfg.Jobs - cfg.Warmup
+	if expected < 0 {
+		expected = 0
+	}
+	turnarounds := make([]float64, 0, expected)
+	completed, counted := 0, 0
+
+	// fold counts one completion into the turnaround statistics. Callers
+	// must deliver completions in global (time, server index) order.
+	fold := func(c eventsim.Completion) {
+		completed++
+		if completed > cfg.Warmup {
+			tr := c.T - c.Job.Arrival
+			turnaround.Add(tr)
+			turnarounds = append(turnarounds, tr)
+			counted++
+		}
+		if c.T > now {
+			now = c.T
+		}
+	}
+
+	// Per-slab scratch: the active shard list, each active shard's
+	// completion list (group-owned scratch, consumed before the next call
+	// into that group) and its error slot.
+	active := make([]int, 0, sc.Shards)
+	comps := make([][]eventsim.Completion, sc.Shards)
+	errs := make([]error, sc.Shards)
+	heads := make([]int, sc.Shards)
+
+	// runSlab advances every active shard to the horizon, bounded by
+	// sc.Workers goroutines. Shards are data-independent within a slab,
+	// so execution order is free; determinism is restored by the merge.
+	runSlab := func(horizon float64) error {
+		if len(active) == 0 {
+			return nil
+		}
+		if sc.Workers <= 1 || len(active) == 1 {
+			for _, s := range active {
+				comps[s], errs[s] = groups[s].AdvanceTo(horizon)
+			}
+		} else {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			nw := sc.Workers
+			if nw > len(active) {
+				nw = len(active)
+			}
+			wg.Add(nw)
+			for k := 0; k < nw; k++ {
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(active) {
+							return
+						}
+						s := active[i]
+						comps[s], errs[s] = groups[s].AdvanceTo(horizon)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		for _, s := range active {
+			if errs[s] != nil {
+				return errs[s]
+			}
+		}
+		// Merge the shard completion lists into one global (time, server
+		// index) stream. Each list is already (time, local index)-sorted
+		// and shard s's servers all precede shard s+1's, so a plain k-way
+		// min-merge over the heads reproduces the global event order.
+		for _, s := range active {
+			heads[s] = 0
+		}
+		for {
+			bestS := -1
+			var bestT float64
+			bestG := 0
+			for _, s := range active {
+				if heads[s] >= len(comps[s]) {
+					continue
+				}
+				c := comps[s][heads[s]]
+				g := base[s] + c.Server
+				if bestS < 0 || c.T < bestT || (c.T == bestT && g < bestG) {
+					bestS, bestT, bestG = s, c.T, g
+				}
+			}
+			if bestS < 0 {
+				return nil
+			}
+			fold(comps[bestS][heads[bestS]])
+			heads[bestS]++
+		}
+	}
+
+	minEvent := func() float64 {
+		ev := math.Inf(1)
+		for _, g := range groups {
+			if e := g.NextEvent(); e < ev {
+				ev = e
+			}
+		}
+		return ev
+	}
+
+	for completed < cfg.Jobs {
+		// Choose the slab horizon: the next arrival, optionally capped by
+		// the slab length. Empty capped slabs (no completion before the
+		// cap) are skipped wholesale — slab boundaries with no events are
+		// unobservable, so jumping to the next event changes nothing.
+		horizon := math.Inf(1)
+		arrivalDue := false
+		if arrivalsLeft > 0 {
+			horizon = nextArrival
+			arrivalDue = true
+			if sc.Slab > 0 && frontier+sc.Slab < nextArrival {
+				if ev := minEvent(); ev <= frontier+sc.Slab {
+					horizon, arrivalDue = frontier+sc.Slab, false
+				} else if ev < nextArrival {
+					horizon, arrivalDue = ev, false
+				}
+			}
+		}
+		active = active[:0]
+		for s, g := range groups {
+			if e := g.NextEvent(); !math.IsInf(e, 1) && e <= horizon {
+				active = append(active, s)
+			}
+		}
+		if !arrivalDue && len(active) == 0 {
+			break // drained: nothing running, no arrivals left
+		}
+		if err := runSlab(horizon); err != nil {
+			return nil, err
+		}
+		if !math.IsInf(horizon, 1) && horizon > frontier {
+			frontier = horizon
+		}
+		if arrivalDue {
+			now = nextArrival
+			j := newJob(now)
+			ti := d.Pick(j, servers, drng)
+			if ti < 0 || ti >= len(servers) {
+				return nil, fmt.Errorf("farm: dispatcher %s picked server %d of %d", d.Name(), ti, len(servers))
+			}
+			s := shardOf[ti]
+			done, err := groups[s].Deliver(now, ti-base[s], j)
+			if err != nil {
+				return nil, err
+			}
+			// Jobs finishing within the completion epsilon at the arrival
+			// instant fold at time now, after the slab's merge — still in
+			// global time order.
+			for _, c := range done {
+				fold(c)
+			}
+			arrivalsLeft--
+			if arrivalsLeft > 0 {
+				nextArrival = nextArrivalAfter(now)
+			}
+		}
+	}
+	if now <= 0 {
+		return nil, fmt.Errorf("farm: experiment completed no work")
+	}
+	// Close every server's busy/empty integral at the common end time.
+	for s, g := range groups {
+		if err := g.SettleTo(now); err != nil {
+			return nil, fmt.Errorf("farm: shard %d: %w", s, err)
+		}
+	}
+	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, turnarounds), nil
+}

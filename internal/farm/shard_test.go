@@ -1,0 +1,276 @@
+package farm
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"symbiosched/internal/perfdb"
+	"symbiosched/internal/program"
+	"symbiosched/internal/workload"
+)
+
+// shardFingerprint renders every field of a Result except the dispatcher
+// label, so runs of the same policy under different engines or labels
+// can be diffed bit for bit.
+func shardFingerprint(r *Result) string {
+	c := *r
+	c.Dispatcher = ""
+	return fmt.Sprintf("%+v", c)
+}
+
+func relErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// TestShardedMatchesSerialFarm cross-validates the two engines: the
+// sharded coordinator advances each server only at its own events, so
+// its float arithmetic partitions intervals differently from the serial
+// lockstep loop — but both process the same events with the same RNG
+// streams, so every metric must agree to tight float tolerance and
+// dispatch counts must agree exactly.
+func TestShardedMatchesSerialFarm(t *testing.T) {
+	tab := smtTable(t)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab)}
+	for _, disp := range []string{"random", "rr", "jsq", "li", "pd2"} {
+		cfg := Config{Lambda: 6.0, Jobs: 4000, SizeShape: 4, Seed: 11}
+		ds, err := NewDispatcher(disp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := Simulate(specs, ds, w4(), cfg)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", disp, err)
+		}
+		dd, _ := NewDispatcher(disp)
+		sharded, err := SimulateSharded(specs, dd, w4(), cfg, ShardConfig{Shards: 3, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: sharded: %v", disp, err)
+		}
+		if sharded.Completed != serial.Completed || sharded.Counted != serial.Counted {
+			t.Errorf("%s: counts differ: sharded %d/%d vs serial %d/%d",
+				disp, sharded.Completed, sharded.Counted, serial.Completed, serial.Counted)
+		}
+		for i := range serial.PerServer {
+			if sharded.PerServer[i].Dispatched != serial.PerServer[i].Dispatched {
+				t.Errorf("%s: server %d dispatched %d (sharded) vs %d (serial)",
+					disp, i, sharded.PerServer[i].Dispatched, serial.PerServer[i].Dispatched)
+			}
+		}
+		checks := []struct {
+			name      string
+			got, want float64
+		}{
+			{"mean turnaround", sharded.MeanTurnaround, serial.MeanTurnaround},
+			{"p50", sharded.P50Turnaround, serial.P50Turnaround},
+			{"p99", sharded.P99Turnaround, serial.P99Turnaround},
+			{"utilisation", sharded.Utilisation, serial.Utilisation},
+			{"empty fraction", sharded.EmptyFraction, serial.EmptyFraction},
+			{"throughput", sharded.Throughput, serial.Throughput},
+			{"elapsed", sharded.Elapsed, serial.Elapsed},
+		}
+		for _, c := range checks {
+			if relErr(c.got, c.want) > 1e-9 {
+				t.Errorf("%s: %s diverges: sharded %v vs serial %v", disp, c.name, c.got, c.want)
+			}
+		}
+	}
+}
+
+// TestShardedInvariantToShardConfig pins the tentpole contract, and then
+// some: the ISSUE demands byte-identical output at shard parallelism 1
+// vs NumCPU, and the engine delivers bit-identity across the full knob
+// space — shard counts, worker counts and slab lengths — because every
+// server's float arithmetic is a function of its own event times only.
+func TestShardedInvariantToShardConfig(t *testing.T) {
+	tab := smtTable(t)
+	specs := make([]ServerSpec, 7)
+	for i := range specs {
+		specs[i] = fcfsSpec(tab)
+	}
+	cfg := Config{Lambda: 9.0, Jobs: 3000, SizeShape: 4, Seed: 13}
+	var ref string
+	var refSC ShardConfig
+	for _, sc := range []ShardConfig{
+		{Shards: 1, Workers: 1},
+		{Shards: 1, Workers: runtime.NumCPU()},
+		{Shards: 3, Workers: 1},
+		{Shards: 3, Workers: runtime.NumCPU(), Slab: 0.05},
+		{Shards: 7, Workers: 2, Slab: 1.7},
+		{Shards: 64, Workers: runtime.NumCPU()}, // clamped to the server count
+	} {
+		d, _ := NewDispatcher("pd2")
+		res, err := SimulateSharded(specs, d, w4(), cfg, sc)
+		if err != nil {
+			t.Fatalf("%+v: %v", sc, err)
+		}
+		fp := fmt.Sprintf("%+v", res)
+		if ref == "" {
+			ref, refSC = fp, sc
+			continue
+		}
+		if fp != ref {
+			t.Errorf("sharded result differs between %+v and %+v:\n%s\nvs\n%s", refSC, sc, ref, fp)
+		}
+	}
+}
+
+// TestShardedDeterministicUnderGOMAXPROCS is the -race stress test: one
+// process runs the sharded farm at GOMAXPROCS 1, 2 and NumCPU and diffs
+// the full result structs. Under `go test -race` this also proves the
+// slab barrier publishes every shard's state safely.
+func TestShardedDeterministicUnderGOMAXPROCS(t *testing.T) {
+	tab := smtTable(t)
+	specs := make([]ServerSpec, 8)
+	for i := range specs {
+		specs[i] = fcfsSpec(tab)
+	}
+	cfg := Config{Lambda: 10.0, Jobs: 3000, SizeShape: 4, Seed: 17}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var ref string
+	var refP int
+	for _, p := range []int{1, 2, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(p)
+		d, _ := NewDispatcher("li")
+		res, err := SimulateSharded(specs, d, w4(), cfg, ShardConfig{Shards: 4, Workers: p})
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", p, err)
+		}
+		fp := fmt.Sprintf("%+v", res)
+		if ref == "" {
+			ref, refP = fp, p
+			continue
+		}
+		if fp != ref {
+			t.Errorf("result differs between GOMAXPROCS=%d and %d:\n%s\nvs\n%s", refP, p, ref, fp)
+		}
+	}
+}
+
+// TestShardedHeterogeneousAndScheduled exercises the coordinator off the
+// happy path: heterogeneous tables and a bursty cyclic arrival schedule
+// with a zero-rate trough (slab boundaries straddle phase boundaries).
+func TestShardedHeterogeneousAndScheduled(t *testing.T) {
+	uni := perfdb.Build(perfdb.UniformModel{K: 4}, program.Suite()[:4])
+	specs := []ServerSpec{fcfsSpec(smtTable(t)), fcfsSpec(uni), fcfsSpec(smtTable(t))}
+	cfg := Config{
+		Lambda:    3.0,
+		Schedule:  []Phase{{Duration: 2, Rate: 6.0}, {Duration: 1, Rate: 0}, {Duration: 3, Rate: 2.0}},
+		Jobs:      3000,
+		SizeShape: 4,
+		Seed:      19,
+	}
+	d1, _ := NewDispatcher("li")
+	serial, err := Simulate(specs, d1, w4(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := NewDispatcher("li")
+	sharded, err := SimulateSharded(specs, d2, w4(), cfg, ShardConfig{Shards: 3, Workers: 2, Slab: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Completed != serial.Completed {
+		t.Errorf("completed %d (sharded) vs %d (serial)", sharded.Completed, serial.Completed)
+	}
+	if relErr(sharded.MeanTurnaround, serial.MeanTurnaround) > 1e-9 {
+		t.Errorf("turnaround diverges: %v vs %v", sharded.MeanTurnaround, serial.MeanTurnaround)
+	}
+	if relErr(sharded.Elapsed, serial.Elapsed) > 1e-9 {
+		t.Errorf("elapsed diverges: %v vs %v", sharded.Elapsed, serial.Elapsed)
+	}
+}
+
+// FuzzShardSlabExchange fuzzes the shard-boundary exchange the way the
+// heap is fuzzed against a reference scan: random slab lengths, shard
+// counts and bursty schedules (arrival bursts straddling slab
+// boundaries) against the unsharded event loop as the reference, plus
+// the engine's own invariance between worker counts 1 and NumCPU.
+func FuzzShardSlabExchange(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint8(2), uint8(4))
+	f.Add(uint64(7), uint16(250), uint8(3), uint8(16))
+	f.Add(uint64(42), uint16(10), uint8(5), uint8(1))
+	f.Add(uint64(9000), uint16(65535), uint8(1), uint8(7))
+	f.Fuzz(func(t *testing.T, seed uint64, slabMilli uint16, shards, burst uint8) {
+		tab := smtTable(t)
+		specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab)}
+		cfg := Config{Lambda: 5.0, Jobs: 600, SizeShape: 4, Seed: seed%1024 + 1}
+		if burst > 0 {
+			// A cyclic burst/trough schedule whose bursts straddle slab
+			// boundaries: rate 1+burst for half a unit, silence after.
+			cfg.Schedule = []Phase{
+				{Duration: 0.5, Rate: float64(burst) + 1},
+				{Duration: 0.25 + float64(seed%7)/4, Rate: 0.5},
+			}
+		}
+		d1, _ := NewDispatcher("li")
+		serial, err := Simulate(specs, d1, w4(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := ShardConfig{
+			Shards:  int(shards%8) + 1,
+			Workers: 1,
+			Slab:    float64(slabMilli) / 1000,
+		}
+		d2, _ := NewDispatcher("li")
+		sharded, err := SimulateSharded(specs, d2, w4(), cfg, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Event-order equivalence with the unsharded farm: same events,
+		// same dispatch stream, metrics equal to float tolerance.
+		if sharded.Completed != serial.Completed || sharded.Counted != serial.Counted {
+			t.Fatalf("counts differ: sharded %d/%d vs serial %d/%d",
+				sharded.Completed, sharded.Counted, serial.Completed, serial.Counted)
+		}
+		for i := range serial.PerServer {
+			if sharded.PerServer[i].Dispatched != serial.PerServer[i].Dispatched {
+				t.Fatalf("server %d dispatched %d (sharded) vs %d (serial)",
+					i, sharded.PerServer[i].Dispatched, serial.PerServer[i].Dispatched)
+			}
+		}
+		if relErr(sharded.MeanTurnaround, serial.MeanTurnaround) > 1e-6 ||
+			relErr(sharded.Elapsed, serial.Elapsed) > 1e-6 ||
+			relErr(sharded.Throughput, serial.Throughput) > 1e-6 {
+			t.Fatalf("metrics diverge:\nsharded %+v\nserial  %+v", sharded, serial)
+		}
+		// Bit-identity across worker counts for the same slab geometry.
+		d3, _ := NewDispatcher("li")
+		wide, err := SimulateSharded(specs, d3, w4(), cfg, ShardConfig{
+			Shards: sc.Shards, Workers: runtime.NumCPU(), Slab: sc.Slab,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := fmt.Sprintf("%+v", sharded), fmt.Sprintf("%+v", wide); a != b {
+			t.Fatalf("workers 1 vs NumCPU differ:\n%s\nvs\n%s", a, b)
+		}
+	})
+}
+
+// TestShardedWarmupExceedsJobs mirrors the serial edge case.
+func TestShardedWarmupExceedsJobs(t *testing.T) {
+	tab := uniformTable(1)
+	d, _ := NewDispatcher("rr")
+	res, err := SimulateSharded([]ServerSpec{fcfsSpec(tab)}, d, workload.Workload{0},
+		Config{Lambda: 0.5, Jobs: 50, Warmup: 100, SizeShape: 1}, ShardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counted != 0 || res.MeanTurnaround != 0 {
+		t.Errorf("counted %d turnaround %v, want 0, 0", res.Counted, res.MeanTurnaround)
+	}
+	if res.Completed != 50 {
+		t.Errorf("completed %d, want 50", res.Completed)
+	}
+}

@@ -102,6 +102,25 @@ func Replicate(specs []ServerSpec, disp string, w workload.Workload, cfg Config,
 	return Replication{Seed: rcfg.Seed, Result: res}, nil
 }
 
+// ReplicateSharded is Replicate on the sharded engine: the same
+// dispatcher construction and per-replication seed derivation, executed
+// by SimulateSharded under sc. Since the sharded engine's output is
+// byte-identical at any ShardConfig, a sharded replication differs from
+// its serial twin only by the engines' float-advance partitioning.
+func ReplicateSharded(specs []ServerSpec, disp string, w workload.Workload, cfg Config, sc ShardConfig, i int) (Replication, error) {
+	d, err := NewDispatcher(disp)
+	if err != nil {
+		return Replication{}, err
+	}
+	rcfg := cfg.withDefaults()
+	rcfg.Seed = ReplicationSeed(rcfg.Seed, i)
+	res, err := SimulateSharded(specs, d, w, rcfg, sc)
+	if err != nil {
+		return Replication{}, err
+	}
+	return Replication{Seed: rcfg.Seed, Result: res}, nil
+}
+
 // Sweep runs reps independent replications of the farm configuration
 // (specs, dispatcher named disp, workload w, cfg with per-replication
 // seeds derived from cfg.Seed) through the shared runner engine and
