@@ -59,7 +59,7 @@ func main() {
 		}
 		// The symbiosis-aware dispatcher reduces to "the one server" at
 		// N=1, so the farm-of-1 runs are exactly the paper's scenario.
-		res, err := farm.Simulate(specs, farm.LeastInterference{}, w, farm.Config{
+		res, err := farm.Simulate(specs, &farm.LeastInterference{}, w, farm.Config{
 			Lambda:    lambda,
 			Jobs:      *jobs,
 			SizeShape: 4, // jobs of "approximately the same size"

@@ -33,7 +33,7 @@ func w4() workload.Workload { return workload.Workload{0, 1, 2, 3} }
 
 func TestLatencyLowLoadTurnaroundNearServiceTime(t *testing.T) {
 	tb := table(t)
-	res, err := Latency(tb, w4(), sched.FCFS{}, LatencyConfig{
+	res, err := Latency(tb, w4(), &sched.FCFS{}, LatencyConfig{
 		Lambda: 0.01, Jobs: 3000, Seed: 1,
 	})
 	if err != nil {
@@ -54,7 +54,7 @@ func TestLatencyThroughputEqualsArrivalRate(t *testing.T) {
 	tb := table(t)
 	fcfsMax := core.FCFS(tb, w4(), core.FCFSConfig{Jobs: 20_000, Seed: 3}).Throughput
 	lambda := 0.7 * fcfsMax
-	res, err := Latency(tb, w4(), sched.FCFS{}, LatencyConfig{
+	res, err := Latency(tb, w4(), &sched.FCFS{}, LatencyConfig{
 		Lambda: lambda, Jobs: 20_000, Seed: 2,
 	})
 	if err != nil {
@@ -70,7 +70,7 @@ func TestTurnaroundGrowsWithLoad(t *testing.T) {
 	fcfsMax := core.FCFS(tb, w4(), core.FCFSConfig{Jobs: 20_000, Seed: 3}).Throughput
 	var prev float64
 	for i, load := range []float64{0.5, 0.8, 0.95} {
-		res, err := Latency(tb, w4(), sched.FCFS{}, LatencyConfig{
+		res, err := Latency(tb, w4(), &sched.FCFS{}, LatencyConfig{
 			Lambda: load * fcfsMax, Jobs: 15_000, Seed: 4,
 		})
 		if err != nil {
@@ -85,7 +85,7 @@ func TestTurnaroundGrowsWithLoad(t *testing.T) {
 
 func TestUtilisationBounded(t *testing.T) {
 	tb := table(t)
-	res, err := Latency(tb, w4(), sched.FCFS{}, LatencyConfig{Lambda: 1, Jobs: 5000, Seed: 5})
+	res, err := Latency(tb, w4(), &sched.FCFS{}, LatencyConfig{Lambda: 1, Jobs: 5000, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestMaxThroughputMatchesFCFSReference(t *testing.T) {
 	// core.FCFS fully-loaded simulation (same process, different code path).
 	tb := table(t)
 	ref := core.FCFS(tb, w4(), core.FCFSConfig{Jobs: 30_000, Seed: 6}).Throughput
-	res, err := MaxThroughput(tb, w4(), sched.FCFS{}, MaxThroughputConfig{Jobs: 30_000, Seed: 7})
+	res, err := MaxThroughput(tb, w4(), &sched.FCFS{}, MaxThroughputConfig{Jobs: 30_000, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestSRPTMatchesFCFSMaxThroughput(t *testing.T) {
 	// Paper, Figure 6: "The SRPT scheduler has the same maximum throughput
 	// as the FCFS scheduler" (within noise).
 	tb := table(t)
-	fcfs, err := MaxThroughput(tb, w4(), sched.FCFS{}, MaxThroughputConfig{Jobs: 25_000, Seed: 9})
+	fcfs, err := MaxThroughput(tb, w4(), &sched.FCFS{}, MaxThroughputConfig{Jobs: 25_000, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestSRPTMatchesFCFSMaxThroughput(t *testing.T) {
 func TestErlangSizesMeanPreserved(t *testing.T) {
 	tb := table(t)
 	for _, shape := range []int{1, 4} {
-		res, err := Latency(tb, w4(), sched.FCFS{}, LatencyConfig{
+		res, err := Latency(tb, w4(), &sched.FCFS{}, LatencyConfig{
 			Lambda: 0.2, Jobs: 20_000, SizeShape: shape, Seed: 10,
 		})
 		if err != nil {
@@ -177,7 +177,7 @@ func TestLatencyAgainstMMCIntuition(t *testing.T) {
 	tb := table(t)
 	fcfsMax := core.FCFS(tb, w4(), core.FCFSConfig{Jobs: 20_000, Seed: 3}).Throughput
 	load := 0.85
-	res, err := Latency(tb, w4(), sched.FCFS{}, LatencyConfig{
+	res, err := Latency(tb, w4(), &sched.FCFS{}, LatencyConfig{
 		Lambda: load * fcfsMax, Jobs: 25_000, SizeShape: 1, Seed: 11,
 	})
 	if err != nil {
@@ -195,7 +195,7 @@ func TestLatencyAgainstMMCIntuition(t *testing.T) {
 
 func TestInvalidConfig(t *testing.T) {
 	tb := table(t)
-	if _, err := Latency(tb, w4(), sched.FCFS{}, LatencyConfig{Lambda: 0}); err == nil {
+	if _, err := Latency(tb, w4(), &sched.FCFS{}, LatencyConfig{Lambda: 0}); err == nil {
 		t.Error("expected error for zero arrival rate")
 	}
 }
@@ -203,11 +203,11 @@ func TestInvalidConfig(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	tb := table(t)
 	cfg := LatencyConfig{Lambda: 0.8, Jobs: 3000, Seed: 12}
-	a, err := Latency(tb, w4(), sched.FCFS{}, cfg)
+	a, err := Latency(tb, w4(), &sched.FCFS{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Latency(tb, w4(), sched.FCFS{}, cfg)
+	b, err := Latency(tb, w4(), &sched.FCFS{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,7 @@ import (
 
 func TestMakespanBasicInvariants(t *testing.T) {
 	tb := table(t)
-	res, err := Makespan(tb, w4(), sched.FCFS{}, MakespanConfig{Batch: 8, Seed: 3})
+	res, err := Makespan(tb, w4(), &sched.FCFS{}, MakespanConfig{Batch: 8, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

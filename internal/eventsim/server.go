@@ -65,6 +65,17 @@ type Server struct {
 	done     []*sched.Job        // completion scratch returned by Advance
 	prog     []float64           // scratch per-slot progress for the observer
 
+	// Marginal-InstTP dispatch cache: marg[b] is the decision-rate gain of
+	// adding one type-b job next to the running coschedule, valid while
+	// (margKey, margEp) still matches (canonKey, rates epoch). margSet
+	// distinguishes "never filled" from the idle key 0.
+	marg     []float64
+	margOK   []bool
+	margCand workload.Coschedule
+	margKey  uint64
+	margEp   uint64
+	margSet  bool
+
 	busy, empty, work numeric.KahanSum
 	dispatched        int
 }
@@ -115,6 +126,46 @@ func (sv *Server) Dispatched() int { return sv.dispatched }
 // must not mutate or retain it. Symbiosis-aware dispatchers probe it
 // against the table.
 func (sv *Server) Running() workload.Coschedule { return sv.canon }
+
+// MarginalInstTP returns the decision-rate gain of routing one job of
+// type b here: Rates().InstTP of the running coschedule plus the job,
+// minus Rates().InstTP of the running coschedule alone (for an idle
+// server, just the job's solo score). It is the score symbiosis-aware
+// dispatchers (farm's li and pd families) maximise, computed exactly as
+// their old inline probes did — same canonical multisets, same
+// subtraction — but cached per (running-coschedule key, rate epoch):
+// the gain depends only on those two and b, so between events that touch
+// neither, repeated arrivals hit the cache instead of re-probing the
+// source. The scratch is per-server and lazily sized to the suite, so
+// steady-state probes are allocation-free.
+func (sv *Server) MarginalInstTP(b int) float64 {
+	ep := sv.rates.Epoch()
+	if !sv.margSet || sv.margKey != sv.canonKey || sv.margEp != ep {
+		if sv.marg == nil {
+			n := len(sv.table.Suite())
+			sv.marg = make([]float64, n)
+			sv.margOK = make([]bool, n)
+		}
+		clear(sv.margOK)
+		sv.margKey, sv.margEp, sv.margSet = sv.canonKey, ep, true
+	}
+	if sv.margOK[b] {
+		return sv.marg[b]
+	}
+	// canon is sorted; inserting b keeps it canonical — the same multiset
+	// the dispatchers' old per-arrival NewCoschedule built.
+	sv.margCand = append(sv.margCand[:0], sv.canon...)
+	sv.margCand = append(sv.margCand, b)
+	for i := len(sv.margCand) - 1; i > 0 && sv.margCand[i-1] > b; i-- {
+		sv.margCand[i], sv.margCand[i-1] = sv.margCand[i-1], sv.margCand[i]
+	}
+	gain := sv.rates.InstTP(sv.margCand)
+	if len(sv.canon) > 0 {
+		gain -= sv.rates.InstTP(sv.canon)
+	}
+	sv.marg[b], sv.margOK[b] = gain, true
+	return gain
+}
 
 // Add enqueues a job. The server must be rescheduled before the next
 // TimeToNextCompletion/Advance. Jobs must be added in nondecreasing ID

@@ -34,7 +34,7 @@ func (r *recordingObserver) ObserveInterval(cos workload.Coschedule, dt float64,
 func TestServerObservationHook(t *testing.T) {
 	tb := table(t)
 	rec := &recordingObserver{}
-	sv := NewServer(tb, sched.FCFS{})
+	sv := NewServer(tb, &sched.FCFS{})
 	sv.SetObserver(rec)
 	sv.Advance(1) // idle: no observation
 	sv.Add(&sched.Job{ID: 0, Type: 0, Size: 2, Remaining: 2})
@@ -61,7 +61,7 @@ func TestServerObservationHook(t *testing.T) {
 // TestServerRatesDefaultToTable pins the decision-source plumbing.
 func TestServerRatesDefaultToTable(t *testing.T) {
 	tb := table(t)
-	sv := NewServer(tb, sched.FCFS{})
+	sv := NewServer(tb, &sched.FCFS{})
 	if sv.Rates() != online.RateSource(tb) {
 		t.Error("Rates() != table before SetRates")
 	}
@@ -74,7 +74,7 @@ func TestServerRatesDefaultToTable(t *testing.T) {
 
 func TestServerStepping(t *testing.T) {
 	tb := table(t)
-	sv := NewServer(tb, sched.FCFS{})
+	sv := NewServer(tb, &sched.FCFS{})
 	if sv.K() != tb.K() || sv.Table() != tb {
 		t.Fatal("accessors broken")
 	}

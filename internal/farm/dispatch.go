@@ -3,14 +3,12 @@ package farm
 import (
 	"fmt"
 	"math"
-	"slices"
 	"strconv"
 	"strings"
 
 	"symbiosched/internal/eventsim"
 	"symbiosched/internal/sched"
 	"symbiosched/internal/stats"
-	"symbiosched/internal/workload"
 )
 
 // Dispatcher routes each arriving job to one server. Pick runs at the
@@ -76,27 +74,25 @@ func (JoinShortestQueue) Pick(_ *sched.Job, servers []*eventsim.Server, _ *stats
 // interferes least (an idle server scores the job's solo rate, WIPC 1).
 // When every server is saturated it falls back to the shortest queue.
 // Ties go to the lowest index, keeping the policy deterministic.
+//
+// The probe goes through eventsim.Server.MarginalInstTP, which computes
+// exactly the score above and caches it per (running coschedule, rate
+// epoch) in server-owned scratch — so a Pick allocates nothing and, at
+// serving rates of one decision per arrival, unchanged servers answer
+// from cache instead of re-walking the rate source.
 type LeastInterference struct{}
 
 // Name implements Dispatcher.
-func (LeastInterference) Name() string { return "li" }
+func (*LeastInterference) Name() string { return "li" }
 
 // Pick implements Dispatcher.
-func (LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int {
+func (*LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int {
 	best, bestGain := -1, math.Inf(-1)
 	for i, sv := range servers {
 		if sv.JobsInSystem() >= sv.K() {
 			continue
 		}
-		running := sv.Running()
-		cand := make(workload.Coschedule, 0, len(running)+1)
-		cand = append(cand, running...)
-		cand = append(cand, j.Type)
-		gain := sv.Rates().InstTP(workload.NewCoschedule(cand...))
-		if len(running) > 0 {
-			gain -= sv.Rates().InstTP(running)
-		}
-		if gain > bestGain+1e-12 {
+		if gain := sv.MarginalInstTP(j.Type); gain > bestGain+1e-12 {
 			best, bestGain = i, gain
 		}
 	}
@@ -124,12 +120,17 @@ func (LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, rng *sta
 type PowerOfD struct {
 	D int
 
-	probes []int               // sorted probe-set scratch
-	cand   workload.Coschedule // candidate-coschedule scratch
+	probes []int             // sorted probe-set scratch
+	li     LeastInterference // shared full-probe path for d >= N
 }
 
+// norm returns the effective probe count: D clamped up to 1, so a
+// zero-valued PowerOfD behaves — and reports itself — as pd1. Name and
+// Pick both go through it, keeping the label and the behaviour in sync.
+func (p *PowerOfD) norm() int { return max(p.D, 1) }
+
 // Name implements Dispatcher.
-func (p *PowerOfD) Name() string { return fmt.Sprintf("pd%d", p.D) }
+func (p *PowerOfD) Name() string { return fmt.Sprintf("pd%d", p.norm()) }
 
 // sample fills the probe scratch with d distinct uniform server indices
 // out of [0, n), sorted ascending. Rejection sampling keeps the d = 1
@@ -154,12 +155,9 @@ func (p *PowerOfD) sample(d, n int, rng *stats.RNG) []int {
 
 // Pick implements Dispatcher.
 func (p *PowerOfD) Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int {
-	d := p.D
-	if d < 1 {
-		d = 1
-	}
+	d := p.norm()
 	if d >= len(servers) {
-		return LeastInterference{}.Pick(j, servers, rng)
+		return p.li.Pick(j, servers, rng)
 	}
 	probes := p.sample(d, len(servers), rng)
 	best, bestGain := -1, math.Inf(-1)
@@ -168,15 +166,7 @@ func (p *PowerOfD) Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG
 		if sv.JobsInSystem() >= sv.K() {
 			continue
 		}
-		running := sv.Running()
-		p.cand = append(p.cand[:0], running...)
-		p.cand = append(p.cand, j.Type)
-		slices.Sort(p.cand)
-		gain := sv.Rates().InstTP(p.cand)
-		if len(running) > 0 {
-			gain -= sv.Rates().InstTP(running)
-		}
-		if gain > bestGain+1e-12 {
+		if gain := sv.MarginalInstTP(j.Type); gain > bestGain+1e-12 {
 			best, bestGain = i, gain
 		}
 	}
@@ -211,7 +201,7 @@ func NewDispatcher(name string) (Dispatcher, error) {
 	case "jsq":
 		return JoinShortestQueue{}, nil
 	case "li":
-		return LeastInterference{}, nil
+		return &LeastInterference{}, nil
 	default:
 		if rest, ok := strings.CutPrefix(name, "pd"); ok {
 			d := 2

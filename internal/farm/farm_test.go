@@ -44,7 +44,7 @@ func uniformTable(k int) *perfdb.Table {
 }
 
 func fcfsSpec(tab *perfdb.Table) ServerSpec {
-	return ServerSpec{Table: tab, Sched: func(online.RateSource) (sched.Scheduler, error) { return sched.FCFS{}, nil }}
+	return ServerSpec{Table: tab, Sched: func(online.RateSource) (sched.Scheduler, error) { return &sched.FCFS{}, nil }}
 }
 
 func w4() workload.Workload { return workload.Workload{0, 1, 2, 3} }
@@ -220,9 +220,9 @@ func TestDispatchersRouteSensibly(t *testing.T) {
 func TestRoundRobinCycles(t *testing.T) {
 	tab := uniformTable(1)
 	servers := []*eventsim.Server{
-		eventsim.NewServer(tab, sched.FCFS{}),
-		eventsim.NewServer(tab, sched.FCFS{}),
-		eventsim.NewServer(tab, sched.FCFS{}),
+		eventsim.NewServer(tab, &sched.FCFS{}),
+		eventsim.NewServer(tab, &sched.FCFS{}),
+		eventsim.NewServer(tab, &sched.FCFS{}),
 	}
 	d := &RoundRobin{}
 	rng := stats.NewRNG(1)
@@ -238,7 +238,7 @@ func TestRoundRobinCycles(t *testing.T) {
 func TestJSQPicksShortest(t *testing.T) {
 	tab := uniformTable(1)
 	mk := func(n int) *eventsim.Server {
-		sv := eventsim.NewServer(tab, sched.FCFS{})
+		sv := eventsim.NewServer(tab, &sched.FCFS{})
 		for i := 0; i < n; i++ {
 			sv.Add(&sched.Job{ID: i, Type: 0, Size: 1, Remaining: 1})
 		}
@@ -256,35 +256,35 @@ func TestJSQPicksShortest(t *testing.T) {
 // must prefer an idle server (marginal WIPC 1) over any interfering one.
 func TestLeastInterferencePrefersSymbiosis(t *testing.T) {
 	tab := smtTable(t)
-	idle := eventsim.NewServer(tab, sched.FCFS{})
-	busy := eventsim.NewServer(tab, sched.FCFS{})
+	idle := eventsim.NewServer(tab, &sched.FCFS{})
+	busy := eventsim.NewServer(tab, &sched.FCFS{})
 	busy.Add(&sched.Job{ID: 0, Type: 1, Size: 1, Remaining: 1})
 	if err := busy.Reschedule(); err != nil {
 		t.Fatal(err)
 	}
 	j := &sched.Job{ID: 1, Type: 2}
 	servers := []*eventsim.Server{busy, idle}
-	if got := (LeastInterference{}).Pick(j, servers, stats.NewRNG(1)); got != 1 {
+	if got := (&LeastInterference{}).Pick(j, servers, stats.NewRNG(1)); got != 1 {
 		// Marginal gain at the idle server is WIPC 1; next to an
 		// interfering co-runner it is strictly less on the SMT model.
 		t.Errorf("li picked busy server %d, want idle server 1", got)
 	}
 	// All saturated -> falls back to shortest queue.
-	full := eventsim.NewServer(tab, sched.FCFS{})
+	full := eventsim.NewServer(tab, &sched.FCFS{})
 	for i := 0; i < tab.K(); i++ {
 		full.Add(&sched.Job{ID: i, Type: 0, Size: 1, Remaining: 1})
 	}
 	if err := full.Reschedule(); err != nil {
 		t.Fatal(err)
 	}
-	fuller := eventsim.NewServer(tab, sched.FCFS{})
+	fuller := eventsim.NewServer(tab, &sched.FCFS{})
 	for i := 0; i < tab.K()+2; i++ {
 		fuller.Add(&sched.Job{ID: i, Type: 0, Size: 1, Remaining: 1})
 	}
 	if err := fuller.Reschedule(); err != nil {
 		t.Fatal(err)
 	}
-	if got := (LeastInterference{}).Pick(j, []*eventsim.Server{fuller, full}, stats.NewRNG(1)); got != 1 {
+	if got := (&LeastInterference{}).Pick(j, []*eventsim.Server{fuller, full}, stats.NewRNG(1)); got != 1 {
 		t.Errorf("saturated li picked %d, want 1 (shorter queue)", got)
 	}
 }

@@ -34,7 +34,7 @@ func TestPDFullProbeMatchesLI(t *testing.T) {
 		for _, seed := range []uint64{3, 23, 101} {
 			for _, load := range []float64{2.0, 4.5} {
 				cfg := Config{Lambda: load, Jobs: 2000, SizeShape: 4, Seed: seed}
-				li, err := Simulate(specs, LeastInterference{}, w4(), cfg)
+				li, err := Simulate(specs, &LeastInterference{}, w4(), cfg)
 				if err != nil {
 					t.Fatal(err)
 				}

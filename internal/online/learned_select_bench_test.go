@@ -1,0 +1,79 @@
+package online_test
+
+import (
+	"fmt"
+	"testing"
+
+	"symbiosched/internal/online"
+	"symbiosched/internal/sched"
+)
+
+// BenchmarkLearnedSelect measures the scheduler decision over *learned*
+// rates — the combination the epoch-gated memo exists for. Before the
+// epoch counter, MAXIT bypassed its decision memo whenever Rates was not
+// the oracle table, so every Select over a learner re-enumerated the
+// whole candidate space. Two regimes bracket the win:
+//
+//   - select-only: the estimator is quiet between decisions (dt=0 event
+//     bursts, repeated Reschedules without a completed interval), so the
+//     epoch holds and after the first call every Select is a memo hit.
+//   - observe+select: every decision follows a fresh observation, so the
+//     epoch moves and every Select pays the full (pruned) enumeration —
+//     the memo's worst case, pinned here to show the gate costs nothing.
+func BenchmarkLearnedSelect(b *testing.B) {
+	tb := table(b)
+	coschedules := allCoschedules(tb)
+	progress := make([][]float64, len(coschedules))
+	for i, c := range coschedules {
+		progress[i] = make([]float64, len(c))
+		for j, typ := range c {
+			progress[i][j] = tb.JobWIPC(c, typ) * 0.25
+		}
+	}
+	jobs := make([]*sched.Job, 12)
+	for i := range jobs {
+		jobs[i] = &sched.Job{ID: i, Type: i % 4, Size: 1, Remaining: 0.1 + float64(i)*0.07}
+	}
+	for _, name := range []string{"sampler", "pairwise"} {
+		for _, observe := range []bool{false, true} {
+			variant := "select-only"
+			if observe {
+				variant = "observe+select"
+			}
+			b.Run(fmt.Sprintf("MAXIT/%s/%s", name, variant), func(b *testing.B) {
+				est, err := online.New(name, tb, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				feed(est, tb, 2, 1)
+				m := &sched.MAXIT{Rates: est}
+				m.Select(jobs, 4)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if observe {
+						ci := i % len(coschedules)
+						est.ObserveInterval(coschedules[ci], 0.25, progress[ci])
+					}
+					m.Select(jobs, 4)
+				}
+			})
+		}
+	}
+	b.Run("SRPT/pairwise/observe+select", func(b *testing.B) {
+		est, err := online.New("pairwise", tb, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		feed(est, tb, 2, 1)
+		s := &sched.SRPT{Rates: est}
+		s.Select(jobs, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ci := i % len(coschedules)
+			est.ObserveInterval(coschedules[ci], 0.25, progress[ci])
+			s.Select(jobs, 4)
+		}
+	})
+}

@@ -50,12 +50,15 @@ type RateSource interface {
 	// InstTP returns the (estimated) instantaneous throughput of
 	// coschedule c — the score MAXIT-style schedulers maximise.
 	InstTP(c workload.Coschedule) float64
-	// Static reports whether the source's rates are fixed for the
-	// duration of a simulation run. Static sources (the oracle table and
-	// its wrapper) answer every query for one multiset identically, so
-	// schedulers may memoize decisions made over them; learners drift as
-	// observations arrive and must answer false.
-	Static() bool
+	// Epoch is the source's rate-revision counter: within one epoch the
+	// source answers every query for one multiset identically, so
+	// schedulers may memoize decisions made over it and keep the memo
+	// until the epoch changes. Static sources (the oracle table and its
+	// wrapper) return a constant; learners bump the counter whenever an
+	// observation moves their estimates (Sampler and Pairwise bump it in
+	// ObserveInterval), which is what lets online runs share the oracle's
+	// decision memo between observations.
+	Epoch() uint64
 }
 
 // The oracle table is one RateSource implementation.
@@ -116,8 +119,12 @@ func (o Oracle) JobWIPC(c workload.Coschedule, b int) float64 { return o.Table.J
 // InstTP implements RateSource.
 func (o Oracle) InstTP(c workload.Coschedule) float64 { return o.Table.InstTP(c) }
 
-// Static implements RateSource: the oracle's rates never drift.
-func (Oracle) Static() bool { return true }
+// Epoch implements RateSource: the oracle's rates never drift.
+func (Oracle) Epoch() uint64 { return 0 }
+
+// MaxJobWIPC exposes the table's admissible per-slot rate bound, so
+// schedulers prune over the wrapper exactly as over the bare table.
+func (o Oracle) MaxJobWIPC(b, slots int) float64 { return o.Table.MaxJobWIPC(b, slots) }
 
 // JobWIPCByKey exposes the table's uint64-keyed probe, so schedulers take
 // the same fast path over the wrapper as over the bare table.
@@ -125,6 +132,9 @@ func (o Oracle) JobWIPCByKey(k uint64, b int) float64 { return o.Table.JobWIPCBy
 
 // InstTPByKey exposes the table's uint64-keyed probe.
 func (o Oracle) InstTPByKey(k uint64) float64 { return o.Table.InstTPByKey(k) }
+
+// TypeWIPCsByKey exposes the table's dense batch rate probe.
+func (o Oracle) TypeWIPCsByKey(k uint64) []float64 { return o.Table.TypeWIPCsByKey(k) }
 
 // ObserveInterval implements IntervalObserver: the oracle has nothing to
 // learn.

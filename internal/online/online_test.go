@@ -170,7 +170,7 @@ func (noInterference) Name() string                             { return "prior"
 func (n noInterference) K() int                                 { return n.k }
 func (noInterference) JobWIPC(workload.Coschedule, int) float64 { return 1 }
 func (n noInterference) InstTP(c workload.Coschedule) float64   { return float64(len(c)) }
-func (noInterference) Static() bool                             { return true }
+func (noInterference) Epoch() uint64                            { return 0 }
 
 // TestPairwiseLearnsInterference: after seeing the whole coschedule
 // space, the pairwise model's predictions must beat the no-interference

@@ -80,9 +80,19 @@ func NewPairwise(k, n int, cfg PairwiseConfig) *Pairwise {
 	return p
 }
 
-// Static implements RateSource: predictions drift as intervals arrive, so
-// decisions over the learner must never be memoized.
-func (p *Pairwise) Static() bool { return false }
+// Epoch implements RateSource: the observation count. Predictions drift
+// only when ObserveInterval folds in an effective interval (degenerate
+// intervals return before mutating anything), and the lazy per-type
+// re-solve is a pure function of the accumulated normal equations —
+// independent of query order — so within one epoch the model answers
+// identically and decisions over it may be memoized until the next
+// observation.
+func (p *Pairwise) Epoch() uint64 { return uint64(p.nobs) }
+
+// MaxJobWIPC implements the pruning-bound capability: predictions are
+// clamped to MaxRate, so the clamp is an admissible per-slot bound (and
+// InstTP is the plain sum of the per-slot predictions).
+func (p *Pairwise) MaxJobWIPC(int, int) float64 { return p.cfg.MaxRate }
 
 // Name implements RateSource.
 func (p *Pairwise) Name() string { return "pairwise" }

@@ -92,10 +92,16 @@ func (s *Sampler) Name() string { return "sampler" }
 // K implements RateSource.
 func (s *Sampler) K() int { return s.k }
 
-// Static implements RateSource: the sampler's estimates move with every
-// observation and its sample phases deliberately re-rank coschedules, so
-// decisions over it must never be memoized.
-func (s *Sampler) Static() bool { return false }
+// Epoch implements RateSource: the observation count. Every effective
+// ObserveInterval mutates the estimates (and possibly the phase), and
+// nothing else does — the degenerate intervals it ignores (dt <= 0,
+// empty coschedule) leave both the counter and the state untouched — so
+// between observations the sampler is a fixed function and decisions
+// over it may be memoized for exactly that long. Note the sampler does
+// NOT implement the MaxJobWIPC pruning bound: its sample-phase InstTP is
+// an exploration score, not a sum of per-slot rates, so no per-slot
+// bound is admissible for it.
+func (s *Sampler) Epoch() uint64 { return uint64(s.nobs) }
 
 // Observations implements Estimator.
 func (s *Sampler) Observations() int { return s.nobs }

@@ -126,6 +126,7 @@ func Load(path string) (*Table, error) {
 	for _, eg := range g.Entries {
 		t.entries[Key(eg.Cos)] = eg.entry()
 	}
+	t.recomputeMaxWIPC()
 	return t, nil
 }
 

@@ -104,6 +104,12 @@ type Entry struct {
 	// InstTP is the instantaneous throughput it(s): the sum over slots of
 	// WIPC, i.e. sum over types of r_b(s) in the paper's Eq. (1).
 	InstTP float64
+
+	// wipc mirrors TypeWIPC as a dense suite-indexed slice (0 for absent
+	// types), so per-candidate scoring loops read an array element per
+	// type instead of paying a map probe. Maintained by the table
+	// alongside its rate bounds (build, load, clone, override).
+	wipc []float64
 }
 
 // Table is the complete performance database for one machine.
@@ -115,6 +121,16 @@ type Table struct {
 	// reference).
 	Solo    []float64
 	entries map[uint64]*Entry
+	// maxWIPCBySize[s-1][b] is the maximum WIPC a type-b job attains over
+	// every stored s-slot coschedule — the admissible per-slot rate bound
+	// MaxJobWIPC serves. The size axis matters: WIPC is normalized, so the
+	// all-sizes maximum is 1 for every type (its solo entry attains it) and
+	// would never prune anything; but within one Select every candidate has
+	// the same slot count, so the exact size class applies, and interference
+	// makes it tighten sharply as coschedules fill up. Derived eagerly
+	// (build, load, clone, override) because tables are shared read-only
+	// across sweep goroutines.
+	maxWIPCBySize [][]float64
 }
 
 // Key encodes a canonical coschedule (len <= 8, types < 256) as a uint64.
@@ -215,7 +231,27 @@ func BuildWith(ctx context.Context, rc runner.Config, m Model, suite []program.P
 		}
 		t.entries[Key(c)] = e
 	}
+	t.recomputeMaxWIPC()
 	return t, nil
+}
+
+// recomputeMaxWIPC rebuilds the per-type rate bounds from the stored
+// entries.
+func (t *Table) recomputeMaxWIPC() {
+	t.maxWIPCBySize = make([][]float64, t.k)
+	for s := range t.maxWIPCBySize {
+		t.maxWIPCBySize[s] = make([]float64, len(t.suite))
+	}
+	for _, e := range t.entries {
+		m := t.maxWIPCBySize[len(e.Cos)-1]
+		e.wipc = make([]float64, len(t.suite))
+		for b, w := range e.TypeWIPC {
+			e.wipc[b] = w
+			if w > m[b] {
+				m[b] = w
+			}
+		}
+	}
 }
 
 // Name returns the model/machine name the table was built with.
@@ -270,12 +306,34 @@ func (t *Table) JobWIPCByKey(k uint64, b int) float64 {
 // InstTPByKey is InstTP keyed by Key(c).
 func (t *Table) InstTPByKey(k uint64) float64 { return t.EntryByKey(k).InstTP }
 
-// Static reports that the table's rates do not drift while a simulation
-// runs, so per-multiset decisions made over it may be memoized
-// (online.RateSource). Override is a build-time counterfactual edit:
-// schedulers are constructed per run, after any overrides, so a memo
-// never spans one.
-func (t *Table) Static() bool { return true }
+// TypeWIPCsByKey returns the per-type WIPCs of the coschedule keyed by k
+// as a dense suite-indexed slice (0 for absent types). It is the batch
+// form of JobWIPCByKey: one map probe resolves every type's rate, and
+// scoring loops index the returned slice. Callers must not mutate it, and
+// may retain it only while the table's Epoch stands (overrides are
+// build-time edits, so within a run that is forever).
+func (t *Table) TypeWIPCsByKey(k uint64) []float64 { return t.EntryByKey(k).wipc }
+
+// Epoch reports the table's rate-revision counter (online.RateSource):
+// the oracle's rates never drift while a simulation runs, so the epoch is
+// constant and per-multiset decisions made over the table stay memoized
+// forever. Override is a build-time counterfactual edit: schedulers are
+// constructed per run, after any overrides, so a memo never spans one.
+func (t *Table) Epoch() uint64 { return 0 }
+
+// MaxJobWIPC returns an upper bound on JobWIPC(c, b) over every stored
+// coschedule c of exactly slots slots containing type b — and hence on
+// any type-b slot's contribution to InstTP, since InstTP is the sum of
+// its slots' WIPCs. Schedulers use it as the admissible bound for
+// branch-and-bound pruning (sched's enumerator), which asks with the
+// fixed candidate size of the current Select; interference makes the
+// size-class maximum fall well below the normalized solo WIPC of 1 as
+// coschedules fill up. The bound is exact by construction, not a model
+// assumption. Out-of-range sizes clamp to the nearest stored class.
+func (t *Table) MaxJobWIPC(b, slots int) float64 {
+	s := min(max(slots, 1), t.k)
+	return t.maxWIPCBySize[s-1][b]
+}
 
 // JobIPC returns the raw IPC of one job of global type b in coschedule c.
 func (t *Table) JobIPC(c workload.Coschedule, b int) float64 {
@@ -324,7 +382,20 @@ func (t *Table) Override(c workload.Coschedule, typeWIPC map[int]float64) {
 		ne.SlotIPC[j] = w * t.Solo[typ]
 		ne.InstTP += w
 	}
+	ne.wipc = make([]float64, len(t.suite))
+	for b, w := range ne.TypeWIPC {
+		ne.wipc[b] = w
+	}
 	t.entries[Key(c)] = ne
+	// Raise (never lower) the size class's rate bounds: recomputing the
+	// true maxima would need a full scan, and a looser bound stays
+	// admissible.
+	m := t.maxWIPCBySize[len(c)-1]
+	for b, w := range ne.TypeWIPC {
+		if w > m[b] {
+			m[b] = w
+		}
+	}
 }
 
 // Clone returns a deep copy of the table; counterfactual experiments
@@ -337,12 +408,17 @@ func (t *Table) Clone() *Table {
 		Solo:    append([]float64(nil), t.Solo...),
 		entries: make(map[uint64]*Entry, len(t.entries)),
 	}
+	nt.maxWIPCBySize = make([][]float64, len(t.maxWIPCBySize))
+	for s, m := range t.maxWIPCBySize {
+		nt.maxWIPCBySize[s] = append([]float64(nil), m...)
+	}
 	for k, e := range t.entries {
 		ne := &Entry{
 			Cos:      e.Cos,
 			SlotIPC:  append([]float64(nil), e.SlotIPC...),
 			TypeWIPC: make(map[int]float64, len(e.TypeWIPC)),
 			InstTP:   e.InstTP,
+			wipc:     append([]float64(nil), e.wipc...),
 		}
 		for b, w := range e.TypeWIPC {
 			ne.TypeWIPC[b] = w

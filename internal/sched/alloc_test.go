@@ -53,7 +53,32 @@ func TestSRPTSelectZeroAllocs(t *testing.T) {
 }
 
 func TestFCFSSelectZeroAllocs(t *testing.T) {
-	testSelectAllocs(t, FCFS{})
+	testSelectAllocs(t, &FCFS{})
+}
+
+// TestFCFSSelectDeepZeroAllocs pins FCFS past the shared 64-entry
+// identity prefix: depth-128 selections must come from the scheduler's
+// amortised extension, not a fresh slice per call (the regression this
+// PR fixed), and must still be the identity permutation.
+func TestFCFSSelectDeepZeroAllocs(t *testing.T) {
+	jobs := make([]*Job, 128)
+	for i := range jobs {
+		jobs[i] = &Job{ID: i, Type: i % 4, Size: 1, Remaining: 1}
+	}
+	f := &FCFS{}
+	got := f.Select(jobs, 128)
+	if len(got) != 128 {
+		t.Fatalf("Select returned %d indices, want 128", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("Select[%d] = %d, want identity", i, v)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() { f.Select(jobs, 128) })
+	if allocs != 0 {
+		t.Errorf("FCFS.Select at depth 128 allocates %v times per call, want 0", allocs)
+	}
 }
 
 func TestMAXTPSelectZeroAllocs(t *testing.T) {

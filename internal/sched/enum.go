@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math"
 	"sort"
 
 	"symbiosched/internal/perfdb"
@@ -18,7 +19,12 @@ import (
 // The enumeration order is load-bearing: MAXIT breaks instantaneous-
 // throughput ties within a 1e-12 tolerance by job age, and on exact ties
 // the first candidate in enumeration order wins, so golden outputs are
-// only bit-identical if the order is preserved.
+// only bit-identical if the order is preserved. Branch-and-bound pruning
+// (dominatedTP/dominatedSum + nextFrom) respects the order: it only ever
+// skips contiguous stretches of candidates that provably could not have
+// updated the running best — or its tie state — had they been scored, so
+// the surviving sequence of best updates is identical to the full walk's
+// (see DESIGN.md, "Hot path & memoization").
 type enumerator struct {
 	jobs []*Job // the queue being enumerated, set by prepare
 
@@ -26,6 +32,17 @@ type enumerator struct {
 	byRem  bool  // preference inside a type: remaining-then-ID, else ID
 	types  []int // distinct types present, ascending
 	grpOff []int // grpOff[i]..grpOff[i+1] bounds type i's run inside idx
+	tcnt   []int // counting-sort scratch, indexed by job type
+
+	// Dense per-queue-position mirrors of the job fields the hot loops
+	// touch, filled by prepare's single pass over the job pointers so the
+	// grouping and scoring loops read flat float64/int arrays instead of
+	// chasing a heap pointer per probe. rem is indexed like jobs; remAt
+	// mirrors it aligned with idx (remAt[i] == rem[idx[i]]), so scoring
+	// walks group runs sequentially. Both are only filled when byRem.
+	tbuf  []int
+	rem   []float64
+	remAt []float64
 
 	counts []int               // current candidate: count per distinct type
 	caps   []int               // available jobs per distinct type
@@ -33,10 +50,47 @@ type enumerator struct {
 	cos    workload.Coschedule // scratch candidate multiset, sorted
 	cosKey uint64              // perfdb.Key(cos), maintained by buildCos
 	out    []int               // selection returned to the caller
+
+	// Branch-and-bound state, valid after setBounds (and setRemBounds for
+	// SRPT) until the next prepare. m is the candidate size fixed by
+	// firstCandidate.
+	m      int
+	ub     []float64 // ub[ti]: admissible per-slot rate bound for types[ti]
+	sufMax []float64 // sufMax[p]: max of ub[p:], sufMax[len(types)] = 0
+	cumDiv []float64 // aligned with idx: per-group prefix sums of Remaining, pre-divided by the group's rate bound
+	sufQ   []float64 // sufQ[p*(m+1)+r]: cost floor for r slots placed in groups >= p
+	qbuf   []float64 // merge scratch for building sufQ
+
+	// dominatedSum's incremental prefix state: bndPfx[p]/bndPlaced[p]
+	// hold the bound prefix and slot count through position p for the
+	// counts the last walk saw, valid for positions below dirty — the
+	// first position counts has changed at since (maintained by
+	// firstCandidate and nextFrom). Successive candidates share long
+	// prefixes, so most dominance checks resume near the tail.
+	bndPfx    []float64
+	bndPlaced []int
+	dirty     int
+
+	// Dense-rate cache: a direct-mapped (key -> TypeWIPCsByKey result)
+	// table serving repeated candidate probes without the map lookup.
+	// Entries survive across Select calls for as long as the source's
+	// rate epoch stands — the same soundness argument as MAXIT's decision
+	// memo — and rcKey 0 marks an empty slot (real keys are never 0:
+	// perfdb keys carry a leading length marker).
+	rcKey   [1 << rcBits]uint64
+	rcVal   [1 << rcBits][]float64
+	rcEpoch uint64
+	rcLive  bool
 }
 
-// Len, Less and Swap implement sort.Interface over idx so prepare can
-// sort without any per-call closure or interface allocation.
+// rcBits sizes the dense-rate cache at 64 direct-mapped slots — enough
+// for every candidate of the queue depths the hot paths see, at 2KiB of
+// per-enumerator scratch.
+const rcBits = 6
+
+// Len, Less and Swap implement sort.Interface over idx so the sparse-type
+// fallback of prepare can sort without any per-call closure or interface
+// allocation.
 func (e *enumerator) Len() int      { return len(e.idx) }
 func (e *enumerator) Swap(a, b int) { e.idx[a], e.idx[b] = e.idx[b], e.idx[a] }
 func (e *enumerator) Less(a, b int) bool {
@@ -53,23 +107,113 @@ func (e *enumerator) Less(a, b int) bool {
 // prepare groups jobs by type with the given within-type preference
 // (byRem false: oldest first; true: shortest remaining first, ties to the
 // oldest — SRPT's order). It reuses all scratch.
+//
+// The grouping key (type, preference, ID) is a total order (IDs are
+// unique), so any sorting strategy yields the same idx. The fast path is
+// a two-pass counting scatter: the queue is ID-ordered (the Select
+// contract), so scattering in queue order is already (type, ID) order,
+// and SRPT's preference needs only a per-group insertion sort on top.
+// Types far beyond the queue length would inflate the counting array, so
+// such queues take the comparison-sort fallback instead.
 func (e *enumerator) prepare(jobs []*Job, byRem bool) {
 	e.jobs, e.byRem = jobs, byRem
-	e.idx = e.idx[:0]
-	for i := range jobs {
-		e.idx = append(e.idx, i)
+	if cap(e.idx) < len(jobs) {
+		e.idx = make([]int, 0, len(jobs))
+		e.tbuf = make([]int, 0, len(jobs))
+		e.rem = make([]float64, 0, len(jobs))
+		e.remAt = make([]float64, 0, len(jobs))
 	}
-	sort.Sort(e)
-	e.types, e.grpOff, e.caps = e.types[:0], e.grpOff[:0], e.caps[:0]
-	for i, ji := range e.idx {
-		if t := jobs[ji].Type; i == 0 || t != jobs[e.idx[i-1]].Type {
-			e.types = append(e.types, t)
-			e.grpOff = append(e.grpOff, i)
+	e.idx, e.tbuf = e.idx[:len(jobs)], e.tbuf[:len(jobs)]
+	// One pass over the job pointers copies the fields every later loop
+	// needs into dense scratch; everything below runs on flat arrays.
+	maxT := 0
+	if byRem {
+		e.rem, e.remAt = e.rem[:len(jobs)], e.remAt[:len(jobs)]
+		for i, j := range jobs {
+			e.tbuf[i], e.rem[i] = j.Type, j.Remaining
+			if j.Type > maxT {
+				maxT = j.Type
+			}
+		}
+	} else {
+		for i, j := range jobs {
+			e.tbuf[i] = j.Type
+			if j.Type > maxT {
+				maxT = j.Type
+			}
 		}
 	}
-	e.grpOff = append(e.grpOff, len(e.idx))
-	for i := range e.types {
-		e.caps = append(e.caps, e.grpOff[i+1]-e.grpOff[i])
+	e.types, e.grpOff, e.caps = e.types[:0], e.grpOff[:0], e.caps[:0]
+	if maxT < 256 || maxT < 4*len(jobs) {
+		if cap(e.tcnt) < maxT+1 {
+			e.tcnt = make([]int, maxT+1)
+		}
+		tcnt := e.tcnt[:maxT+1]
+		clear(tcnt)
+		for _, t := range e.tbuf {
+			tcnt[t]++
+		}
+		// Group directory straight from the histogram, then exclusive
+		// prefix sums in place for the scatter.
+		sum := 0
+		for t, c := range tcnt {
+			if c > 0 {
+				e.types = append(e.types, t)
+				e.grpOff = append(e.grpOff, sum)
+				e.caps = append(e.caps, c)
+			}
+			tcnt[t] = sum
+			sum += c
+		}
+		e.grpOff = append(e.grpOff, len(jobs))
+		if byRem {
+			for i, t := range e.tbuf {
+				s := tcnt[t]
+				e.idx[s], e.remAt[s] = i, e.rem[i]
+				tcnt[t] = s + 1
+			}
+		} else {
+			for i, t := range e.tbuf {
+				e.idx[tcnt[t]] = i
+				tcnt[t]++
+			}
+		}
+	} else {
+		for i := range jobs {
+			e.idx[i] = i
+		}
+		sort.Sort(e)
+		for i, ji := range e.idx {
+			if byRem {
+				e.remAt[i] = e.rem[ji]
+			}
+			if t := e.tbuf[ji]; i == 0 || t != e.tbuf[e.idx[i-1]] {
+				e.types = append(e.types, t)
+				e.grpOff = append(e.grpOff, i)
+			}
+		}
+		e.grpOff = append(e.grpOff, len(e.idx))
+		for i := range e.types {
+			e.caps = append(e.caps, e.grpOff[i+1]-e.grpOff[i])
+		}
+	}
+	if byRem {
+		// Groups are (type, ID)-ordered; SRPT wants (Remaining, ID). The
+		// queue is ID-ordered, so the scatter left groups in ID order and
+		// a stable insertion sort on Remaining alone preserves the ID
+		// tie-break. idx and its remAt mirror move together.
+		for ti := range e.types {
+			lo, hi := e.grpOff[ti], e.grpOff[ti+1]
+			for i := lo + 1; i < hi; i++ {
+				v, rv := e.idx[i], e.remAt[i]
+				j := i
+				for j > lo && e.remAt[j-1] > rv {
+					e.idx[j], e.remAt[j] = e.idx[j-1], e.remAt[j-1]
+					j--
+				}
+				e.idx[j], e.remAt[j] = v, rv
+			}
+		}
 	}
 }
 
@@ -89,13 +233,15 @@ func (e *enumerator) countOf(b int) int {
 }
 
 // firstCandidate resets counts to the lexicographically smallest vector
-// summing to m (filled from the last types backward) and rebuilds cos. It
-// returns false when m is non-positive; m must not exceed the queue
-// length.
+// summing to m (filled from the last types backward). It returns false
+// when m is non-positive; m must not exceed the queue length. Callers
+// that need the materialised multiset call buildCos before scoring.
 func (e *enumerator) firstCandidate(m int) bool {
 	if m <= 0 {
 		return false
 	}
+	e.m = m
+	e.dirty = 0
 	if cap(e.counts) < len(e.types) {
 		e.counts = make([]int, len(e.types))
 	}
@@ -105,27 +251,42 @@ func (e *enumerator) firstCandidate(m int) bool {
 		c := min(e.caps[i], rem)
 		e.counts[i], rem = c, rem-c
 	}
-	e.buildCos()
 	return true
 }
 
 // next advances counts to the lexicographic successor, returning false
 // when the enumeration is exhausted.
-func (e *enumerator) next() bool {
-	// Find the rightmost position that can take one unit from its suffix.
+func (e *enumerator) next() bool { return e.nextFrom(len(e.counts) - 1) }
+
+// nextFrom advances counts to the first lexicographic successor that
+// differs at some position <= p — skipping the entire subtree of
+// candidates sharing the current counts[0..p] prefix. Every candidate in
+// that subtree carries the same prefix and the same total suffix mass,
+// so the successor computed here is the same from any of them; with
+// p = len(counts)-1 this is exactly the old single-step next.
+func (e *enumerator) nextFrom(p int) bool {
+	// Mass held by the positions being abandoned (those right of the
+	// increment point) redistributes rightmost-packed — the
+	// lexicographically smallest suffix, preserving enumeration order.
+	counts, caps := e.counts, e.caps
 	suffix := 0
-	for p := len(e.counts) - 1; p >= 0; p-- {
-		if suffix >= 1 && e.counts[p] < e.caps[p] {
-			e.counts[p]++
-			rem := suffix - 1
-			for i := len(e.counts) - 1; i > p; i-- {
-				c := min(e.caps[i], rem)
-				e.counts[i], rem = c, rem-c
+	for i := len(counts) - 1; i > p; i-- {
+		suffix += counts[i]
+	}
+	for q := p; q >= 0; q-- {
+		if suffix >= 1 && counts[q] < caps[q] {
+			counts[q]++
+			if q < e.dirty {
+				e.dirty = q
 			}
-			e.buildCos()
+			rem := suffix - 1
+			for i := len(counts) - 1; i > q; i-- {
+				c := min(caps[i], rem)
+				counts[i], rem = c, rem-c
+			}
 			return true
 		}
-		suffix += e.counts[p]
+		suffix += counts[q]
 	}
 	return false
 }
@@ -141,6 +302,271 @@ func (e *enumerator) buildCos() {
 			e.cos = append(e.cos, e.types[ti])
 			e.cosKey = perfdb.KeyAppend(e.cosKey, e.types[ti])
 		}
+	}
+}
+
+// buildKey folds just the perfdb.Key of the current count vector, leaving
+// the cos scratch stale — the fast path for keyed rate sources, which
+// never read the materialised multiset.
+func (e *enumerator) buildKey() {
+	e.cosKey = perfdb.EmptyKey
+	for ti, c := range e.counts {
+		for j := 0; j < c; j++ {
+			e.cosKey = perfdb.KeyAppend(e.cosKey, e.types[ti])
+		}
+	}
+}
+
+// primeRateCache readies the dense-rate cache for one Select at source
+// epoch ep, dropping every cached slice when the rates have moved.
+func (e *enumerator) primeRateCache(ep uint64) {
+	if e.rcLive && ep == e.rcEpoch {
+		return
+	}
+	clear(e.rcKey[:])
+	clear(e.rcVal[:])
+	e.rcEpoch, e.rcLive = ep, true
+}
+
+// ratesFor serves dr.TypeWIPCsByKey(key) through the direct-mapped cache:
+// queue compositions repeat heavily between scheduling events, so most
+// candidates resolve to one uint64 compare instead of a map probe.
+// primeRateCache must have run for the current epoch first.
+func (e *enumerator) ratesFor(dr denseRates, key uint64) []float64 {
+	s := (key * 0x9e3779b97f4a7c15) >> (64 - rcBits)
+	if e.rcKey[s] == key {
+		return e.rcVal[s]
+	}
+	r := dr.TypeWIPCsByKey(key)
+	e.rcKey[s], e.rcVal[s] = key, r
+	return r
+}
+
+// rateBound is the optional pruning capability on a rate source: an
+// admissible per-slot rate bound. MaxJobWIPC(b, slots) must dominate
+// JobWIPC(c, b) for every slots-slot coschedule c the source can be asked
+// about, and InstTP must be the sum of its slots' JobWIPCs, so that
+// count-weighted bound sums dominate candidate scores. The slot count is
+// part of the contract because within one Select every candidate has the
+// same fixed size, and for two or more slots a table can answer with its
+// co-run maximum — strictly below the normalized solo WIPC of 1 whenever
+// the type interferes at all, which is what gives the bound its teeth.
+// *perfdb.Table (max over stored entries of the right size class),
+// online.Oracle (delegation) and online.Pairwise (its MaxRate clamp)
+// implement it; the Sampler deliberately does not — its sample-phase
+// InstTP is an exploration score, not a slot sum, so no per-slot bound is
+// admissible and MAXIT falls back to the full walk over it.
+type rateBound interface {
+	MaxJobWIPC(b, slots int) float64
+}
+
+// setBounds resolves the per-type rate bounds for candidates of m slots
+// and their suffix maxima for branch-and-bound pruning, returning false
+// (pruning disabled) when the source exposes no bound or a degenerate
+// one.
+func (e *enumerator) setBounds(rs any, m int) bool {
+	rb, ok := rs.(rateBound)
+	if !ok {
+		return false
+	}
+	e.ub = e.ub[:0]
+	for _, t := range e.types {
+		b := rb.MaxJobWIPC(t, m)
+		if !(b > 0) || math.IsInf(b, 1) {
+			return false
+		}
+		e.ub = append(e.ub, b)
+	}
+	if cap(e.sufMax) < len(e.types)+1 {
+		e.sufMax = make([]float64, len(e.types)+1)
+	}
+	e.sufMax = e.sufMax[:len(e.types)+1]
+	e.sufMax[len(e.types)] = 0
+	for i := len(e.types) - 1; i >= 0; i-- {
+		e.sufMax[i] = max(e.ub[i], e.sufMax[i+1])
+	}
+	return true
+}
+
+// setRemBounds derives SRPT's per-group remaining-work prefix sums,
+// pre-divided by the group's rate bound so dominatedSum adds a stored
+// quotient instead of dividing per candidate, and the suffix cost floors
+// for candidates of m slots. Groups are sorted by ascending Remaining
+// (byRem), so group prefixes are the cheapest fills. setBounds must have
+// succeeded first.
+//
+// sufQ[p*(m+1)+r] is the sum of the r smallest per-job quotients
+// (Remaining at the bound rate) over all jobs in groups >= p, relaxing
+// the per-group prefix structure — every real placement of r slots picks
+// r distinct jobs there, so the unconstrained r-smallest selection is an
+// admissible floor, and a far tighter one than r times the global
+// minimum when remaining work is spread out. Rows are built back to
+// front by merging each group's ascending quotient run into the running
+// m-smallest list; infeasible r (more slots than suffix jobs) are +Inf,
+// and the walk never asks for them.
+func (e *enumerator) setRemBounds(m int) {
+	if cap(e.cumDiv) < len(e.idx) {
+		e.cumDiv = make([]float64, len(e.idx))
+	}
+	e.cumDiv = e.cumDiv[:len(e.idx)]
+	for ti := range e.types {
+		lo, hi := e.grpOff[ti], e.grpOff[ti+1]
+		// One reciprocal per group instead of a division per job: the
+		// quotients stray at most two ulps from exact division, far
+		// inside the boundSlack margin the dominance checks demand, so
+		// admissibility is unaffected.
+		inv := 1 / e.ub[ti]
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += e.remAt[i]
+			e.cumDiv[i] = sum * inv
+		}
+	}
+	if cap(e.bndPfx) < len(e.types) {
+		e.bndPfx = make([]float64, len(e.types))
+		e.bndPlaced = make([]int, len(e.types))
+	}
+	e.bndPfx, e.bndPlaced = e.bndPfx[:len(e.types)], e.bndPlaced[:len(e.types)]
+	T, stride := len(e.types), m+1
+	if cap(e.sufQ) < (T+1)*stride {
+		e.sufQ = make([]float64, (T+1)*stride)
+	}
+	e.sufQ = e.sufQ[:(T+1)*stride]
+	if cap(e.qbuf) < 2*m {
+		e.qbuf = make([]float64, 2*m)
+	}
+	cur, nxt := e.qbuf[:m], e.qbuf[m:2*m]
+	cn := 0 // quotients valid in cur, sorted ascending
+	last := e.sufQ[T*stride:]
+	last[0] = 0
+	for r := 1; r <= m; r++ {
+		last[r] = math.Inf(1)
+	}
+	for p := T - 1; p >= 0; p-- {
+		lo, hi := e.grpOff[p], e.grpOff[p+1]
+		gl := min(hi-lo, m)
+		inv := 1 / e.ub[p]
+		i, j, k := 0, 0, 0
+		for k < m && (i < cn || j < gl) {
+			var gq float64
+			if j < gl {
+				gq = e.remAt[lo+j] * inv
+			}
+			if j >= gl || (i < cn && cur[i] <= gq) {
+				nxt[k] = cur[i]
+				i++
+			} else {
+				nxt[k] = gq
+				j++
+			}
+			k++
+		}
+		cur, nxt = nxt, cur
+		cn = k
+		row := e.sufQ[p*stride : (p+1)*stride]
+		row[0] = 0
+		s := 0.0
+		for r := 1; r <= m; r++ {
+			if r <= cn {
+				s += cur[r-1]
+				row[r] = s
+			} else {
+				row[r] = math.Inf(1)
+			}
+		}
+	}
+}
+
+// boundSlack is the relative margin the dominance checks demand before
+// declaring a subtree dead. The bounds accumulate their terms in a
+// different association order than the score loops (per-group totals vs
+// per-job running sums), so a computed bound can stray a few ulps across
+// the exactly-equal computed score when every rate sits at its bound.
+// Requiring the bound to clear the threshold by 1e-12 relative — orders
+// of magnitude above float64's summation error for any feasible slot
+// count, and orders below any score difference the schedulers act on —
+// keeps "dominated" certain, so pruning stays bit-identical to the full
+// walk. Scores and bounds are non-negative, so relative scaling never
+// flips a comparison.
+const boundSlack = 1e-12
+
+// dominatedTP reports the shortest prefix of the current count vector
+// whose optimistic instantaneous throughput cannot exceed thr: the placed
+// slots at their per-type bounds plus the unplaced slots at the best
+// bound still ahead. When it returns true, every candidate sharing
+// counts[0..p] is bounded by the same value (the bound depends only on
+// the prefix and the suffix mass), so the whole subtree may be skipped
+// with nextFrom(p). MAXIT passes thr = bestTP - tieTol: a candidate only
+// matters if its score strictly exceeds that, so a subtree bounded at or
+// below it would neither update the best nor set the tie flag.
+func (e *enumerator) dominatedTP(thr float64) (int, bool) {
+	thr /= 1 + boundSlack
+	prefix, placed := 0.0, 0
+	for p, c := range e.counts {
+		prefix += float64(c) * e.ub[p]
+		placed += c
+		if prefix+float64(e.m-placed)*e.sufMax[p+1] <= thr {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// dominatedSum is dominatedTP's SRPT dual: the shortest prefix whose
+// optimistic (lower-bound) remaining-time sum already reaches thr. The
+// placed slots contribute their exact remaining work at the bound rate
+// (group prefixes, so the pre-divided cumDiv applies); the unplaced
+// slots contribute at least the suffix cost floor sufQ — the sum of the
+// r smallest quotients still ahead. SRPT improves only on sum < bestSum,
+// so a subtree bounded at or above bestSum is inert and may be skipped.
+func (e *enumerator) dominatedSum(thr float64) (int, bool) {
+	thr *= 1 + boundSlack
+	grpOff, cumDiv, sufQ := e.grpOff, e.cumDiv, e.sufQ
+	counts := e.counts
+	stride := e.m + 1
+	prefix, placed := 0.0, 0
+	p := e.dirty
+	if p > 0 {
+		prefix, placed = e.bndPfx[p-1], e.bndPlaced[p-1]
+	}
+	for ; p < len(counts); p++ {
+		c := counts[p]
+		if c > 0 {
+			prefix += cumDiv[grpOff[p]+c-1]
+		}
+		placed += c
+		e.bndPfx[p], e.bndPlaced[p] = prefix, placed
+		if prefix+sufQ[(p+1)*stride+e.m-placed] >= thr {
+			e.dirty = p + 1
+			return p, true
+		}
+	}
+	e.dirty = len(counts)
+	return 0, false
+}
+
+// greedySeed fills counts with the candidate taking the m jobs with the
+// smallest remaining work overall — groups are Remaining-sorted after a
+// byRem prepare, so this is an m-step merge over the group heads. SRPT
+// scores it to seed its branch-and-bound threshold before enumeration
+// starts; the seed is a real candidate, so its score is always an upper
+// bound on the true minimum, whatever the rates do.
+func (e *enumerator) greedySeed(m int) {
+	if cap(e.counts) < len(e.types) {
+		e.counts = make([]int, len(e.types))
+	}
+	e.counts = e.counts[:len(e.types)]
+	clear(e.counts)
+	for placed := 0; placed < m; placed++ {
+		bi, bv := -1, math.Inf(1)
+		for ti := range e.types {
+			if c := e.counts[ti]; c < e.caps[ti] {
+				if v := e.remAt[e.grpOff[ti]+c]; v < bv {
+					bi, bv = ti, v
+				}
+			}
+		}
+		e.counts[bi]++
 	}
 }
 

@@ -137,7 +137,7 @@ func (q quantizedRates) InstTP(c workload.Coschedule) float64 {
 	// Only the candidate size matters: every same-size multiset ties.
 	return float64(len(c))
 }
-func (quantizedRates) Static() bool { return true }
+func (quantizedRates) Epoch() uint64 { return 0 }
 
 // randomQueue builds an ID-ordered queue (the Select contract) of depth
 // up to maxDepth over nTypes types.
@@ -185,6 +185,7 @@ func TestEnumeratorMatchesNaive(t *testing.T) {
 				if got >= len(want) {
 					t.Fatalf("trial %d: enumerator yields more than %d candidates", trial, len(want))
 				}
+				e.buildCos()
 				w := want[got]
 				if fmt.Sprint(e.cos) != fmt.Sprint(w.cos) {
 					t.Fatalf("trial %d candidate %d: cos %v, want %v", trial, got, e.cos, w.cos)
@@ -247,6 +248,157 @@ func TestSelectMatchesNaiveUnderTies(t *testing.T) {
 	}
 }
 
+// boundedTieRates is a synthetic source built to stress the pruned
+// enumeration: per-(coschedule, type) WIPCs are drawn deterministically
+// from a hash and quantized to a four-step grid in [0.25, 1], so exact
+// throughput ties are frequent, and it implements the MaxJobWIPC pruning
+// bound (InstTP is the plain slot sum, every slot at most 1) — unlike
+// quantizedRates, which opts out. Every Select over it runs with
+// branch-and-bound active, so the reference comparison proves pruning
+// never skips a candidate that could have won or tied.
+type boundedTieRates struct{ k int }
+
+func (boundedTieRates) Name() string { return "boundedTies" }
+func (r boundedTieRates) K() int     { return r.k }
+func (boundedTieRates) JobWIPC(c workload.Coschedule, b int) float64 {
+	h := uint64(1469598103934665603)
+	for _, t := range c {
+		h = (h * 1099511628211) ^ uint64(t+1)
+	}
+	h = (h * 1099511628211) ^ uint64(b*2654435761+1)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	return 0.25 + 0.25*float64((h>>33)%4)
+}
+func (r boundedTieRates) InstTP(c workload.Coschedule) float64 {
+	var sum float64
+	for _, typ := range c {
+		sum += r.JobWIPC(c, typ)
+	}
+	return sum
+}
+func (boundedTieRates) Epoch() uint64               { return 0 }
+func (boundedTieRates) MaxJobWIPC(int, int) float64 { return 1 }
+
+// TestSelectMatchesNaiveBoundedTies drives both schedulers with pruning
+// active over tie-band rates: identical picks (indices) to the verbatim
+// old argmax loops, across randomized queues and k, replayed so memo
+// hits are covered too.
+func TestSelectMatchesNaiveBoundedTies(t *testing.T) {
+	rng := stats.NewRNG(41)
+	nextID := 0
+	src := boundedTieRates{k: 4}
+	maxit := &MAXIT{Rates: src}
+	srpt := &SRPT{Rates: src}
+	for trial := 0; trial < 400; trial++ {
+		k := 1 + rng.Intn(4)
+		js := randomQueue(rng, &nextID, 5, 10)
+		for pass := 0; pass < 2; pass++ {
+			wantM := refMAXITSelect(src, js, k)
+			if got := maxit.Select(js, k); fmt.Sprint(got) != fmt.Sprint(wantM) {
+				t.Fatalf("trial %d pass %d k=%d: MAXIT %v, want %v", trial, pass, k, got, wantM)
+			}
+			wantS := refSRPTSelect(src, js, k)
+			if got := srpt.Select(js, k); fmt.Sprint(got) != fmt.Sprint(wantS) {
+				t.Fatalf("trial %d pass %d k=%d: SRPT %v, want %v", trial, pass, k, got, wantS)
+			}
+		}
+	}
+}
+
+// countingRates wraps a source and counts rate probes; withBound
+// additionally forwards the pruning bound. Comparing probe counts with
+// the bound on and off shows branch-and-bound actually skips work — and
+// the shared reference check shows it skips only dominated work.
+type countingRates struct {
+	online.RateSource
+	inst, wipc *int
+}
+
+func (c countingRates) InstTP(cos workload.Coschedule) float64 {
+	*c.inst++
+	return c.RateSource.InstTP(cos)
+}
+func (c countingRates) JobWIPC(cos workload.Coschedule, b int) float64 {
+	*c.wipc++
+	return c.RateSource.JobWIPC(cos, b)
+}
+
+type countingBoundedRates struct {
+	countingRates
+	bound rateBound
+}
+
+func (c countingBoundedRates) MaxJobWIPC(b, slots int) float64 { return c.bound.MaxJobWIPC(b, slots) }
+
+// gradedRates is a slot-sum source with strong per-type rate asymmetry
+// and a tight (exact) per-slot bound: type b in an s-slot coschedule
+// always runs at base[b] scaled down 10% per co-runner. MAXIT's
+// throughput bound only bites when types differ enough that candidates
+// heavy in weak types are dominated by an already-scored strong-type
+// candidate — near-symmetric rates (like the mini oracle table's) keep
+// every candidate within the bound's slack, which is correct but prunes
+// nothing, so the MAXIT half of the effectiveness test runs here.
+type gradedRates struct {
+	k    int
+	base []float64
+}
+
+func (gradedRates) Name() string { return "graded" }
+func (g gradedRates) K() int     { return g.k }
+func (g gradedRates) JobWIPC(c workload.Coschedule, b int) float64 {
+	return g.base[b] * (1 - 0.1*float64(len(c)-1))
+}
+func (g gradedRates) InstTP(c workload.Coschedule) float64 {
+	var sum float64
+	for _, typ := range c {
+		sum += g.JobWIPC(c, typ)
+	}
+	return sum
+}
+func (gradedRates) Epoch() uint64 { return 0 }
+func (g gradedRates) MaxJobWIPC(b, slots int) float64 {
+	return g.base[b] * (1 - 0.1*float64(slots-1))
+}
+
+// TestPruningSkipsDominatedCandidates pins that the bound does real
+// work: with it exposed, both schedulers make strictly fewer rate probes
+// than the same Select with the bound hidden, while picking identical
+// jobs. SRPT is driven over the oracle table (its remaining-work lower
+// bound bites on any rates); MAXIT over the asymmetric graded source,
+// where weak-type subtrees are provably dominated.
+func TestPruningSkipsDominatedCandidates(t *testing.T) {
+	tb := table(t)
+	rng := stats.NewRNG(43)
+	nextID := 0
+	var prunedInst, prunedWIPC, plainInst, plainWIPC int
+	graded := gradedRates{k: 4, base: []float64{0.2, 0.3, 0.9, 1.0}}
+	prunedG := countingBoundedRates{countingRates{graded, &prunedInst, &prunedWIPC}, graded}
+	plainG := countingRates{graded, &plainInst, &plainWIPC}
+	prunedT := countingBoundedRates{countingRates{tb, &prunedInst, &prunedWIPC}, tb}
+	plainT := countingRates{tb, &plainInst, &plainWIPC}
+	for trial := 0; trial < 50; trial++ {
+		k := tb.K()
+		js := randomQueue(rng, &nextID, len(tb.Suite()), 14)
+		gotP := fmt.Sprint((&MAXIT{Rates: prunedG}).Select(js, k))
+		gotN := fmt.Sprint((&MAXIT{Rates: plainG}).Select(js, k))
+		if gotP != gotN {
+			t.Fatalf("trial %d: MAXIT with bound %s, without %s", trial, gotP, gotN)
+		}
+		gotP = fmt.Sprint((&SRPT{Rates: prunedT}).Select(js, k))
+		gotN = fmt.Sprint((&SRPT{Rates: plainT}).Select(js, k))
+		if gotP != gotN {
+			t.Fatalf("trial %d: SRPT with bound %s, without %s", trial, gotP, gotN)
+		}
+	}
+	if prunedInst >= plainInst {
+		t.Errorf("MAXIT InstTP probes with bound %d, without %d — pruning skipped nothing", prunedInst, plainInst)
+	}
+	if prunedWIPC >= plainWIPC {
+		t.Errorf("SRPT JobWIPC probes with bound %d, without %d — pruning skipped nothing", prunedWIPC, plainWIPC)
+	}
+}
+
 // TestMAXITTiedSignatureNotLeakedAcrossQueues is the memo-soundness
 // directed case: two queues share the type-count signature {A:2, B:1},
 // every size-2 candidate ties on throughput, and the age tie-break picks
@@ -280,16 +432,79 @@ func TestMAXITTiedSignatureNotLeakedAcrossQueues(t *testing.T) {
 	}
 }
 
-// TestMAXITMemoBypassedForLearners pins the Static gate: over a drifting
-// source the same queue signature must be re-evaluated every time.
-func TestMAXITMemoBypassedForLearners(t *testing.T) {
-	tb := table(t)
-	sampler := online.NewSampler(tb.K(), online.SamplerConfig{Epsilon: 0.5, Seed: 1})
-	m := &MAXIT{Rates: sampler}
-	js := jobs(0, 1, 2, 3)
-	m.Select(js, 4)
-	if len(m.memo) != 0 {
-		t.Fatalf("memo populated over a non-static source")
+// TestMAXITMemoEpochInvalidation pins the epoch gate that replaced the
+// old static-source-only memo: over a learner the memo is used between
+// observations (same epoch → hit) and dropped the moment an observation
+// bumps the source's epoch — a stale hit would replay a decision the
+// learner no longer agrees with. The sampler is held in its sample phase
+// (Epsilon 1), where InstTP steers toward the least-measured coschedule,
+// so one observation verifiably flips the argmax.
+func TestMAXITMemoEpochInvalidation(t *testing.T) {
+	s := online.NewSampler(2, online.SamplerConfig{Epsilon: 1, Seed: 1})
+	m := &MAXIT{Rates: s}
+	js := jobs(0, 0, 1) // two type-0 jobs (IDs 0,1), one type-1 (ID 2)
+	prog := []float64{1, 1}
+
+	// Observe {0,1} so the unmeasured {0,0} outscores it during sampling.
+	s.ObserveInterval(workload.NewCoschedule(0, 1), 1, prog)
+	want1 := refMAXITSelect(s, js, 2)
+	got1 := m.Select(js, 2)
+	if fmt.Sprint(got1) != fmt.Sprint(want1) || fmt.Sprint(got1) != "[0 1]" {
+		t.Fatalf("epoch 1: MAXIT %v, reference %v, want [0 1]", got1, want1)
+	}
+	if len(m.memo) != 1 {
+		t.Fatalf("memo not populated over a learner: %d entries", len(m.memo))
+	}
+	if m.memoEpoch != s.Epoch() {
+		t.Fatalf("memoEpoch %d, source epoch %d", m.memoEpoch, s.Epoch())
+	}
+	// Same epoch: the hit must reproduce the cold decision.
+	if got := m.Select(js, 2); fmt.Sprint(got) != fmt.Sprint(got1) {
+		t.Fatalf("same-epoch memo hit %v, want %v", got, got1)
+	}
+
+	// Observe {0,0} longer than {0,1}: now {0,1} is the least-measured
+	// mix and the decision must flip. A memo not gated on the epoch would
+	// replay [0 1] here.
+	s.ObserveInterval(workload.NewCoschedule(0, 0), 1.5, prog)
+	if s.Epoch() != 2 {
+		t.Fatalf("sampler epoch %d after two observations, want 2", s.Epoch())
+	}
+	want2 := refMAXITSelect(s, js, 2)
+	got2 := m.Select(js, 2)
+	if fmt.Sprint(got2) != fmt.Sprint(want2) || fmt.Sprint(got2) != "[0 2]" {
+		t.Fatalf("epoch 2: MAXIT %v, reference %v, want [0 2]", got2, want2)
+	}
+	if m.memoEpoch != 2 {
+		t.Fatalf("memoEpoch %d after invalidation, want 2", m.memoEpoch)
+	}
+}
+
+// TestSamplerPairwiseEpochs pins the epoch contract on both learners:
+// constant until an effective observation, bumped by one per observation,
+// and untouched by the degenerate intervals ObserveInterval ignores.
+func TestSamplerPairwiseEpochs(t *testing.T) {
+	prog := []float64{1, 1}
+	cos := workload.NewCoschedule(0, 1)
+	for _, src := range []interface {
+		online.RateSource
+		online.IntervalObserver
+	}{
+		online.NewSampler(2, online.SamplerConfig{Seed: 1}),
+		online.NewPairwise(2, 4, online.PairwiseConfig{}),
+	} {
+		if src.Epoch() != 0 {
+			t.Errorf("%s: fresh epoch %d, want 0", src.Name(), src.Epoch())
+		}
+		src.ObserveInterval(cos, 0, prog) // degenerate: dt <= 0
+		src.ObserveInterval(nil, 1, nil)  // degenerate: empty coschedule
+		if src.Epoch() != 0 {
+			t.Errorf("%s: degenerate intervals bumped epoch to %d", src.Name(), src.Epoch())
+		}
+		src.ObserveInterval(cos, 1, prog)
+		if src.Epoch() != 1 {
+			t.Errorf("%s: epoch %d after one observation, want 1", src.Name(), src.Epoch())
+		}
 	}
 }
 
@@ -304,7 +519,7 @@ func TestSelectRequiresArrivalOrder(t *testing.T) {
 			t.Fatal("test queue not ID-ordered")
 		}
 	}
-	sel := FCFS{}.Select(js, 4)
+	sel := (&FCFS{}).Select(js, 4)
 	for i, idx := range sel {
 		if idx != i {
 			t.Errorf("FCFS over an ID-ordered queue must select the identity prefix, got %v", sel)

@@ -22,9 +22,11 @@
 //
 // Select is the hot path of every experiment (it runs at every simulated
 // arrival and completion), so the knowledge-driven schedulers carry
-// per-instance scratch and enumerate candidates without allocating; over a
-// static rate source MAXIT additionally memoizes the winning multiset per
-// queue signature (see DESIGN.md, "Hot path & memoization").
+// per-instance scratch and enumerate candidates without allocating, prune
+// dominated candidate subtrees against an admissible per-slot rate bound
+// when the source exposes one, and MAXIT memoizes the winning multiset
+// per queue signature for as long as the source's rate epoch stands (see
+// DESIGN.md, "Hot path & memoization").
 package sched
 
 import (
@@ -83,6 +85,15 @@ type keyedRates interface {
 	JobWIPCByKey(key uint64, b int) float64
 }
 
+// denseRates is the batch probe fast path on top of keyedRates: one call
+// returns every type's WIPC in the keyed coschedule as a dense slice (the
+// same stored values JobWIPCByKey serves, so scores stay bit-identical),
+// turning SRPT's per-type map probes into one probe per candidate.
+// *perfdb.Table and online.Oracle implement it.
+type denseRates interface {
+	TypeWIPCsByKey(key uint64) []float64
+}
+
 // tieTol is the instantaneous-throughput tolerance within which MAXIT
 // considers two candidates tied and defers to job age.
 const tieTol = 1e-12
@@ -100,7 +111,7 @@ var Names = []string{"FCFS", "MAXIT", "SRPT", "MAXTP"}
 func New(name string, rs online.RateSource, w workload.Workload) (Scheduler, error) {
 	switch name {
 	case "FCFS":
-		return FCFS{}, nil
+		return &FCFS{}, nil
 	case "MAXIT":
 		return &MAXIT{Rates: rs}, nil
 	case "SRPT":
@@ -130,11 +141,17 @@ func oracleTable(rs online.RateSource) (*perfdb.Table, error) {
 	}
 }
 
-// FCFS runs jobs strictly in arrival order.
-type FCFS struct{}
+// FCFS runs jobs strictly in arrival order. It carries a lazily grown
+// per-instance prefix for machines wider than the shared one, so Select
+// stays allocation-free at steady state at any width.
+type FCFS struct {
+	// idx extends the shared identity prefix beyond 64 entries; it grows
+	// monotonically and is reused across Select calls.
+	idx []int
+}
 
 // Name implements Scheduler.
-func (FCFS) Name() string { return "FCFS" }
+func (*FCFS) Name() string { return "FCFS" }
 
 // identity is the shared index prefix FCFS serves: with jobs already in
 // arrival order (the Select contract), the oldest min(k, n) jobs are
@@ -148,17 +165,17 @@ var identity = func() []int {
 }()
 
 // Select implements Scheduler: the min(k, n) oldest jobs, which under the
-// arrival-order contract is the identity prefix — no sort, no allocation.
-func (FCFS) Select(jobs []*Job, k int) []int {
+// arrival-order contract is the identity prefix — no sort, and no
+// allocation once the instance prefix has grown to the machine width.
+func (f *FCFS) Select(jobs []*Job, k int) []int {
 	n := min(k, len(jobs))
 	if n <= len(identity) {
 		return identity[:n]
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	for len(f.idx) < n {
+		f.idx = append(f.idx, len(f.idx))
 	}
-	return idx
+	return f.idx[:n]
 }
 
 // MAXIT selects the combination with the highest instantaneous throughput
@@ -167,17 +184,21 @@ func (FCFS) Select(jobs []*Job, k int) []int {
 // inflates under-measured coschedules, the same argmax implements
 // SOS-style sampling.
 //
-// MAXIT carries per-instance scratch and, over a static source, a
-// decision memo; instances must not be shared across goroutines.
+// MAXIT carries per-instance scratch and a per-epoch decision memo;
+// instances must not be shared across goroutines.
 type MAXIT struct {
 	Rates online.RateSource
 
 	enum enumerator
-	// memo caches the winning count vector per queue signature when the
-	// rate source is static. Keys whose argmax involved a throughput tie
-	// are never stored: ties are broken by job age, which depends on the
+	// memo caches the winning count vector per queue signature for one
+	// rate epoch: the source answers identically within an epoch (the
+	// oracle's never changes; a learner bumps it per observation), so
+	// hits stay valid between observations and the map is cleared when
+	// the epoch moves. Keys whose argmax involved a throughput tie are
+	// never stored: ties are broken by job age, which depends on the
 	// concrete job IDs behind the signature, not the signature alone.
-	memo map[uint64]uint64
+	memo      map[uint64]uint64
+	memoEpoch uint64
 }
 
 // Name implements Scheduler.
@@ -190,42 +211,70 @@ func (m *MAXIT) Select(jobs []*Job, k int) []int {
 	}
 	e := &m.enum
 	e.prepare(jobs, false)
-	var memoKey uint64
-	memoOK := false
-	if m.Rates.Static() {
-		if memoKey, memoOK = e.memoKey(k); memoOK {
-			if v, hit := m.memo[memoKey]; hit {
-				return e.materialize(e.unpackCounts(v))
-			}
+	return m.selectPrepared(e, jobs, k)
+}
+
+// selectPrepared runs the argmax over an enumerator already prepared for
+// jobs (byRem false). MAXTP's fallback enters here with the enumerator it
+// groups the queue into anyway, so a deferred LP pick costs one prepare,
+// not two; the decision memo lives on the MAXIT instance either way.
+func (m *MAXIT) selectPrepared(e *enumerator, jobs []*Job, k int) []int {
+	memoKey, memoOK := e.memoKey(k)
+	if memoOK {
+		if ep := m.Rates.Epoch(); ep != m.memoEpoch {
+			// The source's rates moved: every cached decision is stale.
+			// clear keeps the buckets, so re-filling does not allocate.
+			clear(m.memo)
+			m.memoEpoch = ep
+		}
+		if v, hit := m.memo[memoKey]; hit {
+			return e.materialize(e.unpackCounts(v))
 		}
 	}
 	kr, keyed := m.Rates.(keyedRates)
+	n := min(k, len(jobs))
+	prune := e.setBounds(m.Rates, n)
 	bestTP, bestAge := math.Inf(-1), math.Inf(1)
 	tied := false
-	for ok := e.firstCandidate(min(k, len(jobs))); ok; ok = e.next() {
+	for ok := e.firstCandidate(n); ok; {
+		if prune {
+			// A -Inf threshold never dominates a finite bound, so the
+			// first candidate is always scored.
+			if p, dom := e.dominatedTP(bestTP - tieTol); dom {
+				ok = e.nextFrom(p)
+				continue
+			}
+		}
 		var tp float64
 		if keyed {
+			e.buildKey()
 			tp = kr.InstTPByKey(e.cosKey)
 		} else {
+			e.buildCos()
 			tp = m.Rates.InstTP(e.cos)
 		}
-		age := 0.0
-		for ti, c := range e.counts {
-			g := e.group(ti)
-			for j := 0; j < c; j++ {
-				age += float64(jobs[g[j]].ID)
+		// Job age only separates candidates inside the tie band, so it
+		// is summed lazily; the update branches are the original ones.
+		if tp > bestTP-tieTol {
+			age := 0.0
+			for ti, c := range e.counts {
+				g := e.group(ti)
+				for j := 0; j < c; j++ {
+					age += float64(jobs[g[j]].ID)
+				}
 			}
-		}
-		if tp > bestTP+tieTol {
-			e.keepBest()
-			bestTP, bestAge = tp, age
-		} else if tp > bestTP-tieTol {
-			tied = true
-			if age < bestAge {
+			if tp > bestTP+tieTol {
 				e.keepBest()
 				bestTP, bestAge = tp, age
+			} else {
+				tied = true
+				if age < bestAge {
+					e.keepBest()
+					bestTP, bestAge = tp, age
+				}
 			}
 		}
+		ok = e.next()
 	}
 	if memoOK && !tied {
 		if m.memo == nil {
@@ -261,28 +310,89 @@ func (s *SRPT) Select(jobs []*Job, k int) []int {
 	e := &s.enum
 	e.prepare(jobs, true)
 	kr, keyed := s.Rates.(keyedRates)
+	dr, dense := s.Rates.(denseRates)
+	if dense {
+		e.primeRateCache(s.Rates.Epoch())
+	}
+	n := min(k, len(jobs))
+	// With n == len(jobs) the walk visits exactly one candidate (counts
+	// must equal the group caps), so the pruning machinery below can only
+	// add overhead — skip it and score the lone candidate directly.
+	prune := n < len(jobs) && e.setBounds(s.Rates, n)
+	thr := math.Inf(1)
+	if prune {
+		e.setRemBounds(n)
+		// Seed the pruning threshold from the greedy smallest-remaining
+		// candidate, so subtrees that provably cannot reach its score are
+		// dead from the very first dominance check instead of only after
+		// the walk stumbles on a good candidate. The threshold sits one
+		// ulp above the seed's score: every candidate scoring at or below
+		// the seed — the winner among them — is still walked, so the pick
+		// stays the first minimal candidate in enumeration order,
+		// bit-identical to the unseeded walk.
+		e.greedySeed(n)
+		thr = math.Nextafter(s.score(e, kr, keyed, dr, dense, math.Inf(1)), math.Inf(1))
+	}
 	bestSum := math.Inf(1)
-	for ok := e.firstCandidate(min(k, len(jobs))); ok; ok = e.next() {
-		var sum float64
-		for ti, c := range e.counts {
-			g := e.group(ti)
-			for j := 0; j < c; j++ {
-				jb := jobs[g[j]]
-				var rate float64
-				if keyed {
-					rate = kr.JobWIPCByKey(e.cosKey, jb.Type)
-				} else {
-					rate = s.Rates.JobWIPC(e.cos, jb.Type)
-				}
-				sum += jb.Remaining / rate
+	for ok := e.firstCandidate(n); ok; {
+		if prune {
+			// A +Inf threshold is never reached by a finite lower bound,
+			// so the first candidate is always scored.
+			if p, dom := e.dominatedSum(min(bestSum, thr)); dom {
+				ok = e.nextFrom(p)
+				continue
 			}
 		}
+		sum := s.score(e, kr, keyed, dr, dense, bestSum)
 		if sum < bestSum {
 			e.keepBest()
 			bestSum = sum
 		}
+		ok = e.next()
 	}
 	return e.materialize(e.best)
+}
+
+// score prices the enumerator's current candidate: each job's remaining
+// work divided by its type's rate in that coschedule. One rate probe per
+// type — same-type jobs share their rate in a coschedule — and the
+// per-job divisions accumulate in the original job order, so the sum is
+// bit-identical to the pre-pruning walk's. Scoring may stop early once
+// the partial sum reaches limit: remaining terms are non-negative, so the
+// candidate cannot improve any more, and callers ignore non-improving
+// scores.
+func (s *SRPT) score(e *enumerator, kr keyedRates, keyed bool, dr denseRates, dense bool, limit float64) float64 {
+	if keyed || dense {
+		e.buildKey()
+	} else {
+		e.buildCos()
+	}
+	var rates []float64
+	if dense {
+		rates = e.ratesFor(dr, e.cosKey)
+	}
+	var sum float64
+	for ti, c := range e.counts {
+		if c == 0 {
+			continue
+		}
+		var rate float64
+		if dense {
+			rate = rates[e.types[ti]]
+		} else if keyed {
+			rate = kr.JobWIPCByKey(e.cosKey, e.types[ti])
+		} else {
+			rate = s.Rates.JobWIPC(e.cos, e.types[ti])
+		}
+		lo := e.grpOff[ti]
+		for j := lo; j < lo+c; j++ {
+			sum += e.remAt[j] / rate
+		}
+		if sum >= limit {
+			break
+		}
+	}
+	return sum
 }
 
 // MAXTP implements the paper's practical use of the linear-programming
@@ -366,9 +476,10 @@ func (m *MAXTP) Select(jobs []*Job, k int) []int {
 	}
 	// Use the optimal schedule only while it is behind its ideal fraction;
 	// coschedules that are ahead of schedule would be run at the expense of
-	// waiting jobs for no long-run throughput benefit, so defer to MAXIT.
+	// waiting jobs for no long-run throughput benefit, so defer to MAXIT —
+	// over this enumerator, which already grouped the queue.
 	if bestIdx < 0 || bestDeficit <= 0 {
-		return m.fallback.Select(jobs, k)
+		return m.fallback.selectPrepared(e, jobs, k)
 	}
 	m.out = m.out[:0]
 	for i, b := range m.fracTypes[bestIdx] {

@@ -36,7 +36,7 @@ func jobs(types ...int) []*Job {
 
 func TestFCFSOldestFirst(t *testing.T) {
 	js := jobs(0, 1, 2, 3, 0, 1)
-	sel := FCFS{}.Select(js, 4)
+	sel := (&FCFS{}).Select(js, 4)
 	if len(sel) != 4 {
 		t.Fatalf("selected %d jobs", len(sel))
 	}
@@ -49,7 +49,7 @@ func TestFCFSOldestFirst(t *testing.T) {
 
 func TestFCFSFewerJobsThanContexts(t *testing.T) {
 	js := jobs(0, 1)
-	if sel := (FCFS{}).Select(js, 4); len(sel) != 2 {
+	if sel := (&FCFS{}).Select(js, 4); len(sel) != 2 {
 		t.Errorf("selected %d, want 2", len(sel))
 	}
 }
@@ -196,6 +196,7 @@ func TestEnumeratorCountAndFeasibility(t *testing.T) {
 	// enumerate: {0,0,1},{0,0,2},{0,1,2} = 3.
 	n := 0
 	for ok := e.firstCandidate(3); ok; ok = e.next() {
+		e.buildCos()
 		if len(e.cos) != 3 {
 			t.Errorf("candidate %v has %d slots, want 3", e.cos, len(e.cos))
 		}
@@ -210,7 +211,7 @@ func TestSchedulerNames(t *testing.T) {
 	tb := table(t)
 	w := workload.Workload{0, 1, 2, 3}
 	m, _ := NewMAXTP(tb, w)
-	for _, s := range []Scheduler{FCFS{}, &MAXIT{Rates: tb}, &SRPT{Rates: tb}, m} {
+	for _, s := range []Scheduler{&FCFS{}, &MAXIT{Rates: tb}, &SRPT{Rates: tb}, m} {
 		if s.Name() == "" {
 			t.Errorf("%T has empty name", s)
 		}
