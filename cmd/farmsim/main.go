@@ -35,6 +35,13 @@
 //
 // Replication sweeps run through the shared runner engine: output is
 // byte-identical at any -parallel value.
+//
+// -metrics collects the internal/metrics instrumentation (scheduler memo
+// and pruning counters, server busy/occupancy gauges, dispatcher probe
+// counts, learner observation counts) merged over the whole grid;
+// simulation results are byte-identical with or without it. With -csv
+// the merged snapshot is written as farm_metrics.csv next to farm.csv.
+// -cpuprofile and -memprofile write runtime/pprof profiles of the run.
 package main
 
 import (
@@ -50,13 +57,14 @@ import (
 	"symbiosched/internal/exp"
 	"symbiosched/internal/farm"
 	"symbiosched/internal/online"
+	"symbiosched/internal/profiling"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("farmsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -77,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheDir    = fs.String("cache", "", "cache built performance databases as gob files in this directory")
 		csvDir      = fs.String("csv", "", "also write the result grid as a CSV file into this directory")
 		progress    = fs.Bool("progress", false, "print per-sweep progress to stderr")
+		metricsF    = fs.Bool("metrics", false, "collect internal instrumentation (results unchanged; -csv adds farm_metrics.csv)")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf     = fs.String("memprofile", "", "write a final heap profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -111,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
 	cfg.CacheDir = *cacheDir
+	cfg.Metrics = *metricsF
 	if cfg.CacheDir != "" {
 		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
 			fmt.Fprintf(stderr, "farmsim: -cache %s: %v\n", cfg.CacheDir, err)
@@ -125,6 +137,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	env := exp.NewEnv(cfg)
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(stderr, "farmsim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "farmsim: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	r, err := exp.Farm(env, exp.FarmOptions{
 		Servers:      *servers,
@@ -149,6 +175,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := exp.WriteCSV(*csvDir, "farm", r); err != nil {
 			fmt.Fprintf(stderr, "farmsim: csv: %v\n", err)
 			return 1
+		}
+	}
+	if r.Metrics != nil {
+		if *csvDir != "" {
+			if err := exp.MetricsTable("farm_metrics", r.Metrics).WriteFile(*csvDir); err != nil {
+				fmt.Fprintf(stderr, "farmsim: metrics csv: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "metrics: %d rows written to farm_metrics.csv\n", len(r.Metrics.Rows))
+		} else {
+			fmt.Fprintf(stdout, "metrics: %d rows collected (add -csv to export)\n", len(r.Metrics.Rows))
 		}
 	}
 	return 0

@@ -118,6 +118,84 @@ func TestRunShardedPD(t *testing.T) {
 	}
 }
 
+// TestRunMetricsAndProfiles smoke-runs the observability surface: with
+// -metrics the merged snapshot lands next to farm.csv, the simulation
+// grid itself is byte-identical to a run without instrumentation, and
+// -cpuprofile/-memprofile produce non-empty pprof files.
+func TestRunMetricsAndProfiles(t *testing.T) {
+	common := []string{
+		"-servers", "2", "-jobs", "600", "-reps", "2",
+		"-dispatchers", "rr,li", "-loads", "0.8",
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var plain, instr, errb strings.Builder
+	if code := run(common, &plain, &errb); code != 0 {
+		t.Fatalf("plain run = %d, stderr: %s", code, errb.String())
+	}
+	args := append([]string{"-metrics", "-csv", dir, "-cpuprofile", cpu, "-memprofile", mem}, common...)
+	if code := run(args, &instr, &errb); code != 0 {
+		t.Fatalf("instrumented run = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(instr.String(), "metrics: ") {
+		t.Errorf("metrics summary line missing:\n%s", instr.String())
+	}
+	// Instrumentation only observes: the report grid is unchanged.
+	if got := strings.Split(instr.String(), "metrics: ")[0]; got != plain.String() {
+		t.Errorf("-metrics changed the report:\n--- plain ---\n%s\n--- instrumented ---\n%s", plain.String(), got)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "farm_metrics.csv"))
+	if err != nil {
+		t.Fatalf("farm_metrics.csv: %v", err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) < 10 ||
+		lines[0] != "metric,kind,field,value" ||
+		!strings.Contains(string(data), "sched_memo_") {
+		t.Errorf("farm_metrics.csv unexpected:\n%s", data)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestMetricsCSVDeterministicAcrossParallel pins the snapshot-ordering
+// contract at the CLI level: farm_metrics.csv is byte-identical at
+// -parallel 1 and -parallel NumCPU.
+func TestMetricsCSVDeterministicAcrossParallel(t *testing.T) {
+	wide := runtime.NumCPU()
+	if wide < 8 {
+		wide = 8
+	}
+	var csvs []string
+	for _, p := range []int{1, wide} {
+		dir := t.TempDir()
+		var out, errb strings.Builder
+		code := run([]string{
+			"-servers", "3", "-jobs", "600", "-reps", "3",
+			"-dispatchers", "jsq,li", "-loads", "0.5,0.9",
+			"-metrics", "-csv", dir, "-parallel", strconv.Itoa(p),
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("-parallel %d: run = %d, stderr: %s", p, code, errb.String())
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "farm_metrics.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvs = append(csvs, string(data))
+	}
+	if csvs[0] != csvs[1] {
+		t.Errorf("farm_metrics.csv differs across -parallel:\n--- p=1 ---\n%s\n--- wide ---\n%s", csvs[0], csvs[1])
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-loads", "1.5"}, &out, &errb); code != 2 {

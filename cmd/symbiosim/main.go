@@ -6,6 +6,10 @@
 //
 //	symbiosim [flags] list
 //	symbiosim [flags] run <scenario>... | all
+//	symbiosim diff [-db dir] [-tol f] <ref> <ref>
+//	symbiosim bench-record [-db dir] [-in file] [-ledger file]
+//	symbiosim resultdb [-db dir] list | show <ref>
+//	symbiosim perfgate [-db dir] [-base-db dir] [-tol 0.10] <base> <cur>
 //
 // Scenarios come from the internal/scenario registry (see `symbiosim
 // list`): the paper's table1/fig1-fig6/table2, the n8/fairness/uarch
@@ -16,7 +20,14 @@
 // -parallel bounds the worker pool of every sweep (results are identical
 // at any value), -cache caches built performance databases on disk,
 // -csv writes every scenario table as CSV, and -progress reports
-// per-sweep progress on stderr.
+// per-sweep progress on stderr. -metrics turns on the internal/metrics
+// instrumentation (scenarios that support it emit an extra *_metrics
+// table; simulation results are byte-identical either way), -record
+// stores each scenario's tables and metrics as a content-addressed
+// record in the given resultdb directory, and -cpuprofile/-memprofile
+// write runtime/pprof profiles of the run. The diff, bench-record,
+// resultdb and perfgate subcommands operate on the record store; see
+// their -h output and internal/resultdb.
 package main
 
 import (
@@ -31,6 +42,8 @@ import (
 	"time"
 
 	"symbiosched/internal/exp"
+	"symbiosched/internal/profiling"
+	"symbiosched/internal/resultdb"
 	"symbiosched/internal/scenario"
 )
 
@@ -38,7 +51,22 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	// The resultdb subcommands carry their own flag sets; dispatch them
+	// before the scenario-runner flags are parsed.
+	if len(args) > 0 {
+		switch args[0] {
+		case "diff":
+			return runDiffCmd(args[1:], stdout, stderr)
+		case "bench-record":
+			return runBenchRecordCmd(args[1:], stdout, stderr)
+		case "resultdb":
+			return runResultDBCmd(args[1:], stdout, stderr)
+		case "perfgate":
+			return runPerfGateCmd(args[1:], stdout, stderr)
+		}
+	}
+
 	fs := flag.NewFlagSet("symbiosim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -50,9 +78,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for every sweep (results are identical at any value)")
 		cacheDir = fs.String("cache", "", "cache built performance databases as gob files in this directory")
 		progress = fs.Bool("progress", false, "print per-sweep progress to stderr")
+		metricsF = fs.Bool("metrics", false, "collect internal instrumentation (extra *_metrics tables; results unchanged)")
+		record   = fs.String("record", "", "store each scenario's tables and metrics as a record in this resultdb directory")
+		note     = fs.String("note", "", "free-form annotation carried on -record records")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a final heap profile of the run to this file")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: symbiosim [flags] list | run <scenario>...\n")
+		fmt.Fprintf(stderr, "usage: symbiosim [flags] list | run <scenario>... | diff | bench-record | resultdb | perfgate\n")
 		fmt.Fprintf(stderr, "scenarios: %s\n", strings.Join(scenario.Names(), ", "))
 		fs.PrintDefaults()
 	}
@@ -76,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "run":
 		// handled below
 	default:
-		fmt.Fprintf(stderr, "symbiosim: unknown command %q (want list or run)\n", cmd)
+		fmt.Fprintf(stderr, "symbiosim: unknown command %q (want list, run, diff, bench-record, resultdb or perfgate)\n", cmd)
 		fs.Usage()
 		return 2
 	}
@@ -93,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
 	cfg.CacheDir = *cacheDir
+	cfg.Metrics = *metricsF
 	if cfg.CacheDir != "" {
 		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
 			fmt.Fprintf(stderr, "symbiosim: -cache %s: %v\n", cfg.CacheDir, err)
@@ -134,6 +168,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+
+	var store *resultdb.Store
+	if *record != "" {
+		var ok bool
+		if store, ok = openStore(*record, stderr); !ok {
+			return 1
+		}
+	}
+	// The record key hashes the result-affecting configuration;
+	// -parallel and -cache are excluded because results are identical at
+	// any value.
+	cfgHash := configHash("run",
+		fmt.Sprint(*fcfsJobs), fmt.Sprint(*simJobs), fmt.Sprint(*sample),
+		fmt.Sprint(*seed), fmt.Sprint(*metricsF))
+
 	for _, name := range names {
 		start := time.Now()
 		res, err := exp.RunScenario(context.Background(), env, name)
@@ -149,6 +212,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 					return 1
 				}
 			}
+		}
+		if store != nil {
+			tables, mrows := recordTables(res.Tables)
+			rec := &resultdb.Record{
+				Scenario:   name,
+				ConfigHash: cfgHash,
+				Commit:     currentCommit(),
+				When:       time.Now().UTC().Format(time.RFC3339),
+				Note:       *note,
+				Tables:     tables,
+				Metrics:    mrows,
+			}
+			recName, err := store.Put(rec)
+			if err != nil {
+				fmt.Fprintf(stderr, "symbiosim: %s: record: %v\n", name, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "recorded as %s\n", recName)
 		}
 		fmt.Fprintf(stdout, "(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}

@@ -1,0 +1,382 @@
+// This file holds the resultdb-facing subcommands: diff, bench-record,
+// resultdb (list/show) and perfgate. They are thin shells over
+// internal/resultdb — reference resolution, record construction and exit
+// codes live here; comparison and storage semantics live in the library.
+
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"symbiosched/internal/resultdb"
+	"symbiosched/internal/scenario"
+)
+
+// defaultDB is where the resultdb subcommands look for records unless
+// -db says otherwise.
+const defaultDB = "resultdb"
+
+// defaultGateBenches are the hot-path benchmarks the perf gate pins by
+// default: the deepest Select decision paths. BenchmarkCalibration rides
+// along in every record as the machine-speed reference the gate
+// normalises by; it is never gated itself.
+const defaultGateBenches = "BenchmarkSchedulerSelect/MAXIT/depth=32,BenchmarkSchedulerSelect/SRPT/depth=32"
+
+// currentCommit best-effort identifies the commit a record belongs to:
+// the SYMBIOSIM_COMMIT / GITHUB_SHA environment (CI), else the .git HEAD
+// resolved by hand (no git subprocess, so records work in bare
+// containers), else "unknown".
+func currentCommit() string {
+	for _, k := range []string{"SYMBIOSIM_COMMIT", "GITHUB_SHA"} {
+		if v := os.Getenv(k); v != "" {
+			return v
+		}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "unknown"
+	}
+	for {
+		if c := commitFromGitDir(filepath.Join(dir, ".git")); c != "" {
+			return c
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "unknown"
+		}
+		dir = parent
+	}
+}
+
+// commitFromGitDir resolves HEAD inside one .git directory, following a
+// symbolic ref through loose and packed refs. Empty means unresolved.
+func commitFromGitDir(gitDir string) string {
+	head, err := os.ReadFile(filepath.Join(gitDir, "HEAD"))
+	if err != nil {
+		return ""
+	}
+	s := strings.TrimSpace(string(head))
+	ref, ok := strings.CutPrefix(s, "ref: ")
+	if !ok {
+		return s // detached HEAD carries the hash directly
+	}
+	if b, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+		return strings.TrimSpace(string(b))
+	}
+	if pr, err := os.ReadFile(filepath.Join(gitDir, "packed-refs")); err == nil {
+		for _, line := range strings.Split(string(pr), "\n") {
+			if f := strings.Fields(line); len(f) == 2 && f[1] == ref {
+				return f[0]
+			}
+		}
+	}
+	return ""
+}
+
+// configHash derives the record's config key from the result-affecting
+// parts of the run configuration (FNV-64a, like the content hash).
+func configHash(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%s|", p)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// recordTables converts scenario tables into the record's map-free
+// mirrors. Tables named *_metrics are additionally mirrored into the
+// record's Metrics rows, so `symbiosim diff` reports them per-metric
+// rather than per-cell.
+func recordTables(ts []*scenario.Table) ([]resultdb.Table, []resultdb.MetricRow) {
+	var tables []resultdb.Table
+	var mrows []resultdb.MetricRow
+	for _, t := range ts {
+		header := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			header[i] = c.Name
+		}
+		tables = append(tables, resultdb.Table{Name: t.Name, Header: header, Rows: t.Rows})
+		if !strings.HasSuffix(t.Name, "_metrics") {
+			continue
+		}
+		for _, row := range t.Rows {
+			if len(row) == 4 {
+				mrows = append(mrows, resultdb.MetricRow{Metric: row[0], Kind: row[1], Field: row[2], Value: row[3]})
+			}
+		}
+	}
+	return tables, mrows
+}
+
+// openStore opens (creating if needed) the record store at dir.
+func openStore(dir string, stderr io.Writer) (*resultdb.Store, bool) {
+	st, err := resultdb.Open(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+		return nil, false
+	}
+	return st, true
+}
+
+// getByRef resolves and loads one record reference.
+func getByRef(st *resultdb.Store, ref string, stderr io.Writer) (*resultdb.Record, bool) {
+	name, err := st.Resolve(ref)
+	if err != nil {
+		fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+		return nil, false
+	}
+	rec, err := st.Get(name)
+	if err != nil {
+		fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+		return nil, false
+	}
+	return rec, true
+}
+
+func parseOrUsage(fs *flag.FlagSet, args []string, usage string, stderr io.Writer) (ok bool, code int) {
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: %s\n", usage)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return false, 0
+		}
+		return false, 2
+	}
+	return true, 0
+}
+
+// runDiffCmd implements `symbiosim diff`: per-cell, per-metric and
+// per-bench deltas between two stored records. Exit 0 means no deltas
+// beyond tolerance, 1 means deltas, 2 means usage or lookup failure.
+func runDiffCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("symbiosim diff", flag.ContinueOnError)
+	db := fs.String("db", defaultDB, "record store directory")
+	tol := fs.Float64("tol", 0, "relative tolerance below which numeric deltas are not reported")
+	if ok, code := parseOrUsage(fs, args, "symbiosim diff [-db dir] [-tol f] <ref> <ref>   (refs: latest, latest~N, name prefix)", stderr); !ok {
+		return code
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	st, ok := openStore(*db, stderr)
+	if !ok {
+		return 2
+	}
+	a, ok := getByRef(st, fs.Arg(0), stderr)
+	if !ok {
+		return 2
+	}
+	b, ok := getByRef(st, fs.Arg(1), stderr)
+	if !ok {
+		return 2
+	}
+	ds := resultdb.Diff(a, b, resultdb.DiffOptions{Tol: *tol})
+	fmt.Fprint(stdout, resultdb.FormatDeltas(ds))
+	if len(ds) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runBenchRecordCmd implements `symbiosim bench-record`: parse `go test
+// -bench` output (stdin or -in) into a resultdb record, and optionally
+// regenerate a human-readable JSON ledger next to the BENCH_*.json files.
+func runBenchRecordCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("symbiosim bench-record", flag.ContinueOnError)
+	db := fs.String("db", defaultDB, "record store directory")
+	in := fs.String("in", "-", "benchmark output file (- = stdin)")
+	scen := fs.String("scenario", "bench", "scenario key to store the record under")
+	note := fs.String("note", "", "free-form annotation (excluded from the content hash)")
+	ledger := fs.String("ledger", "", "also write a human-readable JSON ledger to this file")
+	if ok, code := parseOrUsage(fs, args, "symbiosim bench-record [-db dir] [-in file] [-scenario s] [-note s] [-ledger file] < bench-output", stderr); !ok {
+		return code
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := resultdb.ParseBench(r)
+	if err != nil {
+		fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+		return 1
+	}
+	if len(benches) == 0 {
+		fmt.Fprintf(stderr, "symbiosim: no benchmark lines in input\n")
+		return 1
+	}
+	rec := &resultdb.Record{
+		Scenario:   *scen,
+		ConfigHash: configHash("bench"),
+		Commit:     currentCommit(),
+		When:       time.Now().UTC().Format(time.RFC3339),
+		Note:       *note,
+		Benches:    benches,
+	}
+	st, ok := openStore(*db, stderr)
+	if !ok {
+		return 2
+	}
+	name, err := st.Put(rec)
+	if err != nil {
+		fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "recorded %d benchmarks as %s\n", len(benches), name)
+	if *ledger != "" {
+		if err := writeLedger(*ledger, rec); err != nil {
+			fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "ledger written to %s\n", *ledger)
+	}
+	return 0
+}
+
+// benchLedger is the generated human-readable ledger shape — the
+// machine-produced successor of the hand-written BENCH_*.json files.
+type benchLedger struct {
+	Date    string           `json:"date"`
+	Commit  string           `json:"commit"`
+	Note    string           `json:"note,omitempty"`
+	Benches []resultdb.Bench `json:"benches"`
+}
+
+func writeLedger(path string, rec *resultdb.Record) error {
+	b, err := json.MarshalIndent(benchLedger{
+		Date: rec.When, Commit: rec.Commit, Note: rec.Note, Benches: rec.Benches,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// runResultDBCmd implements `symbiosim resultdb list|show`.
+func runResultDBCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("symbiosim resultdb", flag.ContinueOnError)
+	db := fs.String("db", defaultDB, "record store directory")
+	if ok, code := parseOrUsage(fs, args, "symbiosim resultdb [-db dir] list | show <ref>", stderr); !ok {
+		return code
+	}
+	st, ok := openStore(*db, stderr)
+	if !ok {
+		return 2
+	}
+	switch fs.Arg(0) {
+	case "list":
+		names, err := st.List()
+		if err != nil {
+			fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+			return 1
+		}
+		for _, n := range names {
+			rec, err := st.Get(n)
+			if err != nil {
+				fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%-20s %-8s %s  %s\n", rec.When, rec.Scenario, n, rec.Note)
+		}
+		return 0
+	case "show":
+		if fs.NArg() != 2 {
+			fs.Usage()
+			return 2
+		}
+		rec, ok := getByRef(st, fs.Arg(1), stderr)
+		if !ok {
+			return 2
+		}
+		fmt.Fprintf(stdout, "scenario: %s\nconfig:   %s\ncommit:   %s\nwhen:     %s\n",
+			rec.Scenario, rec.ConfigHash, rec.Commit, rec.When)
+		if rec.Note != "" {
+			fmt.Fprintf(stdout, "note:     %s\n", rec.Note)
+		}
+		for _, t := range rec.Tables {
+			fmt.Fprintf(stdout, "table %s: %d columns x %d rows\n", t.Name, len(t.Header), len(t.Rows))
+		}
+		if len(rec.Metrics) > 0 {
+			fmt.Fprintf(stdout, "metrics: %d rows\n", len(rec.Metrics))
+		}
+		for _, b := range rec.Benches {
+			fmt.Fprintf(stdout, "bench %-50s %12.1f ns/op\n", b.Name, b.NsPerOp)
+		}
+		return 0
+	default:
+		fs.Usage()
+		return 2
+	}
+}
+
+// runPerfGateCmd implements `symbiosim perfgate`: compare the pinned
+// hot-path benchmarks of two records (possibly from different stores:
+// -base-db holds the committed baseline, -db the fresh CI record),
+// failing with exit 1 on calibration-normalised drift beyond -tol.
+func runPerfGateCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("symbiosim perfgate", flag.ContinueOnError)
+	db := fs.String("db", defaultDB, "record store holding the current record")
+	baseDB := fs.String("base-db", "", "record store holding the baseline record (default: -db)")
+	tol := fs.Float64("tol", 0.10, "maximum tolerated normalised ns/op drift")
+	benches := fs.String("bench", defaultGateBenches, "comma-separated benchmark names to gate")
+	if ok, code := parseOrUsage(fs, args, "symbiosim perfgate [-db dir] [-base-db dir] [-tol 0.10] [-bench names] <base-ref> <cur-ref>", stderr); !ok {
+		return code
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *baseDB == "" {
+		*baseDB = *db
+	}
+	baseSt, ok := openStore(*baseDB, stderr)
+	if !ok {
+		return 2
+	}
+	curSt, ok := openStore(*db, stderr)
+	if !ok {
+		return 2
+	}
+	base, ok := getByRef(baseSt, fs.Arg(0), stderr)
+	if !ok {
+		return 2
+	}
+	cur, ok := getByRef(curSt, fs.Arg(1), stderr)
+	if !ok {
+		return 2
+	}
+	var names []string
+	for _, n := range strings.Split(*benches, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	rs, err := resultdb.Gate(base, cur, names, *tol)
+	if err != nil {
+		fmt.Fprintf(stderr, "symbiosim: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, resultdb.FormatGate(rs, *tol))
+	if resultdb.Failed(rs) {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProfileSmoke pins the satellite contract: -cpuprofile and
+// -memprofile produce non-empty pprof files for a normal run.
+func TestProfileSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb strings.Builder
+	code := run([]string{"-cpuprofile", cpu, "-memprofile", mem, "run", "fig4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestRunRecord stores a scenario run in a resultdb store and reads it
+// back through the resultdb and diff subcommands: an identical pair
+// reports no deltas and exits 0.
+func TestRunRecord(t *testing.T) {
+	db := t.TempDir()
+	var out, errb strings.Builder
+	code := run([]string{"-record", db, "-note", "smoke", "run", "fig4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run -record = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "recorded as fig4_") {
+		t.Fatalf("record confirmation missing:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"resultdb", "-db", db, "list"}, &out, &errb); code != 0 {
+		t.Fatalf("resultdb list = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fig4") || !strings.Contains(out.String(), "smoke") {
+		t.Errorf("list output unexpected:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"resultdb", "-db", db, "show", "latest"}, &out, &errb); code != 0 {
+		t.Fatalf("resultdb show = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "scenario: fig4") || !strings.Contains(out.String(), "table fig4:") {
+		t.Errorf("show output unexpected:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"diff", "-db", db, "latest", "latest"}, &out, &errb); code != 0 {
+		t.Fatalf("diff identical = %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != "no deltas\n" {
+		t.Errorf("identical diff output = %q", out.String())
+	}
+}
+
+// benchOutput fabricates one `go test -bench` result block with the
+// given MAXIT depth=32 ns/op, calibration held fixed so perfgate's
+// normalisation is a no-op in this test.
+func benchOutput(maxitNs string) string {
+	return "goos: linux\n" +
+		"BenchmarkSchedulerSelect/MAXIT/depth=32-8 \t 100 \t " + maxitNs + " ns/op \t 0 B/op \t 0 allocs/op\n" +
+		"BenchmarkSchedulerSelect/SRPT/depth=32-8 \t 100 \t 1300 ns/op \t 0 B/op \t 0 allocs/op\n" +
+		"BenchmarkCalibration-8 \t 100 \t 2000 ns/op\n" +
+		"PASS\n"
+}
+
+// TestBenchRecordDiffAndGate drives the full perf-trajectory loop at the
+// CLI level: record a baseline and a 25%-regressed run, see the diff,
+// and watch perfgate fail the regression but pass the identical pair.
+func TestBenchRecordDiffAndGate(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "db")
+	base := filepath.Join(dir, "base.txt")
+	slow := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(base, []byte(benchOutput("100")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(slow, []byte(benchOutput("125")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb strings.Builder
+	ledger := filepath.Join(dir, "ledger.json")
+	if code := run([]string{"bench-record", "-db", db, "-in", base, "-ledger", ledger}, &out, &errb); code != 0 {
+		t.Fatalf("bench-record base = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "recorded 3 benchmarks") {
+		t.Fatalf("bench-record output unexpected:\n%s", out.String())
+	}
+	data, err := os.ReadFile(ledger)
+	if err != nil {
+		t.Fatalf("ledger not written: %v", err)
+	}
+	if !strings.Contains(string(data), "BenchmarkCalibration") {
+		t.Errorf("ledger missing calibration entry:\n%s", data)
+	}
+	// Make the baseline strictly older so "latest"/"latest~1" order is
+	// independent of filesystem timestamp granularity.
+	entries, err := os.ReadDir(db)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("store after first record: %v, %d entries", err, len(entries))
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(db, entries[0].Name()), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"bench-record", "-db", db, "-in", slow}, &out, &errb); code != 0 {
+		t.Fatalf("bench-record slow = %d, stderr: %s", code, errb.String())
+	}
+
+	// The regressed record differs from the baseline; diff says so and
+	// exits 1, but a 30% tolerance swallows the 25% drift.
+	out.Reset()
+	if code := run([]string{"diff", "-db", db, "latest~1", "latest"}, &out, &errb); code != 1 {
+		t.Fatalf("diff regressed = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "MAXIT/depth=32 ns/op") {
+		t.Errorf("diff output missing the regressed bench:\n%s", out.String())
+	}
+	if code := run([]string{"diff", "-db", db, "-tol", "0.30", "latest~1", "latest"}, &out, &errb); code != 0 {
+		t.Errorf("diff at 30%% tolerance = %d, want 0", code)
+	}
+
+	// perfgate: identical pair passes, the 25% regression fails the
+	// default 10% gate, and the report names the failure.
+	out.Reset()
+	if code := run([]string{"perfgate", "-db", db, "latest~1", "latest~1"}, &out, &errb); code != 0 {
+		t.Fatalf("perfgate identical = %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"perfgate", "-db", db, "latest~1", "latest"}, &out, &errb); code != 1 {
+		t.Fatalf("perfgate regressed = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "+25.0%") {
+		t.Errorf("gate report unexpected:\n%s", out.String())
+	}
+	// Cross-store comparison: -base-db may point at a separate baseline
+	// store, the shape CI uses with a committed baseline.
+	out.Reset()
+	if code := run([]string{"perfgate", "-db", db, "-base-db", db, "latest~1", "latest"}, &out, &errb); code != 1 {
+		t.Errorf("perfgate -base-db = %d, want 1", code)
+	}
+}
+
+// TestSubcommandUsageErrors pins the exit-2 contract on malformed
+// subcommand invocations.
+func TestSubcommandUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"diff", "onlyone"}, &out, &errb); code != 2 {
+		t.Errorf("diff with one ref = %d, want 2", code)
+	}
+	if code := run([]string{"perfgate"}, &out, &errb); code != 2 {
+		t.Errorf("perfgate without refs = %d, want 2", code)
+	}
+	if code := run([]string{"resultdb", "-db", t.TempDir(), "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("resultdb bogus verb = %d, want 2", code)
+	}
+	if code := run([]string{"diff", "-db", t.TempDir(), "latest", "latest"}, &out, &errb); code != 2 {
+		t.Errorf("diff over empty store = %d, want 2", code)
+	}
+}

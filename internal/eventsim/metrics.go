@@ -1,0 +1,59 @@
+package eventsim
+
+import "symbiosched/internal/metrics"
+
+// ServerMetrics is the server-layer instrument set. A nil *ServerMetrics
+// (the default) is the disabled state: Advance, Reschedule and
+// MarginalInstTP guard their single hook behind one nil check, keeping
+// their 0 allocs/op pins and benchmark profile intact.
+//
+// Instruments are owned by one server's event loop and are not
+// synchronised; engines that run servers concurrently give each server
+// its own collector and merge the snapshots in server index order. All
+// observations happen at the server's own events with the server's own
+// dt, so the accumulated values are invariant to how the engine slices
+// time across shards or workers (see the farm metrics determinism test).
+type ServerMetrics struct {
+	// Busy integrates the number of occupied contexts over time; Queue
+	// integrates jobs in system (running + waiting) over time.
+	Busy, Queue *metrics.Gauge
+	// Occupancy is the time-weighted distribution of co-schedule sizes
+	// (how much wall time the server spent running 0, 1, 2, ... jobs).
+	Occupancy *metrics.Histogram
+	// MargHit / MargMiss count MarginalInstTP probes served from the
+	// per-(coschedule, epoch) cache vs recomputed against the source.
+	MargHit, MargMiss *metrics.Counter
+	// Reschedules and Advances count the stepping primitives.
+	Reschedules, Advances *metrics.Counter
+}
+
+// NewServerMetrics registers the server instruments on c (nil c → nil
+// ServerMetrics, the disabled state).
+func NewServerMetrics(c *metrics.Collector) *ServerMetrics {
+	if c == nil {
+		return nil
+	}
+	return &ServerMetrics{
+		Busy:        c.Gauge("server_busy"),
+		Queue:       c.Gauge("server_queue"),
+		Occupancy:   c.Histogram("server_occupancy", 0, 6),
+		MargHit:     c.Counter("server_marg_hit"),
+		MargMiss:    c.Counter("server_marg_miss"),
+		Reschedules: c.Counter("server_reschedules"),
+		Advances:    c.Counter("server_advances"),
+	}
+}
+
+// advance records one Advance(dt) interval: jobs in system and contexts
+// occupied, both weighted by the interval length.
+func (sm *ServerMetrics) advance(jobs, running int, dt float64) {
+	sm.Advances.Inc()
+	sm.Queue.Observe(float64(jobs), dt)
+	sm.Busy.Observe(float64(running), dt)
+	sm.Occupancy.Observe(float64(running), dt)
+}
+
+// SetMetrics installs (or, with nil, removes) the server's instrument
+// set. Call it before the run starts; the instruments only observe and
+// never feed back into decisions.
+func (sv *Server) SetMetrics(m *ServerMetrics) { sv.met = m }

@@ -78,6 +78,11 @@ type Server struct {
 
 	busy, empty, work numeric.KahanSum
 	dispatched        int
+
+	// met, when non-nil, receives the stepping instruments (busy/queue
+	// integrals, occupancy distribution, marginal-cache hit rates). Nil —
+	// the default — keeps the hot path uninstrumented.
+	met *ServerMetrics
 }
 
 // NewServer returns an empty server over the given table and scheduler.
@@ -150,7 +155,13 @@ func (sv *Server) MarginalInstTP(b int) float64 {
 		sv.margKey, sv.margEp, sv.margSet = sv.canonKey, ep, true
 	}
 	if sv.margOK[b] {
+		if sv.met != nil {
+			sv.met.MargHit.Inc()
+		}
 		return sv.marg[b]
+	}
+	if sv.met != nil {
+		sv.met.MargMiss.Inc()
 	}
 	// canon is sorted; inserting b keeps it canonical — the same multiset
 	// the dispatchers' old per-arrival NewCoschedule built.
@@ -180,6 +191,9 @@ func (sv *Server) Add(j *sched.Job) {
 // completion until the next event. It is a no-op on an empty server and
 // errors when the scheduler selects an invalid set.
 func (sv *Server) Reschedule() error {
+	if sv.met != nil {
+		sv.met.Reschedules.Inc()
+	}
 	if len(sv.jobs) == 0 {
 		sv.running, sv.canon = nil, sv.canon[:0]
 		sv.canonKey, sv.ttc = 0, math.Inf(1)
@@ -229,6 +243,9 @@ func (sv *Server) TimeToNextCompletion() float64 { return sv.ttc }
 // per-server scratch, valid until the next Advance. When jobs complete
 // the server must be rescheduled before the next event.
 func (sv *Server) Advance(dt float64) []*sched.Job {
+	if sv.met != nil {
+		sv.met.advance(len(sv.jobs), len(sv.running), dt)
+	}
 	if len(sv.jobs) == 0 {
 		sv.empty.Add(dt)
 		return nil

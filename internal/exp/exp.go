@@ -62,6 +62,12 @@ type Config struct {
 	// Progress, when set, receives per-sweep progress: the sweep's name
 	// and how many of its items have completed.
 	Progress func(sweep string, done, total int)
+	// Metrics, when set, instruments the simulation-backed scenarios
+	// (internal/metrics): instrumented results carry a merged snapshot
+	// and their scenarios emit an extra "<table>_metrics" CSV table.
+	// Instruments only observe — the scenario tables and Format() text
+	// are byte-identical with Metrics on or off (pinned by test).
+	Metrics bool
 }
 
 // DefaultConfig returns the paper's default setup.

@@ -7,6 +7,7 @@ import (
 
 	"symbiosched/internal/core"
 	"symbiosched/internal/farm"
+	"symbiosched/internal/metrics"
 	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/scenario"
@@ -102,6 +103,10 @@ type FarmResult struct {
 	Replications int
 	// Cells are ordered dispatcher-major, load-minor.
 	Cells []FarmCell
+	// Metrics is the whole grid's merged instrumentation snapshot (nil
+	// unless exp.Config.Metrics): the per-cell sweep snapshots merged in
+	// cell enumeration order, so it is bit-identical at any parallelism.
+	Metrics *metrics.Snapshot
 }
 
 // farmWorkload picks the experiment's workload: the first four suite
@@ -211,6 +216,7 @@ func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error)
 				Jobs:      e.Cfg.SimJobs,
 				SizeShape: 4, // jobs of "approximately the same size"
 				Seed:      e.Cfg.Seed,
+				Metrics:   e.Cfg.Metrics,
 			}
 			var rep farm.Replication
 			var err error
@@ -235,6 +241,15 @@ func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error)
 				Replications: reps,
 			}
 			aggs := foldReps(cells, reps)
+			for _, agg := range aggs {
+				if agg.Metrics == nil {
+					continue
+				}
+				if r.Metrics == nil {
+					r.Metrics = &metrics.Snapshot{}
+				}
+				r.Metrics.Merge(agg.Metrics)
+			}
 			ci := 0
 			for _, disp := range opt.Dispatchers {
 				for _, load := range opt.Loads {
@@ -258,7 +273,11 @@ func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error)
 			if err != nil {
 				return nil, err
 			}
-			return &scenario.Result{Value: r, Text: r.Format(), Tables: []*scenario.Table{tbl}}, nil
+			tables := []*scenario.Table{tbl}
+			if r.Metrics != nil {
+				tables = append(tables, MetricsTable(tableName+"_metrics", r.Metrics))
+			}
+			return &scenario.Result{Value: r, Text: r.Format(), Tables: tables}, nil
 		},
 	}, nil
 }
@@ -276,6 +295,20 @@ func foldReps(cells []any, reps int) []*farm.SweepResult {
 		out = append(out, farm.Aggregate(runs))
 	}
 	return out
+}
+
+// MetricsTable renders a merged metrics snapshot as a scenario table.
+// Value cells carry the rows' canonical formatted bytes (integers for
+// counters, 'g'/10 floats otherwise), so the CSV is the snapshot's exact
+// deterministic serialisation.
+func MetricsTable(name string, snap *metrics.Snapshot) *scenario.Table {
+	t := scenario.NewTable(name,
+		scenario.StrCol("metric"), scenario.StrCol("kind"),
+		scenario.StrCol("field"), scenario.StrCol("value"))
+	for _, r := range snap.Rows {
+		t.Add(r.Metric, r.Kind, r.Field, r.FormatValue())
+	}
+	return t
 }
 
 // fcfsFarm builds the stock farm of the extension scenarios — n FCFS

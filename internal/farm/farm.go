@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"symbiosched/internal/eventsim"
+	"symbiosched/internal/metrics"
 	"symbiosched/internal/numeric"
 	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
@@ -96,6 +97,13 @@ type Config struct {
 	// independent third stream so that all dispatch policies see the
 	// same arrival process (common random numbers).
 	Seed uint64
+	// Metrics, when set, instruments the run (internal/metrics): server
+	// occupancy and queue integrals, scheduler memo/prune counters,
+	// estimator observation counts, dispatch picks and the jobs-in-system
+	// series land in Result.Metrics; engine execution stats in
+	// Result.EngineStats. Instruments only observe — enabling them never
+	// changes a simulation's Result (pinned by test).
+	Metrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +168,15 @@ type Result struct {
 	MeanJobsInSystem float64
 	// PerServer holds one entry per server, in server order.
 	PerServer []ServerStats
+	// Metrics is the run's merged instrumentation snapshot (nil unless
+	// Config.Metrics): dispatch instruments first, then every server's,
+	// merged in server index order. Like the Result scalars it is
+	// byte-identical at any ShardConfig — pinned by test.
+	Metrics *metrics.Snapshot
+	// EngineStats holds engine execution counters (serial event count;
+	// sharded slab, shard-advance and merge counts). They legitimately
+	// vary with ShardConfig, which is why they are kept out of Metrics.
+	EngineStats *metrics.Snapshot
 }
 
 // validate checks the (specs, workload, config) triple shared by the
@@ -247,6 +264,10 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	if err != nil {
 		return nil, err
 	}
+	var rm *runMetrics
+	if cfg.Metrics {
+		rm = newRunMetrics(servers)
+	}
 
 	// Three independent streams, so every dispatcher sees the same
 	// arrival process: arrivals (as eventsim.Latency), job types/sizes
@@ -285,6 +306,7 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	// heaps by absolute times.)
 	h := eventsim.NewTimeHeap(len(servers))
 
+	dispatched := 0
 	dispatch := func(j *sched.Job) error {
 		ti := d.Pick(j, servers, drng)
 		if ti < 0 || ti >= len(servers) {
@@ -295,10 +317,13 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 			return err
 		}
 		h.Update(ti, servers[ti].TimeToNextCompletion())
+		dispatched++
+		rm.pick(now, dispatched-completed)
 		return nil
 	}
 
 	for completed < cfg.Jobs {
+		rm.event()
 		// Globally earliest completion across servers, or the next
 		// arrival, whichever first.
 		dt := h.Min()
@@ -347,13 +372,13 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	if now <= 0 {
 		return nil, fmt.Errorf("farm: experiment completed no work")
 	}
-	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, turnarounds), nil
+	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, turnarounds, rm), nil
 }
 
 // assembleResult folds the per-server integrals and the turnaround
 // sample into a Result. It is shared by the serial and sharded engines:
 // the same Kahan fold in the same server order over the same inputs.
-func assembleResult(d Dispatcher, servers []*eventsim.Server, totalContexts int, cfg Config, now float64, completed, counted int, turnaround numeric.KahanSum, turnarounds []float64) *Result {
+func assembleResult(d Dispatcher, servers []*eventsim.Server, totalContexts int, cfg Config, now float64, completed, counted int, turnaround numeric.KahanSum, turnarounds []float64, rm *runMetrics) *Result {
 	res := &Result{
 		Dispatcher: d.Name(),
 		Servers:    len(servers),
@@ -396,6 +421,7 @@ func assembleResult(d Dispatcher, servers []*eventsim.Server, totalContexts int,
 			res.SLOAttainment = float64(met) / float64(counted)
 		}
 	}
+	rm.finish(res)
 	return res
 }
 

@@ -1,0 +1,103 @@
+package farm
+
+import (
+	"symbiosched/internal/eventsim"
+	"symbiosched/internal/metrics"
+	"symbiosched/internal/online"
+	"symbiosched/internal/sched"
+)
+
+// runMetrics is one simulation's instrumentation bundle, built when
+// Config.Metrics is set. A nil *runMetrics is the disabled state: every
+// hook method is a nil-receiver no-op, so the engines stay on their
+// uninstrumented paths.
+//
+// Ownership mirrors the engines' concurrency: each server gets its own
+// collector (shards advance servers concurrently, but one server is only
+// ever touched by one goroutine), while the dispatch and engine
+// collectors are only touched in the single-threaded coordinator
+// sections. The merged simulation snapshot folds dispatch first, then
+// the servers in index order — the same index-ordered reduction that
+// keeps Results byte-identical — so it is invariant to Shards, Workers
+// and Slab. Engine execution stats (slab and merge counts) legitimately
+// depend on those knobs and are kept in a separate snapshot.
+type runMetrics struct {
+	serverCols []*metrics.Collector
+	dispatch   *metrics.Collector
+	picks      *metrics.Counter
+	qlen       *metrics.Series
+
+	engine *metrics.Collector
+	events *metrics.Counter // serial: event-loop iterations
+	slabs  *metrics.Counter // sharded: slabs run
+	shards *metrics.Counter // sharded: shard-advance calls (sum of active set sizes)
+	merged *metrics.Counter // sharded: completions k-way merged
+}
+
+// newRunMetrics instruments a freshly built fleet: per-server collectors
+// carrying the server, scheduler and (when learning) estimator
+// instruments, plus the dispatch-side picks counter and the
+// jobs-in-system series sampled at every arrival.
+func newRunMetrics(servers []*eventsim.Server) *runMetrics {
+	rm := &runMetrics{dispatch: metrics.New(), engine: metrics.New()}
+	rm.picks = rm.dispatch.Counter("dispatch_picks")
+	rm.qlen = rm.dispatch.Series("farm_jobs_in_system", 256)
+	rm.events = rm.engine.Counter("engine_events")
+	rm.slabs = rm.engine.Counter("engine_slabs")
+	rm.shards = rm.engine.Counter("engine_shard_advances")
+	rm.merged = rm.engine.Counter("engine_merged_completions")
+	for _, sv := range servers {
+		c := metrics.New()
+		sv.SetMetrics(eventsim.NewServerMetrics(c))
+		sched.AttachMetrics(sv.Scheduler(), sched.NewMetrics(c))
+		online.AttachMetrics(sv.Rates(), online.NewMetrics(c))
+		rm.serverCols = append(rm.serverCols, c)
+	}
+	return rm
+}
+
+// pick records one dispatch decision: the pick itself and the farm
+// population (dispatched minus completed, i.e. jobs in system including
+// the new arrival) at the arrival's time.
+func (rm *runMetrics) pick(t float64, inSystem int) {
+	if rm != nil {
+		rm.picks.Inc()
+		rm.qlen.Append(t, float64(inSystem))
+	}
+}
+
+// event counts one serial event-loop iteration.
+func (rm *runMetrics) event() {
+	if rm != nil {
+		rm.events.Inc()
+	}
+}
+
+// slab records one sharded synchronisation slab: the slab itself, how
+// many shards were active in it, and how many completions its merge
+// folded.
+func (rm *runMetrics) slab(active, mergedComps int) {
+	if rm != nil {
+		rm.slabs.Inc()
+		rm.shards.Add(uint64(active))
+		rm.merged.Add(uint64(mergedComps))
+	}
+}
+
+// snapshot merges the run's deterministic instruments: dispatch first,
+// then every server in index order.
+func (rm *runMetrics) snapshot() *metrics.Snapshot {
+	snap := rm.dispatch.Snapshot()
+	for _, c := range rm.serverCols {
+		snap.Merge(c.Snapshot())
+	}
+	return snap
+}
+
+// finish attaches the run's snapshots to the assembled result.
+func (rm *runMetrics) finish(res *Result) {
+	if rm != nil {
+		res.Metrics = rm.snapshot()
+		res.EngineStats = rm.engine.Snapshot()
+	}
+}

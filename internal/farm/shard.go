@@ -75,6 +75,10 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 		return nil, err
 	}
 	sc = sc.withDefaults(len(servers))
+	var rm *runMetrics
+	if cfg.Metrics {
+		rm = newRunMetrics(servers)
+	}
 
 	// Contiguous near-equal partition; shardOf maps a global server index
 	// to its shard, base to the shard's first global index.
@@ -111,6 +115,7 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 	var now, frontier float64
 	nextArrival := nextArrivalAfter(0)
 	arrivalsLeft := cfg.Jobs
+	dispatched := 0
 
 	var turnaround numeric.KahanSum
 	expected := cfg.Jobs - cfg.Warmup
@@ -181,6 +186,13 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 			if errs[s] != nil {
 				return errs[s]
 			}
+		}
+		if rm != nil {
+			total := 0
+			for _, s := range active {
+				total += len(comps[s])
+			}
+			rm.slab(len(active), total)
 		}
 		// Merge the shard completion lists into one global (time, server
 		// index) stream. Each list is already (time, local index)-sorted
@@ -272,6 +284,8 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 			for _, c := range done {
 				fold(c)
 			}
+			dispatched++
+			rm.pick(now, dispatched-completed)
 			arrivalsLeft--
 			if arrivalsLeft > 0 {
 				nextArrival = nextArrivalAfter(now)
@@ -287,5 +301,5 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 			return nil, fmt.Errorf("farm: shard %d: %w", s, err)
 		}
 	}
-	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, turnarounds), nil
+	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, turnarounds, rm), nil
 }

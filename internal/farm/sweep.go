@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"symbiosched/internal/metrics"
 	"symbiosched/internal/numeric"
 	"symbiosched/internal/runner"
 	"symbiosched/internal/workload"
@@ -35,6 +36,11 @@ type SweepResult struct {
 	TurnaroundStd float64
 	// Runs holds the individual replications, in seed order.
 	Runs []Replication
+	// Metrics and EngineStats are the replications' snapshots merged in
+	// replication order (nil unless the runs were instrumented). Like
+	// the scalar means, they are bit-identical at any parallelism.
+	Metrics     *metrics.Snapshot
+	EngineStats *metrics.Snapshot
 }
 
 // ReplicationSeed derives the i-th replication's seed from a base seed.
@@ -53,6 +59,18 @@ func Aggregate(runs []Replication) *SweepResult {
 	var turn, p50, p95, p99, util, empty, tp, pop, slo, turnSq numeric.KahanSum
 	for _, r := range runs {
 		out.Dispatcher = r.Dispatcher
+		if r.Metrics != nil {
+			if out.Metrics == nil {
+				out.Metrics = &metrics.Snapshot{}
+			}
+			out.Metrics.Merge(r.Metrics)
+		}
+		if r.EngineStats != nil {
+			if out.EngineStats == nil {
+				out.EngineStats = &metrics.Snapshot{}
+			}
+			out.EngineStats.Merge(r.EngineStats)
+		}
 		turn.Add(r.MeanTurnaround)
 		p50.Add(r.P50Turnaround)
 		p95.Add(r.P95Turnaround)

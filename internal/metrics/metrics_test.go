@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestNilSafety pins the disabled contract: a nil collector hands out
+// nil instruments and every instrument method on them is a no-op.
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	ct := c.Counter("x")
+	g := c.Gauge("y")
+	h := c.Histogram("z", -4, 4)
+	se := c.Series("w", 16)
+	if ct != nil || g != nil || h != nil || se != nil {
+		t.Fatal("nil collector must return nil instruments")
+	}
+	ct.Inc()
+	ct.Add(7)
+	g.Observe(1, 2)
+	h.Observe(3, 4)
+	se.Append(5, 6)
+	if ct.Value() != 0 || g.Mean() != 0 || g.Integral() != 0 || se.Len() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	snap := c.Snapshot()
+	if len(snap.Rows) != 0 {
+		t.Fatalf("nil collector snapshot has %d rows, want 0", len(snap.Rows))
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	c := New()
+	ct := c.Counter("events")
+	ct.Inc()
+	ct.Add(41)
+	if got := ct.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if again := c.Counter("events"); again != ct {
+		t.Fatal("Counter lookup must return the same instrument")
+	}
+
+	g := c.Gauge("busy")
+	g.Observe(2, 1) // value 2 for 1s
+	g.Observe(4, 3) // value 4 for 3s
+	g.Observe(9, 0) // zero-length interval: ignored
+	wantMean := (2*1 + 4*3) / 4.0
+	if got := g.Mean(); math.Abs(got-wantMean) > 1e-12 {
+		t.Fatalf("gauge mean = %g, want %g", got, wantMean)
+	}
+	if got := g.Integral(); got != 14 {
+		t.Fatalf("gauge integral = %g, want 14", got)
+	}
+}
+
+// TestHistogramBuckets pins the frexp bucketing: v lands in the bucket
+// (2^(e-1), 2^e], powers of two on the boundary belong to the lower
+// bucket, v <= 0 lands in the zero bucket, and out-of-range values
+// clamp.
+func TestHistogramBuckets(t *testing.T) {
+	c := New()
+	h := c.Histogram("occ", 0, 3) // buckets le_1, le_2, le_4, le_8
+	cases := []struct {
+		v     float64
+		field string
+	}{
+		{0, "le_0"},
+		{-1, "le_0"},
+		{0.25, "le_1"}, // clamps below
+		{1, "le_1"},    // exact power of two: lower bucket
+		{1.5, "le_2"},
+		{2, "le_2"},
+		{3, "le_4"},
+		{4, "le_4"},
+		{5, "le_8"},
+		{100, "le_8"}, // clamps above
+	}
+	for _, tc := range cases {
+		h.Observe(tc.v, 1)
+	}
+	snap := c.Snapshot()
+	want := map[string]float64{"le_0": 2, "le_1": 2, "le_2": 2, "le_4": 2, "le_8": 2, "count": 10}
+	for field, w := range want {
+		got, ok := snap.Get("occ", field)
+		if !ok || got != w {
+			t.Errorf("occ[%s] = %g (ok=%v), want %g", field, got, ok, w)
+		}
+	}
+}
+
+// TestSeriesDecimation pins that the retained sample set is a pure
+// function of the append sequence and stays within the limit.
+func TestSeriesDecimation(t *testing.T) {
+	c := New()
+	s := c.Series("q", 8)
+	for i := 0; i < 1000; i++ {
+		s.Append(float64(i), float64(i*i))
+	}
+	if s.Len() > 8 {
+		t.Fatalf("series holds %d samples, limit 8", s.Len())
+	}
+	if s.Len() == 0 {
+		t.Fatal("series retained nothing")
+	}
+	// Replay the identical sequence on a fresh series: byte-identical
+	// snapshot.
+	c2 := New()
+	s2 := c2.Series("q", 8)
+	for i := 0; i < 1000; i++ {
+		s2.Append(float64(i), float64(i*i))
+	}
+	if !bytes.Equal(c.Snapshot().CSV(), c2.Snapshot().CSV()) {
+		t.Fatal("identical append sequences must snapshot identically")
+	}
+}
+
+// TestSnapshotOrderAndMerge pins the determinism story end to end:
+// snapshots are name-ordered regardless of registration order, and
+// merging A into B equals building the combined stream directly.
+func TestSnapshotOrderAndMerge(t *testing.T) {
+	build := func(names []string, scale float64) *Collector {
+		c := New()
+		for _, n := range names {
+			c.Counter("n_" + n).Add(uint64(scale))
+			c.Gauge("g_"+n).Observe(scale, 2)
+		}
+		return c
+	}
+	a := build([]string{"b", "a"}, 3)
+	b := build([]string{"a", "c"}, 5)
+
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+
+	// The combined collector sees a's observations then b's.
+	comb := New()
+	for _, n := range []string{"b", "a"} {
+		comb.Counter("n_" + n).Add(3)
+		comb.Gauge("g_"+n).Observe(3, 2)
+	}
+	for _, n := range []string{"a", "c"} {
+		comb.Counter("n_" + n).Add(5)
+		comb.Gauge("g_"+n).Observe(5, 2)
+	}
+	if !bytes.Equal(merged.CSV(), comb.Snapshot().CSV()) {
+		t.Fatalf("merge mismatch:\n%s\nvs\n%s", merged.CSV(), comb.Snapshot().CSV())
+	}
+	if v, _ := merged.Get("n_a", "count"); v != 8 {
+		t.Fatalf("merged n_a = %g, want 8", v)
+	}
+	if v, _ := merged.Get("g_a", "mean"); v != (3*2+5*2)/4.0 {
+		t.Fatalf("merged g_a mean = %g, want 4", v)
+	}
+}
+
+func TestDuplicateInstrumentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind duplicate name must panic")
+		}
+	}()
+	c := New()
+	c.Counter("x")
+	c.Gauge("x")
+}

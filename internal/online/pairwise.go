@@ -58,6 +58,10 @@ type Pairwise struct {
 	dirty []bool // per type: observations newer than beta
 	nobs  int
 
+	// met, when non-nil, receives the learning instruments. Nil — the
+	// default — keeps the observe and solve paths uninstrumented.
+	met *Metrics
+
 	// ObserveInterval scratch, reused across intervals.
 	typesBuf []int
 	xsBuf    []float64
@@ -171,6 +175,7 @@ func (p *Pairwise) ObserveInterval(cos workload.Coschedule, dt float64, progress
 		p.dirty[b] = true
 	}
 	p.nobs++
+	p.met.observed()
 }
 
 // solve refits type b's coefficients from its accumulated normal
@@ -185,6 +190,9 @@ func (p *Pairwise) solve(b int) {
 		return
 	}
 	p.dirty[b] = false
+	if p.met != nil {
+		p.met.Solves.Inc()
+	}
 	a := p.gram[b].Clone()
 	// Scale the ridge with the accumulated weight so regularisation
 	// stays a prior, not a cap, as evidence grows.

@@ -67,6 +67,10 @@ type Sampler struct {
 	phaseLeft float64 // time left in the current quantum
 	exploring bool
 	nobs      int
+
+	// met, when non-nil, receives the learning instruments. Nil — the
+	// default — keeps the observe path uninstrumented.
+	met *Metrics
 }
 
 // NewSampler returns a sampler for a k-context machine. The first quantum
@@ -134,6 +138,7 @@ func (s *Sampler) ObserveInterval(cos workload.Coschedule, dt float64, progress 
 		acc.work[typ] += progress[i]
 	}
 	s.nobs++
+	s.met.observed()
 	s.clock += dt
 	s.phaseLeft -= dt
 	for s.phaseLeft <= 0 {

@@ -1,0 +1,54 @@
+// Package profiling wires the standard runtime/pprof file profiles into
+// the CLIs: one call at startup, one deferred stop. It exists so
+// cmd/symbiosim and cmd/farmsim share the exact flag semantics (and so
+// the smoke tests can pin that a profile file really appears).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (empty = disabled). The
+// returned stop function ends the CPU profile and, when memPath is
+// non-empty, writes a heap profile there after a final GC so the
+// numbers reflect live memory, not collection timing. stop is safe to
+// call exactly once; with both paths empty it is a no-op.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			runtime.GC() // materialise final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,230 @@
+package resultdb
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecord() *Record {
+	return &Record{
+		Scenario:   "farm",
+		ConfigHash: "deadbeef",
+		Commit:     "0123456789abcdef",
+		When:       "2026-01-01T00:00:00Z",
+		Tables: []Table{{
+			Name:   "farm",
+			Header: []string{"dispatcher", "load", "mean_turnaround"},
+			Rows: [][]string{
+				{"random", "0.5", "1.25"},
+				{"li", "0.5", "1.10"},
+			},
+		}},
+		Metrics: []MetricRow{
+			{"sched_memo_hit", "counter", "count", "120"},
+			{"server_busy", "gauge", "mean", "1.5"},
+		},
+		Benches: []Bench{
+			{Name: "BenchmarkSchedulerSelect/MAXIT", Runs: 1000, NsPerOp: 143.1, BytesPerOp: 0, AllocsPerOp: 0},
+			{Name: CalibrationBench, Runs: 100, NsPerOp: 1000, BytesPerOp: -1, AllocsPerOp: -1},
+		},
+	}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sampleRecord()
+	name, err := st.Put(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ContentHash() != rec.ContentHash() {
+		t.Fatal("roundtrip changed the content hash")
+	}
+	if len(got.Tables) != 1 || got.Tables[0].Rows[1][2] != "1.10" {
+		t.Fatalf("roundtrip lost table data: %+v", got.Tables)
+	}
+	// Identical payload with different annotations dedups to the same
+	// address.
+	again := sampleRecord()
+	again.Note = "re-recorded"
+	name2, err := st.Put(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name2 != name {
+		t.Fatalf("identical payloads stored at %s and %s, want one address", name, name2)
+	}
+}
+
+func TestContentHashChangesWithPayload(t *testing.T) {
+	a, b := sampleRecord(), sampleRecord()
+	b.Tables[0].Rows[0][2] = "1.26"
+	if a.ContentHash() == b.ContentHash() {
+		t.Fatal("different payloads must hash differently")
+	}
+	c := sampleRecord()
+	c.Note, c.When = "annotation", "2030-01-01T00:00:00Z"
+	if a.ContentHash() != c.ContentHash() {
+		t.Fatal("annotations must not affect the content hash")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sampleRecord()
+	n1, err := st.Put(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := sampleRecord()
+	second.Tables[0].Rows[0][2] = "9.99"
+	n2, err := st.Put(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// List orders by mtime; make the second strictly newer.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(st.Dir, n1), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	latest, err := st.Resolve("latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != n2 {
+		t.Fatalf("latest = %s, want %s", latest, n2)
+	}
+	prev, err := st.Resolve("latest~1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != n1 {
+		t.Fatalf("latest~1 = %s, want %s", prev, n1)
+	}
+	// A full name resolves to itself; the shared scenario prefix is
+	// ambiguous.
+	if got, err := st.Resolve(n2); err != nil || got != n2 {
+		t.Fatalf("Resolve(%s) = %s, %v", n2, got, err)
+	}
+	if _, err := st.Resolve("farm"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("shared prefix should be ambiguous, got %v", err)
+	}
+	if _, err := st.Resolve("nosuch"); err == nil {
+		t.Fatal("unknown reference should fail")
+	}
+}
+
+// TestDiffIdenticalAndInjectedRegression is the acceptance pin: zero
+// deltas for identical runs, and a 10% injected regression is detected
+// at the CI tolerance.
+func TestDiffIdenticalAndInjectedRegression(t *testing.T) {
+	a, b := sampleRecord(), sampleRecord()
+	if ds := Diff(a, b, DiffOptions{}); len(ds) != 0 {
+		t.Fatalf("identical records diff to %d deltas: %s", len(ds), FormatDeltas(ds))
+	}
+
+	// Inject a 10% regression into a table cell, a metric and a bench.
+	b.Tables[0].Rows[0][2] = "1.375" // 1.25 * 1.1
+	b.Metrics[0].Value = "132"       // 120 * 1.1
+	b.Benches[0].NsPerOp = 157.41    // 143.1 * 1.1
+
+	ds := Diff(a, b, DiffOptions{Tol: 0.05})
+	if len(ds) != 3 {
+		t.Fatalf("want 3 deltas beyond 5%%, got %d:\n%s", len(ds), FormatDeltas(ds))
+	}
+	for _, d := range ds {
+		if math.Abs(d.Rel-0.10) > 1e-6 {
+			t.Errorf("%s %s: rel = %v, want ~0.10", d.Kind, d.Where, d.Rel)
+		}
+	}
+	// At a 15% tolerance the same pair reports clean.
+	if ds := Diff(a, b, DiffOptions{Tol: 0.15}); len(ds) != 0 {
+		t.Fatalf("10%% drift beyond 15%% tolerance: %s", FormatDeltas(ds))
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: symbiosched/internal/sched
+cpu: AMD EPYC
+BenchmarkSchedulerSelect/MAXIT/depth=32-16         	 8246792	       143.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerSelect/SRPT/depth=32-16          	  918222	      1300 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCalibration-16                            	    5000	    250000 ns/op
+PASS
+ok  	symbiosched/internal/sched	3.2s
+`
+	bs, err := ParseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benches, want 3", len(bs))
+	}
+	if bs[0].Name != "BenchmarkSchedulerSelect/MAXIT/depth=32" {
+		t.Fatalf("name = %q (proc suffix must be stripped)", bs[0].Name)
+	}
+	if bs[0].NsPerOp != 143.1 || bs[0].AllocsPerOp != 0 || bs[0].Runs != 8246792 {
+		t.Fatalf("bench 0 = %+v", bs[0])
+	}
+	if bs[2].Name != CalibrationBench || bs[2].AllocsPerOp != -1 {
+		t.Fatalf("bench 2 = %+v (missing columns must read -1)", bs[2])
+	}
+}
+
+// TestGateCalibrationNormalised pins the machine-speed cancellation: a
+// current record measured on a machine 2x slower (calibration 2000 vs
+// 1000 ns) with hot-path numbers also 2x slower shows zero normalised
+// drift, while a genuine 20% regression fails the 10% gate even through
+// the speed difference.
+func TestGateCalibrationNormalised(t *testing.T) {
+	base := sampleRecord()
+	cur := sampleRecord()
+	for i := range cur.Benches {
+		cur.Benches[i].NsPerOp *= 2 // slower machine, same code
+	}
+	names := []string{"BenchmarkSchedulerSelect/MAXIT"}
+	rs, err := Gate(base, cur, names, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Failed(rs) || math.Abs(rs[0].Drift) > 1e-9 {
+		t.Fatalf("pure machine-speed change must not fail: %+v", rs)
+	}
+
+	cur.Benches[0].NsPerOp *= 1.2 // genuine 20% regression on top
+	rs, err = Gate(base, cur, names, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Failed(rs) {
+		t.Fatalf("20%% normalised regression must fail the 10%% gate: %+v", rs)
+	}
+	if math.Abs(rs[0].Drift-0.2) > 1e-9 {
+		t.Fatalf("drift = %v, want 0.2", rs[0].Drift)
+	}
+
+	// A missing pinned benchmark fails outright.
+	rs, err = Gate(base, cur, []string{"BenchmarkNoSuch"}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Failed(rs) {
+		t.Fatal("missing pinned benchmark must fail the gate")
+	}
+}

@@ -1,0 +1,64 @@
+package sched
+
+import "symbiosched/internal/metrics"
+
+// Metrics is the scheduler-layer instrument set. A nil *Metrics is the
+// disabled state: the hot loops count into branch-free locals and flush
+// them behind a single nil guard after the argmax, so Select with
+// metrics off keeps its 0 allocs/op pin and its benchmark profile (see
+// the alloc and golden-identity tests).
+type Metrics struct {
+	// MemoHit / MemoMiss count MAXIT decision-memo outcomes (misses are
+	// memoizable lookups that ran the full argmax).
+	MemoHit, MemoMiss *metrics.Counter
+	// Scored counts candidates actually priced against the rate source;
+	// Pruned counts dominated subtrees skipped without scoring.
+	Scored, Pruned *metrics.Counter
+	// TieBand counts Select calls whose argmax hit the tieTol band (the
+	// decisions job age settled, which the memo must not cache).
+	TieBand *metrics.Counter
+}
+
+// NewMetrics registers the scheduler instruments on c (nil c → nil
+// Metrics, the disabled state).
+func NewMetrics(c *metrics.Collector) *Metrics {
+	if c == nil {
+		return nil
+	}
+	return &Metrics{
+		MemoHit:  c.Counter("sched_memo_hit"),
+		MemoMiss: c.Counter("sched_memo_miss"),
+		Scored:   c.Counter("sched_scored"),
+		Pruned:   c.Counter("sched_pruned"),
+		TieBand:  c.Counter("sched_tie_band"),
+	}
+}
+
+// hit and miss are nil-receiver-safe shims for the memo fast path,
+// where the counter update sits directly on the lookup branches.
+func (m *Metrics) hit() {
+	if m != nil {
+		m.MemoHit.Inc()
+	}
+}
+
+func (m *Metrics) miss() {
+	if m != nil {
+		m.MemoMiss.Inc()
+	}
+}
+
+// AttachMetrics hands the instrument set to a scheduler. FCFS has no
+// decision internals worth counting; MAXTP counts through its MAXIT
+// fallback (the only part of its Select that enumerates). Attaching nil
+// restores the disabled state.
+func AttachMetrics(s Scheduler, m *Metrics) {
+	switch sc := s.(type) {
+	case *MAXIT:
+		sc.Met = m
+	case *SRPT:
+		sc.Met = m
+	case *MAXTP:
+		sc.fallback.Met = m
+	}
+}

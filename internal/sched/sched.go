@@ -188,6 +188,10 @@ func (f *FCFS) Select(jobs []*Job, k int) []int {
 // instances must not be shared across goroutines.
 type MAXIT struct {
 	Rates online.RateSource
+	// Met, when non-nil, receives decision counters (memo hits/misses,
+	// candidates scored, subtrees pruned, tie-band events). Nil — the
+	// default — keeps Select on the uninstrumented path.
+	Met *Metrics
 
 	enum enumerator
 	// memo caches the winning count vector per queue signature for one
@@ -228,23 +232,28 @@ func (m *MAXIT) selectPrepared(e *enumerator, jobs []*Job, k int) []int {
 			m.memoEpoch = ep
 		}
 		if v, hit := m.memo[memoKey]; hit {
+			m.Met.hit()
 			return e.materialize(e.unpackCounts(v))
 		}
+		m.Met.miss()
 	}
 	kr, keyed := m.Rates.(keyedRates)
 	n := min(k, len(jobs))
 	prune := e.setBounds(m.Rates, n)
 	bestTP, bestAge := math.Inf(-1), math.Inf(1)
 	tied := false
+	var scored, pruned uint64
 	for ok := e.firstCandidate(n); ok; {
 		if prune {
 			// A -Inf threshold never dominates a finite bound, so the
 			// first candidate is always scored.
 			if p, dom := e.dominatedTP(bestTP - tieTol); dom {
+				pruned++
 				ok = e.nextFrom(p)
 				continue
 			}
 		}
+		scored++
 		var tp float64
 		if keyed {
 			e.buildKey()
@@ -276,6 +285,13 @@ func (m *MAXIT) selectPrepared(e *enumerator, jobs []*Job, k int) []int {
 		}
 		ok = e.next()
 	}
+	if m.Met != nil {
+		m.Met.Scored.Add(scored)
+		m.Met.Pruned.Add(pruned)
+		if tied {
+			m.Met.TieBand.Inc()
+		}
+	}
 	if memoOK && !tied {
 		if m.memo == nil {
 			m.memo = make(map[uint64]uint64)
@@ -295,6 +311,10 @@ func (m *MAXIT) selectPrepared(e *enumerator, jobs []*Job, k int) []int {
 // the queued type counts, so it cannot reuse MAXIT's multiset memo.
 type SRPT struct {
 	Rates online.RateSource
+	// Met, when non-nil, receives decision counters (candidates scored,
+	// subtrees pruned). Nil — the default — keeps Select on the
+	// uninstrumented path.
+	Met *Metrics
 
 	enum enumerator
 }
@@ -320,6 +340,7 @@ func (s *SRPT) Select(jobs []*Job, k int) []int {
 	// add overhead — skip it and score the lone candidate directly.
 	prune := n < len(jobs) && e.setBounds(s.Rates, n)
 	thr := math.Inf(1)
+	var scored, pruned uint64
 	if prune {
 		e.setRemBounds(n)
 		// Seed the pruning threshold from the greedy smallest-remaining
@@ -331,6 +352,7 @@ func (s *SRPT) Select(jobs []*Job, k int) []int {
 		// stays the first minimal candidate in enumeration order,
 		// bit-identical to the unseeded walk.
 		e.greedySeed(n)
+		scored++
 		thr = math.Nextafter(s.score(e, kr, keyed, dr, dense, math.Inf(1)), math.Inf(1))
 	}
 	bestSum := math.Inf(1)
@@ -339,16 +361,22 @@ func (s *SRPT) Select(jobs []*Job, k int) []int {
 			// A +Inf threshold is never reached by a finite lower bound,
 			// so the first candidate is always scored.
 			if p, dom := e.dominatedSum(min(bestSum, thr)); dom {
+				pruned++
 				ok = e.nextFrom(p)
 				continue
 			}
 		}
+		scored++
 		sum := s.score(e, kr, keyed, dr, dense, bestSum)
 		if sum < bestSum {
 			e.keepBest()
 			bestSum = sum
 		}
 		ok = e.next()
+	}
+	if s.Met != nil {
+		s.Met.Scored.Add(scored)
+		s.Met.Pruned.Add(pruned)
 	}
 	return e.materialize(e.best)
 }
