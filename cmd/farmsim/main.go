@@ -10,6 +10,7 @@
 //	farmsim [-servers 4] [-hetero] [-sched FCFS] [-estimator oracle]
 //	        [-dispatchers random,rr,jsq,li,pd] [-d 2] [-loads 0.5,0.8,0.95]
 //	        [-jobs 20000] [-reps 3] [-seed 1] [-quantiles]
+//	        [-mtbf 0] [-mttr 2.5] [-retries 5] [-retry-delay 0.5] [-checkpoint restart]
 //	        [-shards 0] [-slab 0] [-parallel N] [-cache dir] [-csv dir] [-progress]
 //
 // -estimator replaces the oracle performance table with an online learner
@@ -25,6 +26,16 @@
 // overrides it); pd with d >= N reproduces li exactly, pd1 reproduces
 // random.
 //
+// -mtbf > 0 switches on deterministic fault injection (internal/fault):
+// every server fails and repairs on its own exponential
+// mean-time-between-failures / mean-time-to-repair process, evicted jobs
+// re-dispatch under the -checkpoint policy ("restart" redoes the lost
+// work, "resume" keeps it) with at most -retries attempts and a
+// doubling backoff starting at -retry-delay. The report then grows
+// availability, goodput and redispatch panels. Fault streams derive
+// from the per-replication seeds and the server index only, so every
+// dispatcher and load faces the same outage trajectory.
+//
 // -shards > 0 runs every simulation on the sharded time-slab engine
 // (contiguous server partitions advanced in parallel between
 // synchronization points; see internal/farm.SimulateSharded), which is
@@ -36,6 +47,11 @@
 // Replication sweeps run through the shared runner engine: output is
 // byte-identical at any -parallel value.
 //
+// farmsim exits non-zero on SIGINT/SIGTERM: the sweep is cancelled, the
+// partial grid is discarded and no CSV is written (CSV writes go through
+// a temp file and rename, so an interrupted run never leaves a partial
+// file behind).
+//
 // -metrics collects the internal/metrics instrumentation (scheduler memo
 // and pruning counters, server busy/occupancy gauges, dispatcher probe
 // counts, learner observation counts) merged over the whole grid;
@@ -45,26 +61,32 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"symbiosched/internal/exp"
 	"symbiosched/internal/farm"
+	"symbiosched/internal/fault"
 	"symbiosched/internal/online"
 	"symbiosched/internal/profiling"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) (code int) {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("farmsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -79,6 +101,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		jobs        = fs.Int("jobs", 20000, "jobs per simulation")
 		reps        = fs.Int("reps", 3, "replications (independent seeds) per cell")
 		seed        = fs.Uint64("seed", 1, "base random seed")
+		mtbf        = fs.Float64("mtbf", 0, "mean time between per-server failures in simulated time (0 = no fault injection)")
+		mttr        = fs.Float64("mttr", 2.5, "mean time to repair a failed server (used when -mtbf > 0)")
+		retries     = fs.Int("retries", 5, "retry cap per job: a crash victim past this many attempts is dropped")
+		retryDelay  = fs.Float64("retry-delay", 0.5, "base re-dispatch backoff; attempt k waits delay*2^(k-1)")
+		checkpoint  = fs.String("checkpoint", string(fault.Restart), "crash checkpoint policy: restart (redo lost work) or resume (keep progress)")
 		shards      = fs.Int("shards", 0, "run on the sharded time-slab engine with this many shards (0 = serial engine)")
 		slab        = fs.Float64("slab", 0, "cap the sharded engine's slab length in simulated time (0 = arrival to arrival)")
 		parallel    = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size (results are identical at any value)")
@@ -116,6 +143,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		loadList = append(loadList, l)
 	}
+	fcfg := fault.Config{
+		MTBF:       *mtbf,
+		MTTR:       *mttr,
+		MaxRetries: *retries,
+		RetryDelay: *retryDelay,
+		Checkpoint: fault.Policy(*checkpoint),
+	}
+	if err := fcfg.Validate(); err != nil {
+		fmt.Fprintf(stderr, "farmsim: %v\n", err)
+		return 2
+	}
 
 	cfg := exp.DefaultConfig()
 	cfg.SimJobs = *jobs
@@ -152,7 +190,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
-	r, err := exp.Farm(env, exp.FarmOptions{
+	r, err := exp.Farm(ctx, env, exp.FarmOptions{
 		Servers:      *servers,
 		Hetero:       *hetero,
 		Sched:        *schedName,
@@ -162,9 +200,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		Replications: *reps,
 		Shards:       *shards,
 		Slab:         *slab,
+		Faults:       fcfg,
 	})
 	if err != nil {
-		fmt.Fprintf(stderr, "farmsim: %v\n", err)
+		if ctx.Err() != nil {
+			fmt.Fprintf(stderr, "farmsim: interrupted, partial results discarded: %v\n", err)
+		} else {
+			fmt.Fprintf(stderr, "farmsim: %v\n", err)
+		}
 		return 1
 	}
 	fmt.Fprint(stdout, r.Format())

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -14,7 +15,7 @@ import (
 func TestRunTinyFarm(t *testing.T) {
 	dir := t.TempDir()
 	var out, errb strings.Builder
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-servers", "2", "-jobs", "800", "-reps", "2",
 		"-dispatchers", "rr,li", "-loads", "0.8",
 		"-parallel", "2", "-csv", dir,
@@ -42,7 +43,7 @@ func TestRunTinyFarm(t *testing.T) {
 // P50/P99 panels.
 func TestRunOnlineEstimator(t *testing.T) {
 	var out, errb strings.Builder
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-servers", "2", "-jobs", "600", "-reps", "1", "-sched", "MAXIT",
 		"-estimator", "sampler", "-quantiles",
 		"-dispatchers", "li", "-loads", "0.8",
@@ -56,7 +57,7 @@ func TestRunOnlineEstimator(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
 	}
-	if code := run([]string{"-estimator", "psychic", "-jobs", "300", "-reps", "1", "-loads", "0.5"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-estimator", "psychic", "-jobs", "300", "-reps", "1", "-loads", "0.5"}, &out, &errb); code != 1 {
 		t.Errorf("unknown estimator: run = %d, want 1", code)
 	}
 }
@@ -72,7 +73,7 @@ func TestRunDeterministicAcrossParallel(t *testing.T) {
 	var outs []string
 	for _, p := range []int{1, wide} {
 		var out, errb strings.Builder
-		code := run([]string{
+		code := run(context.Background(), []string{
 			"-servers", "2", "-jobs", "600", "-reps", "4",
 			"-dispatchers", "jsq,li", "-loads", "0.5,0.9",
 			"-parallel", strconv.Itoa(p),
@@ -97,7 +98,7 @@ func TestRunShardedPD(t *testing.T) {
 	var outs []string
 	for _, p := range []string{"1", strconv.Itoa(runtime.NumCPU())} {
 		var out, errb strings.Builder
-		code := run([]string{
+		code := run(context.Background(), []string{
 			"-servers", "6", "-jobs", "800", "-reps", "2",
 			"-dispatchers", "pd,pd1", "-d", "3", "-loads", "0.8",
 			"-shards", "3", "-slab", "0.5", "-parallel", p,
@@ -131,11 +132,11 @@ func TestRunMetricsAndProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var plain, instr, errb strings.Builder
-	if code := run(common, &plain, &errb); code != 0 {
+	if code := run(context.Background(), common, &plain, &errb); code != 0 {
 		t.Fatalf("plain run = %d, stderr: %s", code, errb.String())
 	}
 	args := append([]string{"-metrics", "-csv", dir, "-cpuprofile", cpu, "-memprofile", mem}, common...)
-	if code := run(args, &instr, &errb); code != 0 {
+	if code := run(context.Background(), args, &instr, &errb); code != 0 {
 		t.Fatalf("instrumented run = %d, stderr: %s", code, errb.String())
 	}
 	if !strings.Contains(instr.String(), "metrics: ") {
@@ -177,7 +178,7 @@ func TestMetricsCSVDeterministicAcrossParallel(t *testing.T) {
 	for _, p := range []int{1, wide} {
 		dir := t.TempDir()
 		var out, errb strings.Builder
-		code := run([]string{
+		code := run(context.Background(), []string{
 			"-servers", "3", "-jobs", "600", "-reps", "3",
 			"-dispatchers", "jsq,li", "-loads", "0.5,0.9",
 			"-metrics", "-csv", dir, "-parallel", strconv.Itoa(p),
@@ -198,16 +199,101 @@ func TestMetricsCSVDeterministicAcrossParallel(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run([]string{"-loads", "1.5"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-loads", "1.5"}, &out, &errb); code != 2 {
 		t.Errorf("out-of-range load: run = %d, want 2", code)
 	}
-	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-bogus"}, &out, &errb); code != 2 {
 		t.Errorf("bad flag: run = %d, want 2", code)
 	}
-	if code := run([]string{"-jobs", "300", "-reps", "1", "-loads", "0.5", "-sched", "NOPE"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"-jobs", "300", "-reps", "1", "-loads", "0.5", "-sched", "NOPE"}, &out, &errb); code != 1 {
 		t.Errorf("unknown scheduler: run = %d, want 1", code)
 	}
-	if code := run([]string{"-d", "0"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-d", "0"}, &out, &errb); code != 2 {
 		t.Errorf("bad probe count: run = %d, want 2", code)
+	}
+}
+
+// TestRunCancelledNoPartialCSV pins the graceful-shutdown satellite: a
+// cancelled context (what SIGINT/SIGTERM produce via main) aborts the
+// sweep with a non-zero exit, reports the interruption, and leaves no
+// partial farm.csv behind.
+func TestRunCancelledNoPartialCSV(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb strings.Builder
+	code := run(ctx, []string{
+		"-servers", "2", "-jobs", "800", "-reps", "2",
+		"-dispatchers", "rr,li", "-loads", "0.8", "-csv", dir,
+	}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("cancelled run = 0, want non-zero; stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Errorf("stderr does not report the interruption:\n%s", errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "farm.csv")); !os.IsNotExist(err) {
+		t.Errorf("farm.csv exists after a cancelled run (stat err = %v)", err)
+	}
+}
+
+// TestRunFaultFlags drives the fault-injection surface end to end: the
+// report grows availability/goodput/redispatch panels, the CSV still
+// carries the pinned farm grid, and the run stays byte-identical across
+// -parallel.
+func TestRunFaultFlags(t *testing.T) {
+	var outs []string
+	for _, p := range []string{"1", strconv.Itoa(runtime.NumCPU())} {
+		var out, errb strings.Builder
+		code := run(context.Background(), []string{
+			"-servers", "3", "-jobs", "900", "-reps", "2",
+			"-dispatchers", "jsq,li", "-loads", "0.8",
+			"-mtbf", "30", "-mttr", "2", "-retries", "4",
+			"-retry-delay", "0.25", "-checkpoint", "resume",
+			"-parallel", p,
+		}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("-parallel %s: run = %d, stderr: %s", p, code, errb.String())
+		}
+		outs = append(outs, out.String())
+	}
+	got := outs[0]
+	for _, want := range []string{"!mtbf=30", "availability", "goodput", "redispatches"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fault run output missing %q:\n%s", want, got)
+		}
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("fault run differs across -parallel:\n--- p=1 ---\n%s\n--- wide ---\n%s", outs[0], outs[1])
+	}
+}
+
+// TestRunFaultFlagValidation is the table-driven up-front rejection of
+// inconsistent fault flags: every bad combination exits 2 before any
+// simulation runs, with the offending flag named on stderr.
+func TestRunFaultFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"negative mtbf", []string{"-mtbf", "-1"}, "MTBF"},
+		{"mtbf without mttr", []string{"-mtbf", "10", "-mttr", "0"}, "MTTR"},
+		{"negative mttr", []string{"-mtbf", "10", "-mttr", "-2"}, "MTTR"},
+		{"negative retries", []string{"-mtbf", "10", "-retries", "-1"}, "MaxRetries"},
+		{"negative retry delay", []string{"-mtbf", "10", "-retry-delay", "-0.5"}, "RetryDelay"},
+		{"unknown checkpoint", []string{"-mtbf", "10", "-checkpoint", "rollback"}, "Checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			args := append(tc.args, "-jobs", "300", "-reps", "1", "-loads", "0.5")
+			if code := run(context.Background(), args, &out, &errb); code != 2 {
+				t.Fatalf("run = %d, want 2; stderr: %s", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Errorf("stderr %q does not mention %q", errb.String(), tc.want)
+			}
+		})
 	}
 }

@@ -28,6 +28,11 @@
 // write runtime/pprof profiles of the run. The diff, bench-record,
 // resultdb and perfgate subcommands operate on the record store; see
 // their -h output and internal/resultdb.
+//
+// symbiosim exits non-zero on SIGINT/SIGTERM: the in-flight scenario is
+// cancelled and its partial work discarded. Scenario tables are written
+// through a temp file and rename, so an interrupted run never leaves a
+// partial CSV behind.
 package main
 
 import (
@@ -37,8 +42,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"symbiosched/internal/exp"
@@ -48,10 +55,12 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) (code int) {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int) {
 	// The resultdb subcommands carry their own flag sets; dispatch them
 	// before the scenario-runner flags are parsed.
 	if len(args) > 0 {
@@ -199,9 +208,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	for _, name := range names {
 		start := time.Now()
-		res, err := exp.RunScenario(context.Background(), env, name)
+		res, err := exp.RunScenario(ctx, env, name)
 		if err != nil {
-			fmt.Fprintf(stderr, "symbiosim: %s: %v\n", name, err)
+			if ctx.Err() != nil {
+				fmt.Fprintf(stderr, "symbiosim: %s: interrupted, partial results discarded: %v\n", name, err)
+			} else {
+				fmt.Fprintf(stderr, "symbiosim: %s: %v\n", name, err)
+			}
 			return 1
 		}
 		fmt.Fprint(stdout, res.Text)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 // and the output path in milliseconds.
 func TestRunFig4(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run([]string{"-parallel", "1", "run", "fig4"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-parallel", "1", "run", "fig4"}, &out, &errb); code != 0 {
 		t.Fatalf("run = %d, stderr: %s", code, errb.String())
 	}
 	got := out.String()
@@ -24,7 +25,7 @@ func TestRunFig4(t *testing.T) {
 func TestRunFig4CSV(t *testing.T) {
 	dir := t.TempDir()
 	var out, errb strings.Builder
-	if code := run([]string{"-csv", dir, "run", "fig4"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"-csv", dir, "run", "fig4"}, &out, &errb); code != 0 {
 		t.Fatalf("run = %d, stderr: %s", code, errb.String())
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig4.csv")); err != nil {
@@ -37,7 +38,7 @@ func TestRunFig4CSV(t *testing.T) {
 // description.
 func TestList(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run([]string{"list"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"list"}, &out, &errb); code != 0 {
 		t.Fatalf("list = %d, stderr: %s", code, errb.String())
 	}
 	got := out.String()
@@ -59,28 +60,52 @@ func TestList(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run(nil, &out, &errb); code != 2 {
+	if code := run(context.Background(), nil, &out, &errb); code != 2 {
 		t.Errorf("no arguments: run = %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "usage: symbiosim") {
 		t.Errorf("usage not printed: %s", errb.String())
 	}
 	errb.Reset()
-	if code := run([]string{"nonsense"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"nonsense"}, &out, &errb); code != 2 {
 		t.Errorf("unknown command: run = %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "unknown command") {
 		t.Errorf("unknown command not reported: %s", errb.String())
 	}
 	errb.Reset()
-	if code := run([]string{"run"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"run"}, &out, &errb); code != 2 {
 		t.Errorf("run without scenarios: run = %d, want 2", code)
 	}
 	errb.Reset()
-	if code := run([]string{"run", "nonsense"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"run", "nonsense"}, &out, &errb); code != 2 {
 		t.Errorf("unknown scenario: run = %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "unknown scenario") {
 		t.Errorf("unknown scenario not reported: %s", errb.String())
+	}
+}
+
+// TestRunCancelledNoPartialCSV pins the graceful-shutdown satellite on
+// the scenario runner: a cancelled context aborts the scenario with a
+// non-zero exit, reports the interruption, and writes no partial CSV.
+func TestRunCancelledNoPartialCSV(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb strings.Builder
+	code := run(ctx, []string{"-csv", dir, "run", "fig4"}, &out, &errb)
+	if code == 0 {
+		t.Fatalf("cancelled run = 0, want non-zero; stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Errorf("stderr does not report the interruption:\n%s", errb.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("cancelled run left %s behind", e.Name())
 	}
 }

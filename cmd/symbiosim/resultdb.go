@@ -291,6 +291,12 @@ func runResultDBCmd(args []string, stdout, stderr io.Writer) int {
 		for _, n := range names {
 			rec, err := st.Get(n)
 			if err != nil {
+				// A truncated or corrupt record must not hide the rest
+				// of the store: warn and keep listing.
+				if errors.Is(err, resultdb.ErrCorrupt) {
+					fmt.Fprintf(stderr, "symbiosim: warning: skipping %v\n", err)
+					continue
+				}
 				fmt.Fprintf(stderr, "symbiosim: %v\n", err)
 				return 1
 			}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +16,7 @@ func TestProfileSmoke(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var out, errb strings.Builder
-	code := run([]string{"-cpuprofile", cpu, "-memprofile", mem, "run", "fig4"}, &out, &errb)
+	code := run(context.Background(), []string{"-cpuprofile", cpu, "-memprofile", mem, "run", "fig4"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("run = %d, stderr: %s", code, errb.String())
 	}
@@ -36,7 +37,7 @@ func TestProfileSmoke(t *testing.T) {
 func TestRunRecord(t *testing.T) {
 	db := t.TempDir()
 	var out, errb strings.Builder
-	code := run([]string{"-record", db, "-note", "smoke", "run", "fig4"}, &out, &errb)
+	code := run(context.Background(), []string{"-record", db, "-note", "smoke", "run", "fig4"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("run -record = %d, stderr: %s", code, errb.String())
 	}
@@ -45,7 +46,7 @@ func TestRunRecord(t *testing.T) {
 	}
 
 	out.Reset()
-	if code := run([]string{"resultdb", "-db", db, "list"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"resultdb", "-db", db, "list"}, &out, &errb); code != 0 {
 		t.Fatalf("resultdb list = %d, stderr: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "fig4") || !strings.Contains(out.String(), "smoke") {
@@ -53,7 +54,7 @@ func TestRunRecord(t *testing.T) {
 	}
 
 	out.Reset()
-	if code := run([]string{"resultdb", "-db", db, "show", "latest"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"resultdb", "-db", db, "show", "latest"}, &out, &errb); code != 0 {
 		t.Fatalf("resultdb show = %d, stderr: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "scenario: fig4") || !strings.Contains(out.String(), "table fig4:") {
@@ -61,7 +62,7 @@ func TestRunRecord(t *testing.T) {
 	}
 
 	out.Reset()
-	if code := run([]string{"diff", "-db", db, "latest", "latest"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"diff", "-db", db, "latest", "latest"}, &out, &errb); code != 0 {
 		t.Fatalf("diff identical = %d, stderr: %s", code, errb.String())
 	}
 	if out.String() != "no deltas\n" {
@@ -97,7 +98,7 @@ func TestBenchRecordDiffAndGate(t *testing.T) {
 
 	var out, errb strings.Builder
 	ledger := filepath.Join(dir, "ledger.json")
-	if code := run([]string{"bench-record", "-db", db, "-in", base, "-ledger", ledger}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"bench-record", "-db", db, "-in", base, "-ledger", ledger}, &out, &errb); code != 0 {
 		t.Fatalf("bench-record base = %d, stderr: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "recorded 3 benchmarks") {
@@ -120,31 +121,31 @@ func TestBenchRecordDiffAndGate(t *testing.T) {
 	if err := os.Chtimes(filepath.Join(db, entries[0].Name()), old, old); err != nil {
 		t.Fatal(err)
 	}
-	if code := run([]string{"bench-record", "-db", db, "-in", slow}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"bench-record", "-db", db, "-in", slow}, &out, &errb); code != 0 {
 		t.Fatalf("bench-record slow = %d, stderr: %s", code, errb.String())
 	}
 
 	// The regressed record differs from the baseline; diff says so and
 	// exits 1, but a 30% tolerance swallows the 25% drift.
 	out.Reset()
-	if code := run([]string{"diff", "-db", db, "latest~1", "latest"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"diff", "-db", db, "latest~1", "latest"}, &out, &errb); code != 1 {
 		t.Fatalf("diff regressed = %d, want 1; stderr: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "MAXIT/depth=32 ns/op") {
 		t.Errorf("diff output missing the regressed bench:\n%s", out.String())
 	}
-	if code := run([]string{"diff", "-db", db, "-tol", "0.30", "latest~1", "latest"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"diff", "-db", db, "-tol", "0.30", "latest~1", "latest"}, &out, &errb); code != 0 {
 		t.Errorf("diff at 30%% tolerance = %d, want 0", code)
 	}
 
 	// perfgate: identical pair passes, the 25% regression fails the
 	// default 10% gate, and the report names the failure.
 	out.Reset()
-	if code := run([]string{"perfgate", "-db", db, "latest~1", "latest~1"}, &out, &errb); code != 0 {
+	if code := run(context.Background(), []string{"perfgate", "-db", db, "latest~1", "latest~1"}, &out, &errb); code != 0 {
 		t.Fatalf("perfgate identical = %d, stderr: %s", code, errb.String())
 	}
 	out.Reset()
-	if code := run([]string{"perfgate", "-db", db, "latest~1", "latest"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"perfgate", "-db", db, "latest~1", "latest"}, &out, &errb); code != 1 {
 		t.Fatalf("perfgate regressed = %d, want 1; stderr: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "+25.0%") {
@@ -153,7 +154,7 @@ func TestBenchRecordDiffAndGate(t *testing.T) {
 	// Cross-store comparison: -base-db may point at a separate baseline
 	// store, the shape CI uses with a committed baseline.
 	out.Reset()
-	if code := run([]string{"perfgate", "-db", db, "-base-db", db, "latest~1", "latest"}, &out, &errb); code != 1 {
+	if code := run(context.Background(), []string{"perfgate", "-db", db, "-base-db", db, "latest~1", "latest"}, &out, &errb); code != 1 {
 		t.Errorf("perfgate -base-db = %d, want 1", code)
 	}
 }
@@ -162,16 +163,66 @@ func TestBenchRecordDiffAndGate(t *testing.T) {
 // subcommand invocations.
 func TestSubcommandUsageErrors(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run([]string{"diff", "onlyone"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"diff", "onlyone"}, &out, &errb); code != 2 {
 		t.Errorf("diff with one ref = %d, want 2", code)
 	}
-	if code := run([]string{"perfgate"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"perfgate"}, &out, &errb); code != 2 {
 		t.Errorf("perfgate without refs = %d, want 2", code)
 	}
-	if code := run([]string{"resultdb", "-db", t.TempDir(), "bogus"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"resultdb", "-db", t.TempDir(), "bogus"}, &out, &errb); code != 2 {
 		t.Errorf("resultdb bogus verb = %d, want 2", code)
 	}
-	if code := run([]string{"diff", "-db", t.TempDir(), "latest", "latest"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"diff", "-db", t.TempDir(), "latest", "latest"}, &out, &errb); code != 2 {
 		t.Errorf("diff over empty store = %d, want 2", code)
+	}
+}
+
+// TestResultDBListSkipsCorrupt pins the lenient-loading satellite at the
+// CLI level: a truncated record in the store is skipped with a warning,
+// and `resultdb list` still lists the intact records and exits 0.
+func TestResultDBListSkipsCorrupt(t *testing.T) {
+	db := t.TempDir()
+	var out, errb strings.Builder
+	if code := run(context.Background(), []string{"-record", db, "run", "fig4"}, &out, &errb); code != 0 {
+		t.Fatalf("run -record = %d, stderr: %s", code, errb.String())
+	}
+
+	// Damage a copy of the stored record: half a gob stream under a
+	// fresh .gob name, as a crashed writer or disk fault would leave.
+	entries, err := os.ReadDir(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var good string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".gob") {
+			good = e.Name()
+		}
+	}
+	if good == "" {
+		t.Fatal("no record written")
+	}
+	data, err := os.ReadFile(filepath.Join(db, good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := "fig4_bad_00000000_0000000000000000.gob"
+	if err := os.WriteFile(filepath.Join(db, bad), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run(context.Background(), []string{"resultdb", "-db", db, "list"}, &out, &errb); code != 0 {
+		t.Fatalf("resultdb list with corrupt record = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), good) {
+		t.Errorf("intact record %s missing from list:\n%s", good, out.String())
+	}
+	if strings.Contains(out.String(), bad) {
+		t.Errorf("corrupt record %s listed as readable:\n%s", bad, out.String())
+	}
+	if !strings.Contains(errb.String(), "warning") || !strings.Contains(errb.String(), bad) {
+		t.Errorf("no skip warning naming %s on stderr:\n%s", bad, errb.String())
 	}
 }

@@ -141,6 +141,55 @@ func (g *Group) Deliver(t float64, i int, j *sched.Job) ([]Completion, error) {
 	return g.buf, nil
 }
 
+// Fail crashes server i at absolute time t: the server is first
+// advanced to t (a job finishing within the completion epsilon at the
+// crash instant completes normally, exactly as Deliver would complete
+// it), then evicted and taken out of service. The completions and the
+// evicted victims are returned; both share scratch buffers (the
+// group's and the server's) and must be consumed before the next call
+// into this group. The caller must have processed all group events up
+// to t first (AdvanceTo(t)).
+func (g *Group) Fail(t float64, i int) ([]Completion, []*sched.Job, error) {
+	if i < 0 || i >= len(g.servers) {
+		return nil, nil, fmt.Errorf("eventsim: fail server %d of %d", i, len(g.servers))
+	}
+	sv := g.servers[i]
+	g.buf = g.buf[:0]
+	dt := t - g.clock[i]
+	if dt < 0 {
+		dt = 0
+	}
+	done := sv.Advance(dt)
+	g.clock[i] = t
+	for _, dj := range done {
+		g.buf = append(g.buf, Completion{T: t, Server: i, Job: dj})
+	}
+	victims := sv.Fail()
+	g.refresh(i, t) // time-to-completion is now +Inf: leaves the heap
+	return g.buf, victims, nil
+}
+
+// Repair returns server i to service at absolute time t, closing its
+// down-time integral up to t. A failed server completes nothing, so
+// crossing a completion here is a protocol violation.
+func (g *Group) Repair(t float64, i int) error {
+	if i < 0 || i >= len(g.servers) {
+		return fmt.Errorf("eventsim: repair server %d of %d", i, len(g.servers))
+	}
+	sv := g.servers[i]
+	dt := t - g.clock[i]
+	if dt < 0 {
+		dt = 0
+	}
+	if done := sv.Advance(dt); len(done) > 0 {
+		return fmt.Errorf("eventsim: repair crossed %d completions at server %d", len(done), i)
+	}
+	g.clock[i] = t
+	sv.Repair()
+	g.refresh(i, t)
+	return nil
+}
+
 // SettleTo advances every server's local clock to t, closing the
 // busy/empty integrals at a common end time. It is the end-of-run
 // counterpart of AdvanceTo and must not cross any pending completion.

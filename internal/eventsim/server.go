@@ -77,6 +77,8 @@ type Server struct {
 	margSet  bool
 
 	busy, empty, work numeric.KahanSum
+	down              numeric.KahanSum // time spent failed (neither busy nor empty)
+	failed            bool
 	dispatched        int
 
 	// met, when non-nil, receives the stepping instruments (busy/queue
@@ -246,6 +248,10 @@ func (sv *Server) Advance(dt float64) []*sched.Job {
 	if sv.met != nil {
 		sv.met.advance(len(sv.jobs), len(sv.running), dt)
 	}
+	if sv.failed {
+		sv.down.Add(dt)
+		return nil
+	}
 	if len(sv.jobs) == 0 {
 		sv.empty.Add(dt)
 		return nil
@@ -293,6 +299,37 @@ func (sv *Server) Advance(dt float64) []*sched.Job {
 	}
 	return sv.done
 }
+
+// Up reports whether the server is in service. A failed server holds no
+// jobs, completes nothing, and accumulates down time until Repair.
+func (sv *Server) Up() bool { return !sv.failed }
+
+// Fail crashes the server: every queued and running job is evicted and
+// returned in queue order for the caller's re-dispatch policy, and the
+// server leaves service (Advance accumulates down time, completes
+// nothing). The returned slice is the server's completion scratch,
+// valid until the next Advance or Fail — callers must consume it
+// synchronously. Jobs keep whatever Remaining they had at the crash;
+// the caller applies the checkpoint policy.
+func (sv *Server) Fail() []*sched.Job {
+	sv.failed = true
+	sv.done = append(sv.done[:0], sv.jobs...)
+	for i := range sv.jobs {
+		sv.jobs[i] = nil // release the evicted jobs to the GC
+	}
+	sv.jobs = sv.jobs[:0]
+	sv.running, sv.canon = nil, sv.canon[:0]
+	sv.canonKey, sv.ttc = 0, math.Inf(1)
+	return sv.done
+}
+
+// Repair returns a failed server to service, empty. The caller is
+// responsible for bumping the rate source's epoch if its knowledge may
+// have gone stale across the outage.
+func (sv *Server) Repair() { sv.failed = false }
+
+// DownTime returns the total time the server spent failed.
+func (sv *Server) DownTime() float64 { return sv.down.Value() }
 
 // BusyTime returns the integral of the number of busy contexts over time.
 func (sv *Server) BusyTime() float64 { return sv.busy.Value() }

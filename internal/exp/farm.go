@@ -7,6 +7,7 @@ import (
 
 	"symbiosched/internal/core"
 	"symbiosched/internal/farm"
+	"symbiosched/internal/fault"
 	"symbiosched/internal/metrics"
 	"symbiosched/internal/online"
 	"symbiosched/internal/perfdb"
@@ -48,6 +49,12 @@ type FarmOptions struct {
 	// Slab optionally caps the sharded engine's synchronization slab
 	// length in simulated time (only meaningful with Shards > 0).
 	Slab float64
+	// Faults, when enabled (MTBF > 0), injects deterministic server
+	// failure/repair into every cell (internal/fault). The fault streams
+	// derive from the replication seeds, so every dispatcher and load
+	// faces the same outage trajectory — and the grid grows the
+	// availability/goodput columns in its report.
+	Faults fault.Config
 }
 
 func (o FarmOptions) withDefaults() FarmOptions {
@@ -88,6 +95,17 @@ type FarmCell struct {
 	Utilisation   float64
 	EmptyFraction float64
 	Throughput    float64
+	// Fault-injection aggregates (farm.SweepResult): means over
+	// replications for the floats, totals for the counts. All trivial —
+	// availability 1, counts 0 — when FarmOptions.Faults is disabled;
+	// they appear in Format's fault panel but not in the pinned farm CSV
+	// (the resilience scenario owns the fault-column table).
+	Availability float64
+	Goodput      float64
+	WastedWork   float64
+	Redispatches int
+	Dropped      int
+	Parked       int
 }
 
 // FarmResult is the full dispatcher-by-load grid.
@@ -101,6 +119,9 @@ type FarmResult struct {
 	Capacity     float64
 	Servers      int
 	Replications int
+	// Faulted records whether the grid ran under fault injection — it
+	// gates the availability/goodput panels in Format.
+	Faulted bool
 	// Cells are ordered dispatcher-major, load-minor.
 	Cells []FarmCell
 	// Metrics is the whole grid's merged instrumentation snapshot (nil
@@ -198,6 +219,9 @@ func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error)
 	if opt.Shards > 0 {
 		name += fmt.Sprintf(" [sharded x%d]", opt.Shards)
 	}
+	if opt.Faults.Enabled() {
+		name += fmt.Sprintf(" !mtbf=%g", opt.Faults.MTBF)
+	}
 	reps := opt.Replications
 	return &scenario.Plan{
 		Axes: []scenario.Axis{
@@ -217,6 +241,7 @@ func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error)
 				SizeShape: 4, // jobs of "approximately the same size"
 				Seed:      e.Cfg.Seed,
 				Metrics:   e.Cfg.Metrics,
+				Faults:    opt.Faults,
 			}
 			var rep farm.Replication
 			var err error
@@ -239,6 +264,7 @@ func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error)
 				Capacity:     capacity,
 				Servers:      opt.Servers,
 				Replications: reps,
+				Faulted:      opt.Faults.Enabled(),
 			}
 			aggs := foldReps(cells, reps)
 			for _, agg := range aggs {
@@ -266,6 +292,12 @@ func farmPlan(e *Env, opt FarmOptions, tableName string) (*scenario.Plan, error)
 						Utilisation:    cell.Utilisation,
 						EmptyFraction:  cell.EmptyFraction,
 						Throughput:     cell.Throughput,
+						Availability:   cell.Availability,
+						Goodput:        cell.Goodput,
+						WastedWork:     cell.WastedWork,
+						Redispatches:   cell.Redispatches,
+						Dropped:        cell.Dropped,
+						Parked:         cell.Parked,
 					})
 				}
 			}
@@ -326,13 +358,15 @@ func fcfsFarm(e *Env, n int, hetero bool) ([]farm.ServerSpec, float64, error) {
 
 // Farm runs the dispatcher-by-load grid through the scenario engine:
 // every cell averages opt.Replications independent farm simulations, and
-// the grid is bit-identical at any parallelism level.
-func Farm(e *Env, opt FarmOptions) (*FarmResult, error) {
+// the grid is bit-identical at any parallelism level. A cancelled ctx
+// (e.g. farmsim's SIGINT handler) aborts the sweep mid-grid and returns
+// the context's error; no partial result is produced.
+func Farm(ctx context.Context, e *Env, opt FarmOptions) (*FarmResult, error) {
 	p, err := farmPlan(e, opt, "farm")
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.Execute(context.Background(), e.runCfg("farm"))
+	res, err := p.Execute(ctx, e.runCfg("farm"))
 	if err != nil {
 		return nil, err
 	}
@@ -391,6 +425,14 @@ func (r *FarmResult) Format() string {
 		func(c FarmCell) float64 { return c.Utilisation }, "  %9.3f")
 	panel("per-server empty fraction (mean over servers)",
 		func(c FarmCell) float64 { return c.EmptyFraction }, "  %9.4f")
+	if r.Faulted {
+		panel("availability (1 - down server-time fraction)",
+			func(c FarmCell) float64 { return c.Availability }, "  %9.4f")
+		panel("goodput (completed work per time unit)",
+			func(c FarmCell) float64 { return c.Goodput }, "  %9.3f")
+		panel("redispatches (total across replications)",
+			func(c FarmCell) float64 { return float64(c.Redispatches) }, "  %9.0f")
+	}
 	return b.String()
 }
 

@@ -1,13 +1,14 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestFarmDriverHetero(t *testing.T) {
 	e := tinyEnv(0)
-	r, err := Farm(e, FarmOptions{
+	r, err := Farm(context.Background(), e, FarmOptions{
 		Servers:      3,
 		Hetero:       true,
 		Dispatchers:  []string{"rr", "li"},
@@ -40,10 +41,10 @@ func TestFarmDriverHetero(t *testing.T) {
 
 func TestFarmDriverErrors(t *testing.T) {
 	e := tinyEnv(0)
-	if _, err := Farm(e, FarmOptions{Sched: "NOPE", Loads: []float64{0.5}, Replications: 1}); err == nil {
+	if _, err := Farm(context.Background(), e, FarmOptions{Sched: "NOPE", Loads: []float64{0.5}, Replications: 1}); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
-	if _, err := Farm(e, FarmOptions{Dispatchers: []string{"bogus"}, Loads: []float64{0.5}, Replications: 1}); err == nil {
+	if _, err := Farm(context.Background(), e, FarmOptions{Dispatchers: []string{"bogus"}, Loads: []float64{0.5}, Replications: 1}); err == nil {
 		t.Error("unknown dispatcher accepted")
 	}
 }

@@ -114,7 +114,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig1", "fig2", "fig3", "table2", "n8", "fairness",
 		"fig4", "fig5", "fig6", "uarch", "makespan", "farm", "online",
-		"hetfarm", "megafarm", "burst", "slo",
+		"hetfarm", "megafarm", "burst", "slo", "resilience",
 	}
 	got := map[string]bool{}
 	for _, name := range scenario.Names() {

@@ -230,4 +230,5 @@ func init() {
 	scenario.Register(MegafarmScenario())
 	scenario.Register(BurstScenario())
 	scenario.Register(SLOScenario())
+	scenario.Register(ResilienceScenario())
 }

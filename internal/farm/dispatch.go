@@ -16,35 +16,57 @@ import (
 // and currently running coschedule; rng is the dispatch stream (shared by
 // no other component, so randomised policies stay deterministic per seed).
 // Implementations must be deterministic given (job, server states, rng).
+//
+// Under fault injection servers can be out of service (Server.Up
+// reports false): every policy must skip them — graceful degradation to
+// the up-set. up is the number of in-service servers; the engines pass
+// len(servers) when faults are disabled and never call Pick with
+// up == 0 (an all-down farm parks arrivals instead of dispatching).
+// With every server up the policies draw and pick bit-identically to
+// the pre-fault dispatchers.
 type Dispatcher interface {
 	// Name identifies the policy in reports.
 	Name() string
-	// Pick returns the index of the destination server.
-	Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int
+	// Pick returns the index of the destination (in-service) server.
+	Pick(j *sched.Job, servers []*eventsim.Server, up int, rng *stats.RNG) int
 }
 
-// Random routes each job to a uniformly random server.
+// Random routes each job to a uniformly random up server, by rejection
+// sampling over the full index range (with every server up the first
+// draw always lands, so the stream is the historical single Intn).
 type Random struct{}
 
 // Name implements Dispatcher.
 func (Random) Name() string { return "random" }
 
 // Pick implements Dispatcher.
-func (Random) Pick(_ *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int {
-	return rng.Intn(len(servers))
+func (Random) Pick(_ *sched.Job, servers []*eventsim.Server, _ int, rng *stats.RNG) int {
+	for {
+		i := rng.Intn(len(servers))
+		if servers[i].Up() {
+			return i
+		}
+	}
 }
 
-// RoundRobin cycles through the servers in index order.
+// RoundRobin cycles through the servers in index order, passing over
+// down servers (the cursor still advances past them, so a repaired
+// server rejoins the rotation in its place).
 type RoundRobin struct{ next int }
 
 // Name implements Dispatcher.
 func (*RoundRobin) Name() string { return "rr" }
 
 // Pick implements Dispatcher.
-func (d *RoundRobin) Pick(_ *sched.Job, servers []*eventsim.Server, _ *stats.RNG) int {
-	i := d.next % len(servers)
-	d.next = (i + 1) % len(servers)
-	return i
+func (d *RoundRobin) Pick(_ *sched.Job, servers []*eventsim.Server, _ int, _ *stats.RNG) int {
+	for range servers {
+		i := d.next % len(servers)
+		d.next = (i + 1) % len(servers)
+		if servers[i].Up() {
+			return i
+		}
+	}
+	return -1 // unreachable: the engines never Pick with up == 0
 }
 
 // JoinShortestQueue routes each job to the server with the fewest jobs in
@@ -55,10 +77,13 @@ type JoinShortestQueue struct{}
 func (JoinShortestQueue) Name() string { return "jsq" }
 
 // Pick implements Dispatcher.
-func (JoinShortestQueue) Pick(_ *sched.Job, servers []*eventsim.Server, _ *stats.RNG) int {
-	best, bestLen := 0, servers[0].JobsInSystem()
-	for i := 1; i < len(servers); i++ {
-		if n := servers[i].JobsInSystem(); n < bestLen {
+func (JoinShortestQueue) Pick(_ *sched.Job, servers []*eventsim.Server, _ int, _ *stats.RNG) int {
+	best, bestLen := -1, 0
+	for i, sv := range servers {
+		if !sv.Up() {
+			continue
+		}
+		if n := sv.JobsInSystem(); best < 0 || n < bestLen {
 			best, bestLen = i, n
 		}
 	}
@@ -86,10 +111,10 @@ type LeastInterference struct{}
 func (*LeastInterference) Name() string { return "li" }
 
 // Pick implements Dispatcher.
-func (*LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int {
+func (*LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, up int, rng *stats.RNG) int {
 	best, bestGain := -1, math.Inf(-1)
 	for i, sv := range servers {
-		if sv.JobsInSystem() >= sv.K() {
+		if !sv.Up() || sv.JobsInSystem() >= sv.K() {
 			continue
 		}
 		if gain := sv.MarginalInstTP(j.Type); gain > bestGain+1e-12 {
@@ -99,7 +124,8 @@ func (*LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, rng *st
 	if best >= 0 {
 		return best
 	}
-	return JoinShortestQueue{}.Pick(j, servers, rng)
+	// Every up server saturated: shortest queue over the up-set.
+	return JoinShortestQueue{}.Pick(j, servers, up, rng)
 }
 
 // PowerOfD is the supermarket-model dispatcher: per arrival it probes D
@@ -117,6 +143,11 @@ func (*LeastInterference) Pick(j *sched.Job, servers []*eventsim.Server, rng *st
 // lowest server index, like li. When every probed server is saturated
 // the job joins the shortest queue within the probe set — the supermarket
 // model never looks beyond its sample.
+//
+// Under fault injection probes re-draw from the up-set (a down server
+// rejects like a duplicate) and the probe count clamps to the number of
+// up servers, so pd degrades to sampling among whatever is in service.
+// The equivalences above hold verbatim while every server is up.
 type PowerOfD struct {
 	D int
 
@@ -132,13 +163,18 @@ func (p *PowerOfD) norm() int { return max(p.D, 1) }
 // Name implements Dispatcher.
 func (p *PowerOfD) Name() string { return fmt.Sprintf("pd%d", p.norm()) }
 
-// sample fills the probe scratch with d distinct uniform server indices
-// out of [0, n), sorted ascending. Rejection sampling keeps the d = 1
-// stream equal to Random's and stays O(d^2) per arrival for d << n.
-func (p *PowerOfD) sample(d, n int, rng *stats.RNG) []int {
+// sample fills the probe scratch with d distinct uniform up-server
+// indices, sorted ascending. Rejection sampling (down servers and
+// duplicates redraw alike) keeps the d = 1 stream equal to Random's and
+// stays O(d^2) per arrival for d << n; with every server up it is the
+// historical distinct-index sampler draw for draw.
+func (p *PowerOfD) sample(d int, servers []*eventsim.Server, rng *stats.RNG) []int {
 	p.probes = p.probes[:0]
 	for len(p.probes) < d {
-		c := rng.Intn(n)
+		c := rng.Intn(len(servers))
+		if !servers[c].Up() {
+			continue // down: re-draw the probe from the up-set
+		}
 		at := 0
 		for at < len(p.probes) && p.probes[at] < c {
 			at++
@@ -154,12 +190,15 @@ func (p *PowerOfD) sample(d, n int, rng *stats.RNG) []int {
 }
 
 // Pick implements Dispatcher.
-func (p *PowerOfD) Pick(j *sched.Job, servers []*eventsim.Server, rng *stats.RNG) int {
+func (p *PowerOfD) Pick(j *sched.Job, servers []*eventsim.Server, up int, rng *stats.RNG) int {
 	d := p.norm()
-	if d >= len(servers) {
-		return p.li.Pick(j, servers, rng)
+	if d > up {
+		d = up // can't probe more distinct up servers than exist
 	}
-	probes := p.sample(d, len(servers), rng)
+	if d >= len(servers) {
+		return p.li.Pick(j, servers, up, rng)
+	}
+	probes := p.sample(d, servers, rng)
 	best, bestGain := -1, math.Inf(-1)
 	for _, i := range probes {
 		sv := servers[i]

@@ -50,8 +50,8 @@ func TestDispatcherPickZeroAllocs(t *testing.T) {
 	for _, d := range dispatchers {
 		rng := stats.NewRNG(11)
 		j := &sched.Job{ID: 10_000, Type: 2, Size: 5, Remaining: 5}
-		d.Pick(j, servers, rng) // warm dispatcher scratch and server rate caches
-		if got := testing.AllocsPerRun(200, func() { d.Pick(j, servers, rng) }); got != 0 {
+		d.Pick(j, servers, len(servers), rng) // warm dispatcher scratch and server rate caches
+		if got := testing.AllocsPerRun(200, func() { d.Pick(j, servers, len(servers), rng) }); got != 0 {
 			t.Errorf("%s: Pick allocates %.1f times per arrival, want 0", d.Name(), got)
 		}
 	}
@@ -73,7 +73,7 @@ func TestPowerOfDZeroClamp(t *testing.T) {
 	r0, r1 := stats.NewRNG(42), stats.NewRNG(42)
 	j := &sched.Job{ID: 10_000, Type: 1, Size: 5, Remaining: 5}
 	for i := 0; i < 500; i++ {
-		a, b := p0.Pick(j, servers, r0), p1.Pick(j, servers, r1)
+		a, b := p0.Pick(j, servers, len(servers), r0), p1.Pick(j, servers, len(servers), r1)
 		if a != b {
 			t.Fatalf("draw %d: pd0 picked %d, pd1 picked %d", i, a, b)
 		}
@@ -89,11 +89,11 @@ func BenchmarkDispatcherPick(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/servers=%d", d.Name(), n), func(b *testing.B) {
 				rng := stats.NewRNG(1)
 				j := &sched.Job{ID: 10_000, Type: 2, Size: 5, Remaining: 5}
-				d.Pick(j, servers, rng)
+				d.Pick(j, servers, len(servers), rng)
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					d.Pick(j, servers, rng)
+					d.Pick(j, servers, len(servers), rng)
 				}
 			})
 		}

@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"symbiosched/internal/eventsim"
+	"symbiosched/internal/fault"
 	"symbiosched/internal/metrics"
 	"symbiosched/internal/numeric"
 	"symbiosched/internal/online"
@@ -97,6 +98,16 @@ type Config struct {
 	// independent third stream so that all dispatch policies see the
 	// same arrival process (common random numbers).
 	Seed uint64
+	// Faults, when enabled (MTBF > 0), injects deterministic server
+	// failure/repair events into the run (internal/fault): crashed
+	// servers evict their jobs under Faults.Checkpoint, victims re-enter
+	// through the retry policy, dispatchers degrade to the up-set, and
+	// Result grows the availability/goodput/retry statistics. The fault
+	// streams are seeded per server index from Seed, so the trajectory is
+	// common-random-numbers comparable across dispatchers and policies.
+	// The zero value disables injection and reproduces the fault-free
+	// engines byte-identically.
+	Faults fault.Config
 	// Metrics, when set, instruments the run (internal/metrics): server
 	// occupancy and queue integrals, scheduler memo/prune counters,
 	// estimator observation counts, dispatch picks and the jobs-in-system
@@ -163,6 +174,26 @@ type Result struct {
 	Completed, Counted int
 	// Elapsed is the simulated time span.
 	Elapsed float64
+	// Availability is 1 minus the fraction of server-time spent down
+	// (exactly 1 when fault injection is disabled).
+	Availability float64
+	// Goodput is the completed jobs' total size divided by elapsed time:
+	// work that reached a completion, counted once however often it was
+	// redone. Throughput minus Goodput is the in-flight and wasted
+	// residue.
+	Goodput float64
+	// WastedWork is the total work forfeited to crashes: progress lost to
+	// the restart checkpoint policy plus the surviving progress of
+	// dropped jobs.
+	WastedWork float64
+	// Redispatches counts crash victims placed again; Dropped counts
+	// jobs abandoned past the retry cap (they count against Jobs but
+	// never complete); Parked counts jobs that arrived while every
+	// server was down and waited for a repair.
+	Redispatches, Dropped, Parked int
+	// RetryP50 and RetryP99 are quantiles of the counted jobs' crash
+	// counts (zero without faults: no job ever retries).
+	RetryP50, RetryP99 float64
 	// MeanJobsInSystem is the farm-wide mean population by Little's law
 	// over the counted window (approximate).
 	MeanJobsInSystem float64
@@ -207,6 +238,9 @@ func validate(specs []ServerSpec, w workload.Workload, cfg Config) error {
 	}
 	if len(w) == 0 {
 		return fmt.Errorf("farm: empty workload")
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return fmt.Errorf("farm: %w", err)
 	}
 	return nil
 }
@@ -288,13 +322,14 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	nextArrival := nextArrivalAfter(0)
 	arrivalsLeft := cfg.Jobs
 
-	var turnaround numeric.KahanSum
+	var turnaround, goodput numeric.KahanSum
 	expected := cfg.Jobs - cfg.Warmup
 	if expected < 0 {
 		expected = 0 // Warmup >= Jobs: legal, just counts nothing
 	}
 	turnarounds := make([]float64, 0, expected)
 	completed, counted := 0, 0
+	fr := newFaultRun(cfg, len(servers))
 
 	// Indexed min-heap over the servers' cached next-completion times:
 	// the globally earliest completion is a peek instead of a scan over
@@ -308,7 +343,21 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 
 	dispatched := 0
 	dispatch := func(j *sched.Job) error {
-		ti := d.Pick(j, servers, drng)
+		up := len(servers)
+		if fr != nil {
+			// Re-issue the job's ID in dispatch order: a crash victim
+			// re-entering a queue behind younger jobs would otherwise break
+			// the schedulers' nondecreasing-ID arrival invariant. Without
+			// faults no job is ever re-placed and this is the identity.
+			j.ID = fr.seq
+			fr.seq++
+			if j.Retries > 0 {
+				fr.redispatches++
+				rm.redispatch()
+			}
+			up = fr.up
+		}
+		ti := d.Pick(j, servers, up, drng)
 		if ti < 0 || ti >= len(servers) {
 			return fmt.Errorf("farm: dispatcher %s picked server %d of %d", d.Name(), ti, len(servers))
 		}
@@ -322,18 +371,37 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 		return nil
 	}
 
-	for completed < cfg.Jobs {
+	for completed+fr.droppedJobs() < cfg.Jobs {
 		rm.event()
-		// Globally earliest completion across servers, or the next
-		// arrival, whichever first.
+		// Globally earliest completion across servers, or the earliest
+		// meta event — fault transition, retry re-arrival, fresh arrival,
+		// ties in that priority order — whichever first.
 		dt := h.Min()
-		arrivalDue := false
-		if arrivalsLeft > 0 && now+dt >= nextArrival {
-			dt = nextArrival - now
-			arrivalDue = true
+		ev := evNone
+		var evT float64
+		consider := func(t float64, kind int) {
+			if ev == evNone {
+				// First candidate against the completion horizon: the
+				// historical arrival form, so with faults disabled the
+				// selection is bit-identical to the pre-fault engine.
+				if now+dt >= t {
+					dt, ev, evT = t-now, kind, t
+				}
+			} else if t < evT {
+				// Later candidates compare absolute times, strict <: an
+				// equal-time later kind loses to the earlier-declared kind.
+				dt, ev, evT = t-now, kind, t
+			}
+		}
+		if fr != nil {
+			consider(fr.inj.Next(), evFault)
+			consider(fr.rq.Next(), evRetry)
+		}
+		if arrivalsLeft > 0 {
+			consider(nextArrival, evArrival)
 		}
 		if math.IsInf(dt, 1) {
-			break // drained: nothing running, no arrivals left
+			break // drained: nothing running, no events left
 		}
 		if dt < 0 {
 			dt = 0
@@ -345,11 +413,15 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 			done := sv.Advance(dt)
 			for _, j := range done {
 				completed++
+				goodput.Add(j.Size)
 				if completed > cfg.Warmup {
 					tr := now - j.Arrival
 					turnaround.Add(tr)
 					turnarounds = append(turnarounds, tr)
 					counted++
+					if fr != nil {
+						fr.retries = append(fr.retries, float64(j.Retries))
+					}
 				}
 			}
 			if len(done) > 0 {
@@ -359,8 +431,56 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 			}
 			h.Update(i, sv.TimeToNextCompletion())
 		}
-		if arrivalDue {
-			if err := dispatch(newJob(now)); err != nil {
+		if fr != nil && completed+fr.dropped >= cfg.Jobs {
+			// The sweep finished the run at the meta event's instant: stop
+			// before handling it so Elapsed and the fault counters agree
+			// with the sharded engine at such ties.
+			break
+		}
+		switch ev {
+		case evFault:
+			fe := fr.inj.Pop()
+			sv := servers[fe.Server]
+			if fe.Down {
+				victims := sv.Fail()
+				h.Update(fe.Server, sv.TimeToNextCompletion())
+				// Stamp the retry backoffs off the injector's absolute event
+				// time, not the accumulated clock: the sharded engine does
+				// the same, so retry due times match it exactly.
+				fr.crash(fe.T, victims, rm)
+			} else {
+				sv.Repair()
+				fr.up++
+				rm.repair()
+				if b, ok := sv.Rates().(online.EpochBumper); ok {
+					// The server was out of service: force decisions memoized
+					// over its learner to be re-derived, not served stale.
+					b.BumpEpoch()
+				}
+				// A server is back: drain the parked shelf FIFO through the
+				// normal dispatch path at the repair's instant.
+				for len(fr.parked) > 0 {
+					j := fr.parked[0]
+					copy(fr.parked, fr.parked[1:])
+					fr.parked[len(fr.parked)-1] = nil
+					fr.parked = fr.parked[:len(fr.parked)-1]
+					if err := dispatch(j); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case evRetry:
+			j := fr.rq.Pop()
+			if fr.up == 0 {
+				fr.park(j, rm)
+			} else if err := dispatch(j); err != nil {
+				return nil, err
+			}
+		case evArrival:
+			j := newJob(now)
+			if fr != nil && fr.up == 0 {
+				fr.park(j, rm)
+			} else if err := dispatch(j); err != nil {
 				return nil, err
 			}
 			arrivalsLeft--
@@ -372,13 +492,13 @@ func Simulate(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config)
 	if now <= 0 {
 		return nil, fmt.Errorf("farm: experiment completed no work")
 	}
-	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, turnarounds, rm), nil
+	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, goodput, turnarounds, fr, rm), nil
 }
 
 // assembleResult folds the per-server integrals and the turnaround
 // sample into a Result. It is shared by the serial and sharded engines:
 // the same Kahan fold in the same server order over the same inputs.
-func assembleResult(d Dispatcher, servers []*eventsim.Server, totalContexts int, cfg Config, now float64, completed, counted int, turnaround numeric.KahanSum, turnarounds []float64, rm *runMetrics) *Result {
+func assembleResult(d Dispatcher, servers []*eventsim.Server, totalContexts int, cfg Config, now float64, completed, counted int, turnaround, goodput numeric.KahanSum, turnarounds []float64, fr *faultRun, rm *runMetrics) *Result {
 	res := &Result{
 		Dispatcher: d.Name(),
 		Servers:    len(servers),
@@ -387,11 +507,12 @@ func assembleResult(d Dispatcher, servers []*eventsim.Server, totalContexts int,
 		Elapsed:    now,
 		PerServer:  make([]ServerStats, len(servers)),
 	}
-	var busy, empty, work numeric.KahanSum
+	var busy, empty, work, downT numeric.KahanSum
 	for i, sv := range servers {
 		busy.Add(sv.BusyTime())
 		empty.Add(sv.EmptyTime() / now)
 		work.Add(sv.WorkDone())
+		downT.Add(sv.DownTime())
 		name := fmt.Sprintf("%s/%s", sv.Table().Name(), sv.Scheduler().Name())
 		if rs := sv.Rates(); rs != online.RateSource(sv.Table()) {
 			name += "+" + rs.Name()
@@ -407,6 +528,19 @@ func assembleResult(d Dispatcher, servers []*eventsim.Server, totalContexts int,
 	res.Utilisation = busy.Value() / now / float64(totalContexts)
 	res.EmptyFraction = empty.Value() / float64(len(servers))
 	res.Throughput = work.Value() / now
+	res.Availability = 1 - downT.Value()/(float64(len(servers))*now)
+	res.Goodput = goodput.Value() / now
+	if fr != nil {
+		res.WastedWork = fr.wasted.Value()
+		res.Redispatches = fr.redispatches
+		res.Dropped = fr.dropped
+		res.Parked = fr.parkedTotal
+		if len(fr.retries) > 0 {
+			sort.Float64s(fr.retries)
+			res.RetryP50 = stats.SortedQuantile(fr.retries, 0.50)
+			res.RetryP99 = stats.SortedQuantile(fr.retries, 0.99)
+		}
+	}
 	if counted > 0 {
 		res.MeanTurnaround = turnaround.Value() / float64(counted)
 		sort.Float64s(turnarounds) // sort once for all three order statistics

@@ -228,7 +228,7 @@ func TestRoundRobinCycles(t *testing.T) {
 	rng := stats.NewRNG(1)
 	j := &sched.Job{Type: 0}
 	for i := 0; i < 7; i++ {
-		if got := d.Pick(j, servers, rng); got != i%3 {
+		if got := d.Pick(j, servers, len(servers), rng); got != i%3 {
 			t.Fatalf("pick %d = %d, want %d", i, got, i%3)
 		}
 	}
@@ -245,7 +245,7 @@ func TestJSQPicksShortest(t *testing.T) {
 		return sv
 	}
 	servers := []*eventsim.Server{mk(2), mk(0), mk(1)}
-	if got := (JoinShortestQueue{}).Pick(&sched.Job{Type: 0}, servers, stats.NewRNG(1)); got != 1 {
+	if got := (JoinShortestQueue{}).Pick(&sched.Job{Type: 0}, servers, len(servers), stats.NewRNG(1)); got != 1 {
 		t.Errorf("jsq picked %d, want 1 (empty server)", got)
 	}
 }
@@ -264,7 +264,7 @@ func TestLeastInterferencePrefersSymbiosis(t *testing.T) {
 	}
 	j := &sched.Job{ID: 1, Type: 2}
 	servers := []*eventsim.Server{busy, idle}
-	if got := (&LeastInterference{}).Pick(j, servers, stats.NewRNG(1)); got != 1 {
+	if got := (&LeastInterference{}).Pick(j, servers, len(servers), stats.NewRNG(1)); got != 1 {
 		// Marginal gain at the idle server is WIPC 1; next to an
 		// interfering co-runner it is strictly less on the SMT model.
 		t.Errorf("li picked busy server %d, want idle server 1", got)
@@ -284,7 +284,7 @@ func TestLeastInterferencePrefersSymbiosis(t *testing.T) {
 	if err := fuller.Reschedule(); err != nil {
 		t.Fatal(err)
 	}
-	if got := (&LeastInterference{}).Pick(j, []*eventsim.Server{fuller, full}, stats.NewRNG(1)); got != 1 {
+	if got := (&LeastInterference{}).Pick(j, []*eventsim.Server{fuller, full}, 2, stats.NewRNG(1)); got != 1 {
 		t.Errorf("saturated li picked %d, want 1 (shorter queue)", got)
 	}
 }

@@ -1,0 +1,408 @@
+package farm
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"symbiosched/internal/fault"
+	"symbiosched/internal/online"
+	"symbiosched/internal/sched"
+)
+
+// faultCfg is the shared fault configuration of the integration tests:
+// frequent failures (MTBF ~ tens of jobs' worth of time) with quick
+// repairs, a modest retry cap and a visible backoff.
+func faultCfg() fault.Config {
+	return fault.Config{MTBF: 40, MTTR: 3, MaxRetries: 5, RetryDelay: 0.25, Checkpoint: fault.Restart}
+}
+
+// TestFaultDisabledReproducesBaseline pins the zero-cost contract: a
+// fault config with MTBF 0 — whatever the other fields say — is
+// disabled, and both engines reproduce the no-fault run byte for byte.
+func TestFaultDisabledReproducesBaseline(t *testing.T) {
+	tab := smtTable(t)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab)}
+	cfg := Config{Lambda: 4.0, Jobs: 2000, SizeShape: 4, Seed: 5}
+	off := cfg
+	off.Faults = fault.Config{MTTR: 9, MaxRetries: 2, RetryDelay: 1, Checkpoint: fault.Resume}
+	for _, disp := range []string{"li", "pd2", "rr"} {
+		d1, _ := NewDispatcher(disp)
+		base, err := Simulate(specs, d1, w4(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, _ := NewDispatcher(disp)
+		disabled, err := Simulate(specs, d2, w4(), off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := fmt.Sprintf("%+v", base), fmt.Sprintf("%+v", disabled); a != b {
+			t.Errorf("%s: MTBF=0 serial run differs from baseline:\n%s\nvs\n%s", disp, a, b)
+		}
+		d3, _ := NewDispatcher(disp)
+		sbase, err := SimulateSharded(specs, d3, w4(), cfg, ShardConfig{Shards: 3, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d4, _ := NewDispatcher(disp)
+		sdis, err := SimulateSharded(specs, d4, w4(), off, ShardConfig{Shards: 3, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := fmt.Sprintf("%+v", sbase), fmt.Sprintf("%+v", sdis); a != b {
+			t.Errorf("%s: MTBF=0 sharded run differs from baseline:\n%s\nvs\n%s", disp, a, b)
+		}
+		if base.Availability != 1 || base.Goodput <= 0 {
+			t.Errorf("%s: fault-free availability %v goodput %v, want 1 and > 0",
+				disp, base.Availability, base.Goodput)
+		}
+	}
+}
+
+// TestFaultSerialMatchesSharded cross-validates the engines under
+// injection: same fault trajectory (CRN per server index), same policy,
+// so the integer fault accounting must agree exactly and the float
+// metrics to tight tolerance — for every dispatcher and both checkpoint
+// policies.
+func TestFaultSerialMatchesSharded(t *testing.T) {
+	tab := smtTable(t)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab)}
+	for _, disp := range []string{"random", "rr", "jsq", "li", "pd2"} {
+		for _, cp := range fault.Policies {
+			cfg := Config{Lambda: 6.0, Jobs: 3000, SizeShape: 4, Seed: 11}
+			cfg.Faults = faultCfg()
+			cfg.Faults.Checkpoint = cp
+			d1, _ := NewDispatcher(disp)
+			serial, err := Simulate(specs, d1, w4(), cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: serial: %v", disp, cp, err)
+			}
+			d2, _ := NewDispatcher(disp)
+			sharded, err := SimulateSharded(specs, d2, w4(), cfg, ShardConfig{Shards: 3, Workers: 2})
+			if err != nil {
+				t.Fatalf("%s/%s: sharded: %v", disp, cp, err)
+			}
+			if serial.Redispatches == 0 {
+				t.Errorf("%s/%s: no redispatches — faults not exercised", disp, cp)
+			}
+			ints := []struct {
+				name      string
+				got, want int
+			}{
+				{"completed", sharded.Completed, serial.Completed},
+				{"counted", sharded.Counted, serial.Counted},
+				{"redispatches", sharded.Redispatches, serial.Redispatches},
+				{"dropped", sharded.Dropped, serial.Dropped},
+				{"parked", sharded.Parked, serial.Parked},
+			}
+			for _, c := range ints {
+				if c.got != c.want {
+					t.Errorf("%s/%s: %s differs: sharded %d vs serial %d", disp, cp, c.name, c.got, c.want)
+				}
+			}
+			floats := []struct {
+				name      string
+				got, want float64
+			}{
+				{"mean turnaround", sharded.MeanTurnaround, serial.MeanTurnaround},
+				{"availability", sharded.Availability, serial.Availability},
+				{"goodput", sharded.Goodput, serial.Goodput},
+				{"wasted work", sharded.WastedWork, serial.WastedWork},
+				{"retry p50", sharded.RetryP50, serial.RetryP50},
+				{"retry p99", sharded.RetryP99, serial.RetryP99},
+				{"elapsed", sharded.Elapsed, serial.Elapsed},
+				{"throughput", sharded.Throughput, serial.Throughput},
+			}
+			for _, c := range floats {
+				if relErr(c.got, c.want) > 1e-9 {
+					t.Errorf("%s/%s: %s diverges: sharded %v vs serial %v", disp, cp, c.name, c.got, c.want)
+				}
+			}
+			for i := range serial.PerServer {
+				if sharded.PerServer[i].Dispatched != serial.PerServer[i].Dispatched {
+					t.Errorf("%s/%s: server %d dispatched %d (sharded) vs %d (serial)",
+						disp, cp, i, sharded.PerServer[i].Dispatched, serial.PerServer[i].Dispatched)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultShardConfigInvariance extends the tentpole bit-identity
+// contract to fault injection: the fault trajectory is a function of
+// (Seed, server index) only, so Shards, Workers and Slab must not move
+// a single bit of the Result.
+func TestFaultShardConfigInvariance(t *testing.T) {
+	tab := smtTable(t)
+	specs := make([]ServerSpec, 7)
+	for i := range specs {
+		specs[i] = fcfsSpec(tab)
+	}
+	cfg := Config{Lambda: 9.0, Jobs: 2500, SizeShape: 4, Seed: 13}
+	cfg.Faults = faultCfg()
+	var ref string
+	var refSC ShardConfig
+	for _, sc := range []ShardConfig{
+		{Shards: 1, Workers: 1},
+		{Shards: 1, Workers: runtime.NumCPU()},
+		{Shards: 3, Workers: 1},
+		{Shards: 3, Workers: runtime.NumCPU(), Slab: 0.05},
+		{Shards: 7, Workers: 2, Slab: 1.7},
+	} {
+		d, _ := NewDispatcher("pd2")
+		res, err := SimulateSharded(specs, d, w4(), cfg, sc)
+		if err != nil {
+			t.Fatalf("%+v: %v", sc, err)
+		}
+		fp := fmt.Sprintf("%+v", res)
+		if ref == "" {
+			ref, refSC = fp, sc
+			continue
+		}
+		if fp != ref {
+			t.Errorf("faulted result differs between %+v and %+v:\n%s\nvs\n%s", refSC, sc, ref, fp)
+		}
+	}
+}
+
+// TestFaultAccountingInvariants checks the conservation laws of the
+// fault bookkeeping on a long faulted run: every arrival either
+// completes or is dropped, availability sits strictly inside (0, 1)
+// under injection, goodput never exceeds throughput, and some work is
+// wasted under the restart policy.
+func TestFaultAccountingInvariants(t *testing.T) {
+	tab := smtTable(t)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab)}
+	cfg := Config{Lambda: 4.0, Jobs: 4000, SizeShape: 4, Seed: 29}
+	cfg.Faults = faultCfg()
+	d, _ := NewDispatcher("li")
+	res, err := Simulate(specs, d, w4(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Dropped != cfg.Jobs {
+		t.Errorf("completed %d + dropped %d != jobs %d", res.Completed, res.Dropped, cfg.Jobs)
+	}
+	if res.Availability <= 0 || res.Availability >= 1 {
+		t.Errorf("availability %v, want strictly inside (0, 1) under injection", res.Availability)
+	}
+	if res.Goodput <= 0 || res.Goodput > res.Throughput+1e-12 {
+		t.Errorf("goodput %v vs throughput %v: want 0 < goodput <= throughput", res.Goodput, res.Throughput)
+	}
+	if res.WastedWork <= 0 {
+		t.Errorf("wasted work %v, want > 0 under the restart policy", res.WastedWork)
+	}
+	if res.RetryP99 < res.RetryP50 {
+		t.Errorf("retry quantiles inverted: p50 %v > p99 %v", res.RetryP50, res.RetryP99)
+	}
+}
+
+// TestFaultResumeWastesLessThanRestart pins the checkpoint policies
+// against each other on a common fault trajectory (CRN: same seed, same
+// failure/repair times): resume keeps completed work across a crash, so
+// it can never waste more than restart.
+func TestFaultResumeWastesLessThanRestart(t *testing.T) {
+	tab := smtTable(t)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab)}
+	run := func(cp fault.Policy) *Result {
+		cfg := Config{Lambda: 4.0, Jobs: 3000, SizeShape: 4, Seed: 17}
+		cfg.Faults = faultCfg()
+		cfg.Faults.Checkpoint = cp
+		d, _ := NewDispatcher("li")
+		res, err := Simulate(specs, d, w4(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	restart, resume := run(fault.Restart), run(fault.Resume)
+	if restart.Redispatches == 0 {
+		t.Fatal("no redispatches — faults not exercised")
+	}
+	if resume.WastedWork >= restart.WastedWork {
+		t.Errorf("resume wasted %v >= restart wasted %v on the same fault trajectory",
+			resume.WastedWork, restart.WastedWork)
+	}
+}
+
+// TestFaultAllDownParksArrivals drives a one-server farm through
+// outages: every arrival during an outage must park (never a Pick over
+// zero up servers) and drain at the repair, with nothing lost.
+func TestFaultAllDownParksArrivals(t *testing.T) {
+	tab := uniformTable(1)
+	cfg := Config{Lambda: 2.0, Jobs: 1500, SizeShape: 1, Seed: 3}
+	cfg.Faults = fault.Config{MTBF: 10, MTTR: 4, MaxRetries: 8, RetryDelay: 0.1, Checkpoint: fault.Resume}
+	d, _ := NewDispatcher("rr")
+	serial, err := Simulate([]ServerSpec{fcfsSpec(tab)}, d, w4()[:1], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Parked == 0 {
+		t.Error("one-server farm with outages parked nothing")
+	}
+	if serial.Completed+serial.Dropped != cfg.Jobs {
+		t.Errorf("completed %d + dropped %d != jobs %d", serial.Completed, serial.Dropped, cfg.Jobs)
+	}
+	d2, _ := NewDispatcher("rr")
+	sharded, err := SimulateSharded([]ServerSpec{fcfsSpec(tab)}, d2, w4()[:1], cfg, ShardConfig{Shards: 1, Workers: 1, Slab: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Parked != serial.Parked || sharded.Dropped != serial.Dropped || sharded.Completed != serial.Completed {
+		t.Errorf("engines disagree: sharded parked/dropped/completed %d/%d/%d vs serial %d/%d/%d",
+			sharded.Parked, sharded.Dropped, sharded.Completed, serial.Parked, serial.Dropped, serial.Completed)
+	}
+}
+
+// TestFaultRetryCapDrops pins the drop path: with MaxRetries 0 every
+// crash victim is abandoned immediately — no redispatch ever happens,
+// and the run still terminates with completed + dropped == Jobs.
+func TestFaultRetryCapDrops(t *testing.T) {
+	tab := smtTable(t)
+	specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab)}
+	cfg := Config{Lambda: 3.0, Jobs: 2000, SizeShape: 4, Seed: 23}
+	cfg.Faults = fault.Config{MTBF: 20, MTTR: 2, MaxRetries: 0, RetryDelay: 0.5}
+	d, _ := NewDispatcher("jsq")
+	res, err := Simulate(specs, d, w4(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("MaxRetries=0 run dropped nothing — faults not exercised")
+	}
+	if res.Redispatches != 0 {
+		t.Errorf("MaxRetries=0 run redispatched %d jobs, want 0", res.Redispatches)
+	}
+	if res.Completed+res.Dropped != cfg.Jobs {
+		t.Errorf("completed %d + dropped %d != jobs %d", res.Completed, res.Dropped, cfg.Jobs)
+	}
+	if res.RetryP50 != 0 || res.RetryP99 != 0 {
+		t.Errorf("retry quantiles %v/%v, want 0/0: every retried job was dropped, never counted",
+			res.RetryP50, res.RetryP99)
+	}
+}
+
+// TestFaultInvalidConfigRejected checks that both engines reject a bad
+// fault config up front, as a typed fault.ConfigError.
+func TestFaultInvalidConfigRejected(t *testing.T) {
+	tab := uniformTable(1)
+	cfg := Config{Lambda: 1.0, Jobs: 10, SizeShape: 1}
+	cfg.Faults = fault.Config{MTBF: 5} // MTTR missing
+	d, _ := NewDispatcher("rr")
+	if _, err := Simulate([]ServerSpec{fcfsSpec(tab)}, d, w4()[:1], cfg); err == nil {
+		t.Error("serial engine accepted MTBF > 0 with MTTR 0")
+	}
+	if _, err := SimulateSharded([]ServerSpec{fcfsSpec(tab)}, d, w4()[:1], cfg, ShardConfig{}); err == nil {
+		t.Error("sharded engine accepted MTBF > 0 with MTTR 0")
+	}
+}
+
+// TestFaultEpochBumpOnRepair pins the stale-decision guard end to end:
+// a repaired learning server's rate source must advance its epoch even
+// though no observation arrived during the outage, so MAXIT's per-epoch
+// memo re-derives its next decision. The farm run asserts the plumbing
+// (learner servers complete a faulted run deterministically); the
+// direct check pins the epoch arithmetic.
+func TestFaultEpochBumpOnRepair(t *testing.T) {
+	s := online.NewSampler(2, online.SamplerConfig{})
+	if e0, e1 := s.Epoch(), func() uint64 { s.BumpEpoch(); return s.Epoch() }(); e1 != e0+1 {
+		t.Errorf("sampler epoch %d -> %d after bump, want +1", e0, e1)
+	}
+	p := online.NewPairwise(2, 4, online.PairwiseConfig{})
+	if e0, e1 := p.Epoch(), func() uint64 { p.BumpEpoch(); return p.Epoch() }(); e1 != e0+1 {
+		t.Errorf("pairwise epoch %d -> %d after bump, want +1", e0, e1)
+	}
+
+	tab := smtTable(t)
+	mk := func(rs online.RateSource) (sched.Scheduler, error) { return sched.New("MAXIT", rs, w4()) }
+	est := func(k int) func(seed uint64) (online.Estimator, error) {
+		return func(seed uint64) (online.Estimator, error) {
+			return online.NewSampler(k, online.SamplerConfig{Seed: seed}), nil
+		}
+	}
+	specs := []ServerSpec{
+		{Table: tab, Sched: mk, Estimator: est(tab.K())},
+		{Table: tab, Sched: mk, Estimator: est(tab.K())},
+	}
+	cfg := Config{Lambda: 2.5, Jobs: 1200, SizeShape: 4, Seed: 31}
+	cfg.Faults = faultCfg()
+	d1, _ := NewDispatcher("li")
+	a, err := Simulate(specs, d1, w4(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := NewDispatcher("li")
+	b, err := Simulate(specs, d2, w4(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, y := fmt.Sprintf("%+v", a), fmt.Sprintf("%+v", b); x != y {
+		t.Errorf("faulted learner run not reproducible:\n%s\nvs\n%s", x, y)
+	}
+	if a.Redispatches == 0 {
+		t.Error("learner run saw no redispatches — faults not exercised")
+	}
+}
+
+// FuzzFaultInterleavings fuzzes failure/repair interleavings against
+// the serial engine: random fault rates, slab geometries (crashes
+// landing on slab boundaries) and checkpoint policies, asserting the
+// exact integer accounting and tight float agreement between engines —
+// plus worker-count bit-identity within the sharded engine.
+func FuzzFaultInterleavings(f *testing.F) {
+	f.Add(uint64(1), uint8(20), uint8(4), uint16(0), uint8(2), false)
+	f.Add(uint64(7), uint8(5), uint8(2), uint16(250), uint8(3), true)
+	f.Add(uint64(42), uint8(60), uint8(10), uint16(10), uint8(5), false)
+	f.Add(uint64(9000), uint8(1), uint8(1), uint16(65535), uint8(1), true)
+	f.Fuzz(func(t *testing.T, seed uint64, mtbfQ, mttrQ uint8, slabMilli uint16, shards uint8, resume bool) {
+		tab := smtTable(t)
+		specs := []ServerSpec{fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab), fcfsSpec(tab)}
+		cfg := Config{Lambda: 5.0, Jobs: 500, SizeShape: 4, Seed: seed%1024 + 1}
+		cfg.Faults = fault.Config{
+			MTBF:       float64(mtbfQ%100) + 0.5,
+			MTTR:       float64(mttrQ%20)/2 + 0.25,
+			MaxRetries: int(seed % 7),
+			RetryDelay: float64(seed%5) / 8,
+		}
+		if resume {
+			cfg.Faults.Checkpoint = fault.Resume
+		}
+		d1, _ := NewDispatcher("li")
+		serial, err := Simulate(specs, d1, w4(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Completed+serial.Dropped != cfg.Jobs {
+			t.Fatalf("serial: completed %d + dropped %d != jobs %d", serial.Completed, serial.Dropped, cfg.Jobs)
+		}
+		sc := ShardConfig{Shards: int(shards%6) + 1, Workers: 1, Slab: float64(slabMilli) / 1000}
+		d2, _ := NewDispatcher("li")
+		sharded, err := SimulateSharded(specs, d2, w4(), cfg, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.Completed != serial.Completed || sharded.Counted != serial.Counted ||
+			sharded.Redispatches != serial.Redispatches || sharded.Dropped != serial.Dropped ||
+			sharded.Parked != serial.Parked {
+			t.Fatalf("fault accounting diverges:\nsharded %+v\nserial  %+v", sharded, serial)
+		}
+		if relErr(sharded.MeanTurnaround, serial.MeanTurnaround) > 1e-6 ||
+			relErr(sharded.Availability, serial.Availability) > 1e-6 ||
+			relErr(sharded.Goodput, serial.Goodput) > 1e-6 ||
+			relErr(sharded.WastedWork, serial.WastedWork) > 1e-6 ||
+			relErr(sharded.Elapsed, serial.Elapsed) > 1e-6 {
+			t.Fatalf("fault metrics diverge:\nsharded %+v\nserial  %+v", sharded, serial)
+		}
+		d3, _ := NewDispatcher("li")
+		wide, err := SimulateSharded(specs, d3, w4(), cfg, ShardConfig{
+			Shards: sc.Shards, Workers: runtime.NumCPU(), Slab: sc.Slab,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := fmt.Sprintf("%+v", sharded), fmt.Sprintf("%+v", wide); a != b {
+			t.Fatalf("workers 1 vs NumCPU differ under faults:\n%s\nvs\n%s", a, b)
+		}
+	})
+}

@@ -32,6 +32,14 @@ type runMetrics struct {
 	slabs  *metrics.Counter // sharded: slabs run
 	shards *metrics.Counter // sharded: shard-advance calls (sum of active set sizes)
 	merged *metrics.Counter // sharded: completions k-way merged
+
+	// Fault-injection instruments, on the dispatch collector (fault
+	// transitions and re-dispatch both run in the single-threaded
+	// coordinator sections). All stay zero when faults are disabled.
+	crashes      *metrics.Counter // fault_crashes: server failures
+	repairs      *metrics.Counter // fault_repairs: servers brought back up
+	redispatches *metrics.Counter // fault_redispatches: crash victims placed again
+	parks        *metrics.Counter // fault_parked: jobs shelved with every server down
 }
 
 // newRunMetrics instruments a freshly built fleet: per-server collectors
@@ -42,6 +50,10 @@ func newRunMetrics(servers []*eventsim.Server) *runMetrics {
 	rm := &runMetrics{dispatch: metrics.New(), engine: metrics.New()}
 	rm.picks = rm.dispatch.Counter("dispatch_picks")
 	rm.qlen = rm.dispatch.Series("farm_jobs_in_system", 256)
+	rm.crashes = rm.dispatch.Counter("fault_crashes")
+	rm.repairs = rm.dispatch.Counter("fault_repairs")
+	rm.redispatches = rm.dispatch.Counter("fault_redispatches")
+	rm.parks = rm.dispatch.Counter("fault_parked")
 	rm.events = rm.engine.Counter("engine_events")
 	rm.slabs = rm.engine.Counter("engine_slabs")
 	rm.shards = rm.engine.Counter("engine_shard_advances")
@@ -81,6 +93,34 @@ func (rm *runMetrics) slab(active, mergedComps int) {
 		rm.slabs.Inc()
 		rm.shards.Add(uint64(active))
 		rm.merged.Add(uint64(mergedComps))
+	}
+}
+
+// crash counts one server failure.
+func (rm *runMetrics) crash() {
+	if rm != nil {
+		rm.crashes.Inc()
+	}
+}
+
+// repair counts one server repair.
+func (rm *runMetrics) repair() {
+	if rm != nil {
+		rm.repairs.Inc()
+	}
+}
+
+// redispatch counts one crash victim placed again.
+func (rm *runMetrics) redispatch() {
+	if rm != nil {
+		rm.redispatches.Inc()
+	}
+}
+
+// park counts one job shelved because every server was down.
+func (rm *runMetrics) park() {
+	if rm != nil {
+		rm.parks.Inc()
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"symbiosched/internal/eventsim"
 	"symbiosched/internal/perfdb"
 	"symbiosched/internal/program"
 	"symbiosched/internal/queueing"
@@ -83,6 +84,12 @@ func TestPDOneMatchesRandom(t *testing.T) {
 // identical probe sequences.
 func TestPDProbeSetProperties(t *testing.T) {
 	const n = 23
+	// sample only consults Up(), true on a fresh server, so bare servers
+	// stand in for a fully in-service farm.
+	servers := make([]*eventsim.Server, n)
+	for i := range servers {
+		servers[i] = new(eventsim.Server)
+	}
 	for _, seed := range []uint64{1, 9, 77} {
 		// The dispatch stream as Simulate derives it from the run seed.
 		ra := stats.NewRNG(seed ^ 0xd1b54a32d192ed03)
@@ -90,7 +97,7 @@ func TestPDProbeSetProperties(t *testing.T) {
 		pa := &PowerOfD{D: 4}
 		pb := &PowerOfD{D: 4}
 		for draw := 0; draw < 500; draw++ {
-			a := pa.sample(pa.D, n, ra)
+			a := pa.sample(pa.D, servers, ra)
 			if len(a) != pa.D {
 				t.Fatalf("seed=%d draw %d: %d probes, want %d", seed, draw, len(a), pa.D)
 			}
@@ -102,7 +109,7 @@ func TestPDProbeSetProperties(t *testing.T) {
 					t.Fatalf("seed=%d draw %d: probes %v not strictly increasing (dup or unsorted)", seed, draw, a)
 				}
 			}
-			b := pb.sample(pb.D, n, rb)
+			b := pb.sample(pb.D, servers, rb)
 			for i := range a {
 				if a[i] != b[i] {
 					t.Fatalf("seed=%d draw %d: replay diverged: %v vs %v", seed, draw, a, b)

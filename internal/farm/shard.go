@@ -9,6 +9,8 @@ import (
 
 	"symbiosched/internal/eventsim"
 	"symbiosched/internal/numeric"
+	"symbiosched/internal/online"
+	"symbiosched/internal/sched"
 	"symbiosched/internal/stats"
 	"symbiosched/internal/workload"
 )
@@ -117,27 +119,65 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 	arrivalsLeft := cfg.Jobs
 	dispatched := 0
 
-	var turnaround numeric.KahanSum
+	var turnaround, goodput numeric.KahanSum
 	expected := cfg.Jobs - cfg.Warmup
 	if expected < 0 {
 		expected = 0
 	}
 	turnarounds := make([]float64, 0, expected)
 	completed, counted := 0, 0
+	fr := newFaultRun(cfg, len(servers))
 
 	// fold counts one completion into the turnaround statistics. Callers
 	// must deliver completions in global (time, server index) order.
 	fold := func(c eventsim.Completion) {
 		completed++
+		goodput.Add(c.Job.Size)
 		if completed > cfg.Warmup {
 			tr := c.T - c.Job.Arrival
 			turnaround.Add(tr)
 			turnarounds = append(turnarounds, tr)
 			counted++
+			if fr != nil {
+				fr.retries = append(fr.retries, float64(c.Job.Retries))
+			}
 		}
 		if c.T > now {
 			now = c.T
 		}
+	}
+
+	// place routes one job — fresh arrival, retry re-arrival or park-drain
+	// — at time t: the fault-run ID relabelling and up-set count, the
+	// dispatch draw, delivery into the destination shard, and the fold of
+	// any completions within the delivery epsilon (still in global time
+	// order: the slab's merge already ran).
+	place := func(t float64, j *sched.Job) error {
+		up := len(servers)
+		if fr != nil {
+			j.ID = fr.seq
+			fr.seq++
+			if j.Retries > 0 {
+				fr.redispatches++
+				rm.redispatch()
+			}
+			up = fr.up
+		}
+		ti := d.Pick(j, servers, up, drng)
+		if ti < 0 || ti >= len(servers) {
+			return fmt.Errorf("farm: dispatcher %s picked server %d of %d", d.Name(), ti, len(servers))
+		}
+		s := shardOf[ti]
+		done, err := groups[s].Deliver(t, ti-base[s], j)
+		if err != nil {
+			return err
+		}
+		for _, c := range done {
+			fold(c)
+		}
+		dispatched++
+		rm.pick(t, dispatched-completed)
+		return nil
 	}
 
 	// Per-slab scratch: the active shard list, each active shard's
@@ -233,22 +273,33 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 		return ev
 	}
 
-	for completed < cfg.Jobs {
-		// Choose the slab horizon: the next arrival, optionally capped by
-		// the slab length. Empty capped slabs (no completion before the
-		// cap) are skipped wholesale — slab boundaries with no events are
-		// unobservable, so jumping to the next event changes nothing.
+	for completed+fr.droppedJobs() < cfg.Jobs {
+		// Choose the slab horizon: the earliest meta event — fault
+		// transition, retry re-arrival, fresh arrival, equal-time ties in
+		// that priority order (strict < keeps the first-tried kind) —
+		// optionally capped by the slab length. Empty capped slabs (no
+		// completion before the cap) are skipped wholesale — slab
+		// boundaries with no events are unobservable, so jumping to the
+		// next event changes nothing.
 		horizon := math.Inf(1)
-		arrivalDue := false
+		ev := evNone
+		try := func(t float64, kind int) {
+			if t < horizon {
+				horizon, ev = t, kind
+			}
+		}
+		if fr != nil {
+			try(fr.inj.Next(), evFault)
+			try(fr.rq.Next(), evRetry)
+		}
 		if arrivalsLeft > 0 {
-			horizon = nextArrival
-			arrivalDue = true
-			if sc.Slab > 0 && frontier+sc.Slab < nextArrival {
-				if ev := minEvent(); ev <= frontier+sc.Slab {
-					horizon, arrivalDue = frontier+sc.Slab, false
-				} else if ev < nextArrival {
-					horizon, arrivalDue = ev, false
-				}
+			try(nextArrival, evArrival)
+		}
+		if sc.Slab > 0 && ev != evNone && frontier+sc.Slab < horizon {
+			if e := minEvent(); e <= frontier+sc.Slab {
+				horizon, ev = frontier+sc.Slab, evNone
+			} else if e < horizon {
+				horizon, ev = e, evNone
 			}
 		}
 		active = active[:0]
@@ -257,8 +308,8 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 				active = append(active, s)
 			}
 		}
-		if !arrivalDue && len(active) == 0 {
-			break // drained: nothing running, no arrivals left
+		if ev == evNone && len(active) == 0 {
+			break // drained: nothing running, no events left
 		}
 		if err := runSlab(horizon); err != nil {
 			return nil, err
@@ -266,26 +317,69 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 		if !math.IsInf(horizon, 1) && horizon > frontier {
 			frontier = horizon
 		}
-		if arrivalDue {
-			now = nextArrival
-			j := newJob(now)
-			ti := d.Pick(j, servers, drng)
-			if ti < 0 || ti >= len(servers) {
-				return nil, fmt.Errorf("farm: dispatcher %s picked server %d of %d", d.Name(), ti, len(servers))
+		if fr != nil && completed+fr.dropped >= cfg.Jobs {
+			// The slab finished the run at the meta event's instant: stop
+			// before handling it so Elapsed and the fault counters agree
+			// with the serial engine at such ties.
+			break
+		}
+		switch ev {
+		case evFault:
+			fe := fr.inj.Pop()
+			if fe.T > now {
+				now = fe.T // the transition is an observable event
 			}
-			s := shardOf[ti]
-			done, err := groups[s].Deliver(now, ti-base[s], j)
-			if err != nil {
+			s := shardOf[fe.Server]
+			if fe.Down {
+				done, victims, err := groups[s].Fail(fe.T, fe.Server-base[s])
+				if err != nil {
+					return nil, err
+				}
+				for _, c := range done {
+					fold(c)
+				}
+				fr.crash(fe.T, victims, rm)
+			} else {
+				if err := groups[s].Repair(fe.T, fe.Server-base[s]); err != nil {
+					return nil, err
+				}
+				fr.up++
+				rm.repair()
+				if b, ok := servers[fe.Server].Rates().(online.EpochBumper); ok {
+					// The server was out of service: force decisions memoized
+					// over its learner to be re-derived, not served stale.
+					b.BumpEpoch()
+				}
+				// A server is back: drain the parked shelf FIFO through the
+				// normal dispatch path at the repair's instant.
+				for len(fr.parked) > 0 {
+					j := fr.parked[0]
+					copy(fr.parked, fr.parked[1:])
+					fr.parked[len(fr.parked)-1] = nil
+					fr.parked = fr.parked[:len(fr.parked)-1]
+					if err := place(fe.T, j); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case evRetry:
+			if horizon > now {
+				now = horizon
+			}
+			j := fr.rq.Pop()
+			if fr.up == 0 {
+				fr.park(j, rm)
+			} else if err := place(horizon, j); err != nil {
 				return nil, err
 			}
-			// Jobs finishing within the completion epsilon at the arrival
-			// instant fold at time now, after the slab's merge — still in
-			// global time order.
-			for _, c := range done {
-				fold(c)
+		case evArrival:
+			now = nextArrival
+			j := newJob(now)
+			if fr != nil && fr.up == 0 {
+				fr.park(j, rm)
+			} else if err := place(now, j); err != nil {
+				return nil, err
 			}
-			dispatched++
-			rm.pick(now, dispatched-completed)
 			arrivalsLeft--
 			if arrivalsLeft > 0 {
 				nextArrival = nextArrivalAfter(now)
@@ -295,11 +389,11 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 	if now <= 0 {
 		return nil, fmt.Errorf("farm: experiment completed no work")
 	}
-	// Close every server's busy/empty integral at the common end time.
+	// Close every server's busy/empty/down integral at the common end time.
 	for s, g := range groups {
 		if err := g.SettleTo(now); err != nil {
 			return nil, fmt.Errorf("farm: shard %d: %w", s, err)
 		}
 	}
-	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, turnarounds, rm), nil
+	return assembleResult(d, servers, totalContexts, cfg, now, completed, counted, turnaround, goodput, turnarounds, fr, rm), nil
 }

@@ -31,6 +31,12 @@ type SweepResult struct {
 	// SLOAttainment is the mean fraction of jobs meeting the Config.SLO
 	// turnaround objective (zero when no SLO was set).
 	SLOAttainment float64
+	// Fault-injection aggregates: Availability and Goodput are means over
+	// replications (Availability 1, Goodput the throughput's completed
+	// subset even without faults); WastedWork is the mean wasted work;
+	// Redispatches, Dropped and Parked are totals across replications.
+	Availability, Goodput, WastedWork float64
+	Redispatches, Dropped, Parked     int
 	// TurnaroundStd is the sample standard deviation of the per-replication
 	// mean turnaround — the statistical confidence the cluster story needs.
 	TurnaroundStd float64
@@ -56,7 +62,7 @@ func ReplicationSeed(base uint64, i int) uint64 {
 // aggregate is bit-identical however the runs were scheduled.
 func Aggregate(runs []Replication) *SweepResult {
 	out := &SweepResult{Replications: len(runs), Runs: runs}
-	var turn, p50, p95, p99, util, empty, tp, pop, slo, turnSq numeric.KahanSum
+	var turn, p50, p95, p99, util, empty, tp, pop, slo, avail, good, waste, turnSq numeric.KahanSum
 	for _, r := range runs {
 		out.Dispatcher = r.Dispatcher
 		if r.Metrics != nil {
@@ -80,6 +86,12 @@ func Aggregate(runs []Replication) *SweepResult {
 		tp.Add(r.Throughput)
 		pop.Add(r.MeanJobsInSystem)
 		slo.Add(r.SLOAttainment)
+		avail.Add(r.Availability)
+		good.Add(r.Goodput)
+		waste.Add(r.WastedWork)
+		out.Redispatches += r.Redispatches
+		out.Dropped += r.Dropped
+		out.Parked += r.Parked
 	}
 	n := float64(len(runs))
 	if n == 0 {
@@ -94,6 +106,9 @@ func Aggregate(runs []Replication) *SweepResult {
 	out.Throughput = tp.Value() / n
 	out.MeanJobsInSystem = pop.Value() / n
 	out.SLOAttainment = slo.Value() / n
+	out.Availability = avail.Value() / n
+	out.Goodput = good.Value() / n
+	out.WastedWork = waste.Value() / n
 	if len(runs) > 1 {
 		for _, r := range runs {
 			d := r.MeanTurnaround - out.MeanTurnaround

@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"symbiosched/internal/sched"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string // "" = valid
+	}{
+		{"zero value (disabled)", Config{}, ""},
+		{"enabled, well formed", Config{MTBF: 10, MTTR: 1, MaxRetries: 3, RetryDelay: 0.5, Checkpoint: Restart}, ""},
+		{"resume policy", Config{MTBF: 10, MTTR: 1, Checkpoint: Resume}, ""},
+		{"empty policy defaults later", Config{MTBF: 10, MTTR: 1}, ""},
+		{"negative MTBF", Config{MTBF: -1, MTTR: 1}, "MTBF"},
+		{"NaN MTBF", Config{MTBF: math.NaN(), MTTR: 1}, "MTBF"},
+		{"infinite MTBF", Config{MTBF: math.Inf(1), MTTR: 1}, "MTBF"},
+		{"negative MTTR", Config{MTBF: 10, MTTR: -2}, "MTTR"},
+		{"missing MTTR", Config{MTBF: 10}, "MTTR"},
+		{"negative retry cap", Config{MTBF: 10, MTTR: 1, MaxRetries: -1}, "MaxRetries"},
+		{"negative retry delay", Config{MTBF: 10, MTTR: 1, RetryDelay: -0.1}, "RetryDelay"},
+		{"unknown checkpoint policy", Config{MTBF: 10, MTTR: 1, Checkpoint: "rollback"}, "Checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate() = %v, want *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("Validate() flagged field %q, want %q", ce.Field, tc.field)
+			}
+		})
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	c := Config{RetryDelay: 0.5}
+	for attempt, want := range map[int]float64{0: 0, 1: 0.5, 2: 1, 3: 2, 4: 4} {
+		if got := c.Backoff(attempt); got != want {
+			t.Errorf("Backoff(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	if got := (Config{}).Backoff(5); got != 0 {
+		t.Errorf("zero-delay Backoff = %v, want 0", got)
+	}
+	if got := c.Backoff(1000); math.IsInf(got, 1) || got <= 0 {
+		t.Errorf("huge-attempt Backoff = %v, want finite positive", got)
+	}
+}
+
+// TestInjectorAlternatesAndOrders pins the injector's semantics: every
+// server alternates crash/repair starting with a crash, times are
+// strictly increasing per server, and the merged stream is ordered by
+// (time, server index).
+func TestInjectorAlternatesAndOrders(t *testing.T) {
+	cfg := Config{MTBF: 5, MTTR: 1}
+	inj := NewInjector(cfg, 4, 1)
+	lastT := 0.0
+	perServerT := make([]float64, 4)
+	perServerDown := make([]bool, 4)
+	for i := 0; i < 200; i++ {
+		ev := inj.Pop()
+		if ev.T < lastT {
+			t.Fatalf("event %d: time %v before previous %v", i, ev.T, lastT)
+		}
+		lastT = ev.T
+		if ev.T <= perServerT[ev.Server] {
+			t.Fatalf("server %d: transition at %v not after previous %v", ev.Server, ev.T, perServerT[ev.Server])
+		}
+		perServerT[ev.Server] = ev.T
+		if ev.Down == perServerDown[ev.Server] {
+			t.Fatalf("server %d: two consecutive transitions with Down=%v", ev.Server, ev.Down)
+		}
+		perServerDown[ev.Server] = ev.Down
+	}
+}
+
+// TestInjectorShapeIndependence pins the CRN property the farm relies
+// on: a server's fault trajectory depends only on (seed, server index),
+// never on how many other servers exist.
+func TestInjectorShapeIndependence(t *testing.T) {
+	small := NewInjector(Config{MTBF: 5, MTTR: 1}, 2, 7)
+	big := NewInjector(Config{MTBF: 5, MTTR: 1}, 16, 7)
+	// Drain both and compare server 0 and 1's subsequences.
+	collect := func(inj *Injector, n, upto int) map[int][]Event {
+		out := make(map[int][]Event)
+		for i := 0; i < upto; i++ {
+			ev := inj.Pop()
+			out[ev.Server] = append(out[ev.Server], ev)
+		}
+		return out
+	}
+	evSmall := collect(small, 2, 100)
+	evBig := collect(big, 16, 800)
+	for srv := 0; srv < 2; srv++ {
+		a, b := evSmall[srv], evBig[srv]
+		n := min(len(a), len(b))
+		if n < 10 {
+			t.Fatalf("server %d: too few events to compare (%d, %d)", srv, len(a), len(b))
+		}
+		for i := 0; i < n; i++ {
+			if a[i] != b[i] {
+				t.Fatalf("server %d event %d: %+v in 2-server farm vs %+v in 16-server farm", srv, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRetryQueueOrder(t *testing.T) {
+	q := &RetryQueue{}
+	if got := q.Next(); !math.IsInf(got, 1) {
+		t.Fatalf("empty Next() = %v, want +Inf", got)
+	}
+	if q.Pop() != nil {
+		t.Fatal("empty Pop() != nil")
+	}
+	j := func(id int) *sched.Job { return &sched.Job{ID: id} }
+	q.Push(j(0), 3)
+	q.Push(j(1), 1)
+	q.Push(j(2), 2)
+	q.Push(j(3), 1) // same due as job 1: insertion order breaks the tie
+	if got := q.Next(); got != 1 {
+		t.Fatalf("Next() = %v, want 1", got)
+	}
+	var order []int
+	for q.Len() > 0 {
+		order = append(order, q.Pop().ID)
+	}
+	want := []int{1, 3, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}

@@ -64,6 +64,23 @@ type RateSource interface {
 // The oracle table is one RateSource implementation.
 var _ RateSource = (*perfdb.Table)(nil)
 
+// EpochBumper is the optional capability of rate sources whose Epoch
+// can be force-advanced without an observation. The farm bumps a
+// repaired server's source so every epoch-gated decision cache — the
+// MAXIT decision memo, the server's marginal-InstTP dispatch cache —
+// drops whatever it memoized before the outage: a learner's estimates
+// may have gone stale relative to the reality the server returns to.
+// Static sources (the oracle table and its wrapper) deliberately do not
+// implement it — their rates cannot go stale, so their memos stay sound
+// across a repair.
+type EpochBumper interface{ BumpEpoch() }
+
+// Sampler and Pairwise are the bumpable sources.
+var (
+	_ EpochBumper = (*Sampler)(nil)
+	_ EpochBumper = (*Pairwise)(nil)
+)
+
 // IntervalObserver receives ground-truth interval measurements from the
 // event loop: canonical coschedule cos ran for dt time units and the job
 // in slot i progressed by progress[i] WIPC-units of work (progress[i]/dt

@@ -55,8 +55,9 @@ type Pairwise struct {
 	seen []bool
 	obsT []float64 // per type: total observed time (sample weight mass)
 
-	dirty []bool // per type: observations newer than beta
-	nobs  int
+	dirty     []bool // per type: observations newer than beta
+	nobs      int
+	epochBias uint64 // forced epoch advances (BumpEpoch) on top of nobs
 
 	// met, when non-nil, receives the learning instruments. Nil — the
 	// default — keeps the observe and solve paths uninstrumented.
@@ -91,7 +92,13 @@ func NewPairwise(k, n int, cfg PairwiseConfig) *Pairwise {
 // independent of query order — so within one epoch the model answers
 // identically and decisions over it may be memoized until the next
 // observation.
-func (p *Pairwise) Epoch() uint64 { return uint64(p.nobs) }
+func (p *Pairwise) Epoch() uint64 { return uint64(p.nobs) + p.epochBias }
+
+// BumpEpoch implements EpochBumper: force-advance the epoch so that
+// decisions memoized over the model are re-derived even though no
+// observation arrived — e.g. across a server outage, after which the
+// fit may be stale. The fit itself is untouched.
+func (p *Pairwise) BumpEpoch() { p.epochBias++ }
 
 // MaxJobWIPC implements the pruning-bound capability: predictions are
 // clamped to MaxRate, so the clamp is an admissible per-slot bound (and

@@ -67,6 +67,7 @@ type Sampler struct {
 	phaseLeft float64 // time left in the current quantum
 	exploring bool
 	nobs      int
+	epochBias uint64 // forced epoch advances (BumpEpoch) on top of nobs
 
 	// met, when non-nil, receives the learning instruments. Nil — the
 	// default — keeps the observe path uninstrumented.
@@ -105,7 +106,13 @@ func (s *Sampler) K() int { return s.k }
 // NOT implement the MaxJobWIPC pruning bound: its sample-phase InstTP is
 // an exploration score, not a sum of per-slot rates, so no per-slot
 // bound is admissible for it.
-func (s *Sampler) Epoch() uint64 { return uint64(s.nobs) }
+func (s *Sampler) Epoch() uint64 { return uint64(s.nobs) + s.epochBias }
+
+// BumpEpoch implements EpochBumper: force-advance the epoch so that
+// decisions memoized over the sampler are re-derived even though no
+// observation arrived — e.g. across a server outage, after which the
+// estimates may be stale. The estimates themselves are untouched.
+func (s *Sampler) BumpEpoch() { s.epochBias++ }
 
 // Observations implements Estimator.
 func (s *Sampler) Observations() int { return s.nobs }

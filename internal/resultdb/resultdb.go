@@ -19,6 +19,7 @@ package resultdb
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -26,6 +27,13 @@ import (
 	"sort"
 	"strings"
 )
+
+// ErrCorrupt marks a record file whose payload cannot be decoded — a
+// truncated write, bit rot, or plain garbage under a .gob name. Get
+// wraps it into the returned error (test with errors.Is), so callers
+// iterating a store can skip the damaged file with a warning instead of
+// aborting: one bad record must not take the whole database down.
+var ErrCorrupt = errors.New("corrupt record")
 
 // Version is the record schema version; bump it when the gob layout
 // changes (mismatching files are reported, not silently misread).
@@ -168,7 +176,10 @@ func (s *Store) Put(r *Record) (string, error) {
 	return name, nil
 }
 
-// Get reads one record by exact file name.
+// Get reads one record by exact file name. Decode failures come back
+// wrapped in ErrCorrupt; a missing file or a schema-version mismatch is
+// a distinct error (the file is intact, just absent or from another
+// era).
 func (s *Store) Get(name string) (*Record, error) {
 	f, err := os.Open(filepath.Join(s.Dir, name))
 	if err != nil {
@@ -177,7 +188,7 @@ func (s *Store) Get(name string) (*Record, error) {
 	defer f.Close()
 	var r Record
 	if err := gob.NewDecoder(f).Decode(&r); err != nil {
-		return nil, fmt.Errorf("resultdb: decode %s: %w", name, err)
+		return nil, fmt.Errorf("resultdb: decode %s: %w: %w", name, ErrCorrupt, err)
 	}
 	if r.Version != Version {
 		return nil, fmt.Errorf("resultdb: %s has schema version %d, want %d", name, r.Version, Version)

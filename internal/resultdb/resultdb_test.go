@@ -1,6 +1,8 @@
 package resultdb
 
 import (
+	"encoding/gob"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -226,5 +228,80 @@ func TestGateCalibrationNormalised(t *testing.T) {
 	}
 	if !Failed(rs) {
 		t.Fatal("missing pinned benchmark must fail the gate")
+	}
+}
+
+// TestGetCorruptRecord pins the lenient-loading contract: a truncated
+// or garbage .gob file fails with an error wrapping ErrCorrupt (so
+// store iterators can skip it), while an intact file from a different
+// schema version fails with a plain version error — the bytes are fine.
+func TestGetCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := st.Put(sampleRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the written record to half its length: the gob stream
+	// ends mid-value.
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := "farm_trunc_00000000_0000000000000000.gob"
+	if err := os.WriteFile(filepath.Join(dir, trunc), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(trunc); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated record: Get = %v, want ErrCorrupt", err)
+	}
+
+	// Plain garbage under a .gob name is equally corrupt.
+	junk := "farm_junk_00000000_0000000000000000.gob"
+	if err := os.WriteFile(filepath.Join(dir, junk), []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(junk); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage record: Get = %v, want ErrCorrupt", err)
+	}
+
+	// List still surfaces every .gob file, damaged or not: skipping is
+	// the reader's decision, not the directory scan's.
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Errorf("List = %v, want 3 entries", names)
+	}
+
+	// A future-version record decodes fine and must NOT read as corrupt.
+	future := sampleRecord()
+	fname, err := st.Put(future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fname
+	fut := &Record{Version: Version + 1, Scenario: "x"}
+	fpath := filepath.Join(dir, "x_future_00000000_0000000000000000.gob")
+	f, err := os.Create(fpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(fut); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = st.Get(filepath.Base(fpath))
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		t.Errorf("version-mismatch record: Get = %v, want a non-corrupt version error", err)
+	}
+	// The good record still loads cleanly alongside the damage.
+	if _, err := st.Get(name); err != nil {
+		t.Errorf("intact record no longer loads: %v", err)
 	}
 }

@@ -98,18 +98,23 @@ func (t *Table) header() []string {
 }
 
 // WriteFile saves the table as dir/<Name>.csv (creating dir if needed):
-// one header row, then the data rows, RFC-4180 via encoding/csv.
+// one header row, then the data rows, RFC-4180 via encoding/csv. The
+// file is written to a temp name and renamed into place, so readers
+// (and interrupted runs) never observe a partially written CSV.
 func (t *Table) WriteFile(dir string) (err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, t.Name+".csv"))
+	path := filepath.Join(dir, t.Name+".csv")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
 		}
 	}()
 	w := csv.NewWriter(f)
@@ -120,7 +125,13 @@ func (t *Table) WriteFile(dir string) (err error) {
 		return err
 	}
 	w.Flush()
-	return w.Error()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // Text renders the table as aligned monospace columns for reports:

@@ -109,3 +109,28 @@ func TestDistinct(t *testing.T) {
 	}()
 	tbl.DistinctStrings("nope")
 }
+
+// TestWriteFileAtomic pins the temp-file-and-rename contract: a
+// successful write leaves exactly the final CSV, no .tmp residue, and
+// overwriting an existing file goes through the same atomic path.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	tbl := NewTable("atomic", StrCol("k"), FloatCol("v"))
+	tbl.Add("a", 1.5)
+	for i := 0; i < 2; i++ { // second pass overwrites
+		if err := tbl.WriteFile(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "atomic.csv" {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("dir holds %v, want exactly atomic.csv", names)
+	}
+}

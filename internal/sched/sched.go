@@ -50,6 +50,9 @@ type Job struct {
 	Size, Remaining float64
 	// Arrival is the job's arrival time.
 	Arrival float64
+	// Retries counts how often the job was re-queued after a server
+	// crash (internal/fault); zero for jobs that never saw one.
+	Retries int
 }
 
 // Scheduler picks which jobs run on the K contexts.
