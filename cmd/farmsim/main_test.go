@@ -213,6 +213,40 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunEngineFlagValidation pins the up-front exit-2 contract on the
+// sharded-engine knobs: negative or non-finite geometry is a usage
+// error caught before any simulation runs, while -slab 0 (adaptive) is
+// a valid working configuration.
+func TestRunEngineFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+		msg  string
+	}{
+		{"negative shards", []string{"-shards", "-1"}, 2, "-shards"},
+		{"negative slab", []string{"-slab", "-0.5"}, 2, "-slab"},
+		{"nan slab", []string{"-slab", "NaN"}, 2, "-slab"},
+		{"zero parallel", []string{"-parallel", "0"}, 2, "-parallel"},
+		{"negative parallel", []string{"-parallel", "-2"}, 2, "-parallel"},
+		{"adaptive slab runs", []string{
+			"-servers", "4", "-shards", "2", "-slab", "0",
+			"-jobs", "400", "-reps", "1", "-dispatchers", "rr", "-loads", "0.5",
+		}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			if code := run(context.Background(), tc.args, &out, &errb); code != tc.want {
+				t.Fatalf("run(%v) = %d, want %d; stderr: %s", tc.args, code, tc.want, errb.String())
+			}
+			if tc.msg != "" && !strings.Contains(errb.String(), tc.msg) {
+				t.Errorf("stderr should name %s:\n%s", tc.msg, errb.String())
+			}
+		})
+	}
+}
+
 // TestRunCancelledNoPartialCSV pins the graceful-shutdown satellite: a
 // cancelled context (what SIGINT/SIGTERM produce via main) aborts the
 // sweep with a non-zero exit, reports the interruption, and leaves no

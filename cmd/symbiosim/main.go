@@ -10,6 +10,7 @@
 //	symbiosim bench-record [-db dir] [-in file] [-ledger file]
 //	symbiosim resultdb [-db dir] list | show <ref>
 //	symbiosim perfgate [-db dir] [-base-db dir] [-tol 0.10] <base> <cur>
+//	symbiosim trend [-db dir] [-scenario bench] [-bench substr] [-metric substr] [-last N] [-csv dir]
 //
 // Scenarios come from the internal/scenario registry (see `symbiosim
 // list`): the paper's table1/fig1-fig6/table2, the n8/fairness/uarch
@@ -18,7 +19,9 @@
 // studies.
 //
 // -parallel bounds the worker pool of every sweep (results are identical
-// at any value), -cache caches built performance databases on disk,
+// at any value), -slab caps the sharded scenarios' slab length in
+// simulated time (0 = adaptive; results are likewise identical at any
+// value), -cache caches built performance databases on disk,
 // -csv writes every scenario table as CSV, and -progress reports
 // per-sweep progress on stderr. -metrics turns on the internal/metrics
 // instrumentation (scenarios that support it emit an extra *_metrics
@@ -26,8 +29,8 @@
 // stores each scenario's tables and metrics as a content-addressed
 // record in the given resultdb directory, and -cpuprofile/-memprofile
 // write runtime/pprof profiles of the run. The diff, bench-record,
-// resultdb and perfgate subcommands operate on the record store; see
-// their -h output and internal/resultdb.
+// resultdb, perfgate and trend subcommands operate on the record store;
+// see their -h output and internal/resultdb.
 //
 // symbiosim exits non-zero on SIGINT/SIGTERM: the in-flight scenario is
 // cancelled and its partial work discarded. Scenario tables are written
@@ -41,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -73,6 +77,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 			return runResultDBCmd(args[1:], stdout, stderr)
 		case "perfgate":
 			return runPerfGateCmd(args[1:], stdout, stderr)
+		case "trend":
+			return runTrendCmd(args[1:], stdout, stderr)
 		}
 	}
 
@@ -85,6 +91,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 		seed     = fs.Uint64("seed", 1, "random seed")
 		csvDir   = fs.String("csv", "", "also write every scenario table as a CSV file into this directory")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for every sweep (results are identical at any value)")
+		slab     = fs.Float64("slab", 0, "slab-length cap for the sharded scenarios (0 = adaptive; results are identical at any value)")
 		cacheDir = fs.String("cache", "", "cache built performance databases as gob files in this directory")
 		progress = fs.Bool("progress", false, "print per-sweep progress to stderr")
 		metricsF = fs.Bool("metrics", false, "collect internal instrumentation (extra *_metrics tables; results unchanged)")
@@ -94,7 +101,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 		memProf  = fs.String("memprofile", "", "write a final heap profile of the run to this file")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: symbiosim [flags] list | run <scenario>... | diff | bench-record | resultdb | perfgate\n")
+		fmt.Fprintf(stderr, "usage: symbiosim [flags] list | run <scenario>... | diff | bench-record | resultdb | perfgate | trend\n")
 		fmt.Fprintf(stderr, "scenarios: %s\n", strings.Join(scenario.Names(), ", "))
 		fs.PrintDefaults()
 	}
@@ -108,6 +115,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 		fs.Usage()
 		return 2
 	}
+	if *parallel < 1 {
+		fmt.Fprintf(stderr, "symbiosim: -parallel wants a worker count >= 1, got %d\n", *parallel)
+		return 2
+	}
+	if *slab < 0 || math.IsNaN(*slab) {
+		fmt.Fprintf(stderr, "symbiosim: -slab wants a duration >= 0 (0 = adaptive), got %v\n", *slab)
+		return 2
+	}
 
 	switch cmd := fs.Arg(0); cmd {
 	case "list":
@@ -118,7 +133,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 	case "run":
 		// handled below
 	default:
-		fmt.Fprintf(stderr, "symbiosim: unknown command %q (want list, run, diff, bench-record, resultdb or perfgate)\n", cmd)
+		fmt.Fprintf(stderr, "symbiosim: unknown command %q (want list, run, diff, bench-record, resultdb, perfgate or trend)\n", cmd)
 		fs.Usage()
 		return 2
 	}
@@ -134,6 +149,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (code int
 	cfg.SampleWorkloads = *sample
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
+	cfg.Slab = *slab
 	cfg.CacheDir = *cacheDir
 	cfg.Metrics = *metricsF
 	if cfg.CacheDir != "" {

@@ -84,6 +84,19 @@ func TestRunErrors(t *testing.T) {
 	if !strings.Contains(errb.String(), "unknown scenario") {
 		t.Errorf("unknown scenario not reported: %s", errb.String())
 	}
+	// Engine knobs are validated up front: negative geometry is a usage
+	// error before any scenario runs.
+	for _, bad := range [][]string{
+		{"-parallel", "0", "run", "fig4"},
+		{"-parallel", "-3", "run", "fig4"},
+		{"-slab", "-1", "run", "megafarm"},
+		{"-slab", "NaN", "run", "megafarm"},
+	} {
+		errb.Reset()
+		if code := run(context.Background(), bad, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2; stderr: %s", bad, code, errb.String())
+		}
+	}
 }
 
 // TestRunCancelledNoPartialCSV pins the graceful-shutdown satellite on

@@ -112,6 +112,23 @@ func (g *Group) AdvanceTo(horizon float64) ([]Completion, error) {
 	}
 }
 
+// advanceAt is the shared prologue of the group's point events
+// (Deliver/Fail/Repair/SettleTo): bring server i's local clock to
+// absolute time t and return the jobs that finished on the way — all at
+// t itself, within the completion epsilon, exactly as a lockstep advance
+// would complete them. The caller applies its event and refreshes the
+// heap afterwards.
+func (g *Group) advanceAt(i int, t float64) []*sched.Job {
+	sv := g.servers[i]
+	dt := t - g.clock[i]
+	if dt < 0 {
+		dt = 0
+	}
+	done := sv.Advance(dt)
+	g.clock[i] = t
+	return done
+}
+
 // Deliver routes job j to server i at absolute time t: the server is
 // advanced to t (any job finishing within the completion epsilon at t is
 // returned, exactly as a lockstep advance would complete it), the job is
@@ -124,13 +141,7 @@ func (g *Group) Deliver(t float64, i int, j *sched.Job) ([]Completion, error) {
 	}
 	sv := g.servers[i]
 	g.buf = g.buf[:0]
-	dt := t - g.clock[i]
-	if dt < 0 {
-		dt = 0
-	}
-	done := sv.Advance(dt)
-	g.clock[i] = t
-	for _, dj := range done {
+	for _, dj := range g.advanceAt(i, t) {
 		g.buf = append(g.buf, Completion{T: t, Server: i, Job: dj})
 	}
 	sv.Add(j)
@@ -153,18 +164,11 @@ func (g *Group) Fail(t float64, i int) ([]Completion, []*sched.Job, error) {
 	if i < 0 || i >= len(g.servers) {
 		return nil, nil, fmt.Errorf("eventsim: fail server %d of %d", i, len(g.servers))
 	}
-	sv := g.servers[i]
 	g.buf = g.buf[:0]
-	dt := t - g.clock[i]
-	if dt < 0 {
-		dt = 0
-	}
-	done := sv.Advance(dt)
-	g.clock[i] = t
-	for _, dj := range done {
+	for _, dj := range g.advanceAt(i, t) {
 		g.buf = append(g.buf, Completion{T: t, Server: i, Job: dj})
 	}
-	victims := sv.Fail()
+	victims := g.servers[i].Fail()
 	g.refresh(i, t) // time-to-completion is now +Inf: leaves the heap
 	return g.buf, victims, nil
 }
@@ -176,16 +180,10 @@ func (g *Group) Repair(t float64, i int) error {
 	if i < 0 || i >= len(g.servers) {
 		return fmt.Errorf("eventsim: repair server %d of %d", i, len(g.servers))
 	}
-	sv := g.servers[i]
-	dt := t - g.clock[i]
-	if dt < 0 {
-		dt = 0
-	}
-	if done := sv.Advance(dt); len(done) > 0 {
+	if done := g.advanceAt(i, t); len(done) > 0 {
 		return fmt.Errorf("eventsim: repair crossed %d completions at server %d", len(done), i)
 	}
-	g.clock[i] = t
-	sv.Repair()
+	g.servers[i].Repair()
 	g.refresh(i, t)
 	return nil
 }
@@ -194,15 +192,13 @@ func (g *Group) Repair(t float64, i int) error {
 // busy/empty integrals at a common end time. It is the end-of-run
 // counterpart of AdvanceTo and must not cross any pending completion.
 func (g *Group) SettleTo(t float64) error {
-	for i, sv := range g.servers {
-		dt := t - g.clock[i]
-		if dt <= 0 {
+	for i := range g.servers {
+		if t-g.clock[i] <= 0 {
 			continue
 		}
-		if done := sv.Advance(dt); len(done) > 0 {
+		if done := g.advanceAt(i, t); len(done) > 0 {
 			return fmt.Errorf("eventsim: group settle crossed %d completions at server %d", len(done), i)
 		}
-		g.clock[i] = t
 		g.refresh(i, t)
 	}
 	return nil

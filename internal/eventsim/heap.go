@@ -35,6 +35,23 @@ func NewTimeHeap(n int) *TimeHeap {
 	return h
 }
 
+// Reset empties the heap and re-sizes it over n server indices, reusing
+// the backing arrays — the scratch-reuse hook for callers that rebuild a
+// heap per run (the sharded farm's per-shard event dirty-set).
+func (h *TimeHeap) Reset(n int) {
+	if cap(h.keys) < n {
+		h.keys = make([]float64, n)
+		h.pos = make([]int, n)
+	}
+	h.keys = h.keys[:n]
+	h.pos = h.pos[:n]
+	h.heap = h.heap[:0]
+	for i := 0; i < n; i++ {
+		h.keys[i] = math.Inf(1)
+		h.pos[i] = -1
+	}
+}
+
 // Len returns the number of servers currently in the heap (finite keys).
 func (h *TimeHeap) Len() int { return len(h.heap) }
 

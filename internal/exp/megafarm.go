@@ -73,7 +73,7 @@ func megafarmPlan(e *Env) (*scenario.Plan, error) {
 				Jobs:      e.Cfg.SimJobs,
 				SizeShape: 4,
 				Seed:      pt.Seed(e.Cfg.Seed, "servers", "load"),
-			}, farm.ShardConfig{Shards: 8, Workers: e.Cfg.Parallelism})
+			}, farm.ShardConfig{Shards: 8, Workers: e.Cfg.Parallelism, Slab: e.Cfg.Slab})
 			if err != nil {
 				return nil, fmt.Errorf("megafarm n=%d pd%d load %.2f: %w", sizes[si], d, load, err)
 			}

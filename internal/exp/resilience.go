@@ -72,7 +72,7 @@ func resiliencePlan(e *Env) (*scenario.Plan, error) {
 					RetryDelay: retryDelay,
 					Checkpoint: cp,
 				},
-			}, farm.ShardConfig{Shards: 8, Workers: e.Cfg.Parallelism})
+			}, farm.ShardConfig{Shards: 8, Workers: e.Cfg.Parallelism, Slab: e.Cfg.Slab})
 			if err != nil {
 				return nil, fmt.Errorf("resilience mtbf=%g %s/%s: %w", mtbf, disp, cp, err)
 			}

@@ -57,11 +57,16 @@ func newFaultRun(cfg Config, n int) *faultRun {
 		return nil
 	}
 	fc := cfg.Faults.WithDefaults()
+	expected := cfg.Jobs - cfg.Warmup
+	if expected < 0 {
+		expected = 0
+	}
 	return &faultRun{
-		cfg: fc,
-		inj: fault.NewInjector(fc, n, cfg.Seed),
-		rq:  &fault.RetryQueue{},
-		up:  n,
+		cfg:     fc,
+		inj:     fault.NewInjector(fc, n, cfg.Seed),
+		rq:      &fault.RetryQueue{},
+		up:      n,
+		retries: make([]float64, 0, expected),
 	}
 }
 

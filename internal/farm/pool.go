@@ -1,0 +1,132 @@
+package farm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// poolMinShards is the engagement threshold for the pool: a slab whose
+// active set is smaller runs inline on the coordinator. Every active
+// shard carries at least one event, so the threshold also lower-bounds
+// the parallelisable work per dispatch; below it the condvar round-trip
+// costs more than the advance itself.
+const poolMinShards = 4
+
+// slabPool is the sharded engine's persistent worker crew: Workers-1
+// helper goroutines spawned once per SimulateSharded, fed one slab at a
+// time through an epoch barrier. Shards are claimed from a shared atomic
+// cursor (power-of-two work stealing is pointless here — slabs are short
+// and shards uniform), so a dispatch costs a few condvar signals instead
+// of the per-slab go-func/WaitGroup churn the engine used to pay.
+//
+// The rendezvous is two-phase. dispatch publishes the work (active set +
+// cursor), bumps the epoch and opens the gate; helpers that catch the
+// epoch register in `inflight` before touching any shared state, drain
+// the cursor, then deregister. dispatch drains alongside them, closes
+// the gate, and waits for inflight to reach zero. Because dispatch only
+// returns once no helper is inside a slab, the plain writes to active
+// and the cursor reset at the top of the next dispatch can never race
+// with a laggard helper — a helper that missed this epoch entirely finds
+// the gate closed and goes back to sleep without touching anything.
+type slabPool struct {
+	run func(s int) // advance shard s to the published horizon
+
+	mu       sync.Mutex
+	work     *sync.Cond // helpers wait here for an open epoch
+	done     *sync.Cond // dispatch waits here for inflight == 0
+	epoch    uint64
+	open     bool
+	inflight int
+	stop     bool
+
+	helpers int
+	active  []int
+	cursor  atomic.Int64
+}
+
+// newSlabPool starts workers-1 helpers (the dispatching goroutine is the
+// remaining worker). run must be safe to call concurrently for distinct
+// shard indices.
+func newSlabPool(workers int, run func(s int)) *slabPool {
+	p := &slabPool{run: run, helpers: workers - 1}
+	p.work = sync.NewCond(&p.mu)
+	p.done = sync.NewCond(&p.mu)
+	for i := 0; i < p.helpers; i++ {
+		go p.helper()
+	}
+	return p
+}
+
+// dispatch runs run(s) for every s in active, spread across the pool,
+// and returns only when all of them have finished.
+func (p *slabPool) dispatch(active []int) {
+	// Publish. No helper is inside a slab here (the previous dispatch
+	// waited inflight out), so these plain writes are ordered before the
+	// epoch bump below and become visible to helpers through p.mu.
+	p.active = active
+	p.cursor.Store(0)
+	p.mu.Lock()
+	p.epoch++
+	p.open = true
+	p.mu.Unlock()
+	wake := len(active) - 1
+	if wake > p.helpers {
+		wake = p.helpers
+	}
+	for ; wake > 0; wake-- {
+		p.work.Signal()
+	}
+	p.drain()
+	// Join: close the gate so no new helper enters, then wait out the
+	// ones already inside.
+	p.mu.Lock()
+	p.open = false
+	for p.inflight > 0 {
+		p.done.Wait()
+	}
+	p.mu.Unlock()
+}
+
+func (p *slabPool) helper() {
+	var last uint64
+	p.mu.Lock()
+	for {
+		for !p.stop && !(p.open && p.epoch != last) {
+			p.work.Wait()
+		}
+		if p.stop {
+			p.mu.Unlock()
+			return
+		}
+		last = p.epoch
+		p.inflight++
+		p.mu.Unlock()
+		p.drain()
+		p.mu.Lock()
+		p.inflight--
+		if p.inflight == 0 && !p.open {
+			p.done.Signal()
+		}
+	}
+}
+
+// drain claims shard indices off the shared cursor until none remain.
+func (p *slabPool) drain() {
+	n := int64(len(p.active))
+	for {
+		i := p.cursor.Add(1) - 1
+		if i >= n {
+			return
+		}
+		p.run(p.active[i])
+	}
+}
+
+// close wakes every helper and lets it exit. Must not be called while a
+// dispatch is in flight; safe to call more than once.
+func (p *slabPool) close() {
+	p.mu.Lock()
+	p.stop = true
+	p.mu.Unlock()
+	p.work.Broadcast()
+}

@@ -1,0 +1,81 @@
+package farm
+
+import (
+	"sync"
+
+	"symbiosched/internal/eventsim"
+)
+
+// shardScratch is SimulateSharded's reusable coordinator state: the
+// partition tables, the per-slab active/completion scratch, the k-way
+// merge state and the shard-level next-event heap. A run checks one out
+// of shardScratchPool and returns it on exit, so back-to-back runs — a
+// Sweep's replications in particular, where each runner worker drives
+// replications serially and sync.Pool's per-P caching makes the scratch
+// effectively per-worker — stop re-allocating the O(servers) tables and
+// O(shards) slab state every time.
+type shardScratch struct {
+	base    []int // shard s's first global server index; len shards+1
+	shardOf []int // global server index -> owning shard
+	active  []int // shards with an event inside the current slab
+	comps   [][]eventsim.Completion
+	errs    []error
+	lists   [][]eventsim.Completion // merge streams, rebuilt per slab
+	gbase   []int                   // global base per merge stream
+	merger  slabMerger
+	events  *eventsim.TimeHeap // per-shard next-event time (the dirty-set)
+}
+
+var shardScratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
+// getShardScratch checks a scratch out of the pool sized for shards
+// partitions over servers, with the event heap emptied.
+func getShardScratch(shards, servers int) *shardScratch {
+	z := shardScratchPool.Get().(*shardScratch)
+	if cap(z.base) < shards+1 {
+		z.base = make([]int, shards+1)
+	}
+	z.base = z.base[:shards+1]
+	if cap(z.shardOf) < servers {
+		z.shardOf = make([]int, servers)
+	}
+	z.shardOf = z.shardOf[:servers]
+	if cap(z.active) < shards {
+		z.active = make([]int, 0, shards)
+	}
+	z.active = z.active[:0]
+	if cap(z.comps) < shards {
+		z.comps = make([][]eventsim.Completion, shards)
+		z.errs = make([]error, shards)
+	}
+	z.comps = z.comps[:shards]
+	z.errs = z.errs[:shards]
+	if cap(z.lists) < shards {
+		z.lists = make([][]eventsim.Completion, 0, shards)
+		z.gbase = make([]int, 0, shards)
+	}
+	z.lists = z.lists[:0]
+	z.gbase = z.gbase[:0]
+	if z.events == nil {
+		z.events = eventsim.NewTimeHeap(shards)
+	} else {
+		z.events.Reset(shards)
+	}
+	return z
+}
+
+// release drops every pointer the scratch captured from the finished run
+// (completion lists alias group buffers holding *sched.Job) and returns
+// it to the pool.
+func (z *shardScratch) release() {
+	for i := range z.comps {
+		z.comps[i] = nil
+		z.errs[i] = nil
+	}
+	for i := range z.lists {
+		z.lists[i] = nil
+	}
+	z.lists = z.lists[:0]
+	z.merger.lists = nil
+	shardScratchPool.Put(z)
+}

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"symbiosched/internal/eventsim"
 	"symbiosched/internal/numeric"
@@ -27,9 +25,13 @@ type ShardConfig struct {
 	// Workers bounds the goroutines advancing shards within one slab
 	// (default GOMAXPROCS). Workers <= 1 runs the slab phase inline.
 	Workers int
-	// Slab, when positive, caps the length of one synchronization slab
-	// in simulated time; otherwise slabs run arrival to arrival. Shorter
-	// slabs only add synchronization points, never change results.
+	// Slab shapes the synchronization slabs in simulated time. A
+	// positive finite value caps each slab's length; +Inf disables
+	// capping, so slabs run arrival to arrival; 0 (and any negative
+	// value) selects adaptive sizing, which steers the cap toward a
+	// fixed events-per-slab budget estimated from the event stream
+	// itself. Slab boundaries are execution artefacts — shorter slabs
+	// only add synchronization points, never change results.
 	Slab float64
 }
 
@@ -43,8 +45,26 @@ func (sc ShardConfig) withDefaults(n int) ShardConfig {
 	if sc.Workers <= 0 {
 		sc.Workers = runtime.GOMAXPROCS(0)
 	}
+	if sc.Slab < 0 || math.IsNaN(sc.Slab) {
+		sc.Slab = 0 // adaptive
+	}
 	return sc
 }
+
+// Adaptive slab sizing (ShardConfig.Slab == 0) steers the slab cap
+// toward autoSlabTarget completions per slab, using an event-density
+// estimate (completions per unit simulated time) accumulated from the
+// deterministic event stream alone. The estimate never observes worker
+// counts, shard counts or wall time, so the cap sequence — and with it
+// every slab boundary — is a pure function of the simulation inputs;
+// and since slab boundaries are unobservable, any cap sequence yields
+// the byte-identical Result. autoSlabWindow bounds the accumulators:
+// past that many events both are halved, an exponential window that
+// tracks load shifts (bursts, troughs) instead of averaging them away.
+const (
+	autoSlabTarget = 1024.0
+	autoSlabWindow = 8192.0
+)
 
 // SimulateSharded runs one farm experiment on the sharded engine: the
 // servers are partitioned into contiguous shards, each wrapped in an
@@ -67,6 +87,11 @@ func (sc ShardConfig) withDefaults(n int) ShardConfig {
 //
 // Complexity per event is O(log n_shard) instead of the serial engine's
 // O(N) advance sweep, which is what makes 100k-server farms feasible.
+// The coordination layer is built not to get in that path's way: slabs
+// are fed to a persistent worker pool through an epoch barrier (no
+// per-slab goroutines), completions merge through a loser tree (O(log k)
+// per completion), idle shards sit in a next-event heap instead of being
+// scanned every slab, and the steady-state slab loop allocates nothing.
 func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg Config, sc ShardConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := validate(specs, w, cfg); err != nil {
@@ -82,20 +107,27 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 		rm = newRunMetrics(servers)
 	}
 
+	z := getShardScratch(sc.Shards, len(servers))
+	defer z.release()
+
 	// Contiguous near-equal partition; shardOf maps a global server index
 	// to its shard, base to the shard's first global index.
-	base := make([]int, sc.Shards+1)
+	base, shardOf := z.base, z.shardOf
 	for s := 0; s <= sc.Shards; s++ {
 		base[s] = s * len(servers) / sc.Shards
 	}
 	groups := make([]*eventsim.Group, sc.Shards)
-	shardOf := make([]int, len(servers))
 	for s := 0; s < sc.Shards; s++ {
 		groups[s] = eventsim.NewGroup(servers[base[s]:base[s+1]])
 		for i := base[s]; i < base[s+1]; i++ {
 			shardOf[i] = s
 		}
 	}
+	// sh tracks each shard's next pending event time — the dirty-set
+	// replacing a per-slab scan over every group. Its keys are refreshed
+	// at exactly the points a group's state can change: slab advances,
+	// deliveries, failures and repairs.
+	sh := z.events
 
 	// The same three RNG streams, seeded identically to Simulate, so both
 	// engines see the same arrival process and dispatch draws.
@@ -175,6 +207,7 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 		for _, c := range done {
 			fold(c)
 		}
+		sh.Update(s, groups[s].NextEvent())
 		dispatched++
 		rm.pick(t, dispatched-completed)
 		return nil
@@ -183,95 +216,94 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 	// Per-slab scratch: the active shard list, each active shard's
 	// completion list (group-owned scratch, consumed before the next call
 	// into that group) and its error slot.
-	active := make([]int, 0, sc.Shards)
-	comps := make([][]eventsim.Completion, sc.Shards)
-	errs := make([]error, sc.Shards)
-	heads := make([]int, sc.Shards)
+	active := z.active
+	comps, errs := z.comps, z.errs
 
-	// runSlab advances every active shard to the horizon, bounded by
-	// sc.Workers goroutines. Shards are data-independent within a slab,
-	// so execution order is free; determinism is restored by the merge.
+	// The slab phase runs on a persistent pool: Workers-1 helpers spawned
+	// once, fed through an epoch barrier, claiming shards off a shared
+	// cursor. Thin slabs (fewer active shards than poolMinShards — every
+	// active shard carries at least one event, so the active count lower-
+	// bounds the slab's work) skip the barrier and run inline; an
+	// arrival-bound farm in flow balance spends almost all slabs there,
+	// and waking helpers for one completion costs more than the advance.
+	var slabHorizon float64
+	runOne := func(s int) {
+		comps[s], errs[s] = groups[s].AdvanceTo(slabHorizon)
+	}
+	// Workers is clamped to GOMAXPROCS: helpers beyond the runtime's
+	// parallelism can never advance shards concurrently, they only add
+	// wake-ups — the overhead that used to make workers=8 slower than
+	// workers=1 on a single-core host. The clamp is an execution detail;
+	// the Result is identical either way.
+	var pool *slabPool
+	if workers := min(sc.Workers, sc.Shards, runtime.GOMAXPROCS(0)); workers > 1 && sc.Shards >= poolMinShards {
+		pool = newSlabPool(workers, runOne)
+		defer pool.close()
+	}
+
+	// runSlab advances every active shard to the horizon and merges the
+	// shard completion lists back into one global (time, server index)
+	// stream through the loser tree. Shards are data-independent within a
+	// slab, so execution order is free; determinism is restored by the
+	// merge. slabEvents reports the completion count to the adaptive slab
+	// sizing below.
+	slabEvents := 0
 	runSlab := func(horizon float64) error {
+		slabEvents = 0
 		if len(active) == 0 {
 			return nil
 		}
-		if sc.Workers <= 1 || len(active) == 1 {
-			for _, s := range active {
-				comps[s], errs[s] = groups[s].AdvanceTo(horizon)
-			}
+		slabHorizon = horizon
+		if pool != nil && len(active) >= poolMinShards {
+			pool.dispatch(active)
 		} else {
-			var cursor atomic.Int64
-			var wg sync.WaitGroup
-			nw := sc.Workers
-			if nw > len(active) {
-				nw = len(active)
+			for _, s := range active {
+				runOne(s)
 			}
-			wg.Add(nw)
-			for k := 0; k < nw; k++ {
-				go func() {
-					defer wg.Done()
-					for {
-						i := int(cursor.Add(1)) - 1
-						if i >= len(active) {
-							return
-						}
-						s := active[i]
-						comps[s], errs[s] = groups[s].AdvanceTo(horizon)
-					}
-				}()
-			}
-			wg.Wait()
 		}
+		total := 0
 		for _, s := range active {
 			if errs[s] != nil {
 				return errs[s]
 			}
+			total += len(comps[s])
 		}
+		slabEvents = total
 		if rm != nil {
-			total := 0
-			for _, s := range active {
-				total += len(comps[s])
-			}
 			rm.slab(len(active), total)
 		}
-		// Merge the shard completion lists into one global (time, server
-		// index) stream. Each list is already (time, local index)-sorted
-		// and shard s's servers all precede shard s+1's, so a plain k-way
-		// min-merge over the heads reproduces the global event order.
-		for _, s := range active {
-			heads[s] = 0
-		}
-		for {
-			bestS := -1
-			var bestT float64
-			bestG := 0
+		if len(active) == 1 {
+			s := active[0]
+			for i := range comps[s] {
+				fold(comps[s][i])
+			}
+		} else {
+			lists, gbase := z.lists[:0], z.gbase[:0]
 			for _, s := range active {
-				if heads[s] >= len(comps[s]) {
-					continue
-				}
-				c := comps[s][heads[s]]
-				g := base[s] + c.Server
-				if bestS < 0 || c.T < bestT || (c.T == bestT && g < bestG) {
-					bestS, bestT, bestG = s, c.T, g
-				}
+				lists = append(lists, comps[s])
+				gbase = append(gbase, base[s])
 			}
-			if bestS < 0 {
-				return nil
+			z.merger.reset(lists, gbase)
+			for {
+				c, ok := z.merger.next()
+				if !ok {
+					break
+				}
+				fold(c)
 			}
-			fold(comps[bestS][heads[bestS]])
-			heads[bestS]++
 		}
+		for _, s := range active {
+			sh.Update(s, groups[s].NextEvent())
+		}
+		return nil
 	}
 
-	minEvent := func() float64 {
-		ev := math.Inf(1)
-		for _, g := range groups {
-			if e := g.NextEvent(); e < ev {
-				ev = e
-			}
-		}
-		return ev
+	autoSlab := sc.Slab == 0
+	slabCap := sc.Slab
+	if autoSlab {
+		slabCap = math.Inf(1) // uncapped until the first density estimate
 	}
+	var estEvents, estSpan float64
 
 	for completed+fr.droppedJobs() < cfg.Jobs {
 		// Choose the slab horizon: the earliest meta event — fault
@@ -295,24 +327,44 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 		if arrivalsLeft > 0 {
 			try(nextArrival, evArrival)
 		}
-		if sc.Slab > 0 && ev != evNone && frontier+sc.Slab < horizon {
-			if e := minEvent(); e <= frontier+sc.Slab {
-				horizon, ev = frontier+sc.Slab, evNone
+		if slabCap > 0 && ev != evNone && frontier+slabCap < horizon {
+			if e := sh.Min(); e <= frontier+slabCap {
+				horizon, ev = frontier+slabCap, evNone
 			} else if e < horizon {
 				horizon, ev = e, evNone
 			}
 		}
+		// Pop the shards with an event inside the slab off the next-event
+		// heap; runSlab re-keys them after the advance. Idle shards are
+		// never touched.
 		active = active[:0]
-		for s, g := range groups {
-			if e := g.NextEvent(); !math.IsInf(e, 1) && e <= horizon {
-				active = append(active, s)
+		for {
+			e := sh.Min()
+			if math.IsInf(e, 1) || e > horizon {
+				break
 			}
+			s := sh.MinIndex()
+			active = append(active, s)
+			sh.Update(s, math.Inf(1))
 		}
 		if ev == evNone && len(active) == 0 {
 			break // drained: nothing running, no events left
 		}
 		if err := runSlab(horizon); err != nil {
 			return nil, err
+		}
+		if autoSlab && !math.IsInf(horizon, 1) {
+			if span := horizon - frontier; span > 0 {
+				estSpan += span
+				estEvents += float64(slabEvents)
+				if estEvents > 0 {
+					slabCap = autoSlabTarget * estSpan / estEvents
+				}
+				if estEvents >= autoSlabWindow {
+					estEvents *= 0.5
+					estSpan *= 0.5
+				}
+			}
 		}
 		if !math.IsInf(horizon, 1) && horizon > frontier {
 			frontier = horizon
@@ -338,11 +390,13 @@ func SimulateSharded(specs []ServerSpec, d Dispatcher, w workload.Workload, cfg 
 				for _, c := range done {
 					fold(c)
 				}
+				sh.Update(s, groups[s].NextEvent())
 				fr.crash(fe.T, victims, rm)
 			} else {
 				if err := groups[s].Repair(fe.T, fe.Server-base[s]); err != nil {
 					return nil, err
 				}
+				sh.Update(s, groups[s].NextEvent())
 				fr.up++
 				rm.repair()
 				if b, ok := servers[fe.Server].Rates().(online.EpochBumper); ok {

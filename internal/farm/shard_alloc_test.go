@@ -1,0 +1,52 @@
+package farm
+
+import (
+	"testing"
+)
+
+// TestShardedSlabLoopAllocs pins the zero-steady-state-allocation
+// contract of the slab loop: the only per-job cost the engine is allowed
+// is the job object itself (plus amortised queue growth inside servers).
+// Per-run setup — servers, groups, scratch warm-up — allocates plenty,
+// so the test differences two job counts at identical geometry: the
+// setup terms cancel and what remains is the marginal allocation per
+// additional job across all the slabs it flows through. Before the
+// scratch/pool/merger reuse work this margin included per-slab goroutine
+// and buffer churn; now it must stay within a small constant.
+func TestShardedSlabLoopAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	tab := smtTable(t)
+	const n = 64
+	specs := make([]ServerSpec, n)
+	for i := range specs {
+		specs[i] = fcfsSpec(tab)
+	}
+	run := func(jobs int) func() {
+		return func() {
+			d, err := NewDispatcher("pd2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Lambda: 1.5 * n, Jobs: jobs, SizeShape: 4, Seed: 3}
+			if _, err := SimulateSharded(specs, d, w4(), cfg, ShardConfig{Shards: 16, Workers: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const lo, hi = 2000, 8000
+	aLo := testing.AllocsPerRun(5, run(lo))
+	aHi := testing.AllocsPerRun(5, run(hi))
+	perJob := (aHi - aLo) / float64(hi-lo)
+	// One *sched.Job per arrival plus amortised scheduler-queue growth.
+	// 2.5 is ~2x headroom over the measured margin; per-slab goroutine
+	// spawns or merge-buffer churn would blow far past it (the pre-pool
+	// engine measured >6 here at multi-worker configs).
+	const maxPerJob = 2.5
+	if perJob > maxPerJob {
+		t.Fatalf("slab loop allocates %.2f per job (lo=%v hi=%v), want <= %v",
+			perJob, aLo, aHi, maxPerJob)
+	}
+	t.Logf("marginal allocs per job: %.3f (lo=%.0f hi=%.0f)", perJob, aLo, aHi)
+}

@@ -123,6 +123,52 @@ func TestShardedInvariantToShardConfig(t *testing.T) {
 	}
 }
 
+// TestShardedAutoSlabInvariance pins the adaptive slab mode (Slab == 0)
+// against the fixed-slab contract: auto caps come from an event-density
+// estimate, so the slab boundaries differ from any fixed setting — but
+// boundaries are unobservable, so the Result must stay byte-identical to
+// explicit slab lengths, to the uncapped +Inf escape hatch, and across
+// worker counts. Negative Slab clamps to auto. The bursty schedule's
+// troughs leave queued work draining far from the next arrival, which is
+// exactly where the adaptive cap engages.
+func TestShardedAutoSlabInvariance(t *testing.T) {
+	tab := smtTable(t)
+	specs := make([]ServerSpec, 9)
+	for i := range specs {
+		specs[i] = fcfsSpec(tab)
+	}
+	cfg := Config{
+		Lambda:    4.0,
+		Schedule:  []Phase{{Duration: 0.5, Rate: 30.0}, {Duration: 3, Rate: 0.2}},
+		Jobs:      4000,
+		SizeShape: 4,
+		Seed:      23,
+	}
+	var ref string
+	var refSC ShardConfig
+	for _, sc := range []ShardConfig{
+		{Shards: 5, Workers: 1, Slab: 0},
+		{Shards: 5, Workers: runtime.NumCPU(), Slab: 0},
+		{Shards: 5, Workers: 1, Slab: math.Inf(1)},
+		{Shards: 5, Workers: 1, Slab: 0.25},
+		{Shards: 5, Workers: 2, Slab: -3}, // negative clamps to auto
+	} {
+		d, _ := NewDispatcher("pd2")
+		res, err := SimulateSharded(specs, d, w4(), cfg, sc)
+		if err != nil {
+			t.Fatalf("%+v: %v", sc, err)
+		}
+		fp := fmt.Sprintf("%+v", res)
+		if ref == "" {
+			ref, refSC = fp, sc
+			continue
+		}
+		if fp != ref {
+			t.Errorf("auto-slab result differs between %+v and %+v:\n%s\nvs\n%s", refSC, sc, ref, fp)
+		}
+	}
+}
+
 // TestShardedDeterministicUnderGOMAXPROCS is the -race stress test: one
 // process runs the sharded farm at GOMAXPROCS 1, 2 and NumCPU and diffs
 // the full result structs. Under `go test -race` this also proves the

@@ -196,8 +196,23 @@ func (s *Store) Get(name string) (*Record, error) {
 	return &r, nil
 }
 
-// List returns the store's record file names, newest first (by
-// modification time, ties broken by name so the order is total).
+// hashToken extracts the content-hash token from a record file name —
+// the final _<hex>.gob segment of the FileName layout. Empty when the
+// name carries no underscore-separated suffix.
+func hashToken(name string) string {
+	base := strings.TrimSuffix(name, ".gob")
+	if i := strings.LastIndexByte(base, '_'); i >= 0 {
+		return base[i+1:]
+	}
+	return ""
+}
+
+// List returns the store's record file names, newest first by
+// modification time. Equal mtimes — routine on coarse-timestamp
+// filesystems and for records written in one burst — tie-break by the
+// record's content hash, then by full name, so the order is total and
+// stable no matter how the files landed on disk; `latest~N` references
+// and trend walks then resolve identically everywhere.
 func (s *Store) List() ([]string, error) {
 	entries, err := os.ReadDir(s.Dir)
 	if err != nil {
@@ -221,6 +236,9 @@ func (s *Store) List() ([]string, error) {
 	sort.Slice(recs, func(i, j int) bool {
 		if recs[i].mod != recs[j].mod {
 			return recs[i].mod > recs[j].mod
+		}
+		if hi, hj := hashToken(recs[i].name), hashToken(recs[j].name); hi != hj {
+			return hi < hj
 		}
 		return recs[i].name < recs[j].name
 	})

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -128,6 +129,55 @@ func TestResolve(t *testing.T) {
 	}
 	if _, err := st.Resolve("nosuch"); err == nil {
 		t.Fatal("unknown reference should fail")
+	}
+}
+
+// TestListEqualMtimeDeterministic pins the List tie-break: records
+// whose mtimes collide — one burst of writes on a coarse-timestamp
+// filesystem — must come back ordered by content-hash token, then full
+// name, no matter what order the directory happens to yield. Without
+// this, `latest~N` and trend walks resolve differently across machines.
+func TestListEqualMtimeDeterministic(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i := 0; i < 5; i++ {
+		rec := sampleRecord()
+		rec.Commit = strings.Repeat(string(rune('a'+i)), 8)
+		n, err := st.Put(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, n)
+	}
+	when := time.Now().Add(-time.Minute)
+	for _, n := range names {
+		if err := os.Chtimes(filepath.Join(st.Dir, n), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := append([]string(nil), names...)
+	sort.Slice(want, func(i, j int) bool {
+		if hi, hj := hashToken(want[i]), hashToken(want[j]); hi != hj {
+			return hi < hj
+		}
+		return want[i] < want[j]
+	})
+	for trial := 0; trial < 3; trial++ {
+		got, err := st.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("List returned %d names, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: List[%d] = %s, want %s (hash-token order)", trial, i, got[i], want[i])
+			}
+		}
 	}
 }
 
